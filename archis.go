@@ -1,0 +1,115 @@
+// Package archis is a transaction-time temporal database system built
+// on an embedded relational engine, reproducing "Using XML to Build
+// Efficient Transaction-Time Temporal Database Systems on Relational
+// Databases" (Wang, Zhou, Zaniolo — TimeCenter TR-81 / ICDE 2006).
+//
+// ArchIS tracks every change to registered tables and exposes each
+// table's full history as a temporally grouped XML view (an
+// H-document) that can be queried with an XQuery subset, including the
+// paper's temporal function library (tstart, tend, toverlaps,
+// overlapinterval, coalesce, restructure, tavg, …). Queries are
+// translated to SQL/XML over internal H-tables when possible and
+// evaluated directly over the XML view otherwise. Attribute histories
+// can be clustered into temporal segments by usefulness and compressed
+// with block-granular zlib (BlockZIP) while remaining queryable.
+//
+// Quick start:
+//
+//	sys, _ := archis.New(archis.Options{Layout: archis.LayoutClustered})
+//	sys.Register(archis.TableSpec{
+//	    Name:    "employee",
+//	    Columns: []archis.Column{archis.IntCol("id"), archis.StringCol("name"), archis.IntCol("salary")},
+//	    Key:     []string{"id"},
+//	})
+//	sys.Exec(`insert into employee values (1, 'Bob', 60000)`)
+//	sys.SetClock(archis.MustDate("1995-06-01"))
+//	sys.Exec(`update employee set salary = 70000 where id = 1`)
+//	res, _ := sys.Query(`for $s in doc("employees.xml")/employees/employee[name="Bob"]/salary return $s`)
+//	fmt.Println(res.Items.Serialize())
+package archis
+
+import (
+	"archis/internal/core"
+	"archis/internal/htable"
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+	"archis/internal/xmltree"
+)
+
+// XMLNode is a node of an H-document (the XML view of a table's
+// history) or of a query result.
+type XMLNode = xmltree.Node
+
+// PrettyXML renders a node with indentation.
+func PrettyXML(n *XMLNode) string { return xmltree.Pretty(n) }
+
+// XMLString renders a node compactly.
+func XMLString(n *XMLNode) string { return xmltree.String(n) }
+
+// System is the assembled ArchIS instance; see internal/core for the
+// full method set (Register, Exec, Query, QueryXML, Translate,
+// CompressFrozen, PublishHDoc, SetClock, …).
+type System = core.System
+
+// Options configure a System.
+type Options = core.Options
+
+// Layout selects the physical layout of attribute-history tables.
+type Layout = core.Layout
+
+// Physical layouts.
+const (
+	LayoutPlain      = core.LayoutPlain
+	LayoutClustered  = core.LayoutClustered
+	LayoutCompressed = core.LayoutCompressed
+)
+
+// Capture modes.
+const (
+	CaptureTrigger = htable.CaptureTrigger
+	CaptureLog     = htable.CaptureLog
+)
+
+// ExecutionPath values for QueryResult.Path.
+const (
+	PathSQL = core.PathSQL
+	PathXML = core.PathXML
+)
+
+// QueryResult is the unified result of a temporal query.
+type QueryResult = core.QueryResult
+
+// TableSpec declares a table to archive.
+type TableSpec = htable.TableSpec
+
+// Column describes one table attribute.
+type Column = relstore.Column
+
+// Date is a day-granularity timestamp.
+type Date = temporal.Date
+
+// Interval is an inclusive [start, end] time interval.
+type Interval = temporal.Interval
+
+// Forever is the internal encoding of "now" (9999-12-31).
+var Forever = temporal.Forever
+
+// New builds a System.
+func New(opts Options) (*System, error) { return core.New(opts) }
+
+// Open reconstructs a System from a file written by System.SaveFile,
+// including its history, clustering and compression state, clock and
+// registered tables.
+func Open(path string) (*System, error) { return core.Open(path) }
+
+// MustDate parses an ISO date ("2006-01-02"), panicking on bad input.
+func MustDate(s string) Date { return temporal.MustParseDate(s) }
+
+// ParseDate parses an ISO date.
+func ParseDate(s string) (Date, error) { return temporal.ParseDate(s) }
+
+// IntCol, FloatCol, StringCol and DateCol build column specs.
+func IntCol(name string) Column    { return relstore.Col(name, relstore.TypeInt) }
+func FloatCol(name string) Column  { return relstore.Col(name, relstore.TypeFloat) }
+func StringCol(name string) Column { return relstore.Col(name, relstore.TypeString) }
+func DateCol(name string) Column   { return relstore.Col(name, relstore.TypeDate) }

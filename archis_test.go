@@ -1,0 +1,66 @@
+package archis_test
+
+import (
+	"strings"
+	"testing"
+
+	"archis"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys, err := archis.New(archis.Options{Layout: archis.LayoutClustered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Register(archis.TableSpec{
+		Name: "employee",
+		Columns: []archis.Column{
+			archis.IntCol("id"), archis.StringCol("name"), archis.IntCol("salary"),
+		},
+		Key: []string{"id"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetClock(archis.MustDate("1995-01-01"))
+	if _, err := sys.Exec(`insert into employee values (1, 'Bob', 60000)`); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetClock(archis.MustDate("1995-06-01"))
+	if _, err := sys.Exec(`update employee set salary = 70000 where id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query(`for $s in doc("employees.xml")/employees/employee[name="Bob"]/salary return $s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Items.Serialize()
+	if !strings.Contains(out, `<salary tstart="1995-01-01" tend="1995-05-31">60000</salary>`) {
+		t.Errorf("missing closed version: %s", out)
+	}
+	if !strings.Contains(out, `tend="9999-12-31">70000</salary>`) {
+		t.Errorf("missing current version: %s", out)
+	}
+	if res.Path != archis.PathSQL {
+		t.Errorf("path = %s", res.Path)
+	}
+
+	// Time-travel snapshot via the XML view.
+	seq, err := sys.QueryXML(`for $s in doc("employees.xml")/employees/employee/salary
+		[tstart(.) <= xs:date("1995-03-01") and tend(.) >= xs:date("1995-03-01")] return string($s)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Serialize() != "60000" {
+		t.Errorf("snapshot = %s", seq.Serialize())
+	}
+
+	// Dates and intervals round-trip through the public aliases.
+	d, err := archis.ParseDate("1995-01-01")
+	if err != nil || d.String() != "1995-01-01" {
+		t.Errorf("ParseDate = %v, %v", d, err)
+	}
+	if !archis.Forever.IsForever() {
+		t.Error("Forever broken")
+	}
+}

@@ -1,0 +1,340 @@
+// Benchmark harness regenerating the paper's evaluation (Section 7–8):
+// one benchmark per table/figure. Absolute numbers differ from the
+// paper's 2005 testbed; the shapes — who wins, by what rough factor,
+// where the crossovers fall — are the reproduction targets (see
+// EXPERIMENTS.md).
+//
+// Every query iteration runs cold (caches dropped first), following
+// the paper's unmount/restart methodology.
+package archis_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"archis/internal/bench"
+	"archis/internal/core"
+	"archis/internal/dataset"
+	"archis/internal/htable"
+	"archis/internal/translator"
+	"archis/internal/xquery"
+)
+
+// benchEmployees scales the workload (ARCHIS_BENCH_EMPLOYEES overrides).
+func benchEmployees() int {
+	if s := os.Getenv("ARCHIS_BENCH_EMPLOYEES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 800
+}
+
+// scaleFactor is the Figure 10 data-set multiplier (paper: 7×).
+func scaleFactor() int {
+	if s := os.Getenv("ARCHIS_BENCH_SCALE"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 1 {
+			return n
+		}
+	}
+	return 4
+}
+
+func benchCfg(scale int) dataset.Config {
+	cfg := dataset.DefaultConfig()
+	cfg.Employees = benchEmployees() * scale
+	return cfg
+}
+
+// ---- lazily built, shared environments ----
+
+type envKey string
+
+var (
+	envMu    sync.Mutex
+	envCache = map[envKey]*bench.Env{}
+	xdbCache = map[envKey]*bench.XMLEnv{}
+)
+
+func getEnv(tb testing.TB, key envKey, build func() (*bench.Env, error)) *bench.Env {
+	tb.Helper()
+	envMu.Lock()
+	defer envMu.Unlock()
+	if e, ok := envCache[key]; ok {
+		return e
+	}
+	e, err := build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	envCache[key] = e
+	return e
+}
+
+func clusteredEnv(tb testing.TB, scale int) *bench.Env {
+	return getEnv(tb, envKey(fmt.Sprintf("clustered/%d", scale)), func() (*bench.Env, error) {
+		return bench.Build(benchCfg(scale), bench.Options{Layout: core.LayoutClustered})
+	})
+}
+
+func plainEnv(tb testing.TB, scale int) *bench.Env {
+	return getEnv(tb, envKey(fmt.Sprintf("plain/%d", scale)), func() (*bench.Env, error) {
+		return bench.Build(benchCfg(scale), bench.Options{Layout: core.LayoutPlain})
+	})
+}
+
+func compressedEnv(tb testing.TB, scale int) *bench.Env {
+	return getEnv(tb, envKey(fmt.Sprintf("compressed/%d", scale)), func() (*bench.Env, error) {
+		return bench.Build(benchCfg(scale), bench.Options{Layout: core.LayoutCompressed, Compress: true})
+	})
+}
+
+func xmldbEnv(tb testing.TB, scale int) *bench.XMLEnv {
+	tb.Helper()
+	src := plainEnv(tb, scale)
+	envMu.Lock()
+	defer envMu.Unlock()
+	key := envKey(fmt.Sprintf("xmldb/%d", scale))
+	if x, ok := xdbCache[key]; ok {
+		return x
+	}
+	x, err := bench.BuildXMLBaseline(src, true)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	xdbCache[key] = x
+	return x
+}
+
+// ---- §7.1: translation cost (< 0.1 ms per query in the paper) ----
+
+func BenchmarkTranslationCost(b *testing.B) {
+	cat := translator.MapCatalog{
+		"employees.xml": {
+			DocName: "employees.xml", RootName: "employees", EntityName: "employee",
+			KeyTable: "employee_id", KeyLeaf: "id", KeyColumn: "id",
+			AttrTables: map[string]string{
+				"name": "employee_name", "salary": "employee_salary",
+				"title": "employee_title", "deptno": "employee_deptno",
+			},
+		},
+	}
+	tr := &translator.Translator{Catalog: cat}
+	q := `element title_history{
+	  for $t in doc("employees.xml")/employees/employee[name="Bob"]/title
+	  return $t }`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Translate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXQueryParse(b *testing.B) {
+	q := `for $e in doc("employees.xml")/employees/employee[toverlaps(.,
+	        telement(xs:date("1994-05-06"), xs:date("1995-05-06")))]
+	      return $e/name`
+	for i := 0; i < b.N; i++ {
+		if _, err := xquery.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Table 3 / Figure 8: ArchIS (clustered) vs native XML DB ----
+
+func runArchISQuery(b *testing.B, e *bench.Env, q bench.QueryID) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		e.Cold()
+		if _, err := e.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func runXMLQuery(b *testing.B, x *bench.XMLEnv, q bench.QueryID) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		x.Cold()
+		if _, err := x.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8_ArchIS(b *testing.B) {
+	e := clusteredEnv(b, 1)
+	for _, q := range bench.AllQueries {
+		b.Run(fmt.Sprintf("Q%d", q), func(b *testing.B) { runArchISQuery(b, e, q) })
+	}
+}
+
+func BenchmarkFig8_XMLDB(b *testing.B) {
+	x := xmldbEnv(b, 1)
+	for _, q := range bench.AllQueries {
+		b.Run(fmt.Sprintf("Q%d", q), func(b *testing.B) { runXMLQuery(b, x, q) })
+	}
+}
+
+// ---- Figure 9: with vs without segment clustering ----
+
+func BenchmarkFig9_Clustered(b *testing.B) {
+	e := clusteredEnv(b, 1)
+	for _, q := range bench.AllQueries {
+		b.Run(fmt.Sprintf("Q%d", q), func(b *testing.B) { runArchISQuery(b, e, q) })
+	}
+}
+
+func BenchmarkFig9_NoClustering(b *testing.B) {
+	e := plainEnv(b, 1)
+	for _, q := range bench.AllQueries {
+		b.Run(fmt.Sprintf("Q%d", q), func(b *testing.B) { runArchISQuery(b, e, q) })
+	}
+}
+
+// ---- §7.1: snapshot on the archive vs the current database ----
+
+func BenchmarkSnapshotVsCurrent(b *testing.B) {
+	e := clusteredEnv(b, 1)
+	b.Run("Archive_Q2", func(b *testing.B) { runArchISQuery(b, e, bench.Q2) })
+	b.Run("CurrentDB", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.Cold()
+			if _, err := e.Sys.Exec(`select avg(salary) from employee`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Figure 10: scalability (S vs scaleFactor()·S) ----
+
+func BenchmarkFig10_S1(b *testing.B) {
+	e := clusteredEnv(b, 1)
+	for _, q := range bench.AllQueries {
+		b.Run(fmt.Sprintf("Q%d", q), func(b *testing.B) { runArchISQuery(b, e, q) })
+	}
+}
+
+func BenchmarkFig10_Scaled(b *testing.B) {
+	e := clusteredEnv(b, scaleFactor())
+	for _, q := range bench.AllQueries {
+		b.Run(fmt.Sprintf("Q%d", q), func(b *testing.B) { runArchISQuery(b, e, q) })
+	}
+}
+
+// ---- Figure 14: query performance with compression ----
+
+func BenchmarkFig14_ArchISCompressed(b *testing.B) {
+	e := compressedEnv(b, 1)
+	for _, q := range bench.AllQueries {
+		b.Run(fmt.Sprintf("Q%d", q), func(b *testing.B) { runArchISQuery(b, e, q) })
+	}
+}
+
+// (Fig 14's uncompressed ArchIS series is BenchmarkFig9_Clustered and
+// its XML-DB series is BenchmarkFig8_XMLDB, which stores compressed
+// documents as Tamino does.)
+
+// ---- §8.4: update performance ----
+
+func BenchmarkUpdate_ArchISTrigger_Single(b *testing.B) {
+	e := getEnv(b, "upd-trigger", func() (*bench.Env, error) {
+		return bench.Build(benchCfg(1), bench.Options{Layout: core.LayoutClustered, Capture: htable.CaptureTrigger})
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.UpdateOne(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdate_ArchISLog_Single(b *testing.B) {
+	e := getEnv(b, "upd-log", func() (*bench.Env, error) {
+		return bench.Build(benchCfg(1), bench.Options{Layout: core.LayoutClustered, Capture: htable.CaptureLog})
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.UpdateOne(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := e.Sys.FlushLog(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkUpdate_ArchIS_DailyBatch(b *testing.B) {
+	e := getEnv(b, "upd-daily", func() (*bench.Env, error) {
+		return bench.Build(benchCfg(1), bench.Options{Layout: core.LayoutClustered})
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.DailyBatch(20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdate_XMLDB_Single(b *testing.B) {
+	x := xmldbEnv(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.XMLUpdateOne(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablations (DESIGN.md Section 6) ----
+
+// Block-granular vs whole-segment compression: the point-query cost of
+// coarse decompression units.
+func BenchmarkAblation_BlockZip_Q1(b *testing.B) {
+	e := compressedEnv(b, 1)
+	runArchISQuery(b, e, bench.Q1)
+}
+
+func BenchmarkAblation_WholeSegmentZip_Q1(b *testing.B) {
+	e := getEnv(b, "whole-zip", func() (*bench.Env, error) {
+		return bench.Build(benchCfg(1), bench.Options{Layout: core.LayoutCompressed, Compress: true, WholeSegments: true})
+	})
+	runArchISQuery(b, e, bench.Q1)
+}
+
+// Grouped vs ungrouped representation: attribute-history queries on
+// the ungrouped layout pay coalescing (Section 3's motivation).
+func BenchmarkAblation_Ungrouped_TitleHistory(b *testing.B) {
+	e := plainEnv(b, 1)
+	getEnv(b, "ungrouped-built", func() (*bench.Env, error) {
+		if _, err := bench.BuildUngrouped(e); err != nil {
+			return nil, err
+		}
+		return e, nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cold()
+		if _, err := bench.UngroupedTitleHistory(e, e.SingleID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Grouped_TitleHistory(b *testing.B) {
+	e := plainEnv(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cold()
+		if _, err := bench.GroupedTitleHistory(e, e.SingleID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

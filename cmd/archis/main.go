@@ -1,0 +1,194 @@
+// archis is an interactive shell for the ArchIS temporal database: it
+// loads a demo or generated employee history and accepts XQuery
+// (against the H-views) and SQL (against current tables and H-tables)
+// on stdin.
+//
+// Usage:
+//
+//	archis [-layout plain|clustered|compressed] [-employees N] [-years Y] [-demo]
+//
+// Commands inside the shell:
+//
+//	xquery <query>     run a temporal XQuery (translated when possible)
+//	sql <statement>    run SQL directly
+//	translate <query>  show the SQL/XML translation only
+//	doc <table>        print the H-document of a table
+//	clock [date]       show or set the archive clock
+//	stats              physical counters and storage
+//	help, quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"archis"
+	"archis/internal/dataset"
+)
+
+var (
+	layout    = flag.String("layout", "clustered", "attribute-table layout: plain, clustered or compressed")
+	employees = flag.Int("employees", 0, "generate a synthetic history with this many employees")
+	yearsN    = flag.Int("years", 10, "years of synthetic history")
+	demo      = flag.Bool("demo", true, "load the paper's Tables 1-2 micro history")
+	dbPath    = flag.String("db", "", "open an existing system file (and save back on 'save')")
+)
+
+func main() {
+	flag.Parse()
+	if *dbPath != "" {
+		if _, err := os.Stat(*dbPath); err == nil {
+			sys, err := archis.Open(*dbPath)
+			check(err)
+			fmt.Println("opened", *dbPath)
+			repl(sys)
+			return
+		}
+	}
+	var lay archis.Layout
+	switch *layout {
+	case "plain":
+		lay = archis.LayoutPlain
+	case "clustered":
+		lay = archis.LayoutClustered
+	case "compressed":
+		lay = archis.LayoutCompressed
+	default:
+		fmt.Fprintln(os.Stderr, "unknown layout", *layout)
+		os.Exit(2)
+	}
+	sys, err := archis.New(archis.Options{Layout: lay})
+	check(err)
+	check(sys.Register(dataset.EmployeeSpec()))
+	check(sys.Register(dataset.DeptSpec()))
+	check(sys.AliasDoc("emp.xml", "employee"))
+
+	switch {
+	case *employees > 0:
+		cfg := dataset.DefaultConfig()
+		cfg.Employees = *employees
+		cfg.Years = *yearsN
+		fmt.Printf("generating %d employees over %d years...\n", cfg.Employees, cfg.Years)
+		st, err := dataset.Generate(sys.Archive, cfg)
+		check(err)
+		fmt.Printf("loaded: %d inserts, %d updates, %d deletes\n", st.Inserts, st.Updates, st.Deletes)
+	case *demo:
+		check(dataset.LoadMicro(sys.Archive))
+		fmt.Println("loaded the paper's Tables 1-2 micro history (employees Bob, Alice, Carol; depts d01-d03)")
+	}
+	if lay == archis.LayoutCompressed {
+		check(sys.CompressFrozen())
+	}
+	repl(sys)
+}
+
+func repl(sys *archis.System) {
+	fmt.Println(`type "help" for commands`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("archis> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch strings.ToLower(cmd) {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("  xquery <q>  | sql <stmt> | translate <q> | doc <table> | clock [date] | stats | save <path> | quit")
+		case "save":
+			if rest == "" && *dbPath != "" {
+				rest = *dbPath
+			}
+			if rest == "" {
+				fmt.Println("usage: save <path>")
+				continue
+			}
+			if err := sys.SaveFile(rest); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("saved to", rest)
+		case "xquery":
+			res, err := sys.Query(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("[path: %s]\n", res.Path)
+			if res.SQL != "" {
+				fmt.Println("sql:", res.SQL)
+			}
+			fmt.Println(res.Items.Serialize())
+		case "sql":
+			res, err := sys.Exec(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if len(res.Columns) > 0 {
+				fmt.Println(strings.Join(res.Columns, " | "))
+			}
+			for _, row := range res.Rows {
+				parts := make([]string, len(row))
+				for i, v := range row {
+					parts[i] = v.Text()
+				}
+				fmt.Println(strings.Join(parts, " | "))
+			}
+			if res.RowsAffected > 0 {
+				fmt.Printf("%d rows affected\n", res.RowsAffected)
+			}
+		case "translate":
+			sql, err := sys.Translate(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(sql)
+		case "doc":
+			doc, err := sys.PublishHDoc(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(archis.PrettyXML(doc))
+		case "clock":
+			if rest == "" {
+				fmt.Println(sys.Clock())
+				continue
+			}
+			d, err := archis.ParseDate(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			sys.SetClock(d)
+			fmt.Println("clock set to", d)
+		case "stats":
+			st := sys.DB.Stats()
+			fmt.Printf("block reads: %d  cache hits: %d  pages skipped: %d\n",
+				st.BlockReads, st.CacheHits, st.PagesSkipped)
+			fmt.Printf("history storage: %d KiB\n", sys.StorageBytes()/1024)
+		default:
+			fmt.Println("unknown command; type help")
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "archis:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module archis
+
+go 1.22

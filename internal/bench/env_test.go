@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"testing"
+
+	"archis/internal/core"
+	"archis/internal/dataset"
+	"archis/internal/htable"
+)
+
+func smallCfg() dataset.Config {
+	cfg := dataset.DefaultConfig()
+	cfg.Employees = 80
+	cfg.Years = 6
+	return cfg
+}
+
+func buildAll(t *testing.T) (plain, clustered, compressed *Env, xdb *XMLEnv) {
+	t.Helper()
+	var err error
+	plain, err = Build(smallCfg(), Options{Layout: core.LayoutPlain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err = Build(smallCfg(), Options{Layout: core.LayoutClustered, MinSegmentRows: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, err = Build(smallCfg(), Options{Layout: core.LayoutCompressed, MinSegmentRows: 160, Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xdb, err = BuildXMLBaseline(plain, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+// The central evaluation invariant: every backend and layout answers
+// the Table 3 suite identically.
+func TestAllBackendsAgree(t *testing.T) {
+	plain, clustered, compressed, xdb := buildAll(t)
+
+	seg, ok := clustered.Sys.SegmentStore("employee_salary")
+	if !ok || seg.Archives() == 0 {
+		t.Fatalf("clustered env did not archive (archives=%v)", ok)
+	}
+	cs, ok := compressed.Sys.CompressedStore("employee_salary")
+	if !ok {
+		t.Fatal("no compressed store")
+	}
+	if n, _ := cs.BlockCount(); n == 0 {
+		t.Fatal("compressed env has no blocks")
+	}
+
+	for _, q := range AllQueries {
+		base, err := plain.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Rows == 0 {
+			t.Errorf("%s: empty result on plain layout", Describe(q))
+		}
+		for name, env := range map[string]*Env{"clustered": clustered, "compressed": compressed} {
+			got, err := env.Run(q)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", Describe(q), name, err)
+			}
+			if got != base {
+				t.Errorf("%s: %s = %+v, plain = %+v\nsql: %s", Describe(q), name, got, base, env.SQL(q))
+			}
+		}
+		xres, err := xdb.Run(q)
+		if err != nil {
+			t.Fatalf("%s on xmldb: %v", Describe(q), err)
+		}
+		switch q {
+		case Q1, Q3, Q4:
+			if xres.Rows != base.Rows {
+				t.Errorf("%s: xmldb rows = %d, sql rows = %d", Describe(q), xres.Rows, base.Rows)
+			}
+		case Q2, Q5, Q6:
+			if xres.Value != base.Value {
+				t.Errorf("%s: xmldb value = %q, sql value = %q", Describe(q), xres.Value, base.Value)
+			}
+		}
+	}
+}
+
+func TestColdRunsPayPhysicalReads(t *testing.T) {
+	clustered, err := Build(smallCfg(), Options{Layout: core.LayoutClustered, MinSegmentRows: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered.Cold()
+	clustered.Sys.DB.ResetStats()
+	if _, err := clustered.Run(Q2); err != nil {
+		t.Fatal(err)
+	}
+	cold := clustered.Sys.DB.Stats().BlockReads
+	if cold == 0 {
+		t.Fatal("cold Q2 read no blocks")
+	}
+	clustered.Sys.DB.ResetStats()
+	if _, err := clustered.Run(Q2); err != nil {
+		t.Fatal(err)
+	}
+	if warm := clustered.Sys.DB.Stats().BlockReads; warm >= cold {
+		t.Errorf("warm run not cheaper: %d vs %d", warm, cold)
+	}
+}
+
+func TestSegmentPruningBeatsFullScanOnSnapshot(t *testing.T) {
+	// Needs enough history that the salary table spans many pages.
+	cfg := dataset.DefaultConfig()
+	cfg.Employees = 250
+	cfg.Years = 10
+	plain, err := Build(cfg, Options{Layout: core.LayoutPlain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := Build(cfg, Options{Layout: core.LayoutClustered, MinSegmentRows: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readCount := func(e *Env, q QueryID) int64 {
+		e.Cold()
+		e.Sys.DB.ResetStats()
+		if _, err := e.Run(q); err != nil {
+			t.Fatal(err)
+		}
+		return e.Sys.DB.Stats().BlockReads
+	}
+	p := readCount(plain, Q2)
+	c := readCount(clustered, Q2)
+	if c >= p {
+		t.Errorf("clustered snapshot reads %d blocks, plain %d", c, p)
+	}
+}
+
+func TestUpdateHelpers(t *testing.T) {
+	env, err := Build(smallCfg(), Options{Layout: core.LayoutClustered, MinSegmentRows: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := env.Run(Q4)
+	if err := env.UpdateOne(); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.DailyBatch(10); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := env.Run(Q4)
+	if after.Rows != before.Rows && after.Value == before.Value {
+		t.Errorf("updates not visible: %+v -> %+v", before, after)
+	}
+	xdb, err := BuildXMLBaseline(env, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xdb.XMLUpdateOne(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogCaptureEnvEquivalent(t *testing.T) {
+	trig, err := Build(smallCfg(), Options{Layout: core.LayoutClustered, MinSegmentRows: 160, Capture: htable.CaptureTrigger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logged, err := Build(smallCfg(), Options{Layout: core.LayoutClustered, MinSegmentRows: 160, Capture: htable.CaptureLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range AllQueries {
+		a, err := trig.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := logged.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%s: trigger %+v vs log %+v", Describe(q), a, b)
+		}
+	}
+}

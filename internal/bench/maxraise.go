@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"archis/internal/relstore"
+	"archis/internal/sqlengine"
+)
+
+// RegisterMaxRaise installs the user-defined aggregate the paper uses
+// to optimize Q6 ("we effectively optimize the join through a
+// user-defined aggregate in one scan"): MAXRAISE(id, salary, tstart,
+// window_days) returns the maximum salary increase between two
+// versions of the same employee whose starts lie within the window.
+func RegisterMaxRaise(en *sqlengine.Engine) {
+	en.RegisterAggregate("MAXRAISE", func() sqlengine.AggState {
+		return &maxRaiseState{byID: map[int64][]salaryAt{}}
+	})
+}
+
+type salaryAt struct {
+	salary int64
+	start  int64
+}
+
+type maxRaiseState struct {
+	byID   map[int64][]salaryAt
+	window int64
+}
+
+func (s *maxRaiseState) Add(args []relstore.Value) error {
+	if len(args) != 4 {
+		return fmt.Errorf("MAXRAISE expects (id, salary, tstart, window_days)")
+	}
+	id, ok1 := args[0].AsInt()
+	sal, ok2 := args[1].AsInt()
+	start, ok3 := args[2].AsInt()
+	win, ok4 := args[3].AsInt()
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return fmt.Errorf("MAXRAISE: non-numeric argument")
+	}
+	s.window = win
+	s.byID[id] = append(s.byID[id], salaryAt{salary: sal, start: start})
+	return nil
+}
+
+func (s *maxRaiseState) Result() relstore.Value {
+	best := int64(0)
+	// A version paired with itself gives a zero raise, matching the
+	// self-join formulation's floor of 0.
+	any := len(s.byID) > 0
+	for _, versions := range s.byID {
+		sort.Slice(versions, func(i, j int) bool { return versions[i].start < versions[j].start })
+		// Sliding minimum over the window: for each version, compare
+		// against the smallest earlier salary still inside the window.
+		for i, v := range versions {
+			for j := i + 1; j < len(versions) && versions[j].start-v.start <= s.window; j++ {
+				if d := versions[j].salary - v.salary; d > best {
+					best = d
+				}
+			}
+		}
+	}
+	if !any {
+		return relstore.Null
+	}
+	return relstore.Int(best)
+}

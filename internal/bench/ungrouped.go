@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+)
+
+// BuildUngrouped materializes the temporally ungrouped representation
+// of the employee history (the paper's Tables 1–2 layout that
+// Section 3 argues against): one row per change with ALL attributes
+// repeated. It is the baseline for the grouped-vs-ungrouped ablation —
+// attribute-history queries on it must re-coalesce.
+func BuildUngrouped(src *Env) (*relstore.Table, error) {
+	db := src.Sys.DB
+	tbl, err := db.CreateTable(relstore.NewSchema("employee_ungrouped",
+		relstore.Col("id", relstore.TypeInt),
+		relstore.Col("name", relstore.TypeString),
+		relstore.Col("salary", relstore.TypeInt),
+		relstore.Col("title", relstore.TypeString),
+		relstore.Col("deptno", relstore.TypeString),
+		relstore.Col("tstart", relstore.TypeDate),
+		relstore.Col("tend", relstore.TypeDate)))
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect per-id attribute versions from the attribute stores.
+	type ver struct {
+		value relstore.Value
+		iv    temporal.Interval
+	}
+	attrs := []string{"name", "salary", "title", "deptno"}
+	perAttr := make([]map[int64][]ver, len(attrs))
+	ids := map[int64]bool{}
+	for i, attr := range attrs {
+		store, ok := src.Sys.Archive.AttrStore("employee", attr)
+		if !ok {
+			return nil, fmt.Errorf("bench: no store for %s", attr)
+		}
+		byID := map[int64][]ver{}
+		err := store.ScanHistory(func(id int64, v relstore.Value, start, end temporal.Date) bool {
+			byID[id] = append(byID[id], ver{v, temporal.Interval{Start: start, End: end}})
+			ids[id] = true
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		perAttr[i] = byID
+	}
+
+	// For each id, cut the timeline at every attribute boundary and
+	// emit one full-width row per piece — the value-equivalent tuples
+	// an ungrouped transaction-time table stores.
+	for id := range ids {
+		boundsSet := map[temporal.Date]bool{}
+		var ends []temporal.Date
+		for i := range attrs {
+			for _, v := range perAttr[i][id] {
+				boundsSet[v.iv.Start] = true
+				ends = append(ends, v.iv.End)
+			}
+		}
+		var starts []temporal.Date
+		for d := range boundsSet {
+			starts = append(starts, d)
+		}
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		for k, s := range starts {
+			var e temporal.Date
+			if k+1 < len(starts) {
+				e = starts[k+1].AddDays(-1)
+			} else {
+				// Last piece extends to the latest end among attributes.
+				e = s
+				for _, d := range ends {
+					if d > e {
+						e = d
+					}
+				}
+			}
+			if e < s {
+				continue
+			}
+			row := relstore.Row{relstore.Int(id), relstore.Null, relstore.Null, relstore.Null, relstore.Null,
+				relstore.DateV(s), relstore.DateV(e)}
+			for i := range attrs {
+				for _, v := range perAttr[i][id] {
+					if v.iv.Contains(s) {
+						row[1+i] = v.value
+						break
+					}
+				}
+			}
+			if _, err := tbl.Insert(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	tbl.Flush()
+	if _, err := db.CreateIndex("ix_employee_ungrouped_id", "employee_ungrouped", "id"); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// UngroupedTitleHistory answers "the title history of one employee" on
+// the ungrouped table: fetch the value-equivalent rows and coalesce —
+// the extra work Section 3 attributes to ungrouped models.
+func UngroupedTitleHistory(src *Env, id int64) ([]temporal.Timed, error) {
+	res, err := src.Sys.Exec(fmt.Sprintf(
+		`select title, tstart, tend from employee_ungrouped where id = %d`, id))
+	if err != nil {
+		return nil, err
+	}
+	timed := make([]temporal.Timed, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		if r[0].IsNull() {
+			continue
+		}
+		timed = append(timed, temporal.Timed{
+			Value:    r[0].Text(),
+			Interval: temporal.Interval{Start: r[1].Date(), End: r[2].Date()},
+		})
+	}
+	return temporal.Coalesce(timed), nil
+}
+
+// GroupedTitleHistory is the same question on the grouped H-table: the
+// history is already coalesced.
+func GroupedTitleHistory(src *Env, id int64) (int, error) {
+	res, err := src.Sys.Exec(fmt.Sprintf(
+		`select title, tstart, tend from employee_title where id = %d`, id))
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Rows), nil
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// liveIDs returns up to n ids of current employees.
+func (e *Env) liveIDs(n int) ([]int64, error) {
+	res, err := e.Sys.Exec(fmt.Sprintf(`select id from employee order by id limit %d`, n))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		id, _ := r[0].AsInt()
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// UpdateOne performs the Section 8.4 single-update experiment: raise
+// one current employee's salary by 10%. The clock advances one day per
+// call so every update creates a new version.
+func (e *Env) UpdateOne() error {
+	ids, err := e.liveIDs(1)
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("bench: no live employees")
+	}
+	e.Sys.SetClock(e.Sys.Clock().AddDays(1))
+	_, err = e.Sys.Exec(fmt.Sprintf(
+		`update employee set salary = salary + salary / 10 where id = %d`, ids[0]))
+	return err
+}
+
+// DailyBatch performs the Section 8.4 simulated-daily-update
+// experiment: one day's worth of changes (k salary updates).
+func (e *Env) DailyBatch(k int) error {
+	ids, err := e.liveIDs(k)
+	if err != nil {
+		return err
+	}
+	e.Sys.SetClock(e.Sys.Clock().AddDays(1))
+	for _, id := range ids {
+		if _, err := e.Sys.Exec(fmt.Sprintf(
+			`update employee set salary = salary + 100 where id = %d`, id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// XMLUpdateOne is the baseline side of the update experiment: a native
+// XML store must rewrite (and recompress) the whole document to apply
+// one change, which is exactly the cost the paper observes on Tamino.
+func (x *XMLEnv) XMLUpdateOne() error {
+	doc, err := x.DB.Query(`doc("employees.xml")`)
+	if err != nil {
+		return err
+	}
+	if len(doc) != 1 || !doc[0].IsNode() {
+		return fmt.Errorf("bench: cannot load employees.xml")
+	}
+	root := doc[0].Node.FirstChild("employees")
+	if root == nil {
+		root = doc[0].Node
+	}
+	// Mutate one salary text and store the document back.
+	for _, emp := range root.ChildElements("employee") {
+		sals := emp.ChildElements("salary")
+		if len(sals) == 0 {
+			continue
+		}
+		last := sals[len(sals)-1]
+		last.Children = nil
+		last.AppendText("99999")
+		break
+	}
+	return x.DB.Store("employees.xml", root)
+}

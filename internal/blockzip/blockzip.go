@@ -1,0 +1,199 @@
+// Package blockzip implements the paper's BlockZIP scheme (Section 8):
+// block-based zlib compression for archived relational data. Instead
+// of compressing a segment as one stream, records are packed into
+// independently decompressable blocks of a fixed physical size, so a
+// snapshot or slicing query reads and decompresses only the blocks it
+// touches.
+package blockzip
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DefaultBlockSize is the paper's experimental block size (4000 bytes).
+const DefaultBlockSize = 4000
+
+// Block is one compressed unit: Data is at most the configured block
+// size (padded up to exactly that size, as Algorithm 2 does), and
+// Records counts the records inside.
+type Block struct {
+	Data    []byte
+	Records int
+}
+
+// frame prepends each record with its uvarint length so the block can
+// be split again after decompression.
+func frame(dst []byte, rec []byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(rec)))
+	dst = append(dst, tmp[:n]...)
+	return append(dst, rec...)
+}
+
+func deflate(raw []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := zlib.NewWriter(&buf)
+	if _, err := zw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Compress packs records into blocks of at most blockSize compressed
+// bytes each, following Algorithm 2: sample the input to estimate the
+// compression factor and average record size, then adaptively grow or
+// shrink the per-block record count until the compressed output fits.
+func Compress(records [][]byte, blockSize int) ([]Block, error) {
+	if blockSize <= 64 {
+		return nil, fmt.Errorf("blockzip: block size %d too small", blockSize)
+	}
+	if len(records) == 0 {
+		return nil, nil
+	}
+
+	// Algorithm 2 step 3: sample to estimate f0 and R.
+	sampleBytes := 0
+	sampleCount := 0
+	for _, r := range records {
+		sampleBytes += len(r) + 1
+		sampleCount++
+		if sampleBytes >= 4*blockSize {
+			break
+		}
+	}
+	avgRec := float64(sampleBytes) / float64(sampleCount)
+	var raw []byte
+	for _, r := range records[:sampleCount] {
+		raw = frame(raw, r)
+	}
+	comp, err := deflate(raw)
+	if err != nil {
+		return nil, err
+	}
+	f0 := float64(len(raw)) / float64(len(comp)) // compression factor
+	if f0 < 1 {
+		f0 = 1
+	}
+
+	// Step 4: initial estimate of records per block.
+	n := int(float64(blockSize) * f0 / avgRec)
+	if n < 1 {
+		n = 1
+	}
+
+	var out []Block
+	start := 0
+	for start < len(records) {
+		count := n
+		if start+count > len(records) {
+			count = len(records) - start
+		}
+		// Adaptive fitting loop (steps 7-23). tooBig tracks the
+		// smallest count known to overflow so the estimate-driven
+		// grow/shrink steps cannot oscillate forever.
+		tooBig := len(records) + 1
+		for {
+			raw = raw[:0]
+			for _, r := range records[start : start+count] {
+				raw = frame(raw, r)
+			}
+			comp, err = deflate(raw)
+			if err != nil {
+				return nil, err
+			}
+			if len(comp) <= blockSize {
+				gap := blockSize - len(comp)
+				extra := int(float64(gap) * f0 / avgRec)
+				if extra >= 1 && start+count < len(records) && count+1 < tooBig {
+					grow := extra
+					if start+count+grow > len(records) {
+						grow = len(records) - start - count
+					}
+					if count+grow >= tooBig {
+						grow = tooBig - 1 - count
+					}
+					if grow > 0 {
+						count += grow
+						continue
+					}
+				}
+				// Pad to the exact block size (step 13).
+				padded := make([]byte, blockSize)
+				copy(padded, comp)
+				out = append(out, Block{Data: padded, Records: count})
+				break
+			}
+			// Too big: shed records (steps 20-21).
+			if count < tooBig {
+				tooBig = count
+			}
+			over := len(comp) - blockSize
+			shrink := int(float64(over) * f0 / avgRec)
+			if shrink < 1 {
+				shrink = 1
+			}
+			if count-shrink < 1 {
+				if count == 1 {
+					// A single record that does not fit gets an
+					// oversized block — the BLOB escape hatch.
+					out = append(out, Block{Data: comp, Records: 1})
+					count = 1
+					break
+				}
+				shrink = count - 1
+			}
+			count -= shrink
+		}
+		start += count
+		n = count // carry the converged estimate forward
+	}
+	return out, nil
+}
+
+// Decompress splits a block back into its records. Padding beyond the
+// zlib stream is ignored.
+func Decompress(data []byte) ([][]byte, error) {
+	zr, err := zlib.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("blockzip: %w", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("blockzip: %w", err)
+	}
+	_ = zr.Close()
+	var out [][]byte
+	pos := 0
+	for pos < len(raw) {
+		l, n := binary.Uvarint(raw[pos:])
+		if n <= 0 || pos+n+int(l) > len(raw) {
+			return nil, fmt.Errorf("blockzip: corrupt record framing at %d", pos)
+		}
+		pos += n
+		out = append(out, raw[pos:pos+int(l)])
+		pos += int(l)
+	}
+	return out, nil
+}
+
+// CompressWhole compresses records as a single stream (the
+// gzip-a-whole-file baseline that Tamino uses); returned as one
+// unpadded block.
+func CompressWhole(records [][]byte) (Block, error) {
+	var raw []byte
+	for _, r := range records {
+		raw = frame(raw, r)
+	}
+	comp, err := deflate(raw)
+	if err != nil {
+		return Block{}, err
+	}
+	return Block{Data: comp, Records: len(records)}, nil
+}

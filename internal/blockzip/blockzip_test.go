@@ -1,0 +1,186 @@
+package blockzip
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func makeRecords(n int, r *rand.Rand) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		// Realistic shape: repetitive prefix (compressible) plus some
+		// per-record variation.
+		out[i] = []byte(fmt.Sprintf("employee_salary|%06d|%d|1995-01-01|1996-12-31|pad-%d",
+			i, 40000+r.Intn(50000), r.Intn(10)))
+	}
+	return out
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	records := makeRecords(5000, r)
+	blocks, err := Compress(records, DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(blocks))
+	}
+	var got [][]byte
+	total := 0
+	for _, b := range blocks {
+		recs, err := Decompress(b.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != b.Records {
+			t.Errorf("block claims %d records, has %d", b.Records, len(recs))
+		}
+		got = append(got, recs...)
+		total += b.Records
+	}
+	if total != len(records) {
+		t.Fatalf("records = %d, want %d", total, len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(records[i], got[i]) {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+}
+
+func TestBlocksAreBlockSized(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	records := makeRecords(5000, r)
+	blocks, err := Compress(records, DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range blocks {
+		if len(b.Data) != DefaultBlockSize {
+			t.Errorf("block %d has size %d, want %d", i, len(b.Data), DefaultBlockSize)
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	records := makeRecords(20000, r)
+	rawBytes := 0
+	for _, rec := range records {
+		rawBytes += len(rec)
+	}
+	blocks, err := Compress(records, DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compBytes := 0
+	for _, b := range blocks {
+		compBytes += len(b.Data)
+	}
+	ratio := float64(compBytes) / float64(rawBytes)
+	if ratio > 0.5 {
+		t.Errorf("compression ratio %.2f too weak for repetitive data", ratio)
+	}
+}
+
+func TestSingleOversizedRecord(t *testing.T) {
+	big := bytes.Repeat([]byte{0xAB, 0x13, 0x77, 0x42}, 5000) // incompressible-ish
+	r := rand.New(rand.NewSource(4))
+	noise := make([]byte, 20000)
+	r.Read(noise)
+	blocks, err := Compress([][]byte{noise}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	recs, err := Decompress(blocks[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recs[0], noise) {
+		t.Error("oversized record corrupted")
+	}
+	_ = big
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	blocks, err := Compress(nil, DefaultBlockSize)
+	if err != nil || blocks != nil {
+		t.Errorf("empty input: %v %v", blocks, err)
+	}
+	blocks, err = Compress([][]byte{[]byte("x")}, DefaultBlockSize)
+	if err != nil || len(blocks) != 1 {
+		t.Fatalf("tiny input: %v %v", blocks, err)
+	}
+	recs, err := Decompress(blocks[0].Data)
+	if err != nil || len(recs) != 1 || string(recs[0]) != "x" {
+		t.Errorf("tiny round trip: %v %v", recs, err)
+	}
+	if _, err := Compress([][]byte{[]byte("x")}, 10); err == nil {
+		t.Error("absurd block size accepted")
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress([]byte("not zlib")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCompressWhole(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	records := makeRecords(1000, r)
+	b, err := CompressWhole(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Records != 1000 {
+		t.Errorf("records = %d", b.Records)
+	}
+	recs, err := Decompress(b.Data)
+	if err != nil || len(recs) != 1000 {
+		t.Fatalf("whole round trip: %d %v", len(recs), err)
+	}
+}
+
+// Property: round trip holds for random record sizes and block sizes.
+func TestCompressProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(3000)
+		records := make([][]byte, n)
+		for i := range records {
+			rec := make([]byte, 1+r.Intn(120))
+			for j := range rec {
+				rec[j] = byte('a' + r.Intn(4)) // compressible alphabet
+			}
+			records[i] = rec
+		}
+		blockSize := 512 + r.Intn(8000)
+		blocks, err := Compress(records, blockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got [][]byte
+		for _, b := range blocks {
+			recs, err := Decompress(b.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, recs...)
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: %d of %d records", trial, len(got), n)
+		}
+		for i := range records {
+			if !bytes.Equal(records[i], got[i]) {
+				t.Fatalf("trial %d: record %d corrupted", trial, i)
+			}
+		}
+	}
+}

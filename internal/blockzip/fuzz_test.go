@@ -1,0 +1,63 @@
+package blockzip
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCompressRoundTrip ensures arbitrary record streams survive
+// compression: framing, adaptive block fitting and padding must never
+// lose or corrupt a record.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte("hello world"), 10, 512)
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, 3, 4000)
+	f.Add(bytes.Repeat([]byte("abc"), 500), 7, 1024)
+	f.Fuzz(func(t *testing.T, data []byte, nRecords, blockSize int) {
+		if nRecords <= 0 || nRecords > 200 || len(data) == 0 {
+			return
+		}
+		if blockSize < 128 || blockSize > 1<<16 {
+			return
+		}
+		// Slice data into nRecords overlapping records.
+		records := make([][]byte, nRecords)
+		for i := range records {
+			lo := (i * 13) % len(data)
+			hi := lo + 1 + (i*31)%64
+			if hi > len(data) {
+				hi = len(data)
+			}
+			records[i] = data[lo:hi]
+		}
+		blocks, err := Compress(records, blockSize)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		var got [][]byte
+		for _, b := range blocks {
+			recs, err := Decompress(b.Data)
+			if err != nil {
+				t.Fatalf("decompress: %v", err)
+			}
+			got = append(got, recs...)
+		}
+		if len(got) != len(records) {
+			t.Fatalf("%d records in, %d out", len(records), len(got))
+		}
+		for i := range records {
+			if !bytes.Equal(records[i], got[i]) {
+				t.Fatalf("record %d corrupted", i)
+			}
+		}
+	})
+}
+
+// FuzzDecompress ensures corrupted blocks are rejected, not paniced on.
+func FuzzDecompress(f *testing.F) {
+	good, _ := CompressWhole([][]byte{[]byte("abc"), []byte("defg")})
+	f.Add(good.Data)
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decompress(data) // must not panic
+	})
+}

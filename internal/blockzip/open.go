@@ -1,0 +1,46 @@
+package blockzip
+
+import (
+	"fmt"
+
+	"archis/internal/relstore"
+	"archis/internal/segment"
+)
+
+// OpenCompressedStore attaches a CompressedStore to the existing blob
+// and segrange tables of a reopened persistent system, reconstructing
+// the block counter and the set of already-compressed segments.
+func OpenCompressedStore(db *relstore.Database, seg *segment.Store, opts Options) (*CompressedStore, error) {
+	if opts.BlockSize == 0 {
+		opts.BlockSize = DefaultBlockSize
+	}
+	name := seg.TableName()
+	blob, ok := db.Table(BlobTableName(name))
+	if !ok {
+		return nil, fmt.Errorf("blockzip: open: blob table for %s missing", name)
+	}
+	segrange, ok := db.Table(SegRangeTableName(name))
+	if !ok {
+		return nil, fmt.Errorf("blockzip: open: segrange table for %s missing", name)
+	}
+	cs := &CompressedStore{
+		Seg:        seg,
+		blob:       blob,
+		segrange:   segrange,
+		compressed: map[int64]bool{},
+		nextBlock:  1,
+		blockSize:  opts.BlockSize,
+		whole:      opts.WholeSegments,
+	}
+	err := segrange.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+		cs.compressed[row[0].I] = true
+		if row[2].I >= cs.nextBlock {
+			cs.nextBlock = row[2].I + 1
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cs, nil
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"archis/internal/blockzip"
+	"archis/internal/htable"
+	"archis/internal/relstore"
+	"archis/internal/segment"
+	"archis/internal/temporal"
+)
+
+// System persistence: the relational state (current tables, H-tables,
+// segment directories, block tables, indexes) is serialized by
+// internal/relstore; this file adds the metadata tables that let Open
+// reconstruct the System itself — options, clock, table specs and doc
+// aliases — and the attach logic that rebuilds the in-memory layers.
+
+const (
+	metaTable  = "archis_meta"
+	specsTable = "archis_specs"
+	aliasTable = "archis_aliases"
+)
+
+// SaveFile persists the whole system to one file.
+func (s *System) SaveFile(path string) error {
+	if err := s.writeMeta(); err != nil {
+		return err
+	}
+	return s.DB.SaveFile(path)
+}
+
+func (s *System) writeMeta() error {
+	// Recreate the metadata tables from scratch on every save.
+	for _, t := range []string{metaTable, specsTable, aliasTable} {
+		if _, ok := s.DB.Table(t); ok {
+			if err := s.DB.DropTable(t); err != nil {
+				return err
+			}
+		}
+	}
+	meta, err := s.DB.CreateTable(relstore.NewSchema(metaTable,
+		relstore.Col("k", relstore.TypeString), relstore.Col("v", relstore.TypeString)))
+	if err != nil {
+		return err
+	}
+	put := func(k, v string) error {
+		_, err := meta.Insert(relstore.Row{relstore.String_(k), relstore.String_(v)})
+		return err
+	}
+	pairs := [][2]string{
+		{"version", "1"},
+		{"layout", strconv.Itoa(int(s.opts.Layout))},
+		{"capture", strconv.Itoa(int(s.Archive.Mode()))},
+		{"umin", strconv.FormatFloat(s.opts.Umin, 'g', -1, 64)},
+		{"minsegmentrows", strconv.Itoa(s.opts.MinSegmentRows)},
+		{"blocksize", strconv.Itoa(s.opts.BlockSize)},
+		{"wholesegments", strconv.FormatBool(s.opts.WholeSegmentCompression)},
+		{"clock", s.Clock().String()},
+	}
+	for _, p := range pairs {
+		if err := put(p[0], p[1]); err != nil {
+			return err
+		}
+	}
+
+	specs, err := s.DB.CreateTable(relstore.NewSchema(specsTable,
+		relstore.Col("tablename", relstore.TypeString),
+		relstore.Col("colname", relstore.TypeString),
+		relstore.Col("coltype", relstore.TypeInt),
+		relstore.Col("iskey", relstore.TypeInt),
+		relstore.Col("pos", relstore.TypeInt)))
+	if err != nil {
+		return err
+	}
+	for _, name := range s.Archive.Tables() {
+		spec, _ := s.Archive.Spec(name)
+		keySet := map[string]bool{}
+		for _, k := range spec.Key {
+			keySet[strings.ToLower(k)] = true
+		}
+		for i, c := range spec.Columns {
+			isKey := int64(0)
+			if keySet[strings.ToLower(c.Name)] {
+				isKey = 1
+			}
+			if _, err := specs.Insert(relstore.Row{
+				relstore.String_(spec.Name), relstore.String_(c.Name),
+				relstore.Int(int64(c.Type)), relstore.Int(isKey), relstore.Int(int64(i))}); err != nil {
+				return err
+			}
+		}
+	}
+
+	aliases, err := s.DB.CreateTable(relstore.NewSchema(aliasTable,
+		relstore.Col("alias", relstore.TypeString),
+		relstore.Col("tablename", relstore.TypeString)))
+	if err != nil {
+		return err
+	}
+	for alias, view := range s.catalog {
+		if alias == view.DocName {
+			continue // canonical entry, rebuilt by finishRegister
+		}
+		if _, err := aliases.Insert(relstore.Row{
+			relstore.String_(alias), relstore.String_(view.EntityName)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open reconstructs a System from a file written by SaveFile.
+func Open(path string) (*System, error) {
+	db, err := relstore.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := readMeta(db)
+	if err != nil {
+		return nil, err
+	}
+	opts := Options{}
+	if v, err := strconv.Atoi(meta["layout"]); err == nil {
+		opts.Layout = Layout(v)
+	}
+	if v, err := strconv.Atoi(meta["capture"]); err == nil {
+		opts.Capture = htable.CaptureMode(v)
+	}
+	if v, err := strconv.ParseFloat(meta["umin"], 64); err == nil {
+		opts.Umin = v
+	}
+	if v, err := strconv.Atoi(meta["minsegmentrows"]); err == nil {
+		opts.MinSegmentRows = v
+	}
+	if v, err := strconv.Atoi(meta["blocksize"]); err == nil {
+		opts.BlockSize = v
+	}
+	opts.WholeSegmentCompression = meta["wholesegments"] == "true"
+
+	s, err := newWithDB(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	if clock, err := temporal.ParseDate(meta["clock"]); err == nil {
+		s.SetClock(clock)
+	}
+
+	specs, err := readSpecs(db)
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range specs {
+		if err := s.attach(spec); err != nil {
+			return nil, err
+		}
+	}
+
+	if aliases, ok := db.Table(aliasTable); ok {
+		var aliasErr error
+		_ = aliases.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+			if err := s.AliasDoc(row[0].Text(), row[1].Text()); err != nil {
+				aliasErr = err
+				return false
+			}
+			return true
+		})
+		if aliasErr != nil {
+			return nil, aliasErr
+		}
+	}
+	return s, nil
+}
+
+func readMeta(db *relstore.Database) (map[string]string, error) {
+	t, ok := db.Table(metaTable)
+	if !ok {
+		return nil, fmt.Errorf("core: not an ArchIS system file (no %s table)", metaTable)
+	}
+	out := map[string]string{}
+	err := t.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+		out[row[0].Text()] = row[1].Text()
+		return true
+	})
+	if out["version"] != "1" {
+		return nil, fmt.Errorf("core: unsupported system file version %q", out["version"])
+	}
+	return out, err
+}
+
+func readSpecs(db *relstore.Database) ([]htable.TableSpec, error) {
+	t, ok := db.Table(specsTable)
+	if !ok {
+		return nil, fmt.Errorf("core: system file has no %s table", specsTable)
+	}
+	type colRec struct {
+		col   relstore.Column
+		isKey bool
+		pos   int64
+	}
+	byTable := map[string][]colRec{}
+	var order []string
+	err := t.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+		name := row[0].Text()
+		if _, seen := byTable[name]; !seen {
+			order = append(order, name)
+		}
+		byTable[name] = append(byTable[name], colRec{
+			col:   relstore.Col(row[1].Text(), relstore.Type(row[2].I)),
+			isKey: row[3].I == 1,
+			pos:   row[4].I,
+		})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []htable.TableSpec
+	for _, name := range order {
+		recs := byTable[name]
+		spec := htable.TableSpec{Name: name}
+		cols := make([]relstore.Column, len(recs))
+		for _, r := range recs {
+			if int(r.pos) >= len(cols) {
+				return nil, fmt.Errorf("core: corrupt spec for %s", name)
+			}
+			cols[r.pos] = r.col
+			if r.isKey {
+				spec.Key = append(spec.Key, r.col.Name)
+			}
+		}
+		spec.Columns = cols
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// attach rebuilds the store/catalog layers over existing tables.
+func (s *System) attach(spec htable.TableSpec) error {
+	err := s.Archive.Attach(spec, func(db *relstore.Database, schema relstore.Schema) (htable.AttrStore, error) {
+		switch s.opts.Layout {
+		case LayoutPlain:
+			t, ok := db.Table(schema.Name)
+			if !ok {
+				return nil, fmt.Errorf("core: attach: table %s missing", schema.Name)
+			}
+			return htable.OpenPlainStore(t)
+		case LayoutClustered, LayoutCompressed:
+			seg, err := segment.OpenStore(db, schema.Name, segment.Config{
+				Umin:           s.opts.Umin,
+				MinSegmentRows: s.opts.MinSegmentRows,
+				Clock:          func() temporal.Date { return s.Engine.Now },
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.segStores[strings.ToLower(schema.Name)] = seg
+			if s.opts.Layout == LayoutClustered {
+				s.Engine.RegisterVirtual(schema.Name, seg)
+				return seg, nil
+			}
+			cs, err := blockzip.OpenCompressedStore(db, seg, blockzip.Options{
+				BlockSize:     s.opts.BlockSize,
+				WholeSegments: s.opts.WholeSegmentCompression,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.compStores[strings.ToLower(schema.Name)] = cs
+			s.Engine.RegisterVirtual(schema.Name, cs)
+			return cs, nil
+		}
+		return nil, fmt.Errorf("core: unknown layout %d", s.opts.Layout)
+	})
+	if err != nil {
+		return err
+	}
+	return s.finishRegister(spec)
+}

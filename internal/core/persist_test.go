@@ -1,0 +1,187 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"archis/internal/dataset"
+	"archis/internal/temporal"
+)
+
+func saveLoad(t *testing.T, s *System) *System {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sys.db")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s2
+}
+
+func queriesAgree(t *testing.T, a, b *System, queries []string) {
+	t.Helper()
+	for _, q := range queries {
+		ra, err := a.Query(q)
+		if err != nil {
+			t.Fatalf("original: %s: %v", q, err)
+		}
+		rb, err := b.Query(q)
+		if err != nil {
+			t.Fatalf("reopened: %s: %v", q, err)
+		}
+		if sortedItems(ra.Items) != sortedItems(rb.Items) {
+			t.Errorf("results differ after reopen for %s:\n%s\nvs\n%s",
+				q, sortedItems(ra.Items), sortedItems(rb.Items))
+		}
+	}
+}
+
+var persistQueries = []string{
+	`for $s in doc("employees.xml")/employees/employee[name="Bob"]/salary return $s`,
+	`for $m in doc("depts.xml")/depts/dept/mgrno[tstart(.)<=xs:date("1994-05-06") and tend(.)>=xs:date("1994-05-06")] return $m`,
+	`for $e in doc("emp.xml")/employees/employee[toverlaps(., telement(xs:date("1994-05-06"), xs:date("1995-05-06")))] return $e/name`,
+}
+
+func TestSaveOpenPlain(t *testing.T) {
+	s := newLoadedSystem(t, Options{Layout: LayoutPlain})
+	s2 := saveLoad(t, s)
+	queriesAgree(t, s, s2, persistQueries)
+	if s2.Clock() != s.Clock() {
+		t.Errorf("clock %s vs %s", s2.Clock(), s.Clock())
+	}
+	// The reopened system keeps archiving correctly.
+	s2.SetClock(temporal.MustParseDate("1997-06-01"))
+	if _, err := s2.Exec(`update employee set salary = 70001 where id = 1002`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s2.Query(`for $s in doc("employees.xml")/employees/employee[name="Alice"]/salary return $s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 3 {
+		t.Errorf("alice versions after reopened update = %d", len(res.Items))
+	}
+}
+
+func TestSaveOpenClustered(t *testing.T) {
+	s := newLoadedSystem(t, Options{Layout: LayoutClustered, MinSegmentRows: 2, Umin: 0.4})
+	// Force archiving so segment state must survive the round trip.
+	day := temporal.MustParseDate("1997-02-01")
+	for i := 0; i < 40; i++ {
+		s.SetClock(day.AddDays(i * 10))
+		if _, err := s.Exec(`update employee set salary = salary + 100 where id = 1002`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := s.SegmentStore("employee_salary")
+	if st.Archives() == 0 {
+		t.Fatal("no archives before save")
+	}
+	s2 := saveLoad(t, s)
+	queriesAgree(t, s, s2, persistQueries)
+
+	st2, ok := s2.SegmentStore("employee_salary")
+	if !ok {
+		t.Fatal("segment store missing after reopen")
+	}
+	if st2.LiveSegment() != st.LiveSegment() {
+		t.Errorf("live segment %d vs %d", st2.LiveSegment(), st.LiveSegment())
+	}
+	segs1, _ := st.Segments()
+	segs2, _ := st2.Segments()
+	if len(segs1) != len(segs2) {
+		t.Errorf("segments %d vs %d", len(segs2), len(segs1))
+	}
+	// Updates keep working and can trigger further archives.
+	for i := 0; i < 40; i++ {
+		s2.SetClock(s2.Clock().AddDays(10))
+		if _, err := s2.Exec(`update employee set salary = salary + 1 where id = 1002`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st2.Archives() == 0 {
+		t.Error("reopened store never archives")
+	}
+}
+
+func TestSaveOpenCompressed(t *testing.T) {
+	s := newLoadedSystem(t, Options{Layout: LayoutCompressed, MinSegmentRows: 2, Umin: 0.4})
+	day := temporal.MustParseDate("1997-02-01")
+	for i := 0; i < 40; i++ {
+		s.SetClock(day.AddDays(i * 10))
+		if _, err := s.Exec(`update employee set salary = salary + 100 where id = 1002`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CompressFrozen(); err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := s.CompressedStore("employee_salary")
+	blocks, _ := cs.BlockCount()
+	if blocks == 0 {
+		t.Fatal("nothing compressed before save")
+	}
+	s2 := saveLoad(t, s)
+	queriesAgree(t, s, s2, persistQueries)
+	cs2, ok := s2.CompressedStore("employee_salary")
+	if !ok {
+		t.Fatal("compressed store missing after reopen")
+	}
+	blocks2, _ := cs2.BlockCount()
+	if blocks2 != blocks {
+		t.Errorf("blocks %d vs %d", blocks2, blocks)
+	}
+	// Alice's full history is still visible through the blocks.
+	res, err := s2.Query(`for $s in doc("employees.xml")/employees/employee[name="Alice"]/salary return $s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 42 {
+		t.Errorf("versions = %d, want 42", len(res.Items))
+	}
+	// CompressFrozen after reopen does not redo compressed segments.
+	if err := s2.CompressFrozen(); err != nil {
+		t.Fatal(err)
+	}
+	blocks3, _ := cs2.BlockCount()
+	if blocks3 != blocks {
+		t.Errorf("recompression duplicated blocks: %d vs %d", blocks3, blocks)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.db")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// A bare relstore file without metadata is rejected.
+	s := newLoadedSystem(t, Options{})
+	path := filepath.Join(t.TempDir(), "bare.db")
+	if err := s.DB.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("file without ArchIS metadata accepted")
+	}
+}
+
+func TestDoubleSaveIsStable(t *testing.T) {
+	s := newLoadedSystem(t, Options{})
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.db")
+	p2 := filepath.Join(dir, "b.db")
+	if err := s.SaveFile(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveFile(p2); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queriesAgree(t, s, s2, persistQueries)
+	_ = dataset.DefaultConfig()
+}

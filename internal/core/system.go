@@ -1,0 +1,405 @@
+// Package core assembles the ArchIS system (paper Figure 5): a
+// relational engine with SQL/XML publishing functions, the H-table
+// archival layer with trigger- or log-based change capture, XML
+// H-views published from the H-tables, the XQuery→SQL/XML translator
+// with segment-restriction rewriting, usefulness-based clustering and
+// optional BlockZIP compression of frozen segments.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"archis/internal/blockzip"
+	"archis/internal/htable"
+	"archis/internal/relstore"
+	"archis/internal/segment"
+	"archis/internal/sqlengine"
+	"archis/internal/temporal"
+	"archis/internal/translator"
+	"archis/internal/xmltree"
+	"archis/internal/xquery"
+)
+
+// Layout selects the physical layout of attribute-history tables.
+type Layout uint8
+
+const (
+	// LayoutPlain stores attribute histories as append-only heap
+	// tables (the paper's unclustered configuration, Figure 9's "no
+	// clustering" side).
+	LayoutPlain Layout = iota
+	// LayoutClustered applies usefulness-based segment clustering
+	// (Section 6).
+	LayoutClustered
+	// LayoutCompressed clusters and BlockZIP-compresses frozen
+	// segments (Section 8).
+	LayoutCompressed
+)
+
+// Options configure a System.
+type Options struct {
+	// Capture selects trigger-based (ArchIS-DB2) or log-based
+	// (ArchIS-ATLaS) change capture.
+	Capture htable.CaptureMode
+	// Layout selects the attribute-table layout.
+	Layout Layout
+	// Umin is the minimum tolerable usefulness for clustering;
+	// defaults to 0.4 (the paper's experimental setting).
+	Umin float64
+	// MinSegmentRows gates archiving (segment.DefaultMinSegmentRows
+	// if zero).
+	MinSegmentRows int
+	// BlockSize for BlockZIP (blockzip.DefaultBlockSize if zero).
+	BlockSize int
+	// WholeSegmentCompression is the ablation mode: compress whole
+	// segments as single streams instead of blocks.
+	WholeSegmentCompression bool
+}
+
+// System is the assembled ArchIS instance.
+type System struct {
+	DB      *relstore.Database
+	Engine  *sqlengine.Engine
+	Archive *htable.Archive
+
+	opts       Options
+	catalog    translator.MapCatalog
+	translator *translator.Translator
+
+	segStores  map[string]*segment.Store            // attr table → store
+	compStores map[string]*blockzip.CompressedStore // attr table → store
+
+	pubCache map[string]*xmltree.Node // table → published H-doc
+	dirty    map[string]bool
+}
+
+// New builds a System over a fresh in-memory database.
+func New(opts Options) (*System, error) {
+	return newWithDB(relstore.NewDatabase(), opts)
+}
+
+func newWithDB(db *relstore.Database, opts Options) (*System, error) {
+	if opts.Umin == 0 {
+		opts.Umin = 0.4
+	}
+	en := sqlengine.New(db)
+	a, err := htable.New(en, opts.Capture)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		DB:         db,
+		Engine:     en,
+		Archive:    a,
+		opts:       opts,
+		catalog:    translator.MapCatalog{},
+		segStores:  map[string]*segment.Store{},
+		compStores: map[string]*blockzip.CompressedStore{},
+		pubCache:   map[string]*xmltree.Node{},
+		dirty:      map[string]bool{},
+	}
+	s.translator = &translator.Translator{Catalog: s.catalog}
+	a.SetStoreFactory(s.makeStore)
+	return s, nil
+}
+
+func (s *System) makeStore(db *relstore.Database, schema relstore.Schema) (htable.AttrStore, error) {
+	switch s.opts.Layout {
+	case LayoutPlain:
+		return htable.NewPlainStore(db, schema)
+	case LayoutClustered, LayoutCompressed:
+		seg, err := segment.NewStore(db, schema, segment.Config{
+			Umin:           s.opts.Umin,
+			MinSegmentRows: s.opts.MinSegmentRows,
+			Clock:          func() temporal.Date { return s.Engine.Now },
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.segStores[strings.ToLower(schema.Name)] = seg
+		if s.opts.Layout == LayoutClustered {
+			// Logical-version semantics for SQL queries.
+			s.Engine.RegisterVirtual(schema.Name, seg)
+			return seg, nil
+		}
+		cs, err := blockzip.NewCompressedStore(db, seg, blockzip.Options{
+			BlockSize:     s.opts.BlockSize,
+			WholeSegments: s.opts.WholeSegmentCompression,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.compStores[strings.ToLower(schema.Name)] = cs
+		s.Engine.RegisterVirtual(schema.Name, cs)
+		return cs, nil
+	}
+	return nil, fmt.Errorf("core: unknown layout %d", s.opts.Layout)
+}
+
+// Register archives a table: current table, H-tables, capture trigger,
+// id indexes, and the catalog entry that makes its H-view queryable.
+func (s *System) Register(spec htable.TableSpec) error {
+	if err := s.Archive.Register(spec); err != nil {
+		return err
+	}
+	// Id indexes on the key table and every attribute table — the
+	// joins of translated queries run on them.
+	keyTable := spec.KeyTableName()
+	if _, err := s.DB.CreateIndex("ix_"+keyTable+"_id", keyTable, "id"); err != nil {
+		return err
+	}
+	for _, c := range spec.AttrColumns() {
+		at := spec.AttrTableName(c.Name)
+		if _, err := s.DB.CreateIndex("ix_"+at+"_id", at, "id"); err != nil {
+			return err
+		}
+	}
+	return s.finishRegister(spec)
+}
+
+// finishRegister builds the catalog entry and the view-invalidation
+// trigger for a registered or attached table.
+func (s *System) finishRegister(spec htable.TableSpec) error {
+	keyTable := spec.KeyTableName()
+	attrTables := map[string]string{}
+	for _, c := range spec.AttrColumns() {
+		attrTables[strings.ToLower(c.Name)] = spec.AttrTableName(c.Name)
+	}
+	keyLeaf, keyColumn := "id", "id"
+	if len(spec.Key) == 1 {
+		keyLeaf = strings.ToLower(spec.Key[0])
+		if !spec.SingleIntKey() {
+			keyColumn = keyLeaf
+		}
+	}
+	view := &translator.ViewInfo{
+		DocName:    spec.DocName(),
+		RootName:   spec.RootName(),
+		EntityName: spec.Name,
+		KeyTable:   keyTable,
+		KeyLeaf:    keyLeaf,
+		KeyColumn:  keyColumn,
+		AttrTables: attrTables,
+	}
+	if s.opts.Layout != LayoutPlain {
+		view.Segmented = func(attrTable string) bool {
+			_, ok := s.segStores[strings.ToLower(attrTable)]
+			return ok
+		}
+		view.SegmentsFor = func(attrTable string, lo, hi temporal.Date) (int64, int64, bool) {
+			st, ok := s.segStores[strings.ToLower(attrTable)]
+			if !ok {
+				return 0, 0, false
+			}
+			segs, err := st.SegmentsFor(lo, hi)
+			if err != nil || len(segs) == 0 {
+				return 0, 0, false
+			}
+			min, max := segs[0], segs[0]
+			for _, sg := range segs[1:] {
+				if sg < min {
+					min = sg
+				}
+				if sg > max {
+					max = sg
+				}
+			}
+			return min, max, true
+		}
+	}
+	s.catalog[spec.DocName()] = view
+	s.dirty[strings.ToLower(spec.Name)] = true
+
+	// Invalidate the published H-doc on every change.
+	table := spec.Name
+	s.Engine.AddTrigger(table, func(sqlengine.TriggerEvent) error {
+		s.dirty[strings.ToLower(table)] = true
+		return nil
+	})
+	return nil
+}
+
+// AliasDoc makes the H-view of a table reachable under an extra doc()
+// name (the paper refers to the same view as employees.xml and
+// emp.xml).
+func (s *System) AliasDoc(alias, table string) error {
+	spec, ok := s.Archive.Spec(table)
+	if !ok {
+		return fmt.Errorf("core: table %s not registered", table)
+	}
+	v, ok := s.catalog[spec.DocName()]
+	if !ok {
+		return fmt.Errorf("core: no view for %s", table)
+	}
+	s.catalog[alias] = v
+	return nil
+}
+
+// Clock and SetClock expose the archive clock.
+func (s *System) Clock() temporal.Date     { return s.Archive.Clock() }
+func (s *System) SetClock(d temporal.Date) { s.Archive.SetClock(d) }
+
+// Exec runs SQL against the engine (the current database and the
+// H-tables share it).
+func (s *System) Exec(sql string) (*sqlengine.Result, error) { return s.Engine.Exec(sql) }
+
+// Translate shows the SQL/XML a temporal query maps to.
+func (s *System) Translate(query string) (string, error) {
+	return s.translator.Translate(query)
+}
+
+// ExecutionPath reports which engine answered a query.
+type ExecutionPath string
+
+const (
+	PathSQL ExecutionPath = "sql/xml" // translated, ran on H-tables
+	PathXML ExecutionPath = "xml"     // evaluated on the H-view
+)
+
+// QueryResult is the unified result of a temporal query.
+type QueryResult struct {
+	Items xquery.Seq
+	Path  ExecutionPath
+	SQL   string // the translation, when Path == PathSQL
+}
+
+// Query answers an XQuery over the H-views: translated to SQL/XML when
+// the shape is supported, evaluated directly on the published
+// H-documents otherwise (the paper's bypass for restructuring and
+// quantified queries).
+func (s *System) Query(query string) (*QueryResult, error) {
+	sql, err := s.translator.Translate(query)
+	if err == nil {
+		res, err := s.Engine.Exec(sql)
+		if err != nil {
+			return nil, fmt.Errorf("core: translated query failed: %w\nsql: %s", err, sql)
+		}
+		return &QueryResult{Items: rowsToSeq(res), Path: PathSQL, SQL: sql}, nil
+	}
+	if !errors.Is(err, translator.ErrUnsupported) {
+		return nil, err
+	}
+	seq, err := s.QueryXML(query)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Items: seq, Path: PathXML}, nil
+}
+
+// QueryXML evaluates a query directly over the published H-documents.
+func (s *System) QueryXML(query string) (xquery.Seq, error) {
+	ev := xquery.NewEvaluator(s.resolveDoc)
+	ev.Now = s.Clock()
+	return ev.Eval(query)
+}
+
+func (s *System) resolveDoc(name string) (*xmltree.Node, error) {
+	view, ok := s.catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown document %q", name)
+	}
+	table := view.EntityName
+	key := strings.ToLower(table)
+	if !s.dirty[key] {
+		if doc, ok := s.pubCache[key]; ok {
+			return doc, nil
+		}
+	}
+	doc, err := s.Archive.PublishHDoc(table)
+	if err != nil {
+		return nil, err
+	}
+	s.pubCache[key] = doc
+	s.dirty[key] = false
+	return doc, nil
+}
+
+// PublishHDoc returns the H-document of a table.
+func (s *System) PublishHDoc(table string) (*xmltree.Node, error) {
+	return s.Archive.PublishHDoc(table)
+}
+
+// FlushLog applies pending log-captured changes (log mode only).
+func (s *System) FlushLog() error { return s.Archive.FlushLog() }
+
+// CompressFrozen compresses all frozen segments (LayoutCompressed
+// only).
+func (s *System) CompressFrozen() error {
+	if s.opts.Layout != LayoutCompressed {
+		return fmt.Errorf("core: compression requires LayoutCompressed")
+	}
+	for _, cs := range s.compStores {
+		if err := cs.CompressFrozen(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SegmentStore exposes the clustering store of one attribute table.
+func (s *System) SegmentStore(attrTable string) (*segment.Store, bool) {
+	st, ok := s.segStores[strings.ToLower(attrTable)]
+	return st, ok
+}
+
+// CompressedStore exposes the compression store of one attribute
+// table.
+func (s *System) CompressedStore(attrTable string) (*blockzip.CompressedStore, bool) {
+	st, ok := s.compStores[strings.ToLower(attrTable)]
+	return st, ok
+}
+
+// StorageBytes reports the physical footprint of all H-tables (key,
+// attribute, directory, blob) excluding the current tables.
+func (s *System) StorageBytes() int {
+	total := 0
+	for _, name := range s.DB.TableNames() {
+		lower := strings.ToLower(name)
+		if s.isCurrentTable(lower) || strings.HasPrefix(lower, "archis_") {
+			continue
+		}
+		if t, ok := s.DB.Table(name); ok {
+			total += t.ByteSize()
+		}
+	}
+	return total
+}
+
+func (s *System) isCurrentTable(lower string) bool {
+	for _, t := range s.Archive.Tables() {
+		if strings.ToLower(t) == lower {
+			return true
+		}
+	}
+	return false
+}
+
+// rowsToSeq flattens a SQL result into an XQuery sequence.
+func rowsToSeq(res *sqlengine.Result) xquery.Seq {
+	var out xquery.Seq
+	for _, row := range res.Rows {
+		for _, v := range row {
+			switch v.Kind {
+			case relstore.TypeXML:
+				if v.X != nil {
+					out = append(out, xquery.NodeItem(v.X))
+				}
+			case relstore.TypeNull:
+				// skip
+			case relstore.TypeInt:
+				out = append(out, xquery.NumberItem(float64(v.I)))
+			case relstore.TypeFloat:
+				out = append(out, xquery.NumberItem(v.F))
+			case relstore.TypeDate:
+				out = append(out, xquery.DateItem(v.Date()))
+			case relstore.TypeBool:
+				out = append(out, xquery.BoolItem(v.Truth))
+			default:
+				out = append(out, xquery.StringItem(v.Text()))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+// Package dataset provides the workloads of the paper's evaluation:
+// the micro-dataset of Tables 1–2 (Bob's employee history and the
+// department history) and a synthetic generator modeled on the
+// TimeCenter temporal employee data set — N employees evolving over
+// ~17 years through salary raises, title changes, department moves,
+// hires and terminations — with a scale factor for the paper's 7×
+// scalability experiment.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"archis/internal/htable"
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+)
+
+// EmployeeSpec is the employee table of the paper (Table 1).
+func EmployeeSpec() htable.TableSpec {
+	return htable.TableSpec{
+		Name: "employee",
+		Columns: []relstore.Column{
+			relstore.Col("id", relstore.TypeInt),
+			relstore.Col("name", relstore.TypeString),
+			relstore.Col("salary", relstore.TypeInt),
+			relstore.Col("title", relstore.TypeString),
+			relstore.Col("deptno", relstore.TypeString),
+		},
+		Key: []string{"id"},
+	}
+}
+
+// DeptSpec is the department table of the paper (Table 2).
+func DeptSpec() htable.TableSpec {
+	return htable.TableSpec{
+		Name: "dept",
+		Columns: []relstore.Column{
+			relstore.Col("deptno", relstore.TypeString),
+			relstore.Col("deptname", relstore.TypeString),
+			relstore.Col("mgrno", relstore.TypeInt),
+		},
+		Key: []string{"deptno"},
+	}
+}
+
+// RegisterPaperTables registers both specs on an archive.
+func RegisterPaperTables(a *htable.Archive) error {
+	if err := a.Register(EmployeeSpec()); err != nil {
+		return err
+	}
+	return a.Register(DeptSpec())
+}
+
+// LoadMicro drives the archive through the exact history of the
+// paper's Tables 1 and 2 (plus two extra employees so joins and
+// aggregates have material), leaving the clock at 1997-01-01.
+func LoadMicro(a *htable.Archive) error {
+	en := a.Engine
+	step := func(day string, sqls ...string) error {
+		a.SetClock(temporal.MustParseDate(day))
+		for _, s := range sqls {
+			if _, err := en.Exec(s); err != nil {
+				return fmt.Errorf("dataset: at %s: %q: %w", day, s, err)
+			}
+		}
+		return nil
+	}
+	type stepDef struct {
+		day  string
+		sqls []string
+	}
+	steps := []stepDef{
+		{"1992-01-01", []string{`insert into dept values ('d02', 'RD', 3402)`}},
+		{"1993-01-01", []string{`insert into dept values ('d03', 'Sales', 4748)`}},
+		{"1994-01-01", []string{`insert into dept values ('d01', 'QA', 2501)`}},
+		{"1995-01-01", []string{
+			`insert into employee values (1001, 'Bob', 60000, 'Engineer', 'd01')`,
+			`insert into employee values (1003, 'Carol', 55000, 'Engineer', 'd01')`,
+		}},
+		{"1995-03-01", []string{`insert into employee values (1002, 'Alice', 50000, 'Engineer', 'd01')`}},
+		{"1995-06-01", []string{`update employee set salary = 70000 where id = 1001`}},
+		{"1995-10-01", []string{
+			`update employee set title = 'Sr Engineer', deptno = 'd02' where id = 1001`,
+			`update employee set deptno = 'd02' where id = 1003`,
+		}},
+		{"1996-01-01", []string{`update employee set salary = 65000 where id = 1002`}},
+		{"1996-02-01", []string{`update employee set title = 'TechLeader' where id = 1001`}},
+		{"1996-07-01", []string{`update employee set title = 'Sr Engineer' where id = 1002`}},
+		{"1997-01-01", []string{
+			`delete from employee where id = 1001`,
+			`delete from employee where id = 1003`,
+			`update dept set mgrno = 1009 where deptno = 'd02'`,
+		}},
+	}
+	for _, s := range steps {
+		if err := step(s.day, s.sqls...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Config tunes the synthetic employee-history generator.
+type Config struct {
+	// Employees is the steady-state employee population.
+	Employees int
+	// Years of simulated history (the paper's data set covers 17).
+	Years int
+	// Departments in the company.
+	Departments int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Start is the first hire date; defaults to 1985-01-01.
+	Start temporal.Date
+	// MonthlyUpdateFrac is the fraction of employees receiving a
+	// salary/title/dept change each month (drives usefulness decay).
+	MonthlyUpdateFrac float64
+	// TurnoverFrac is the monthly fraction of employees replaced
+	// (terminated + hired).
+	TurnoverFrac float64
+}
+
+// DefaultConfig returns the S=1 workload used by the benchmarks.
+func DefaultConfig() Config {
+	return Config{
+		Employees:         400,
+		Years:             17,
+		Departments:       9,
+		Seed:              1,
+		MonthlyUpdateFrac: 0.08,
+		TurnoverFrac:      0.004,
+	}
+}
+
+// Scaled multiplies the employee population (the paper's 7× data set
+// is Scaled(7)).
+func (c Config) Scaled(factor int) Config {
+	c.Employees *= factor
+	return c
+}
+
+// Stats summarizes a generated history.
+type Stats struct {
+	Inserts, Updates, Deletes int
+	FinalEmployees            int
+	LastDay                   temporal.Date
+}
+
+var titles = []string{"Engineer", "Sr Engineer", "TechLeader", "Manager", "Architect", "Principal"}
+
+// Generate drives the archive's current database through the synthetic
+// history. The employee and dept tables must be registered and the
+// generator assumes an index on employee(id) exists for update speed
+// (it creates one if missing).
+func Generate(a *htable.Archive, cfg Config) (Stats, error) {
+	if cfg.Start == 0 {
+		cfg.Start = temporal.MustParseDate("1985-01-01")
+	}
+	if cfg.Employees <= 0 || cfg.Years <= 0 || cfg.Departments <= 0 {
+		return Stats{}, fmt.Errorf("dataset: bad config %+v", cfg)
+	}
+	en := a.Engine
+	if tbl, ok := en.DB.Table("employee"); ok && tbl.IndexOn(0) == nil {
+		if _, err := en.DB.CreateIndex("ix_employee_current_id", "employee", "id"); err != nil {
+			return Stats{}, err
+		}
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	st := Stats{}
+	day := cfg.Start
+	a.SetClock(day)
+
+	// Departments first.
+	for d := 0; d < cfg.Departments; d++ {
+		sql := fmt.Sprintf(`insert into dept values ('d%02d', 'Dept%02d', %d)`, d+1, d+1, 9000+d)
+		if _, err := en.Exec(sql); err != nil {
+			return st, err
+		}
+		st.Inserts++
+	}
+
+	nextID := int64(100001)
+	type emp struct {
+		id     int64
+		salary int64
+		title  int
+		dept   int
+	}
+	var liveList []*emp
+
+	hire := func() error {
+		e := &emp{id: nextID, salary: 38000 + int64(r.Intn(30000)), title: 0, dept: r.Intn(cfg.Departments)}
+		nextID++
+		sql := fmt.Sprintf(`insert into employee values (%d, 'Emp%d', %d, '%s', 'd%02d')`,
+			e.id, e.id, e.salary, titles[e.title], e.dept+1)
+		if _, err := en.Exec(sql); err != nil {
+			return err
+		}
+		liveList = append(liveList, e)
+		st.Inserts++
+		return nil
+	}
+
+	// Initial population.
+	for i := 0; i < cfg.Employees; i++ {
+		if err := hire(); err != nil {
+			return st, err
+		}
+	}
+
+	months := cfg.Years * 12
+	var updAcc, churnAcc float64
+	for m := 1; m <= months; m++ {
+		day = cfg.Start.AddDays(m*30 + r.Intn(3))
+		a.SetClock(day)
+
+		// Updates: raises, promotions, transfers. Fractional parts
+		// accumulate so small populations still see activity.
+		updAcc += float64(len(liveList)) * cfg.MonthlyUpdateFrac
+		updates := int(updAcc)
+		updAcc -= float64(updates)
+		for u := 0; u < updates; u++ {
+			e := liveList[r.Intn(len(liveList))]
+			switch r.Intn(10) {
+			case 0, 1: // promotion (title + raise)
+				if e.title < len(titles)-1 {
+					e.title++
+				}
+				e.salary += int64(2000 + r.Intn(6000))
+				sql := fmt.Sprintf(`update employee set title = '%s', salary = %d where id = %d`,
+					titles[e.title], e.salary, e.id)
+				if _, err := en.Exec(sql); err != nil {
+					return st, err
+				}
+			case 2: // transfer
+				e.dept = r.Intn(cfg.Departments)
+				sql := fmt.Sprintf(`update employee set deptno = 'd%02d' where id = %d`, e.dept+1, e.id)
+				if _, err := en.Exec(sql); err != nil {
+					return st, err
+				}
+			default: // raise
+				e.salary += int64(500 + r.Intn(4000))
+				sql := fmt.Sprintf(`update employee set salary = %d where id = %d`, e.salary, e.id)
+				if _, err := en.Exec(sql); err != nil {
+					return st, err
+				}
+			}
+			st.Updates++
+		}
+
+		// Turnover.
+		churnAcc += float64(len(liveList)) * cfg.TurnoverFrac
+		churn := int(churnAcc)
+		churnAcc -= float64(churn)
+		for c := 0; c < churn; c++ {
+			i := r.Intn(len(liveList))
+			e := liveList[i]
+			if _, err := en.Exec(fmt.Sprintf(`delete from employee where id = %d`, e.id)); err != nil {
+				return st, err
+			}
+			liveList[i] = liveList[len(liveList)-1]
+			liveList = liveList[:len(liveList)-1]
+			st.Deletes++
+			if err := hire(); err != nil {
+				return st, err
+			}
+		}
+
+		// Occasional department manager changes.
+		if m%24 == 0 {
+			d := r.Intn(cfg.Departments)
+			sql := fmt.Sprintf(`update dept set mgrno = %d where deptno = 'd%02d'`, 9100+m+d, d+1)
+			if _, err := en.Exec(sql); err != nil {
+				return st, err
+			}
+			st.Updates++
+		}
+	}
+	st.FinalEmployees = len(liveList)
+	st.LastDay = day
+	return st, nil
+}

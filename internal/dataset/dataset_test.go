@@ -1,0 +1,152 @@
+package dataset
+
+import (
+	"testing"
+
+	"archis/internal/htable"
+	"archis/internal/relstore"
+	"archis/internal/sqlengine"
+	"archis/internal/temporal"
+)
+
+func newArchive(t *testing.T) *htable.Archive {
+	t.Helper()
+	en := sqlengine.New(relstore.NewDatabase())
+	a, err := htable.New(en, htable.CaptureTrigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterPaperTables(a); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestLoadMicroMatchesTable1(t *testing.T) {
+	a := newArchive(t)
+	if err := LoadMicro(a); err != nil {
+		t.Fatal(err)
+	}
+	res := a.Engine.MustExec(`select salary, tstart, tend from employee_salary where id = 1001 order by tstart`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("bob salary versions = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].Text() != "60000" || res.Rows[0][2].Text() != "1995-05-31" {
+		t.Errorf("first salary = %v", res.Rows[0])
+	}
+	res = a.Engine.MustExec(`select title from employee_title where id = 1001 order by tstart`)
+	if len(res.Rows) != 3 || res.Rows[2][0].Text() != "TechLeader" {
+		t.Errorf("titles = %v", res.Rows)
+	}
+	// Table 2: d02 has two manager versions.
+	res = a.Engine.MustExec(`select mgrno from dept_mgrno order by tstart`)
+	if len(res.Rows) != 4 {
+		t.Errorf("mgr versions = %d", len(res.Rows))
+	}
+	// Alice remains current.
+	res = a.Engine.MustExec(`select count(*) from employee`)
+	if res.Rows[0][0].I != 1 {
+		t.Errorf("current employees = %v", res.Rows[0][0])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Employees = 40
+	cfg.Years = 3
+	a1, a2 := newArchive(t), newArchive(t)
+	st1, err := Generate(a1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Generate(a2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Errorf("non-deterministic: %+v vs %+v", st1, st2)
+	}
+	r1 := a1.Engine.MustExec(`select count(*) from employee_salary`)
+	r2 := a2.Engine.MustExec(`select count(*) from employee_salary`)
+	if r1.Rows[0][0].I != r2.Rows[0][0].I {
+		t.Errorf("history sizes differ: %v vs %v", r1.Rows[0][0], r2.Rows[0][0])
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Employees = 60
+	cfg.Years = 4
+	a := newArchive(t)
+	st, err := Generate(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updates == 0 || st.Deletes == 0 || st.Inserts <= 60 {
+		t.Errorf("workload too thin: %+v", st)
+	}
+	if st.FinalEmployees != 60 {
+		t.Errorf("population drifted: %d", st.FinalEmployees)
+	}
+	// History grows beyond the initial population.
+	res := a.Engine.MustExec(`select count(*) from employee_salary`)
+	if res.Rows[0][0].I < int64(60+st.Updates/2) {
+		t.Errorf("salary history rows = %v for %d updates", res.Rows[0][0], st.Updates)
+	}
+	// Snapshot at the end agrees with the current table.
+	snap, err := a.Snapshot("employee", a.Clock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := a.Engine.MustExec(`select count(*) from employee`)
+	if int64(len(snap)) != cur.Rows[0][0].I {
+		t.Errorf("snapshot %d vs current %v", len(snap), cur.Rows[0][0])
+	}
+	// Intervals in history are well-formed.
+	res = a.Engine.MustExec(`select count(*) from employee_salary where tstart > tend`)
+	if res.Rows[0][0].I != 0 {
+		t.Errorf("inverted intervals: %v", res.Rows[0][0])
+	}
+}
+
+func TestScaledConfig(t *testing.T) {
+	cfg := DefaultConfig().Scaled(7)
+	if cfg.Employees != DefaultConfig().Employees*7 {
+		t.Errorf("Scaled = %+v", cfg)
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	a := newArchive(t)
+	if _, err := Generate(a, Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestGenerateWithLogCaptureAndFlush(t *testing.T) {
+	en := sqlengine.New(relstore.NewDatabase())
+	a, err := htable.New(en, htable.CaptureLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterPaperTables(a); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Employees = 30
+	cfg.Years = 2
+	if _, err := Generate(a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if a.PendingLogRecords() == 0 {
+		t.Fatal("log mode captured nothing")
+	}
+	if err := a.FlushLog(); err != nil {
+		t.Fatal(err)
+	}
+	res := en.MustExec(`select count(*) from employee_salary`)
+	if res.Rows[0][0].I == 0 {
+		t.Error("flush produced no history")
+	}
+	_ = temporal.Forever
+}

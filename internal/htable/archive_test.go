@@ -1,0 +1,382 @@
+package htable
+
+import (
+	"strings"
+	"testing"
+
+	"archis/internal/relstore"
+	"archis/internal/sqlengine"
+	"archis/internal/temporal"
+	"archis/internal/xmltree"
+)
+
+func employeeSpec() TableSpec {
+	return TableSpec{
+		Name: "employee",
+		Columns: []relstore.Column{
+			relstore.Col("id", relstore.TypeInt),
+			relstore.Col("name", relstore.TypeString),
+			relstore.Col("salary", relstore.TypeInt),
+			relstore.Col("title", relstore.TypeString),
+			relstore.Col("deptno", relstore.TypeString),
+		},
+		Key: []string{"id"},
+	}
+}
+
+func newArchive(t *testing.T, mode CaptureMode) *Archive {
+	t.Helper()
+	en := sqlengine.New(relstore.NewDatabase())
+	a, err := New(en, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetClock(temporal.MustParseDate("1995-01-01"))
+	if err := a.Register(employeeSpec()); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// playBobHistory drives the current database through the history of
+// Table 1 of the paper.
+func playBobHistory(t *testing.T, a *Archive) {
+	t.Helper()
+	en := a.Engine
+	a.SetClock(temporal.MustParseDate("1995-01-01"))
+	en.MustExec(`insert into employee values (1001, 'Bob', 60000, 'Engineer', 'd01')`)
+	a.SetClock(temporal.MustParseDate("1995-06-01"))
+	en.MustExec(`update employee set salary = 70000 where id = 1001`)
+	a.SetClock(temporal.MustParseDate("1995-10-01"))
+	en.MustExec(`update employee set title = 'Sr Engineer', deptno = 'd02' where id = 1001`)
+	a.SetClock(temporal.MustParseDate("1996-02-01"))
+	en.MustExec(`update employee set title = 'TechLeader' where id = 1001`)
+	a.SetClock(temporal.MustParseDate("1997-01-01"))
+	en.MustExec(`delete from employee where id = 1001`)
+}
+
+func historyRows(t *testing.T, a *Archive, table string) []string {
+	t.Helper()
+	res, err := a.Engine.Exec(`select * from ` + table + ` order by id, tstart`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, r := range res.Rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.Text()
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	return out
+}
+
+func TestTriggerCaptureBuildsTable1History(t *testing.T) {
+	a := newArchive(t, CaptureTrigger)
+	playBobHistory(t, a)
+
+	// Salary history: exactly the paper's Table 1 shape.
+	got := historyRows(t, a, "employee_salary")
+	want := []string{
+		"1001|60000|1995-01-01|1995-05-31",
+		"1001|70000|1995-06-01|1996-12-31",
+	}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("salary history = %v, want %v", got, want)
+	}
+
+	got = historyRows(t, a, "employee_title")
+	want = []string{
+		"1001|Engineer|1995-01-01|1995-09-30",
+		"1001|Sr Engineer|1995-10-01|1996-01-31",
+		"1001|TechLeader|1996-02-01|1996-12-31",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("title[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	got = historyRows(t, a, "employee_id")
+	if len(got) != 1 || got[0] != "1001|1995-01-01|1996-12-31" {
+		t.Errorf("key history = %v", got)
+	}
+}
+
+func TestLogCaptureDeferred(t *testing.T) {
+	a := newArchive(t, CaptureLog)
+	playBobHistory(t, a)
+	if a.PendingLogRecords() != 5 {
+		t.Fatalf("pending = %d", a.PendingLogRecords())
+	}
+	if got := historyRows(t, a, "employee_salary"); len(got) != 0 {
+		t.Fatalf("H-tables written before flush: %v", got)
+	}
+	if err := a.FlushLog(); err != nil {
+		t.Fatal(err)
+	}
+	if a.PendingLogRecords() != 0 {
+		t.Error("log not drained")
+	}
+	got := historyRows(t, a, "employee_salary")
+	if len(got) != 2 || got[1] != "1001|70000|1995-06-01|1996-12-31" {
+		t.Errorf("flushed history = %v", got)
+	}
+}
+
+func TestSameDayChangesCollapse(t *testing.T) {
+	a := newArchive(t, CaptureTrigger)
+	en := a.Engine
+	a.SetClock(temporal.MustParseDate("1995-01-01"))
+	en.MustExec(`insert into employee values (7, 'X', 100, 'T', 'd')`)
+	en.MustExec(`update employee set salary = 200 where id = 7`) // same day
+	en.MustExec(`update employee set salary = 300 where id = 7`) // same day again
+	got := historyRows(t, a, "employee_salary")
+	if len(got) != 1 || got[0] != "7|300|1995-01-01|9999-12-31" {
+		t.Errorf("same-day updates = %v", got)
+	}
+	// Insert and delete the same day: single-day life.
+	en.MustExec(`insert into employee values (8, 'Y', 1, 'T', 'd')`)
+	en.MustExec(`delete from employee where id = 8`)
+	got = historyRows(t, a, "employee_id")
+	found := false
+	for _, g := range got {
+		if g == "8|1995-01-01|1995-01-01" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("same-day lifecycle = %v", got)
+	}
+}
+
+func TestNullAttributeTransitions(t *testing.T) {
+	a := newArchive(t, CaptureTrigger)
+	en := a.Engine
+	a.SetClock(temporal.MustParseDate("1995-01-01"))
+	en.MustExec(`insert into employee (id, name, salary) values (9, 'N', 50)`)
+	// title was NULL: no title history row.
+	if got := historyRows(t, a, "employee_title"); len(got) != 0 {
+		t.Fatalf("null attr archived: %v", got)
+	}
+	a.SetClock(temporal.MustParseDate("1995-02-01"))
+	en.MustExec(`update employee set title = 'Boss' where id = 9`)
+	a.SetClock(temporal.MustParseDate("1995-03-01"))
+	en.MustExec(`update employee set title = NULL where id = 9`)
+	got := historyRows(t, a, "employee_title")
+	if len(got) != 1 || got[0] != "9|Boss|1995-02-01|1995-02-28" {
+		t.Errorf("null transitions = %v", got)
+	}
+}
+
+func TestKeyReinsertion(t *testing.T) {
+	a := newArchive(t, CaptureTrigger)
+	en := a.Engine
+	a.SetClock(temporal.MustParseDate("1995-01-01"))
+	en.MustExec(`insert into employee values (5, 'R', 10, 'T', 'd')`)
+	a.SetClock(temporal.MustParseDate("1995-06-01"))
+	en.MustExec(`delete from employee where id = 5`)
+	a.SetClock(temporal.MustParseDate("1996-01-01"))
+	en.MustExec(`insert into employee values (5, 'R', 20, 'T', 'd')`)
+	got := historyRows(t, a, "employee_id")
+	if len(got) != 2 {
+		t.Fatalf("key incarnations = %v", got)
+	}
+	if got[0] != "5|1995-01-01|1995-05-31" || got[1] != "5|1996-01-01|9999-12-31" {
+		t.Errorf("incarnations = %v", got)
+	}
+}
+
+func TestCompositeKeySurrogates(t *testing.T) {
+	en := sqlengine.New(relstore.NewDatabase())
+	a, err := New(en, CaptureTrigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetClock(temporal.MustParseDate("2000-01-01"))
+	spec := TableSpec{
+		Name: "lineitem",
+		Columns: []relstore.Column{
+			relstore.Col("supplierno", relstore.TypeInt),
+			relstore.Col("itemno", relstore.TypeInt),
+			relstore.Col("qty", relstore.TypeInt),
+		},
+		Key: []string{"supplierno", "itemno"},
+	}
+	if err := a.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	en.MustExec(`insert into lineitem values (1, 10, 5), (1, 11, 6), (2, 10, 7)`)
+	a.SetClock(temporal.MustParseDate("2000-02-01"))
+	en.MustExec(`update lineitem set qty = 8 where supplierno = 1 and itemno = 10`)
+
+	res := en.MustExec(`select id, supplierno, itemno from lineitem_id order by id`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("key rows = %d", len(res.Rows))
+	}
+	res = en.MustExec(`select id, qty, tstart, tend from lineitem_qty order by id, tstart`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("qty history = %d rows", len(res.Rows))
+	}
+	// The updated lineitem's surrogate must have two versions.
+	sid, _ := res.Rows[0][0].AsInt()
+	if v, _ := res.Rows[0][1].AsInt(); v != 5 {
+		t.Errorf("first version qty = %d", v)
+	}
+	if sid2, _ := res.Rows[1][0].AsInt(); sid2 != sid {
+		t.Errorf("update created new surrogate: %d vs %d", sid, sid2)
+	}
+}
+
+func TestRelationsTable(t *testing.T) {
+	a := newArchive(t, CaptureTrigger)
+	res := a.Engine.MustExec(`select relationname, tend from relations`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Text() != "employee" {
+		t.Errorf("relations = %v", res.Rows)
+	}
+	if !res.Rows[0][1].Date().IsForever() {
+		t.Error("relation should be current")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	a := newArchive(t, CaptureTrigger)
+	if err := a.Register(employeeSpec()); err == nil {
+		t.Error("duplicate register accepted")
+	}
+	bad := TableSpec{Name: "x", Columns: []relstore.Column{relstore.Col("a", relstore.TypeInt)}, Key: []string{"a"}}
+	if err := a.Register(bad); err == nil {
+		t.Error("key-only table accepted")
+	}
+	bad2 := TableSpec{Name: "y", Columns: []relstore.Column{relstore.Col("a", relstore.TypeInt)}, Key: []string{"zz"}}
+	if err := a.Register(bad2); err == nil {
+		t.Error("missing key column accepted")
+	}
+}
+
+func TestPublishHDocMatchesFigure3(t *testing.T) {
+	a := newArchive(t, CaptureTrigger)
+	playBobHistory(t, a)
+	doc, err := a.PublishHDoc("employee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "employees" {
+		t.Fatalf("root = %s", doc.Name)
+	}
+	emps := doc.ChildElements("employee")
+	if len(emps) != 1 {
+		t.Fatalf("employees = %d", len(emps))
+	}
+	bob := emps[0]
+	if v, _ := bob.Attr("tstart"); v != "1995-01-01" {
+		t.Errorf("tstart = %s", v)
+	}
+	if v, _ := bob.Attr("tend"); v != "1996-12-31" {
+		t.Errorf("tend = %s", v)
+	}
+	if n := len(bob.ChildElements("salary")); n != 2 {
+		t.Errorf("salary versions = %d", n)
+	}
+	if n := len(bob.ChildElements("title")); n != 3 {
+		t.Errorf("title versions = %d", n)
+	}
+	titles := bob.ChildElements("title")
+	if titles[1].TextContent() != "Sr Engineer" {
+		t.Errorf("title[1] = %s", titles[1].TextContent())
+	}
+	if v, _ := titles[1].Attr("tend"); v != "1996-01-31" {
+		t.Errorf("title[1] tend = %s", v)
+	}
+	// The temporal covering constraint: every child interval inside
+	// the parent's.
+	for _, child := range bob.ChildElements("") {
+		cs := child.AttrOr("tstart", "")
+		ce := child.AttrOr("tend", "")
+		if cs < "1995-01-01" || (ce > "1996-12-31" && ce != "9999-12-31") {
+			t.Errorf("covering constraint violated: <%s %s %s>", child.Name, cs, ce)
+		}
+	}
+	// The published view parses as well-formed XML.
+	if _, err := xmltree.ParseString(xmltree.Pretty(doc)); err != nil {
+		t.Errorf("published doc not well-formed: %v", err)
+	}
+}
+
+func TestSnapshotReconstruction(t *testing.T) {
+	a := newArchive(t, CaptureTrigger)
+	playBobHistory(t, a)
+	rows, err := a.Snapshot("employee", temporal.MustParseDate("1995-11-15"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("snapshot rows = %d", len(rows))
+	}
+	got := rows[0]
+	if got[1].Text() != "Bob" || got[2].Text() != "70000" || got[3].Text() != "Sr Engineer" || got[4].Text() != "d02" {
+		t.Errorf("snapshot = %v", got)
+	}
+	// After deletion the snapshot is empty.
+	rows, err = a.Snapshot("employee", temporal.MustParseDate("1998-01-01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("post-delete snapshot = %v", rows)
+	}
+}
+
+// Property-ish test: the snapshot of the H-tables at the current clock
+// always equals the current table contents, across a random-ish
+// update sequence.
+func TestSnapshotAgreesWithCurrentTable(t *testing.T) {
+	a := newArchive(t, CaptureTrigger)
+	en := a.Engine
+	day := temporal.MustParseDate("1995-01-01")
+	ops := []string{
+		`insert into employee values (1, 'A', 10, 't1', 'd1')`,
+		`insert into employee values (2, 'B', 20, 't1', 'd1')`,
+		`update employee set salary = 15 where id = 1`,
+		`insert into employee values (3, 'C', 30, 't2', 'd2')`,
+		`update employee set deptno = 'd2' where id = 2`,
+		`delete from employee where id = 1`,
+		`update employee set salary = 35, title = 't3' where id = 3`,
+		`insert into employee values (1, 'A', 11, 't1', 'd1')`,
+		`update employee set name = 'B2' where id = 2`,
+		`delete from employee where id = 3`,
+	}
+	for i, op := range ops {
+		a.SetClock(day.AddDays(i * 7))
+		en.MustExec(op)
+
+		res, err := en.Exec(`select * from employee order by id`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []string
+		for _, r := range res.Rows {
+			parts := make([]string, len(r))
+			for j, v := range r {
+				parts[j] = v.Text()
+			}
+			want = append(want, strings.Join(parts, "|"))
+		}
+		snap, err := a.Snapshot("employee", a.Clock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for _, r := range snap {
+			parts := make([]string, len(r))
+			for j, v := range r {
+				parts[j] = v.Text()
+			}
+			got = append(got, strings.Join(parts, "|"))
+		}
+		if strings.Join(got, ";") != strings.Join(want, ";") {
+			t.Fatalf("after op %d %q:\nsnapshot = %v\ncurrent  = %v", i, op, got, want)
+		}
+	}
+}

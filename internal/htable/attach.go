@@ -1,0 +1,107 @@
+package htable
+
+import (
+	"fmt"
+	"strings"
+
+	"archis/internal/relstore"
+	"archis/internal/sqlengine"
+	"archis/internal/temporal"
+)
+
+// Attach wires an archive to a table whose current table and H-tables
+// already exist in the database (a reopened persistent system),
+// rebuilding the in-memory key and live-version maps from the stored
+// history. storeOpen opens the attribute store over the existing
+// attribute table.
+func (a *Archive) Attach(spec TableSpec, storeOpen func(db *relstore.Database, schema relstore.Schema) (AttrStore, error)) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	key := strings.ToLower(spec.Name)
+	if _, dup := a.tables[key]; dup {
+		return fmt.Errorf("htable: table %s already registered", spec.Name)
+	}
+	if _, ok := a.DB.Table(spec.Name); !ok {
+		return fmt.Errorf("htable: attach: current table %s missing", spec.Name)
+	}
+	keyTable, ok := a.DB.Table(spec.KeyTableName())
+	if !ok {
+		return fmt.Errorf("htable: attach: key table %s missing", spec.KeyTableName())
+	}
+	at := &archivedTable{
+		spec:       spec,
+		keyTable:   keyTable,
+		attrs:      map[string]AttrStore{},
+		attrCols:   spec.AttrColumns(),
+		surrogates: map[string]int64{},
+		liveKeys:   map[int64]relstore.RID{},
+		liveStarts: map[int64]temporal.Date{},
+		attrStarts: map[string]temporal.Date{},
+		nextID:     1,
+	}
+	for _, k := range spec.Key {
+		at.keyIdx = append(at.keyIdx, spec.columnIndex(k))
+	}
+	for _, c := range at.attrCols {
+		st, err := storeOpen(a.DB, spec.AttrTableSchema(c))
+		if err != nil {
+			return err
+		}
+		at.attrs[strings.ToLower(c.Name)] = st
+	}
+
+	// Rebuild key state from the key table.
+	err := keyTable.Scan(nil, func(rid relstore.RID, row relstore.Row) bool {
+		id, _ := row[0].AsInt()
+		if id >= at.nextID {
+			at.nextID = id + 1
+		}
+		// Surrogate mapping: for single-int keys the key value is the
+		// id itself; composite/non-int keys store the key columns.
+		var ks string
+		if spec.SingleIntKey() {
+			ks = row[0].Text() + "\x00"
+		} else {
+			var sb strings.Builder
+			for i := range spec.Key {
+				sb.WriteString(row[1+i].Text())
+				sb.WriteByte(0)
+			}
+			ks = sb.String()
+		}
+		at.surrogates[ks] = id
+		if row[len(row)-1].Date().IsForever() {
+			at.liveKeys[id] = rid
+			at.liveStarts[id] = row[len(row)-2].Date()
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+
+	// Rebuild live attribute-version starts.
+	for _, c := range at.attrCols {
+		name := strings.ToLower(c.Name)
+		err := at.attrs[name].ScanHistory(func(id int64, _ relstore.Value, start, end temporal.Date) bool {
+			if end.IsForever() {
+				at.attrStarts[attrKey(name, id)] = start
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	a.tables[key] = at
+	a.Engine.AddTrigger(spec.Name, func(ev sqlengine.TriggerEvent) error {
+		if a.mode == CaptureLog {
+			a.log = append(a.log, logRec{table: key, ev: ev, at: a.Clock()})
+			return nil
+		}
+		return a.applyChange(at, ev, a.Clock())
+	})
+	return nil
+}

@@ -1,0 +1,127 @@
+package htable
+
+import (
+	"fmt"
+
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+)
+
+// AttrStore abstracts the physical layout of one attribute-history
+// table. The plain implementation here appends to a heap table; the
+// segment package provides a usefulness-clustered implementation and
+// blockzip a compressed one.
+type AttrStore interface {
+	// TableName returns the queryable table name for this attribute's
+	// history.
+	TableName() string
+	// Append opens a new version [start, now] of the attribute for id.
+	Append(id int64, value relstore.Value, start temporal.Date) error
+	// Close ends the live version for id at the given end date. A
+	// missing live version is not an error (the attribute may have
+	// been NULL).
+	Close(id int64, end temporal.Date) error
+	// Rewrite replaces the value of the live version for id in place,
+	// used when an attribute changes twice at the same timestamp.
+	Rewrite(id int64, value relstore.Value) error
+	// ScanHistory yields every logical version exactly once (clustered
+	// layouts deduplicate their redundant copies). Order is
+	// unspecified; fn returns false to stop.
+	ScanHistory(fn func(id int64, value relstore.Value, start, end temporal.Date) bool) error
+}
+
+// plainStore is the unclustered layout: one heap table
+// (id, value, tstart, tend) plus an in-memory map of live rows.
+type plainStore struct {
+	table *relstore.Table
+	live  map[int64]relstore.RID
+}
+
+// NewPlainStore creates the heap table for one attribute and returns
+// its store. The table is created in db; an id index is NOT created
+// automatically (benchmarks add indexes explicitly, as the paper does).
+func NewPlainStore(db *relstore.Database, schema relstore.Schema) (AttrStore, error) {
+	t, err := db.CreateTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	return &plainStore{table: t, live: map[int64]relstore.RID{}}, nil
+}
+
+// OpenPlainStore wraps an existing table, rebuilding the live map.
+func OpenPlainStore(t *relstore.Table) (AttrStore, error) {
+	ps := &plainStore{table: t, live: map[int64]relstore.RID{}}
+	err := t.Scan(nil, func(rid relstore.RID, row relstore.Row) bool {
+		if row[len(row)-1].Date().IsForever() {
+			id, _ := row[0].AsInt()
+			ps.live[id] = rid
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+func (ps *plainStore) TableName() string { return ps.table.Name() }
+
+func (ps *plainStore) Append(id int64, value relstore.Value, start temporal.Date) error {
+	if _, exists := ps.live[id]; exists {
+		return fmt.Errorf("htable: %s: id %d already has a live version", ps.table.Name(), id)
+	}
+	rid, err := ps.table.Insert(relstore.Row{
+		relstore.Int(id), value, relstore.DateV(start), relstore.DateV(forever)})
+	if err != nil {
+		return err
+	}
+	ps.live[id] = rid
+	return nil
+}
+
+func (ps *plainStore) Close(id int64, end temporal.Date) error {
+	rid, ok := ps.live[id]
+	if !ok {
+		return nil
+	}
+	row, liveRow, err := ps.table.Get(rid)
+	if err != nil {
+		return err
+	}
+	if !liveRow {
+		return fmt.Errorf("htable: %s: live map points at dead row for id %d", ps.table.Name(), id)
+	}
+	updated := row.Clone()
+	// Never produce an inverted interval: a version opened and closed
+	// on the same day covers that single day.
+	if end < updated[2].Date() {
+		end = updated[2].Date()
+	}
+	updated[3] = relstore.DateV(end)
+	if err := ps.table.Update(rid, updated); err != nil {
+		return err
+	}
+	delete(ps.live, id)
+	return nil
+}
+
+func (ps *plainStore) ScanHistory(fn func(id int64, value relstore.Value, start, end temporal.Date) bool) error {
+	return ps.table.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+		id, _ := row[0].AsInt()
+		return fn(id, row[1], row[2].Date(), row[3].Date())
+	})
+}
+
+func (ps *plainStore) Rewrite(id int64, value relstore.Value) error {
+	rid, ok := ps.live[id]
+	if !ok {
+		return fmt.Errorf("htable: %s: no live version to rewrite for id %d", ps.table.Name(), id)
+	}
+	row, _, err := ps.table.Get(rid)
+	if err != nil {
+		return err
+	}
+	updated := row.Clone()
+	updated[1] = value
+	return ps.table.Update(rid, updated)
+}

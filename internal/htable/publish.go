@@ -1,0 +1,192 @@
+package htable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+	"archis/internal/xmltree"
+)
+
+// RootName derives the H-document root element name for a table:
+// employee → employees (the paper's Figure 3 convention).
+func (s TableSpec) RootName() string {
+	if strings.HasSuffix(s.Name, "s") {
+		return s.Name + "es"
+	}
+	return s.Name + "s"
+}
+
+// DocName derives the virtual document name: employees.xml.
+func (s TableSpec) DocName() string { return s.RootName() + ".xml" }
+
+type version struct {
+	value relstore.Value
+	iv    temporal.Interval
+}
+
+// PublishHDoc materializes the H-document (the temporally grouped XML
+// view of Section 3) for one archived table from its H-tables.
+func (a *Archive) PublishHDoc(table string) (*xmltree.Node, error) {
+	at, ok := a.tables[strings.ToLower(table)]
+	if !ok {
+		return nil, fmt.Errorf("htable: table %s not registered", table)
+	}
+	spec := at.spec
+
+	// Relation interval from the relations table.
+	root := xmltree.NewElement(spec.RootName())
+	err := a.relations.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+		if strings.EqualFold(row[0].Text(), spec.Name) {
+			root.SetAttr("tstart", row[1].Date().String())
+			root.SetAttr("tend", row[2].Date().String())
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Key rows: one entity element per key-table row.
+	type keyEntry struct {
+		id     int64
+		keyRow relstore.Row
+		iv     temporal.Interval
+	}
+	var keys []keyEntry
+	err = at.keyTable.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+		id, _ := row[0].AsInt()
+		iv := temporal.Interval{Start: row[len(row)-2].Date(), End: row[len(row)-1].Date()}
+		keys = append(keys, keyEntry{id: id, keyRow: row, iv: iv})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(keys, func(i, j int) bool {
+		if keys[i].id != keys[j].id {
+			return keys[i].id < keys[j].id
+		}
+		return keys[i].iv.Start < keys[j].iv.Start
+	})
+
+	// Attribute histories grouped by id.
+	attrVersions := map[string]map[int64][]version{}
+	for _, c := range at.attrCols {
+		name := strings.ToLower(c.Name)
+		byID := map[int64][]version{}
+		err := at.attrs[name].ScanHistory(func(id int64, v relstore.Value, start, end temporal.Date) bool {
+			byID[id] = append(byID[id], version{value: v, iv: temporal.Interval{Start: start, End: end}})
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, vs := range byID {
+			sort.Slice(vs, func(i, j int) bool { return vs[i].iv.Start < vs[j].iv.Start })
+		}
+		attrVersions[name] = byID
+	}
+
+	addTimed := func(parent *xmltree.Node, name, text string, iv temporal.Interval) {
+		el := xmltree.NewElement(name).
+			SetAttr("tstart", iv.Start.String()).
+			SetAttr("tend", iv.End.String())
+		el.AppendText(text)
+		parent.Append(el)
+	}
+
+	for _, k := range keys {
+		entity := xmltree.NewElement(spec.Name).
+			SetAttr("tstart", k.iv.Start.String()).
+			SetAttr("tend", k.iv.End.String())
+		// Key children: id for surrogate-free keys, the key columns
+		// otherwise.
+		if spec.SingleIntKey() {
+			addTimed(entity, strings.ToLower(spec.Key[0]), relstore.Int(k.id).Text(), k.iv)
+		} else {
+			for i, kc := range spec.Key {
+				addTimed(entity, strings.ToLower(kc), k.keyRow[1+i].Text(), k.iv)
+			}
+		}
+		for _, c := range at.attrCols {
+			for _, v := range attrVersions[strings.ToLower(c.Name)][k.id] {
+				// Attach versions overlapping this key incarnation
+				// (relevant only after key reinsertion).
+				if !v.iv.Overlaps(k.iv) {
+					continue
+				}
+				addTimed(entity, strings.ToLower(c.Name), v.value.Text(), v.iv)
+			}
+		}
+		root.Append(entity)
+	}
+	return root, nil
+}
+
+// Snapshot reconstructs the rows of the table as of the given date
+// from the H-tables (columns in spec order).
+func (a *Archive) Snapshot(table string, at_ temporal.Date) ([]relstore.Row, error) {
+	at, ok := a.tables[strings.ToLower(table)]
+	if !ok {
+		return nil, fmt.Errorf("htable: table %s not registered", table)
+	}
+	spec := at.spec
+
+	type entity struct {
+		keyRow relstore.Row
+	}
+	live := map[int64]*entity{}
+	err := at.keyTable.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+		iv := temporal.Interval{Start: row[len(row)-2].Date(), End: row[len(row)-1].Date()}
+		if iv.Contains(at_) {
+			id, _ := row[0].AsInt()
+			live[id] = &entity{keyRow: row}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := map[int64]relstore.Row{}
+	for id, e := range live {
+		row := make(relstore.Row, len(spec.Columns))
+		for i := range row {
+			row[i] = relstore.Null
+		}
+		if spec.SingleIntKey() {
+			row[at.keyIdx[0]] = relstore.Int(id)
+		} else {
+			for i, pos := range at.keyIdx {
+				row[pos] = e.keyRow[1+i]
+			}
+		}
+		rows[id] = row
+	}
+	for _, c := range at.attrCols {
+		pos := spec.columnIndex(c.Name)
+		err := at.attrs[strings.ToLower(c.Name)].ScanHistory(func(id int64, v relstore.Value, start, end temporal.Date) bool {
+			if row, ok := rows[id]; ok && start <= at_ && at_ <= end {
+				row[pos] = v
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	ids := make([]int64, 0, len(rows))
+	for id := range rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]relstore.Row, len(ids))
+	for i, id := range ids {
+		out[i] = rows[id]
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+// Package htable implements the relational archival layer of ArchIS
+// (paper Section 5): for every table of the current database it
+// maintains a key table, one attribute-history table per attribute and
+// a global `relations` table; changes in the current database are
+// captured by triggers (the ArchIS-DB2 configuration) or an update log
+// (the ArchIS-ATLaS configuration) and archived as inclusive
+// [tstart, tend] intervals with "now" encoded as 9999-12-31.
+//
+// The package also publishes H-documents — the temporally grouped XML
+// views of Section 3 — from the H-tables, and reconstructs snapshots.
+package htable
+
+import (
+	"fmt"
+	"strings"
+
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+)
+
+// TableSpec declares a current-database table to archive.
+type TableSpec struct {
+	Name    string
+	Columns []relstore.Column // includes key columns
+	Key     []string          // key column names (invariant over history)
+}
+
+// Validate checks the spec for internal consistency.
+func (s TableSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("htable: empty table name")
+	}
+	if len(s.Key) == 0 {
+		return fmt.Errorf("htable: table %s has no key", s.Name)
+	}
+	for _, k := range s.Key {
+		if s.columnIndex(k) < 0 {
+			return fmt.Errorf("htable: table %s: key column %s not in columns", s.Name, k)
+		}
+	}
+	if len(s.Columns) == len(s.Key) {
+		return fmt.Errorf("htable: table %s has no non-key attributes", s.Name)
+	}
+	return nil
+}
+
+func (s TableSpec) columnIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s TableSpec) isKey(name string) bool {
+	for _, k := range s.Key {
+		if strings.EqualFold(k, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// AttrColumns lists the non-key attributes (those that get history
+// tables).
+func (s TableSpec) AttrColumns() []relstore.Column {
+	var out []relstore.Column
+	for _, c := range s.Columns {
+		if !s.isKey(c.Name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SingleIntKey reports whether the key is one INT column, in which
+// case key values are used directly as history ids (no surrogate).
+func (s TableSpec) SingleIntKey() bool {
+	if len(s.Key) != 1 {
+		return false
+	}
+	return s.Columns[s.columnIndex(s.Key[0])].Type == relstore.TypeInt
+}
+
+// KeyTableName is the name of the key table: employee → employee_id
+// for a single key column named id; composite keys keep the _id suffix
+// with the key columns stored alongside the surrogate.
+func (s TableSpec) KeyTableName() string {
+	if len(s.Key) == 1 {
+		return s.Name + "_" + strings.ToLower(s.Key[0])
+	}
+	return s.Name + "_id"
+}
+
+// AttrTableName names the history table for one attribute.
+func (s TableSpec) AttrTableName(attr string) string {
+	return s.Name + "_" + strings.ToLower(attr)
+}
+
+// KeyTableSchema builds the key table schema (paper Section 5.1).
+func (s TableSpec) KeyTableSchema() relstore.Schema {
+	cols := []relstore.Column{relstore.Col("id", relstore.TypeInt)}
+	if !s.SingleIntKey() {
+		for _, k := range s.Key {
+			cols = append(cols, s.Columns[s.columnIndex(k)])
+		}
+	}
+	cols = append(cols,
+		relstore.Col("tstart", relstore.TypeDate),
+		relstore.Col("tend", relstore.TypeDate))
+	return relstore.NewSchema(s.KeyTableName(), cols...)
+}
+
+// AttrTableSchema builds one attribute-history table schema.
+func (s TableSpec) AttrTableSchema(attr relstore.Column) relstore.Schema {
+	return relstore.NewSchema(s.AttrTableName(attr.Name),
+		relstore.Col("id", relstore.TypeInt),
+		attr,
+		relstore.Col("tstart", relstore.TypeDate),
+		relstore.Col("tend", relstore.TypeDate))
+}
+
+// RelationsTable is the global relation-history table name.
+const RelationsTable = "relations"
+
+// Forever mirrors temporal.Forever for brevity in this package.
+var forever = temporal.Forever

@@ -1,0 +1,253 @@
+package relstore
+
+import "sort"
+
+// The secondary-index structure is an in-memory B+tree over composite
+// Value keys with RID postings lists at the leaves. Deletion is lazy
+// (keys with empty postings are removed from the leaf but the tree is
+// not rebalanced), which is fine for ArchIS' append-mostly workload.
+
+const btreeOrder = 64 // max keys per node
+
+// CompareKeys orders composite keys lexicographically; a shorter key
+// that is a prefix of a longer one sorts first, which makes prefix
+// range scans natural.
+func CompareKeys(a, b []Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+type btreeNode struct {
+	leaf     bool
+	keys     [][]Value
+	children []*btreeNode // internal nodes
+	postings [][]RID      // leaf nodes, parallel to keys
+	next     *btreeNode   // leaf chain
+}
+
+type btree struct {
+	root   *btreeNode
+	height int
+	nkeys  int
+}
+
+func newBTree() *btree {
+	return &btree{root: &btreeNode{leaf: true}, height: 1}
+}
+
+// search returns the index of the first key >= k in node keys.
+func (n *btreeNode) search(k []Value) int {
+	return sort.Search(len(n.keys), func(i int) bool { return CompareKeys(n.keys[i], k) >= 0 })
+}
+
+func (t *btree) insert(key []Value, rid RID) {
+	newChild, splitKey := t.insertInto(t.root, key, rid)
+	if newChild != nil {
+		root := &btreeNode{
+			keys:     [][]Value{splitKey},
+			children: []*btreeNode{t.root, newChild},
+		}
+		t.root = root
+		t.height++
+	}
+}
+
+// insertInto inserts into the subtree; on split it returns the new
+// right sibling and its separator key.
+func (t *btree) insertInto(n *btreeNode, key []Value, rid RID) (*btreeNode, []Value) {
+	if n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && CompareKeys(n.keys[i], key) == 0 {
+			n.postings[i] = append(n.postings[i], rid)
+			return nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.postings = append(n.postings, nil)
+		copy(n.postings[i+1:], n.postings[i:])
+		n.postings[i] = []RID{rid}
+		t.nkeys++
+		if len(n.keys) <= btreeOrder {
+			return nil, nil
+		}
+		mid := len(n.keys) / 2
+		right := &btreeNode{
+			leaf:     true,
+			keys:     append([][]Value(nil), n.keys[mid:]...),
+			postings: append([][]RID(nil), n.postings[mid:]...),
+			next:     n.next,
+		}
+		n.keys = n.keys[:mid]
+		n.postings = n.postings[:mid]
+		n.next = right
+		return right, right.keys[0]
+	}
+
+	// Internal: child i holds keys < keys[i]; descend into the child
+	// whose range contains key.
+	i := n.search(key)
+	if i < len(n.keys) && CompareKeys(n.keys[i], key) == 0 {
+		i++
+	}
+	newChild, splitKey := t.insertInto(n.children[i], key, rid)
+	if newChild == nil {
+		return nil, nil
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = splitKey
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = newChild
+	if len(n.keys) <= btreeOrder {
+		return nil, nil
+	}
+	mid := len(n.keys) / 2
+	upKey := n.keys[mid]
+	right := &btreeNode{
+		keys:     append([][]Value(nil), n.keys[mid+1:]...),
+		children: append([]*btreeNode(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return right, upKey
+}
+
+// leafFor descends to the leaf that would contain key.
+func (t *btree) leafFor(key []Value) *btreeNode {
+	n := t.root
+	for !n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && CompareKeys(n.keys[i], key) == 0 {
+			i++
+		}
+		n = n.children[i]
+	}
+	return n
+}
+
+// delete removes rid from key's postings; empty postings drop the key.
+func (t *btree) delete(key []Value, rid RID) {
+	n := t.leafFor(key)
+	i := n.search(key)
+	if i >= len(n.keys) || CompareKeys(n.keys[i], key) != 0 {
+		return
+	}
+	ps := n.postings[i]
+	for j, p := range ps {
+		if p == rid {
+			ps = append(ps[:j], ps[j+1:]...)
+			break
+		}
+	}
+	if len(ps) == 0 {
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.postings = append(n.postings[:i], n.postings[i+1:]...)
+		t.nkeys--
+	} else {
+		n.postings[i] = ps
+	}
+}
+
+// scanRange visits postings for keys in [lo, hi] (either bound may be
+// nil for open). With prefix semantics: a partial lo/hi key matches on
+// its prefix length. fn returns false to stop.
+func (t *btree) scanRange(lo, hi []Value, fn func(key []Value, rids []RID) bool) {
+	var n *btreeNode
+	if lo == nil {
+		n = t.root
+		for !n.leaf {
+			n = n.children[0]
+		}
+	} else {
+		n = t.leafFor(lo)
+	}
+	for n != nil {
+		for i, k := range n.keys {
+			if lo != nil && comparePrefix(k, lo) < 0 {
+				continue
+			}
+			if hi != nil && comparePrefix(k, hi) > 0 {
+				return
+			}
+			if !fn(k, n.postings[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// comparePrefix compares k against bound on bound's length only, so a
+// bound (42) matches composite keys (42, *).
+func comparePrefix(k, bound []Value) int {
+	n := len(bound)
+	if len(k) < n {
+		n = len(k)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(k[i], bound[i]); c != 0 {
+			return c
+		}
+	}
+	if len(k) < len(bound) {
+		return -1
+	}
+	return 0
+}
+
+// Index is a named secondary index over a subset of a table's columns.
+type Index struct {
+	Name   string
+	Table  *Table
+	Cols   []int // column positions forming the key
+	Unique bool
+	tree   *btree
+}
+
+func (ix *Index) keyOf(r Row) []Value {
+	k := make([]Value, len(ix.Cols))
+	for i, c := range ix.Cols {
+		k[i] = r[c]
+	}
+	return k
+}
+
+func (ix *Index) insertRow(r Row, rid RID) { ix.tree.insert(ix.keyOf(r), rid) }
+func (ix *Index) deleteRow(r Row, rid RID) { ix.tree.delete(ix.keyOf(r), rid) }
+
+// Lookup returns the RIDs of rows whose key columns equal key (key may
+// be a prefix of the index columns).
+func (ix *Index) Lookup(key []Value) []RID {
+	var out []RID
+	ix.tree.scanRange(key, key, func(_ []Value, rids []RID) bool {
+		out = append(out, rids...)
+		return true
+	})
+	return out
+}
+
+// ScanRange visits index entries in [lo, hi] order (open bounds when
+// nil), calling fn with each key and postings list.
+func (ix *Index) ScanRange(lo, hi []Value, fn func(key []Value, rids []RID) bool) {
+	ix.tree.scanRange(lo, hi, fn)
+}
+
+// Len returns the number of distinct keys.
+func (ix *Index) Len() int { return ix.tree.nkeys }

@@ -1,0 +1,226 @@
+package relstore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBTreeInsertLookup(t *testing.T) {
+	tr := newBTree()
+	for i := 0; i < 1000; i++ {
+		tr.insert([]Value{Int(int64(i % 100)), Int(int64(i))}, RID{Page: int32(i), Slot: 0})
+	}
+	if tr.nkeys != 1000 {
+		t.Fatalf("nkeys = %d", tr.nkeys)
+	}
+	// Prefix lookup: key (42) should match the 10 composite keys (42, *).
+	count := 0
+	tr.scanRange([]Value{Int(42)}, []Value{Int(42)}, func(k []Value, rids []RID) bool {
+		count += len(rids)
+		return true
+	})
+	if count != 10 {
+		t.Errorf("prefix scan matched %d", count)
+	}
+}
+
+func TestBTreeDuplicatePostings(t *testing.T) {
+	tr := newBTree()
+	key := []Value{String_("Bob")}
+	tr.insert(key, RID{1, 1})
+	tr.insert(key, RID{2, 2})
+	if tr.nkeys != 1 {
+		t.Fatalf("nkeys = %d", tr.nkeys)
+	}
+	var got []RID
+	tr.scanRange(key, key, func(_ []Value, rids []RID) bool {
+		got = append(got, rids...)
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("postings = %v", got)
+	}
+	tr.delete(key, RID{1, 1})
+	got = nil
+	tr.scanRange(key, key, func(_ []Value, rids []RID) bool {
+		got = append(got, rids...)
+		return true
+	})
+	if len(got) != 1 || got[0] != (RID{2, 2}) {
+		t.Fatalf("postings after delete = %v", got)
+	}
+	tr.delete(key, RID{2, 2})
+	if tr.nkeys != 0 {
+		t.Errorf("nkeys after full delete = %d", tr.nkeys)
+	}
+}
+
+func TestBTreeRangeScanOrdered(t *testing.T) {
+	tr := newBTree()
+	perm := rand.New(rand.NewSource(1)).Perm(5000)
+	for _, v := range perm {
+		tr.insert([]Value{Int(int64(v))}, RID{Page: int32(v)})
+	}
+	var got []int64
+	tr.scanRange([]Value{Int(1000)}, []Value{Int(2000)}, func(k []Value, _ []RID) bool {
+		got = append(got, k[0].I)
+		return true
+	})
+	if len(got) != 1001 {
+		t.Fatalf("range size = %d", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Error("range scan out of order")
+	}
+	if got[0] != 1000 || got[len(got)-1] != 2000 {
+		t.Errorf("range bounds: %d..%d", got[0], got[len(got)-1])
+	}
+}
+
+func TestBTreeOpenRange(t *testing.T) {
+	tr := newBTree()
+	for i := 0; i < 300; i++ {
+		tr.insert([]Value{Int(int64(i))}, RID{})
+	}
+	count := 0
+	tr.scanRange(nil, nil, func([]Value, []RID) bool { count++; return true })
+	if count != 300 {
+		t.Errorf("full scan = %d", count)
+	}
+	count = 0
+	tr.scanRange([]Value{Int(250)}, nil, func([]Value, []RID) bool { count++; return true })
+	if count != 50 {
+		t.Errorf("open-high scan = %d", count)
+	}
+	count = 0
+	tr.scanRange(nil, []Value{Int(49)}, func([]Value, []RID) bool { count++; return true })
+	if count != 50 {
+		t.Errorf("open-low scan = %d", count)
+	}
+}
+
+func TestBTreeEarlyStop(t *testing.T) {
+	tr := newBTree()
+	for i := 0; i < 300; i++ {
+		tr.insert([]Value{Int(int64(i))}, RID{})
+	}
+	count := 0
+	tr.scanRange(nil, nil, func([]Value, []RID) bool { count++; return count < 7 })
+	if count != 7 {
+		t.Errorf("early stop = %d", count)
+	}
+}
+
+// Property: btree agrees with a sorted-map model under random
+// insert/delete, for composite string+int keys.
+func TestBTreeModelProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	tr := newBTree()
+	model := map[string][]RID{} // rendered key -> postings
+	keys := map[string][]Value{}
+	render := func(k []Value) string { return k[0].Text() + "|" + k[1].Text() }
+	for op := 0; op < 20000; op++ {
+		k := []Value{String_(randString(r)), Int(r.Int63n(50))}
+		ks := render(k)
+		rid := RID{Page: int32(r.Intn(100)), Slot: int32(r.Intn(100))}
+		if r.Intn(3) > 0 {
+			tr.insert(k, rid)
+			model[ks] = append(model[ks], rid)
+			keys[ks] = k
+		} else if len(model[ks]) > 0 {
+			victim := model[ks][0]
+			tr.delete(k, victim)
+			model[ks] = model[ks][1:]
+			if len(model[ks]) == 0 {
+				delete(model, ks)
+				delete(keys, ks)
+			}
+		}
+	}
+	if tr.nkeys != len(model) {
+		t.Fatalf("nkeys %d vs model %d", tr.nkeys, len(model))
+	}
+	seen := 0
+	var prev []Value
+	tr.scanRange(nil, nil, func(k []Value, rids []RID) bool {
+		if prev != nil && CompareKeys(prev, k) >= 0 {
+			t.Fatalf("keys out of order: %v then %v", prev, k)
+		}
+		prev = append([]Value(nil), k...)
+		ks := render(k)
+		if len(model[ks]) != len(rids) {
+			t.Fatalf("postings size for %s: %d vs %d", ks, len(rids), len(model[ks]))
+		}
+		seen++
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("scan saw %d of %d keys", seen, len(model))
+	}
+}
+
+func TestIndexMaintenance(t *testing.T) {
+	db, tbl := newTestTable(t)
+	ix, err := db.CreateIndex("ix_emp_id", "employee_salary", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	for i := 0; i < 200; i++ {
+		rids = append(rids, mustInsert(t, tbl, salaryRow(int64(i%20), int64(i), "1995-01-01", "9999-12-31")))
+	}
+	got := ix.Lookup([]Value{Int(7)})
+	if len(got) != 10 {
+		t.Fatalf("Lookup(7) = %d rids", len(got))
+	}
+	// Verify the rids actually point at id=7 rows.
+	for _, rid := range got {
+		row, live, err := tbl.Get(rid)
+		if err != nil || !live || row[0].I != 7 {
+			t.Fatalf("bad index posting %v -> %v", rid, row)
+		}
+	}
+	// Update moves a row to a different key.
+	if err := tbl.Update(rids[7], salaryRow(999, 1, "1995-01-01", "9999-12-31")); err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Lookup([]Value{Int(7)})) != 9 {
+		t.Error("update did not remove old index entry")
+	}
+	if len(ix.Lookup([]Value{Int(999)})) != 1 {
+		t.Error("update did not add new index entry")
+	}
+	if err := tbl.Delete(rids[27]); err != nil { // another id=7 row
+		t.Fatal(err)
+	}
+	if len(ix.Lookup([]Value{Int(7)})) != 8 {
+		t.Error("delete did not remove index entry")
+	}
+}
+
+func TestCreateIndexBackfillsAndValidates(t *testing.T) {
+	db, tbl := newTestTable(t)
+	for i := 0; i < 50; i++ {
+		mustInsert(t, tbl, salaryRow(int64(i), int64(i), "1995-01-01", "9999-12-31"))
+	}
+	ix, err := db.CreateIndex("ix2", "employee_salary", "id", "tstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 50 {
+		t.Errorf("backfill len = %d", ix.Len())
+	}
+	if _, err := db.CreateIndex("bad", "employee_salary", "nope"); err == nil {
+		t.Error("bad column accepted")
+	}
+	if _, err := db.CreateIndex("bad", "nosuch", "id"); err == nil {
+		t.Error("bad table accepted")
+	}
+	if got := tbl.IndexOn(0); got != ix {
+		t.Error("IndexOn prefix match failed")
+	}
+	if got := tbl.IndexOn(1); got != nil {
+		t.Error("IndexOn matched wrong column")
+	}
+}

@@ -1,0 +1,167 @@
+package relstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"archis/internal/xmltree"
+)
+
+// The row codec is a compact tagged binary encoding:
+//
+//	row    := liveFlag(1B) ncols(varint) value*
+//	value  := kind(1B) payload
+//	payload: Int/Date → zigzag varint; Float → 8B LE; Bool → 1B;
+//	         String/Bytes/XML → varint length + bytes; Null → empty.
+//
+// XML values are serialized as their textual form; they only occur in
+// transient results, not in stored base tables, but the codec supports
+// them so intermediate spooling works.
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func appendVarint(dst []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+// EncodeValue appends the binary form of v to dst.
+func EncodeValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.Kind))
+	switch v.Kind {
+	case TypeNull:
+	case TypeInt, TypeDate:
+		dst = appendVarint(dst, v.I)
+	case TypeFloat:
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.F))
+		dst = append(dst, tmp[:]...)
+	case TypeBool:
+		if v.Truth {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case TypeString:
+		dst = appendUvarint(dst, uint64(len(v.S)))
+		dst = append(dst, v.S...)
+	case TypeBytes:
+		dst = appendUvarint(dst, uint64(len(v.B)))
+		dst = append(dst, v.B...)
+	case TypeXML:
+		s := ""
+		if v.X != nil {
+			s = xmltree.String(v.X)
+		}
+		dst = appendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// DecodeValue reads one value from buf, returning it and the bytes
+// consumed.
+func DecodeValue(buf []byte) (Value, int, error) {
+	if len(buf) == 0 {
+		return Null, 0, fmt.Errorf("relstore: decode value: empty buffer")
+	}
+	kind := Type(buf[0])
+	pos := 1
+	switch kind {
+	case TypeNull:
+		return Null, pos, nil
+	case TypeInt, TypeDate:
+		i, n := binary.Varint(buf[pos:])
+		if n <= 0 {
+			return Null, 0, fmt.Errorf("relstore: decode value: bad varint")
+		}
+		return Value{Kind: kind, I: i}, pos + n, nil
+	case TypeFloat:
+		if len(buf) < pos+8 {
+			return Null, 0, fmt.Errorf("relstore: decode value: short float")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+		return Float(f), pos + 8, nil
+	case TypeBool:
+		if len(buf) < pos+1 {
+			return Null, 0, fmt.Errorf("relstore: decode value: short bool")
+		}
+		return Bool(buf[pos] != 0), pos + 1, nil
+	case TypeString, TypeBytes, TypeXML:
+		l, n := binary.Uvarint(buf[pos:])
+		if n <= 0 || len(buf) < pos+n+int(l) {
+			return Null, 0, fmt.Errorf("relstore: decode value: bad length")
+		}
+		pos += n
+		data := buf[pos : pos+int(l)]
+		pos += int(l)
+		switch kind {
+		case TypeString:
+			return String_(string(data)), pos, nil
+		case TypeBytes:
+			b := make([]byte, len(data))
+			copy(b, data)
+			return Bytes(b), pos, nil
+		default:
+			if len(data) == 0 {
+				return Value{Kind: TypeXML}, pos, nil
+			}
+			node, err := xmltree.ParseString(string(data))
+			if err != nil {
+				return Null, 0, fmt.Errorf("relstore: decode value: %w", err)
+			}
+			return XML(node), pos, nil
+		}
+	}
+	return Null, 0, fmt.Errorf("relstore: decode value: unknown kind %d", kind)
+}
+
+// EncodeRow appends the binary form of a row (with its live flag).
+func EncodeRow(dst []byte, r Row, live bool) []byte {
+	if live {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendUvarint(dst, uint64(len(r)))
+	for _, v := range r {
+		dst = EncodeValue(dst, v)
+	}
+	return dst
+}
+
+// DecodeRow reads one row from buf, returning the row, its live flag
+// and the bytes consumed.
+func DecodeRow(buf []byte) (Row, bool, int, error) {
+	if len(buf) == 0 {
+		return nil, false, 0, fmt.Errorf("relstore: decode row: empty buffer")
+	}
+	live := buf[0] != 0
+	pos := 1
+	ncols, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, false, 0, fmt.Errorf("relstore: decode row: bad column count")
+	}
+	pos += n
+	row := make(Row, ncols)
+	for i := range row {
+		v, n, err := DecodeValue(buf[pos:])
+		if err != nil {
+			return nil, false, 0, fmt.Errorf("relstore: decode row col %d: %w", i, err)
+		}
+		row[i] = v
+		pos += n
+	}
+	return row, live, pos, nil
+}
+
+// EncodedRowSize returns the encoded size of a row without allocating.
+func EncodedRowSize(r Row, scratch []byte) int {
+	return len(EncodeRow(scratch[:0], r, true))
+}

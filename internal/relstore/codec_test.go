@@ -1,0 +1,174 @@
+package relstore
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"archis/internal/temporal"
+	"archis/internal/xmltree"
+)
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null,
+		Int(0), Int(42), Int(-7), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(3.25), Float(-1e300), Float(math.Inf(1)),
+		String_(""), String_("Bob"), String_("naïve ünïcode 中文"),
+		DateV(temporal.MustParseDate("1995-06-01")), DateV(temporal.Forever),
+		Bytes(nil), Bytes([]byte{0, 1, 2, 255}),
+		Bool(true), Bool(false),
+		XML(xmltree.MustParseString(`<e a="1">t</e>`)),
+	}
+	for _, v := range vals {
+		buf := EncodeValue(nil, v)
+		got, n, err := DecodeValue(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if n != len(buf) {
+			t.Errorf("decode %v consumed %d of %d", v, n, len(buf))
+		}
+		if v.Kind == TypeXML {
+			if !xmltree.Equal(v.X, got.X) {
+				t.Errorf("xml round trip: %s vs %s", v.Text(), got.Text())
+			}
+			continue
+		}
+		if v.Kind == TypeBytes {
+			if string(v.B) != string(got.B) {
+				t.Errorf("bytes round trip: %v vs %v", v.B, got.B)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(v, got) {
+			t.Errorf("round trip %#v -> %#v", v, got)
+		}
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	row := Row{Int(1001), String_("Bob"), Float(60000), DateV(temporal.MustParseDate("1995-01-01")), Null}
+	for _, live := range []bool{true, false} {
+		buf := EncodeRow(nil, row, live)
+		got, gotLive, n, err := DecodeRow(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(buf) || gotLive != live {
+			t.Errorf("n=%d live=%v", n, gotLive)
+		}
+		if !reflect.DeepEqual(row, got) {
+			t.Errorf("row round trip: %v vs %v", row, got)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("empty buffer should fail")
+	}
+	if _, _, err := DecodeValue([]byte{200}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, _, err := DecodeValue([]byte{byte(TypeString), 10, 'a'}); err == nil {
+		t.Error("truncated string should fail")
+	}
+	if _, _, _, err := DecodeRow(nil); err == nil {
+		t.Error("empty row buffer should fail")
+	}
+}
+
+func randValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return Null
+	case 1:
+		return Int(r.Int63() - r.Int63())
+	case 2:
+		return Float(r.NormFloat64() * 1e6)
+	case 3:
+		return String_(randString(r))
+	case 4:
+		return DateV(temporal.Date(r.Intn(100000)))
+	default:
+		return Bool(r.Intn(2) == 0)
+	}
+}
+
+func randString(r *rand.Rand) string {
+	n := r.Intn(20)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+// Property: encode/decode round-trips random rows.
+func TestRowCodecProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		row := make(Row, r.Intn(8))
+		for j := range row {
+			row[j] = randValue(r)
+		}
+		buf := EncodeRow(nil, row, true)
+		got, live, n, err := DecodeRow(buf)
+		if err != nil || !live || n != len(buf) {
+			t.Fatalf("decode: %v live=%v n=%d/%d", err, live, n, len(buf))
+		}
+		if len(got) != len(row) {
+			t.Fatalf("length %d vs %d", len(got), len(row))
+		}
+		for j := range row {
+			if Compare(row[j], got[j]) != 0 {
+				t.Fatalf("col %d: %v vs %v", j, row[j], got[j])
+			}
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null, Int(0), -1},
+		{Null, Null, 0},
+		{Int(1), Int(2), -1},
+		{Int(2), Float(1.5), 1},
+		{Float(1.5), Int(2), -1},
+		{String_("a"), String_("b"), -1},
+		{String_("b"), String_("b"), 0},
+		{Int(42), String_("42"), 0},
+		{String_("42"), Int(43), -1},
+		{DateV(5), DateV(6), -1},
+		{DateV(5), Int(5), 0},
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if v, ok := String_(" 42 ").AsInt(); !ok || v != 42 {
+		t.Errorf("AsInt = %d, %v", v, ok)
+	}
+	if _, ok := String_("x").AsInt(); ok {
+		t.Error("non-numeric string coerced")
+	}
+	if f, ok := Int(3).AsFloat(); !ok || f != 3 {
+		t.Errorf("AsFloat = %v", f)
+	}
+	if !Bool(true).AsBool() || Null.AsBool() {
+		t.Error("AsBool broken")
+	}
+	if Int(0).AsBool() || !Int(5).AsBool() {
+		t.Error("int truthiness broken")
+	}
+}

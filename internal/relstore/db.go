@@ -1,0 +1,238 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats counts physical activity; the deterministic analogue of the
+// paper's cold-cache timing methodology.
+type Stats struct {
+	BlockReads   int64 // sealed pages decoded (cache misses)
+	BytesRead    int64 // physical bytes of those blocks
+	CacheHits    int64
+	PagesSkipped int64 // pages pruned by zone maps
+}
+
+// Database is a catalog of tables and indexes plus a shared page
+// cache.
+type Database struct {
+	tables map[string]*Table
+	names  []string // insertion order, for deterministic listings
+
+	cache     map[cacheKey]cacheEntry
+	cacheCap  int
+	cacheTick int64
+
+	stats Stats
+}
+
+type cacheKey struct {
+	table  *Table
+	pageNo int
+}
+
+type cacheEntry struct {
+	rows []Row
+	live []bool
+	used int64
+}
+
+// DefaultCachePages is the default page-cache capacity (~16 MiB of
+// 4 KiB blocks).
+const DefaultCachePages = 4096
+
+// NewDatabase returns an empty database with the default cache size.
+func NewDatabase() *Database {
+	return &Database{
+		tables:   map[string]*Table{},
+		cache:    map[cacheKey]cacheEntry{},
+		cacheCap: DefaultCachePages,
+	}
+}
+
+// SetCacheCapacity sets the page-cache capacity in pages; 0 disables
+// caching entirely (every read is physical).
+func (db *Database) SetCacheCapacity(pages int) {
+	db.cacheCap = pages
+	db.DropCaches()
+}
+
+// Stats returns a snapshot of the physical counters.
+func (db *Database) Stats() Stats { return db.stats }
+
+// ResetStats zeroes the counters.
+func (db *Database) ResetStats() { db.stats = Stats{} }
+
+// DropCaches empties the page cache — the equivalent of the paper's
+// unmount/remount between queries.
+func (db *Database) DropCaches() { db.cache = map[cacheKey]cacheEntry{} }
+
+// CreateTable registers a new table. Zone maps are maintained for all
+// INT and DATE columns.
+func (db *Database) CreateTable(s Schema) (*Table, error) {
+	key := strings.ToLower(s.Name)
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("relstore: table %s already exists", s.Name)
+	}
+	t := &Table{db: db, schema: s}
+	for i, c := range s.Columns {
+		if c.Type == TypeInt || c.Type == TypeDate {
+			t.zoneCols = append(t.zoneCols, i)
+		}
+	}
+	db.tables[key] = t
+	db.names = append(db.names, s.Name)
+	return t, nil
+}
+
+// Table looks a table up by name (case-insensitive).
+func (db *Database) Table(name string) (*Table, bool) {
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// MustTable is Table that errors helpfully.
+func (db *Database) MustTable(name string) (*Table, error) {
+	t, ok := db.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("relstore: no such table %s", name)
+	}
+	return t, nil
+}
+
+// DropTable removes a table and its indexes.
+func (db *Database) DropTable(name string) error {
+	key := strings.ToLower(name)
+	t, ok := db.tables[key]
+	if !ok {
+		return fmt.Errorf("relstore: no such table %s", name)
+	}
+	t.Truncate()
+	delete(db.tables, key)
+	for i, n := range db.names {
+		if strings.EqualFold(n, name) {
+			db.names = append(db.names[:i], db.names[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// TableNames lists tables in creation order.
+func (db *Database) TableNames() []string {
+	out := make([]string, len(db.names))
+	copy(out, db.names)
+	return out
+}
+
+// CreateIndex builds a secondary index over the named columns and
+// backfills it from existing rows.
+func (db *Database) CreateIndex(name, table string, columns ...string) (*Index, error) {
+	t, err := db.MustTable(table)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]int, len(columns))
+	for i, c := range columns {
+		pos := t.schema.ColumnIndex(c)
+		if pos < 0 {
+			return nil, fmt.Errorf("relstore: index %s: no column %s in %s", name, c, table)
+		}
+		cols[i] = pos
+	}
+	ix := &Index{Name: name, Table: t, Cols: cols, tree: newBTree()}
+	err = t.Scan(nil, func(rid RID, row Row) bool {
+		ix.insertRow(row, rid)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.indexes = append(t.indexes, ix)
+	return ix, nil
+}
+
+// IndexOn returns an index of the table whose leading key columns
+// match the given column positions, or nil.
+func (t *Table) IndexOn(cols ...int) *Index {
+	for _, ix := range t.indexes {
+		if len(ix.Cols) < len(cols) {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if ix.Cols[i] != c {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Indexes lists the table's indexes.
+func (t *Table) Indexes() []*Index { return t.indexes }
+
+// TotalBytes returns the physical footprint of all tables.
+func (db *Database) TotalBytes() int {
+	n := 0
+	for _, t := range db.tables {
+		n += t.ByteSize()
+	}
+	return n
+}
+
+func (db *Database) cacheGet(t *Table, pageNo int) ([]Row, []bool, bool) {
+	if db.cacheCap == 0 {
+		return nil, nil, false
+	}
+	e, ok := db.cache[cacheKey{t, pageNo}]
+	if !ok {
+		return nil, nil, false
+	}
+	db.cacheTick++
+	e.used = db.cacheTick
+	db.cache[cacheKey{t, pageNo}] = e
+	db.stats.CacheHits++
+	return e.rows, e.live, true
+}
+
+func (db *Database) cachePut(t *Table, pageNo int, rows []Row, live []bool) {
+	if db.cacheCap == 0 {
+		return
+	}
+	if len(db.cache) >= db.cacheCap {
+		db.evictOldest(len(db.cache) - db.cacheCap + 1)
+	}
+	db.cacheTick++
+	db.cache[cacheKey{t, pageNo}] = cacheEntry{rows: rows, live: live, used: db.cacheTick}
+}
+
+func (db *Database) cacheInvalidate(t *Table, pageNo int) {
+	delete(db.cache, cacheKey{t, pageNo})
+}
+
+// evictOldest removes the n least recently used entries. Linear in the
+// cache size, but eviction is rare relative to lookups.
+func (db *Database) evictOldest(n int) {
+	type aged struct {
+		key  cacheKey
+		used int64
+	}
+	entries := make([]aged, 0, len(db.cache))
+	for k, e := range db.cache {
+		entries = append(entries, aged{k, e.used})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].used < entries[j].used })
+	if n > len(entries) {
+		n = len(entries)
+	}
+	for _, e := range entries[:n] {
+		delete(db.cache, e.key)
+	}
+}

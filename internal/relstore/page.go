@@ -1,0 +1,122 @@
+package relstore
+
+import "fmt"
+
+// PageSize is the physical block size of the storage layer. Rows
+// larger than a page get a private oversized ("jumbo") page, the
+// classic BLOB escape hatch.
+const PageSize = 4096
+
+// RID addresses a row physically: page number and slot within it.
+type RID struct {
+	Page int32
+	Slot int32
+}
+
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// zoneEntry is the per-page min/max of one column, maintained for
+// orderable scalar columns. It enables scan pruning ("zone maps"),
+// which is how segment clustering pays off physically: a predicate
+// segno = 7 skips every page whose zone excludes 7.
+type zoneEntry struct {
+	min, max int64
+	valid    bool
+}
+
+// page is one storage block: the encoded row bytes plus slot directory
+// and zone maps. Pages are immutable on disk; mutation re-encodes.
+type page struct {
+	buf     []byte      // encoded rows, concatenated
+	offsets []int32     // slot -> offset into buf (entry per row, incl. dead)
+	live    int         // count of live rows
+	zones   []zoneEntry // per int/date column
+}
+
+func (p *page) rowCount() int { return len(p.offsets) }
+
+// decode returns the rows (nil entries for dead slots).
+func (p *page) decodeRows() ([]Row, []bool, error) {
+	rows := make([]Row, len(p.offsets))
+	liveFlags := make([]bool, len(p.offsets))
+	for i, off := range p.offsets {
+		row, live, _, err := DecodeRow(p.buf[off:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("relstore: page decode slot %d: %w", i, err)
+		}
+		rows[i] = row
+		liveFlags[i] = live
+	}
+	return rows, liveFlags, nil
+}
+
+// buildPage encodes rows into a fresh page and computes zone maps.
+// zoneCols lists the column positions to track (int/date columns).
+func buildPage(rows []Row, liveFlags []bool, zoneCols []int, ncols int) *page {
+	p := &page{zones: make([]zoneEntry, ncols)}
+	for i, r := range rows {
+		p.offsets = append(p.offsets, int32(len(p.buf)))
+		p.buf = EncodeRow(p.buf, r, liveFlags[i])
+		if liveFlags[i] {
+			p.live++
+			for _, c := range zoneCols {
+				if c >= len(r) {
+					continue
+				}
+				v := r[c]
+				if v.Kind != TypeInt && v.Kind != TypeDate {
+					continue
+				}
+				z := &p.zones[c]
+				if !z.valid {
+					z.min, z.max, z.valid = v.I, v.I, true
+				} else {
+					if v.I < z.min {
+						z.min = v.I
+					}
+					if v.I > z.max {
+						z.max = v.I
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// zoneExcludes reports whether the page certainly contains no live row
+// whose column col satisfies (op, bound). op is one of "=", "<", "<=",
+// ">", ">=". Unknown zones never exclude.
+func (p *page) zoneExcludes(col int, op string, bound int64) bool {
+	if col < 0 || col >= len(p.zones) {
+		return false
+	}
+	z := p.zones[col]
+	if !z.valid {
+		// No live rows contributed a value for the column; exclude only
+		// if the page has no live rows at all.
+		return p.live == 0
+	}
+	switch op {
+	case "=":
+		return bound < z.min || bound > z.max
+	case "<":
+		return z.min >= bound
+	case "<=":
+		return z.min > bound
+	case ">":
+		return z.max <= bound
+	case ">=":
+		return z.max < bound
+	}
+	return false
+}
+
+// byteSize returns the physical footprint of the page: a full block
+// for ordinary pages, the exact buffer size for jumbo pages.
+func (p *page) byteSize() int {
+	if len(p.buf) > PageSize {
+		return len(p.buf)
+	}
+	return PageSize
+}

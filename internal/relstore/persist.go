@@ -1,0 +1,317 @@
+package relstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// On-disk format (little endian):
+//
+//	magic "ARCHISDB1" | u32 numTables
+//	per table:
+//	  schema: str name | u32 ncols | (str colname, u8 type)*
+//	  u32 numSealedPages
+//	  per page: u32 buflen | buf | u32 nslots | u32 offsets[nslots]
+//	            | u32 live | per column zone: u8 valid | i64 min | i64 max
+//	  builder:  u32 nrows | per row: u8 live | u32 enclen | enc
+//	  indexes:  u32 n | per index: str name | u8 unique | u32 ncols | u32 cols[]
+//
+// Index trees are rebuilt on load (cheaper than a portable B+tree
+// format and immune to structural drift).
+
+const dbMagic = "ARCHISDB1"
+
+type countingWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (cw *countingWriter) bytes(b []byte) {
+	if cw.err != nil {
+		return
+	}
+	_, cw.err = cw.w.Write(b)
+}
+
+func (cw *countingWriter) u8(v uint8) { cw.bytes([]byte{v}) }
+func (cw *countingWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	cw.bytes(b[:])
+}
+func (cw *countingWriter) i64(v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	cw.bytes(b[:])
+}
+func (cw *countingWriter) str(s string) {
+	cw.u32(uint32(len(s)))
+	cw.bytes([]byte(s))
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (rd *reader) bytes(n int) []byte {
+	if rd.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rd.r, b); err != nil {
+		rd.err = err
+		return nil
+	}
+	return b
+}
+
+func (rd *reader) u8() uint8 {
+	b := rd.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (rd *reader) u32() uint32 {
+	b := rd.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (rd *reader) i64() int64 {
+	b := rd.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (rd *reader) str() string {
+	n := rd.u32()
+	if rd.err != nil || n > 1<<28 {
+		if rd.err == nil {
+			rd.err = fmt.Errorf("relstore: corrupt string length %d", n)
+		}
+		return ""
+	}
+	return string(rd.bytes(int(n)))
+}
+
+// Serialize writes the whole database to w.
+func (db *Database) Serialize(w io.Writer) error {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	cw.bytes([]byte(dbMagic))
+	names := db.TableNames()
+	cw.u32(uint32(len(names)))
+	for _, name := range names {
+		t, _ := db.Table(name)
+		writeTable(cw, t)
+	}
+	if cw.err != nil {
+		return fmt.Errorf("relstore: save: %w", cw.err)
+	}
+	return cw.w.Flush()
+}
+
+func writeTable(cw *countingWriter, t *Table) {
+	cw.str(t.schema.Name)
+	cw.u32(uint32(len(t.schema.Columns)))
+	for _, c := range t.schema.Columns {
+		cw.str(c.Name)
+		cw.u8(uint8(c.Type))
+	}
+	cw.u32(uint32(len(t.pages)))
+	for _, p := range t.pages {
+		cw.u32(uint32(len(p.buf)))
+		cw.bytes(p.buf)
+		cw.u32(uint32(len(p.offsets)))
+		for _, off := range p.offsets {
+			cw.u32(uint32(off))
+		}
+		cw.u32(uint32(p.live))
+		for _, z := range p.zones {
+			if z.valid {
+				cw.u8(1)
+			} else {
+				cw.u8(0)
+			}
+			cw.i64(z.min)
+			cw.i64(z.max)
+		}
+	}
+	cw.u32(uint32(len(t.bRows)))
+	for i, r := range t.bRows {
+		if t.bLive[i] {
+			cw.u8(1)
+		} else {
+			cw.u8(0)
+		}
+		enc := EncodeRow(nil, r, t.bLive[i])
+		cw.u32(uint32(len(enc)))
+		cw.bytes(enc)
+	}
+	cw.u32(uint32(len(t.indexes)))
+	for _, ix := range t.indexes {
+		cw.str(ix.Name)
+		if ix.Unique {
+			cw.u8(1)
+		} else {
+			cw.u8(0)
+		}
+		cw.u32(uint32(len(ix.Cols)))
+		for _, c := range ix.Cols {
+			cw.u32(uint32(c))
+		}
+	}
+}
+
+// ReadDatabase deserializes a database written by Serialize, rebuilding
+// index trees and row counters.
+func ReadDatabase(r io.Reader) (*Database, error) {
+	rd := &reader{r: bufio.NewReader(r)}
+	if string(rd.bytes(len(dbMagic))) != dbMagic {
+		return nil, fmt.Errorf("relstore: not an ArchIS database file")
+	}
+	db := NewDatabase()
+	numTables := rd.u32()
+	for i := uint32(0); i < numTables && rd.err == nil; i++ {
+		if err := readTable(rd, db); err != nil {
+			return nil, err
+		}
+	}
+	if rd.err != nil {
+		return nil, fmt.Errorf("relstore: load: %w", rd.err)
+	}
+	return db, nil
+}
+
+func readTable(rd *reader, db *Database) error {
+	name := rd.str()
+	ncols := rd.u32()
+	if rd.err != nil || ncols > 4096 {
+		return fmt.Errorf("relstore: corrupt table header for %q", name)
+	}
+	cols := make([]Column, ncols)
+	for i := range cols {
+		cols[i] = Column{Name: rd.str(), Type: Type(rd.u8())}
+	}
+	t, err := db.CreateTable(NewSchema(name, cols...))
+	if err != nil {
+		return err
+	}
+	numPages := rd.u32()
+	for p := uint32(0); p < numPages && rd.err == nil; p++ {
+		buflen := rd.u32()
+		if buflen > 1<<30 {
+			return fmt.Errorf("relstore: corrupt page in %q", name)
+		}
+		pg := &page{buf: rd.bytes(int(buflen))}
+		nslots := rd.u32()
+		if nslots > 1<<24 {
+			return fmt.Errorf("relstore: corrupt slot count in %q", name)
+		}
+		pg.offsets = make([]int32, nslots)
+		for s := range pg.offsets {
+			pg.offsets[s] = int32(rd.u32())
+		}
+		pg.live = int(rd.u32())
+		pg.zones = make([]zoneEntry, ncols)
+		for z := range pg.zones {
+			pg.zones[z].valid = rd.u8() == 1
+			pg.zones[z].min = rd.i64()
+			pg.zones[z].max = rd.i64()
+		}
+		t.pages = append(t.pages, pg)
+		t.liveRows += pg.live
+	}
+	nrows := rd.u32()
+	if nrows > 1<<24 {
+		return fmt.Errorf("relstore: corrupt builder in %q", name)
+	}
+	for i := uint32(0); i < nrows && rd.err == nil; i++ {
+		live := rd.u8() == 1
+		enclen := rd.u32()
+		enc := rd.bytes(int(enclen))
+		if rd.err != nil {
+			break
+		}
+		row, encLive, _, err := DecodeRow(enc)
+		if err != nil {
+			return fmt.Errorf("relstore: %q builder row: %w", name, err)
+		}
+		if encLive != live {
+			return fmt.Errorf("relstore: %q builder row live flag mismatch", name)
+		}
+		t.bRows = append(t.bRows, row)
+		t.bLive = append(t.bLive, live)
+		t.bSize += len(enc)
+		if live {
+			t.liveRows++
+		}
+	}
+	nIdx := rd.u32()
+	if nIdx > 1024 {
+		return fmt.Errorf("relstore: corrupt index count in %q", name)
+	}
+	for i := uint32(0); i < nIdx && rd.err == nil; i++ {
+		ixName := rd.str()
+		unique := rd.u8() == 1
+		nic := rd.u32()
+		if nic > ncols {
+			return fmt.Errorf("relstore: corrupt index %q", ixName)
+		}
+		colNames := make([]string, nic)
+		for c := range colNames {
+			pos := rd.u32()
+			if pos >= ncols {
+				return fmt.Errorf("relstore: index %q column out of range", ixName)
+			}
+			colNames[c] = cols[pos].Name
+		}
+		if rd.err != nil {
+			break
+		}
+		ix, err := db.CreateIndex(ixName, name, colNames...)
+		if err != nil {
+			return err
+		}
+		ix.Unique = unique
+	}
+	return rd.err
+}
+
+// SaveFile writes the database to path atomically (via a temp file).
+func (db *Database) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.Serialize(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a database written by SaveFile.
+func LoadFile(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDatabase(f)
+}

@@ -1,0 +1,191 @@
+package relstore
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"archis/internal/temporal"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db, tbl := newTestTable(t)
+	var rids []RID
+	for i := 0; i < 2000; i++ {
+		// Clustered ids so per-page zone maps can prune.
+		rids = append(rids, mustInsert(t, tbl, salaryRow(int64(i/20), int64(40000+i), "1990-01-01", "9999-12-31")))
+	}
+	// Exercise tombstones and in-place updates too.
+	for i := 0; i < 50; i++ {
+		if err := tbl.Delete(rids[i*3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Update(rids[1], salaryRow(1, 999999, "1991-01-01", "1992-01-01")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("ix_id", "employee_salary", "id"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := db.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ReadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2, ok := db2.Table("employee_salary")
+	if !ok {
+		t.Fatal("table missing after load")
+	}
+	if tbl2.LiveRows() != tbl.LiveRows() {
+		t.Errorf("LiveRows %d vs %d", tbl2.LiveRows(), tbl.LiveRows())
+	}
+	if tbl2.Schema().String() != tbl.Schema().String() {
+		t.Errorf("schema %s vs %s", tbl2.Schema(), tbl.Schema())
+	}
+	// Content identical (scan order preserved).
+	var a, b []string
+	collect := func(tt *Table, out *[]string) {
+		_ = tt.Scan(nil, func(_ RID, row Row) bool {
+			*out = append(*out, row.String())
+			return true
+		})
+	}
+	collect(tbl, &a)
+	collect(tbl2, &b)
+	if len(a) != len(b) {
+		t.Fatalf("row counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// Index rebuilt and functional.
+	ix := tbl2.IndexOn(0)
+	if ix == nil {
+		t.Fatal("index missing after load")
+	}
+	found := ix.Lookup([]Value{Int(7)})
+	want := 0
+	_ = tbl.Scan(nil, func(_ RID, row Row) bool {
+		if row[0].I == 7 {
+			want++
+		}
+		return true
+	})
+	if len(found) != want {
+		t.Errorf("index lookup = %d rids, want %d", len(found), want)
+	}
+	// Zone maps survive: a pruned scan skips pages.
+	db2.DropCaches()
+	db2.ResetStats()
+	_ = tbl2.Scan([]ZoneBound{{Col: 0, Op: "=", Bound: 7}}, func(RID, Row) bool { return true })
+	if db2.Stats().PagesSkipped == 0 {
+		t.Error("zone maps lost in round trip")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.db")
+	db, tbl := newTestTable(t)
+	mustInsert(t, tbl, salaryRow(1, 100, "2000-01-01", "9999-12-31"))
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := db2.Table("employee_salary")
+	if t2.LiveRows() != 1 {
+		t.Errorf("rows = %d", t2.LiveRows())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.db")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := ReadDatabase(bytes.NewReader([]byte("not a database"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadDatabase(bytes.NewReader([]byte(dbMagic))); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Valid magic + absurd table count.
+	buf := append([]byte(dbMagic), 0xff, 0xff, 0xff, 0xff)
+	if _, err := ReadDatabase(bytes.NewReader(buf)); err == nil {
+		t.Error("absurd table count accepted")
+	}
+}
+
+// Property: random databases round-trip.
+func TestSaveLoadProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		db := NewDatabase()
+		nTables := 1 + r.Intn(3)
+		for ti := 0; ti < nTables; ti++ {
+			name := string(rune('a' + ti))
+			tbl, err := db.CreateTable(NewSchema(name,
+				Col("k", TypeInt), Col("s", TypeString), Col("f", TypeFloat),
+				Col("d", TypeDate), Col("b", TypeBytes)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := r.Intn(800)
+			for i := 0; i < n; i++ {
+				blob := make([]byte, r.Intn(50))
+				r.Read(blob)
+				row := Row{
+					Int(r.Int63n(1000)),
+					String_(randString(r)),
+					Float(r.NormFloat64()),
+					DateV(temporal.Date(r.Intn(30000))),
+					Bytes(blob),
+				}
+				if r.Intn(10) == 0 {
+					row[1] = Null
+				}
+				if _, err := tbl.Insert(row); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r.Intn(2) == 0 {
+				tbl.Flush()
+			}
+		}
+		var buf bytes.Buffer
+		if err := db.Serialize(&buf); err != nil {
+			t.Fatal(err)
+		}
+		db2, err := ReadDatabase(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range db.TableNames() {
+			t1, _ := db.Table(name)
+			t2, ok := db2.Table(name)
+			if !ok {
+				t.Fatalf("table %s lost", name)
+			}
+			var a, b []string
+			_ = t1.Scan(nil, func(_ RID, row Row) bool { a = append(a, row.String()); return true })
+			_ = t2.Scan(nil, func(_ RID, row Row) bool { b = append(b, row.String()); return true })
+			if len(a) != len(b) {
+				t.Fatalf("trial %d table %s: %d vs %d rows", trial, name, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("trial %d table %s row %d: %q vs %q", trial, name, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

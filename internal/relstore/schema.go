@@ -1,0 +1,74 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema describes a table: its name and ordered columns.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// NewSchema builds a schema from "name TYPE" column specs.
+func NewSchema(name string, cols ...Column) Schema {
+	return Schema{Name: name, Columns: cols}
+}
+
+// Col is a convenience constructor for Column.
+func Col(name string, t Type) Column { return Column{Name: name, Type: t} }
+
+// ColumnIndex returns the position of the named column, or -1.
+// Matching is case-insensitive, as in SQL.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustColumnIndex is ColumnIndex that panics on unknown columns; used
+// for internally generated plans where absence is a bug.
+func (s Schema) MustColumnIndex(name string) int {
+	i := s.ColumnIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("relstore: table %s has no column %s", s.Name, name))
+	}
+	return i
+}
+
+// Validate checks a row against the schema, allowing NULLs anywhere.
+func (s Schema) Validate(r Row) error {
+	if len(r) != len(s.Columns) {
+		return fmt.Errorf("relstore: table %s: row has %d values, schema has %d columns", s.Name, len(r), len(s.Columns))
+	}
+	for i, v := range r {
+		if v.IsNull() {
+			continue
+		}
+		want := s.Columns[i].Type
+		if v.Kind != want {
+			return fmt.Errorf("relstore: table %s column %s: value kind %s, want %s",
+				s.Name, s.Columns[i].Name, v.Kind, want)
+		}
+	}
+	return nil
+}
+
+// String renders the schema as a CREATE TABLE-ish signature.
+func (s Schema) String() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return s.Name + "(" + strings.Join(parts, ", ") + ")"
+}

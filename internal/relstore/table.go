@@ -1,0 +1,292 @@
+package relstore
+
+import (
+	"fmt"
+)
+
+// Table is an append-oriented heap table made of sealed pages plus one
+// open builder page. Sealed pages are stored encoded; reading one
+// costs a physical "block read" unless it is in the database page
+// cache. Zone maps on INT/DATE columns let scans skip pages.
+type Table struct {
+	db     *Database
+	schema Schema
+
+	pages []*page
+
+	// builder is the open page: rows not yet encoded.
+	bRows []Row
+	bLive []bool
+	bSize int
+
+	zoneCols []int
+	liveRows int
+
+	indexes []*Index
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+// LiveRows returns the number of live (non-deleted) rows.
+func (t *Table) LiveRows() int { return t.liveRows }
+
+// TotalRows returns the number of slots including dead rows.
+func (t *Table) TotalRows() int {
+	n := len(t.bRows)
+	for _, p := range t.pages {
+		n += p.rowCount()
+	}
+	return n
+}
+
+// PageCount returns the number of pages (including the open one, if any).
+func (t *Table) PageCount() int {
+	n := len(t.pages)
+	if len(t.bRows) > 0 {
+		n++
+	}
+	return n
+}
+
+// ByteSize returns the physical footprint in bytes.
+func (t *Table) ByteSize() int {
+	n := 0
+	for _, p := range t.pages {
+		n += p.byteSize()
+	}
+	if len(t.bRows) > 0 {
+		n += PageSize
+	}
+	return n
+}
+
+// Insert appends a row and returns its RID.
+func (t *Table) Insert(r Row) (RID, error) {
+	if err := t.schema.Validate(r); err != nil {
+		return RID{}, err
+	}
+	sz := len(EncodeRow(nil, r, true))
+	if t.bSize > 0 && t.bSize+sz > PageSize {
+		t.sealBuilder()
+	}
+	rid := RID{Page: int32(len(t.pages)), Slot: int32(len(t.bRows))}
+	t.bRows = append(t.bRows, r.Clone())
+	t.bLive = append(t.bLive, true)
+	t.bSize += sz
+	t.liveRows++
+	if sz > PageSize {
+		// Jumbo row: seal immediately into its own oversized page.
+		t.sealBuilder()
+	}
+	for _, idx := range t.indexes {
+		idx.insertRow(r, rid)
+	}
+	return rid, nil
+}
+
+func (t *Table) sealBuilder() {
+	if len(t.bRows) == 0 {
+		return
+	}
+	p := buildPage(t.bRows, t.bLive, t.zoneCols, len(t.schema.Columns))
+	t.pages = append(t.pages, p)
+	t.bRows, t.bLive, t.bSize = nil, nil, 0
+}
+
+// Flush seals the open builder page, if any.
+func (t *Table) Flush() { t.sealBuilder() }
+
+// Get returns the row at rid and whether it is live.
+func (t *Table) Get(rid RID) (Row, bool, error) {
+	if int(rid.Page) == len(t.pages) {
+		if int(rid.Slot) >= len(t.bRows) {
+			return nil, false, fmt.Errorf("relstore: %s: bad rid %v", t.Name(), rid)
+		}
+		return t.bRows[rid.Slot], t.bLive[rid.Slot], nil
+	}
+	if int(rid.Page) > len(t.pages) {
+		return nil, false, fmt.Errorf("relstore: %s: bad rid %v", t.Name(), rid)
+	}
+	rows, live, err := t.readPage(int(rid.Page))
+	if err != nil {
+		return nil, false, err
+	}
+	if int(rid.Slot) >= len(rows) {
+		return nil, false, fmt.Errorf("relstore: %s: bad rid %v", t.Name(), rid)
+	}
+	return rows[rid.Slot], live[rid.Slot], nil
+}
+
+// Update replaces the row at rid.
+func (t *Table) Update(rid RID, r Row) error {
+	if err := t.schema.Validate(r); err != nil {
+		return err
+	}
+	old, wasLive, err := t.Get(rid)
+	if err != nil {
+		return err
+	}
+	if !wasLive {
+		return fmt.Errorf("relstore: %s: update of dead row %v", t.Name(), rid)
+	}
+	if int(rid.Page) == len(t.pages) {
+		t.bRows[rid.Slot] = r.Clone()
+		// Builder size drifts from reality on update; recompute lazily
+		// by re-measuring the whole builder only when it could overflow.
+		t.bSize = 0
+		for i, br := range t.bRows {
+			t.bSize += len(EncodeRow(nil, br, t.bLive[i]))
+		}
+	} else {
+		if err := t.rewritePage(int(rid.Page), func(rows []Row, live []bool) {
+			rows[rid.Slot] = r.Clone()
+		}); err != nil {
+			return err
+		}
+	}
+	for _, idx := range t.indexes {
+		idx.deleteRow(old, rid)
+		idx.insertRow(r, rid)
+	}
+	return nil
+}
+
+// Delete tombstones the row at rid.
+func (t *Table) Delete(rid RID) error {
+	old, wasLive, err := t.Get(rid)
+	if err != nil {
+		return err
+	}
+	if !wasLive {
+		return nil
+	}
+	if int(rid.Page) == len(t.pages) {
+		t.bLive[rid.Slot] = false
+	} else {
+		if err := t.rewritePage(int(rid.Page), func(rows []Row, live []bool) {
+			live[rid.Slot] = false
+		}); err != nil {
+			return err
+		}
+	}
+	t.liveRows--
+	for _, idx := range t.indexes {
+		idx.deleteRow(old, rid)
+	}
+	return nil
+}
+
+func (t *Table) rewritePage(pageNo int, mutate func(rows []Row, live []bool)) error {
+	rows, live, err := t.readPage(pageNo)
+	if err != nil {
+		return err
+	}
+	mutate(rows, live)
+	t.pages[pageNo] = buildPage(rows, live, t.zoneCols, len(t.schema.Columns))
+	t.db.cacheInvalidate(t, pageNo)
+	t.db.cachePut(t, pageNo, rows, live)
+	return nil
+}
+
+// readPage returns the decoded rows of a sealed page via the database
+// page cache, counting a physical block read on a miss.
+func (t *Table) readPage(pageNo int) ([]Row, []bool, error) {
+	if rows, live, ok := t.db.cacheGet(t, pageNo); ok {
+		return rows, live, nil
+	}
+	p := t.pages[pageNo]
+	rows, live, err := p.decodeRows()
+	if err != nil {
+		return nil, nil, err
+	}
+	t.db.stats.BlockReads++
+	t.db.stats.BytesRead += int64(p.byteSize())
+	t.db.cachePut(t, pageNo, rows, live)
+	return rows, live, nil
+}
+
+// ZoneBound is one pushed-down page-pruning predicate: column Col
+// compared by Op ("=", "<", "<=", ">", ">=") against Bound.
+type ZoneBound struct {
+	Col   int
+	Op    string
+	Bound int64
+}
+
+// Scan iterates live rows in physical order, calling fn until it
+// returns false. bounds (may be nil) prune pages via zone maps; they
+// do NOT filter rows — the caller still applies its own predicate.
+func (t *Table) Scan(bounds []ZoneBound, fn func(rid RID, row Row) bool) error {
+	for pn, p := range t.pages {
+		skip := false
+		for _, zb := range bounds {
+			if p.zoneExcludes(zb.Col, zb.Op, zb.Bound) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			t.db.stats.PagesSkipped++
+			continue
+		}
+		rows, live, err := t.readPage(pn)
+		if err != nil {
+			return err
+		}
+		for slot, row := range rows {
+			if !live[slot] {
+				continue
+			}
+			if !fn(RID{Page: int32(pn), Slot: int32(slot)}, row) {
+				return nil
+			}
+		}
+	}
+	for slot, row := range t.bRows {
+		if !t.bLive[slot] {
+			continue
+		}
+		if !fn(RID{Page: int32(len(t.pages)), Slot: int32(slot)}, row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Compact rewrites the table keeping only live rows (in scan order),
+// reclaiming tombstoned space and rebuilding indexes. All previously
+// issued RIDs are invalidated.
+func (t *Table) Compact() error {
+	var rows []Row
+	err := t.Scan(nil, func(_ RID, row Row) bool {
+		rows = append(rows, row.Clone())
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	t.Truncate()
+	for _, r := range rows {
+		if _, err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Truncate drops all rows and reindexes to empty.
+func (t *Table) Truncate() {
+	for pn := range t.pages {
+		t.db.cacheInvalidate(t, pn)
+	}
+	t.pages = nil
+	t.bRows, t.bLive, t.bSize = nil, nil, 0
+	t.liveRows = 0
+	for _, idx := range t.indexes {
+		idx.tree = newBTree()
+	}
+}

@@ -1,0 +1,337 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"archis/internal/temporal"
+)
+
+func newTestTable(t *testing.T) (*Database, *Table) {
+	t.Helper()
+	db := NewDatabase()
+	tbl, err := db.CreateTable(NewSchema("employee_salary",
+		Col("id", TypeInt), Col("salary", TypeInt),
+		Col("tstart", TypeDate), Col("tend", TypeDate)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+func salaryRow(id, salary int64, start, end string) Row {
+	return Row{Int(id), Int(salary), DateV(temporal.MustParseDate(start)), DateV(temporal.MustParseDate(end))}
+}
+
+func TestInsertScanGet(t *testing.T) {
+	_, tbl := newTestTable(t)
+	var rids []RID
+	for i := 0; i < 100; i++ {
+		rid, err := tbl.Insert(salaryRow(int64(1000+i), int64(40000+i*10), "1995-01-01", "9999-12-31"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if tbl.LiveRows() != 100 {
+		t.Fatalf("LiveRows = %d", tbl.LiveRows())
+	}
+	row, live, err := tbl.Get(rids[42])
+	if err != nil || !live {
+		t.Fatalf("Get: %v live=%v", err, live)
+	}
+	if v, _ := row[0].AsInt(); v != 1042 {
+		t.Errorf("row id = %d", v)
+	}
+	count := 0
+	if err := tbl.Scan(nil, func(rid RID, row Row) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("scan count = %d", count)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	_, tbl := newTestTable(t)
+	for i := 0; i < 50; i++ {
+		mustInsert(t, tbl, salaryRow(int64(i), 1, "1995-01-01", "1995-12-31"))
+	}
+	count := 0
+	_ = tbl.Scan(nil, func(RID, Row) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Errorf("early stop: %d", count)
+	}
+}
+
+func mustInsert(t *testing.T, tbl *Table, r Row) RID {
+	t.Helper()
+	rid, err := tbl.Insert(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rid
+}
+
+func TestUpdateDelete(t *testing.T) {
+	_, tbl := newTestTable(t)
+	rid := mustInsert(t, tbl, salaryRow(1, 100, "1995-01-01", "9999-12-31"))
+	if err := tbl.Update(rid, salaryRow(1, 100, "1995-01-01", "1996-01-01")); err != nil {
+		t.Fatal(err)
+	}
+	row, live, _ := tbl.Get(rid)
+	if !live || row[3].Date().String() != "1996-01-01" {
+		t.Errorf("update not visible: %v live=%v", row, live)
+	}
+	if err := tbl.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.LiveRows() != 0 {
+		t.Errorf("LiveRows after delete = %d", tbl.LiveRows())
+	}
+	if _, live, _ := tbl.Get(rid); live {
+		t.Error("deleted row still live")
+	}
+	if err := tbl.Update(rid, salaryRow(1, 1, "1995-01-01", "1995-01-02")); err == nil {
+		t.Error("update of dead row should fail")
+	}
+	count := 0
+	_ = tbl.Scan(nil, func(RID, Row) bool { count++; return true })
+	if count != 0 {
+		t.Errorf("scan sees %d dead rows", count)
+	}
+}
+
+func TestUpdateDeleteOnSealedPages(t *testing.T) {
+	_, tbl := newTestTable(t)
+	var rids []RID
+	for i := 0; i < 500; i++ { // several pages
+		rids = append(rids, mustInsert(t, tbl, salaryRow(int64(i), int64(i), "1995-01-01", "9999-12-31")))
+	}
+	tbl.Flush()
+	if tbl.PageCount() < 2 {
+		t.Fatalf("expected multiple pages, got %d", tbl.PageCount())
+	}
+	if err := tbl.Update(rids[3], salaryRow(3, 999, "1995-01-01", "9999-12-31")); err != nil {
+		t.Fatal(err)
+	}
+	row, live, _ := tbl.Get(rids[3])
+	if !live || row[1].I != 999 {
+		t.Errorf("sealed-page update lost: %v", row)
+	}
+	if err := tbl.Delete(rids[4]); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.LiveRows() != 499 {
+		t.Errorf("LiveRows = %d", tbl.LiveRows())
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	_, tbl := newTestTable(t)
+	if _, err := tbl.Insert(Row{Int(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := tbl.Insert(Row{String_("x"), Int(1), DateV(0), DateV(0)}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, err := tbl.Insert(Row{Null, Null, Null, Null}); err != nil {
+		t.Errorf("all-null row rejected: %v", err)
+	}
+}
+
+func TestZoneMapPruning(t *testing.T) {
+	db, tbl := newTestTable(t)
+	// Insert rows clustered by segment-like ranges of id.
+	for seg := 0; seg < 5; seg++ {
+		for i := 0; i < 300; i++ {
+			mustInsert(t, tbl, salaryRow(int64(seg*1000+i), int64(i), "1995-01-01", "9999-12-31"))
+		}
+	}
+	tbl.Flush()
+	db.ResetStats()
+	db.DropCaches()
+	count := 0
+	idCol := 0
+	err := tbl.Scan([]ZoneBound{{Col: idCol, Op: ">=", Bound: 4000}}, func(rid RID, row Row) bool {
+		if row[0].I >= 4000 {
+			count++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 300 {
+		t.Errorf("matched %d rows", count)
+	}
+	st := db.Stats()
+	if st.PagesSkipped == 0 {
+		t.Error("zone maps skipped nothing")
+	}
+	if st.BlockReads >= int64(tbl.PageCount()) {
+		t.Errorf("pruned scan read all %d pages (%d reads)", tbl.PageCount(), st.BlockReads)
+	}
+}
+
+func TestPageCacheAccounting(t *testing.T) {
+	db, tbl := newTestTable(t)
+	for i := 0; i < 1000; i++ {
+		mustInsert(t, tbl, salaryRow(int64(i), int64(i), "1995-01-01", "9999-12-31"))
+	}
+	tbl.Flush()
+	db.DropCaches()
+	db.ResetStats()
+	_ = tbl.Scan(nil, func(RID, Row) bool { return true })
+	cold := db.Stats().BlockReads
+	if cold == 0 {
+		t.Fatal("no block reads on cold scan")
+	}
+	_ = tbl.Scan(nil, func(RID, Row) bool { return true })
+	if db.Stats().BlockReads != cold {
+		t.Errorf("warm scan caused physical reads: %d -> %d", cold, db.Stats().BlockReads)
+	}
+	if db.Stats().CacheHits == 0 {
+		t.Error("warm scan recorded no cache hits")
+	}
+	db.DropCaches()
+	_ = tbl.Scan(nil, func(RID, Row) bool { return true })
+	if db.Stats().BlockReads != 2*cold {
+		t.Errorf("dropped caches not cold: %d vs %d", db.Stats().BlockReads, 2*cold)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	db := NewDatabase()
+	db.SetCacheCapacity(4)
+	tbl, _ := db.CreateTable(NewSchema("t", Col("a", TypeInt)))
+	for i := 0; i < 5000; i++ {
+		mustInsert(t, tbl, Row{Int(int64(i))})
+	}
+	tbl.Flush()
+	_ = tbl.Scan(nil, func(RID, Row) bool { return true })
+	if len(db.cache) > 4 {
+		t.Errorf("cache grew to %d entries", len(db.cache))
+	}
+}
+
+func TestJumboRows(t *testing.T) {
+	db := NewDatabase()
+	tbl, _ := db.CreateTable(NewSchema("blobs", Col("id", TypeInt), Col("data", TypeBytes)))
+	big := make([]byte, 3*PageSize)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	rid := mustInsert(t, tbl, Row{Int(1), Bytes(big)})
+	mustInsert(t, tbl, Row{Int(2), Bytes([]byte("small"))})
+	tbl.Flush()
+	row, live, err := tbl.Get(rid)
+	if err != nil || !live {
+		t.Fatalf("jumbo get: %v", err)
+	}
+	if len(row[1].B) != len(big) || row[1].B[777] != big[777] {
+		t.Error("jumbo blob corrupted")
+	}
+	if tbl.ByteSize() <= 3*PageSize {
+		t.Errorf("ByteSize %d ignores jumbo page", tbl.ByteSize())
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	db, tbl := newTestTable(t)
+	for i := 0; i < 100; i++ {
+		mustInsert(t, tbl, salaryRow(int64(i), 1, "1995-01-01", "9999-12-31"))
+	}
+	ix, err := db.CreateIndex("ix_id", "employee_salary", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Truncate()
+	if tbl.LiveRows() != 0 || tbl.TotalRows() != 0 || ix.Len() != 0 {
+		t.Error("truncate left state behind")
+	}
+}
+
+func TestDatabaseCatalog(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.CreateTable(NewSchema("a", Col("x", TypeInt))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(NewSchema("A", Col("x", TypeInt))); err == nil {
+		t.Error("case-insensitive duplicate accepted")
+	}
+	if _, ok := db.Table("A"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, err := db.MustTable("zzz"); err == nil {
+		t.Error("missing table not reported")
+	}
+	if err := db.DropTable("a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.TableNames()) != 0 {
+		t.Errorf("names after drop: %v", db.TableNames())
+	}
+}
+
+// Property: a randomized sequence of inserts/updates/deletes agrees
+// with a map-based model.
+func TestTableModelProperty(t *testing.T) {
+	db := NewDatabase()
+	tbl, _ := db.CreateTable(NewSchema("m", Col("k", TypeInt), Col("v", TypeString)))
+	r := rand.New(rand.NewSource(11))
+	model := map[RID]Row{}
+	var liveRIDs []RID
+	for op := 0; op < 3000; op++ {
+		switch {
+		case len(liveRIDs) == 0 || r.Intn(10) < 6:
+			row := Row{Int(r.Int63n(1000)), String_(fmt.Sprintf("v%d", op))}
+			rid := mustInsert(t, tbl, row)
+			model[rid] = row
+			liveRIDs = append(liveRIDs, rid)
+		case r.Intn(2) == 0:
+			i := r.Intn(len(liveRIDs))
+			rid := liveRIDs[i]
+			row := Row{Int(r.Int63n(1000)), String_(fmt.Sprintf("u%d", op))}
+			if err := tbl.Update(rid, row); err != nil {
+				t.Fatal(err)
+			}
+			model[rid] = row
+		default:
+			i := r.Intn(len(liveRIDs))
+			rid := liveRIDs[i]
+			if err := tbl.Delete(rid); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, rid)
+			liveRIDs = append(liveRIDs[:i], liveRIDs[i+1:]...)
+		}
+		if r.Intn(50) == 0 {
+			tbl.Flush()
+		}
+	}
+	if tbl.LiveRows() != len(model) {
+		t.Fatalf("LiveRows %d vs model %d", tbl.LiveRows(), len(model))
+	}
+	seen := map[RID]bool{}
+	err := tbl.Scan(nil, func(rid RID, row Row) bool {
+		want, ok := model[rid]
+		if !ok {
+			t.Fatalf("scan returned unexpected rid %v", rid)
+		}
+		for c := range want {
+			if Compare(want[c], row[c]) != 0 {
+				t.Fatalf("rid %v col %d: %v vs %v", rid, c, row[c], want[c])
+			}
+		}
+		seen[rid] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(model) {
+		t.Fatalf("scan saw %d of %d rows", len(seen), len(model))
+	}
+}

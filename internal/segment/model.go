@@ -1,0 +1,28 @@
+package segment
+
+// Analytic models from Section 6.2 of the paper.
+
+// StorageBound returns the worst-case ratio Nseg/Nnoseg of tuples
+// stored with segmentation versus without (Equation 3):
+//
+//	Nseg/Nnoseg ≤ 1 / (1 - Umin)
+func StorageBound(umin float64) float64 {
+	return 1 / (1 - umin)
+}
+
+// SegmentLength estimates the length (in time units) of a segment from
+// the update mix (Equation 4):
+//
+//	Tseg = N0(1-Umin) / (Umin·Rupd - (1-Umin)·Rins + Rdel)
+//
+// where N0 is the live-tuple count at segment start and Rins/Rdel/Rupd
+// are per-time-unit rates. A non-positive denominator means the
+// segment never fills (usefulness never drops below Umin) and -1 is
+// returned.
+func SegmentLength(n0 float64, umin, rIns, rDel, rUpd float64) float64 {
+	den := umin*rUpd - (1-umin)*rIns + rDel
+	if den <= 0 {
+		return -1
+	}
+	return n0 * (1 - umin) / den
+}

@@ -1,0 +1,190 @@
+// Package sqlengine implements the SQL subset that ArchIS' translated
+// queries run on: SELECT with joins, WHERE, GROUP BY/HAVING, ORDER BY
+// and LIMIT; INSERT/UPDATE/DELETE with row-level triggers; CREATE
+// TABLE/INDEX; and the SQL/XML publishing functions (XMLELEMENT,
+// XMLATTRIBUTES, XMLAGG, XMLFOREST) that Algorithm 1 of the paper
+// targets, plus the temporal user-defined functions of Section 5.4.
+//
+// The dialect follows the paper's examples: both single- and
+// double-quoted tokens are string literals ("Bob"), `XMLElement(Name
+// "tag", …)` names elements with the NAME keyword, and dates may be
+// written as quoted ISO strings compared directly against DATE columns.
+package sqlengine
+
+import "archis/internal/relstore"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Select   []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// SelectItem is one projection with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool // SELECT * or alias.*
+	Qual  string
+}
+
+// TableRef is one FROM item: a base or virtual table with an alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+// UpdateStmt is UPDATE t SET col = expr, ... [WHERE expr].
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one SET col = expr.
+type Assignment struct {
+	Column string
+	Expr   Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE expr].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// CreateTableStmt is CREATE TABLE t (col TYPE, ...).
+type CreateTableStmt struct {
+	Name    string
+	Columns []relstore.Column
+}
+
+// CreateIndexStmt is CREATE INDEX name ON t (cols).
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	Columns []string
+}
+
+// DropTableStmt is DROP TABLE t.
+type DropTableStmt struct{ Name string }
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+
+// Expr is any scalar expression.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct{ Value relstore.Value }
+
+// ColRef references a column, optionally qualified by a table alias.
+// Resolution to a positional index happens at plan time.
+type ColRef struct {
+	Qual string
+	Name string
+}
+
+// BinaryExpr applies Op ( =, !=, <, <=, >, >=, AND, OR, +, -, *, /, || ).
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// IsNullExpr is `x IS [NOT] NULL`.
+type IsNullExpr struct {
+	X      Expr
+	Negate bool
+}
+
+// InExpr is `x [NOT] IN (e1, e2, ...)`.
+type InExpr struct {
+	X      Expr
+	List   []Expr
+	Negate bool
+}
+
+// BetweenExpr is `x BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+}
+
+// FuncCall invokes a scalar or aggregate function.
+type FuncCall struct {
+	Name string
+	Args []Expr
+	Star bool // COUNT(*)
+}
+
+// XMLElementExpr is XMLELEMENT(NAME tag, [XMLATTRIBUTES(...)], child...).
+type XMLElementExpr struct {
+	Tag      string
+	Attrs    []XMLAttr
+	Children []Expr
+}
+
+// XMLAttr is one `expr AS "name"` inside XMLATTRIBUTES.
+type XMLAttr struct {
+	Expr Expr
+	Name string
+}
+
+// XMLForestExpr is XMLFOREST(expr AS name, ...): one element per arg.
+type XMLForestExpr struct {
+	Items []XMLAttr
+}
+
+// CaseExpr is a searched CASE WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr
+}
+
+// CaseWhen is one WHEN cond THEN result arm.
+type CaseWhen struct {
+	Cond, Result Expr
+}
+
+func (*Literal) expr()        {}
+func (*ColRef) expr()         {}
+func (*BinaryExpr) expr()     {}
+func (*UnaryExpr) expr()      {}
+func (*IsNullExpr) expr()     {}
+func (*InExpr) expr()         {}
+func (*BetweenExpr) expr()    {}
+func (*FuncCall) expr()       {}
+func (*XMLElementExpr) expr() {}
+func (*XMLForestExpr) expr()  {}
+func (*CaseExpr) expr()       {}

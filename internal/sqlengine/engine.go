@@ -1,0 +1,426 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+)
+
+// VirtualTable is a read-only table-valued source; ArchIS registers
+// BlockZIP-compressed attribute tables as virtual tables so translated
+// queries run unchanged against compressed storage.
+type VirtualTable interface {
+	Schema() relstore.Schema
+	// Scan iterates rows; bounds are page/block pruning hints in the
+	// same form as relstore zone bounds (the implementation may ignore
+	// them). fn returns false to stop.
+	Scan(bounds []relstore.ZoneBound, fn func(relstore.Row) bool) error
+}
+
+// ChangeType labels a DML trigger event.
+type ChangeType uint8
+
+const (
+	ChangeInsert ChangeType = iota
+	ChangeUpdate
+	ChangeDelete
+)
+
+func (c ChangeType) String() string {
+	switch c {
+	case ChangeInsert:
+		return "INSERT"
+	case ChangeUpdate:
+		return "UPDATE"
+	default:
+		return "DELETE"
+	}
+}
+
+// TriggerEvent describes one row-level change.
+type TriggerEvent struct {
+	Type  ChangeType
+	Table string
+	Old   relstore.Row // nil for INSERT
+	New   relstore.Row // nil for DELETE
+}
+
+// Trigger is a row-level after-trigger. This is how ArchIS-DB2-style
+// change capture archives current-database updates into H-tables.
+type Trigger func(ev TriggerEvent) error
+
+// Engine executes SQL against a relstore database.
+type Engine struct {
+	DB *relstore.Database
+
+	// Now is the engine clock at day granularity — the value of
+	// CURRENT_DATE and the instantiation of "now" (Section 4.3).
+	Now temporal.Date
+
+	scalarFuncs map[string]ScalarFunc
+	aggFuncs    map[string]AggFunc
+	virtual     map[string]VirtualTable
+	triggers    map[string][]Trigger
+}
+
+// New creates an engine over db with the built-in function library.
+func New(db *relstore.Database) *Engine {
+	en := &Engine{
+		DB:          db,
+		Now:         temporal.FromTime(time.Now()),
+		scalarFuncs: map[string]ScalarFunc{},
+		aggFuncs:    map[string]AggFunc{},
+		virtual:     map[string]VirtualTable{},
+		triggers:    map[string][]Trigger{},
+	}
+	en.registerBuiltins()
+	return en
+}
+
+// RegisterVirtual exposes a virtual table under the given name.
+func (en *Engine) RegisterVirtual(name string, vt VirtualTable) {
+	en.virtual[strings.ToLower(name)] = vt
+}
+
+// UnregisterVirtual removes a virtual table.
+func (en *Engine) UnregisterVirtual(name string) {
+	delete(en.virtual, strings.ToLower(name))
+}
+
+// AddTrigger attaches a row-level after-trigger to a table.
+func (en *Engine) AddTrigger(table string, tr Trigger) {
+	key := strings.ToLower(table)
+	en.triggers[key] = append(en.triggers[key], tr)
+}
+
+// DropTriggers removes all triggers from a table.
+func (en *Engine) DropTriggers(table string) {
+	delete(en.triggers, strings.ToLower(table))
+}
+
+func (en *Engine) fire(ev TriggerEvent) error {
+	for _, tr := range en.triggers[strings.ToLower(ev.Table)] {
+		if err := tr(ev); err != nil {
+			return fmt.Errorf("sql: trigger on %s: %w", ev.Table, err)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of a statement.
+type Result struct {
+	Columns      []string
+	Rows         []relstore.Row
+	RowsAffected int
+}
+
+// Exec parses and executes one SQL statement.
+func (en *Engine) Exec(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return en.ExecStmt(stmt)
+}
+
+// MustExec is Exec for statements that must succeed (setup code).
+func (en *Engine) MustExec(sql string) *Result {
+	res, err := en.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ExecStmt executes a parsed statement.
+func (en *Engine) ExecStmt(stmt Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return en.execSelect(s)
+	case *InsertStmt:
+		return en.execInsert(s)
+	case *UpdateStmt:
+		return en.execUpdate(s)
+	case *DeleteStmt:
+		return en.execDelete(s)
+	case *CreateTableStmt:
+		if _, err := en.DB.CreateTable(relstore.NewSchema(s.Name, s.Columns...)); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *CreateIndexStmt:
+		if _, err := en.DB.CreateIndex(s.Name, s.Table, s.Columns...); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *DropTableStmt:
+		if err := en.DB.DropTable(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+}
+
+// coerce converts v to the column type where a safe conversion exists.
+func coerce(v relstore.Value, t relstore.Type) (relstore.Value, error) {
+	if v.IsNull() || v.Kind == t {
+		return v, nil
+	}
+	switch t {
+	case relstore.TypeDate:
+		d, err := argDate("coerce", v)
+		if err != nil {
+			return relstore.Null, err
+		}
+		return relstore.DateV(d), nil
+	case relstore.TypeInt:
+		n, ok := v.AsInt()
+		if !ok {
+			return relstore.Null, fmt.Errorf("sql: cannot convert %s to INT", v.Kind)
+		}
+		return relstore.Int(n), nil
+	case relstore.TypeFloat:
+		f, ok := v.AsFloat()
+		if !ok {
+			return relstore.Null, fmt.Errorf("sql: cannot convert %s to FLOAT", v.Kind)
+		}
+		return relstore.Float(f), nil
+	case relstore.TypeString:
+		return relstore.String_(v.Text()), nil
+	case relstore.TypeBool:
+		return relstore.Bool(v.AsBool()), nil
+	}
+	return relstore.Null, fmt.Errorf("sql: cannot convert %s to %s", v.Kind, t)
+}
+
+func (en *Engine) execInsert(s *InsertStmt) (*Result, error) {
+	tbl, err := en.DB.MustTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	colPos := make([]int, 0, len(schema.Columns))
+	if len(s.Columns) == 0 {
+		for i := range schema.Columns {
+			colPos = append(colPos, i)
+		}
+	} else {
+		for _, c := range s.Columns {
+			pos := schema.ColumnIndex(c)
+			if pos < 0 {
+				return nil, fmt.Errorf("sql: table %s has no column %s", s.Table, c)
+			}
+			colPos = append(colPos, pos)
+		}
+	}
+	empty := &rowLayout{}
+	n := 0
+	for _, exprs := range s.Rows {
+		if len(exprs) != len(colPos) {
+			return nil, fmt.Errorf("sql: INSERT row has %d values, expected %d", len(exprs), len(colPos))
+		}
+		row := make(relstore.Row, len(schema.Columns))
+		for i := range row {
+			row[i] = relstore.Null
+		}
+		for i, e := range exprs {
+			fn, err := en.compileExpr(e, empty)
+			if err != nil {
+				return nil, err
+			}
+			v, err := fn(nil)
+			if err != nil {
+				return nil, err
+			}
+			if row[colPos[i]], err = coerce(v, schema.Columns[colPos[i]].Type); err != nil {
+				return nil, err
+			}
+		}
+		if err := en.InsertRow(s.Table, row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+// InsertRow inserts a pre-built row and fires triggers.
+func (en *Engine) InsertRow(table string, row relstore.Row) error {
+	tbl, err := en.DB.MustTable(table)
+	if err != nil {
+		return err
+	}
+	if _, err := tbl.Insert(row); err != nil {
+		return err
+	}
+	return en.fire(TriggerEvent{Type: ChangeInsert, Table: tbl.Name(), New: row})
+}
+
+func (en *Engine) execUpdate(s *UpdateStmt) (*Result, error) {
+	tbl, err := en.DB.MustTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	layout := layoutFor(s.Table, tbl.Schema())
+	var where evalFunc
+	if s.Where != nil {
+		if where, err = en.compileExpr(s.Where, layout); err != nil {
+			return nil, err
+		}
+	}
+	type setOp struct {
+		pos int
+		fn  evalFunc
+	}
+	sets := make([]setOp, len(s.Set))
+	for i, a := range s.Set {
+		pos := tbl.Schema().ColumnIndex(a.Column)
+		if pos < 0 {
+			return nil, fmt.Errorf("sql: table %s has no column %s", s.Table, a.Column)
+		}
+		fn, err := en.compileExpr(a.Expr, layout)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = setOp{pos: pos, fn: fn}
+	}
+	// Materialize targets first: mutating while scanning would skew
+	// the scan.
+	targets, err := en.findTargets(tbl, s.Table, s.Where, where)
+	if err != nil {
+		return nil, err
+	}
+	for _, tg := range targets {
+		newRow := tg.old.Clone()
+		for _, op := range sets {
+			v, err := op.fn(tg.old)
+			if err != nil {
+				return nil, err
+			}
+			if newRow[op.pos], err = coerce(v, tbl.Schema().Columns[op.pos].Type); err != nil {
+				return nil, err
+			}
+		}
+		if err := tbl.Update(tg.rid, newRow); err != nil {
+			return nil, err
+		}
+		if err := en.fire(TriggerEvent{Type: ChangeUpdate, Table: tbl.Name(), Old: tg.old, New: newRow}); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{RowsAffected: len(targets)}, nil
+}
+
+func (en *Engine) execDelete(s *DeleteStmt) (*Result, error) {
+	tbl, err := en.DB.MustTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	var where evalFunc
+	if s.Where != nil {
+		if where, err = en.compileExpr(s.Where, layoutFor(s.Table, tbl.Schema())); err != nil {
+			return nil, err
+		}
+	}
+	targets, err := en.findTargets(tbl, s.Table, s.Where, where)
+	if err != nil {
+		return nil, err
+	}
+	for _, tg := range targets {
+		if err := tbl.Delete(tg.rid); err != nil {
+			return nil, err
+		}
+		if err := en.fire(TriggerEvent{Type: ChangeDelete, Table: tbl.Name(), Old: tg.old}); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{RowsAffected: len(targets)}, nil
+}
+
+// dmlTarget is one row selected for UPDATE/DELETE.
+type dmlTarget struct {
+	rid relstore.RID
+	old relstore.Row
+}
+
+// findTargets locates the rows matching a DML WHERE clause, using an
+// index-equality fast path and zone-map pruning when possible so
+// point updates don't scan the whole table.
+func (en *Engine) findTargets(tbl *relstore.Table, alias string, whereExpr Expr, compiled evalFunc) ([]dmlTarget, error) {
+	var targets []dmlTarget
+	emit := func(rid relstore.RID, row relstore.Row) (bool, error) {
+		if compiled != nil {
+			v, err := compiled(row)
+			if err != nil {
+				return false, err
+			}
+			if !v.AsBool() {
+				return true, nil
+			}
+		}
+		targets = append(targets, dmlTarget{rid, row.Clone()})
+		return true, nil
+	}
+
+	src := &source{alias: alias, schema: tbl.Schema(), base: tbl}
+	var bounds []relstore.ZoneBound
+	if whereExpr != nil {
+		for _, c := range splitAnd(whereExpr, nil) {
+			col, op, v, ok := en.colConstConjunct(c, src, []*source{src})
+			if !ok {
+				continue
+			}
+			ct := tbl.Schema().Columns[col].Type
+			zv, err := coerce(v, ct)
+			if err != nil {
+				continue
+			}
+			if (ct == relstore.TypeInt || ct == relstore.TypeDate) &&
+				(zv.Kind == relstore.TypeInt || zv.Kind == relstore.TypeDate) {
+				bounds = append(bounds, relstore.ZoneBound{Col: col, Op: op, Bound: zv.I})
+			}
+			if op == "=" {
+				if ix := tbl.IndexOn(col); ix != nil {
+					for _, rid := range ix.Lookup([]relstore.Value{zv}) {
+						row, live, err := tbl.Get(rid)
+						if err != nil {
+							return nil, err
+						}
+						if !live {
+							continue
+						}
+						if _, err := emit(rid, row); err != nil {
+							return nil, err
+						}
+					}
+					return targets, nil
+				}
+			}
+		}
+	}
+	var scanErr error
+	err := tbl.Scan(bounds, func(rid relstore.RID, row relstore.Row) bool {
+		cont, err := emit(rid, row)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return cont
+	})
+	if err == nil {
+		err = scanErr
+	}
+	return targets, err
+}
+
+func layoutFor(alias string, s relstore.Schema) *rowLayout {
+	l := &rowLayout{cols: make([]colBinding, len(s.Columns))}
+	for i, c := range s.Columns {
+		l.cols[i] = colBinding{qual: alias, name: c.Name, typ: c.Type}
+	}
+	return l
+}

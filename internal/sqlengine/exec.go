@@ -1,0 +1,1086 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+)
+
+// indexJoinThreshold: below this many outer rows, an index
+// nested-loop join beats building a hash table over the (possibly
+// huge) inner table — the Q1/Q3 "single object" shape.
+const indexJoinThreshold = 4096
+
+// source abstracts base and virtual tables for scanning.
+type source struct {
+	alias   string
+	schema  relstore.Schema
+	base    *relstore.Table // nil for virtual
+	virtual VirtualTable
+}
+
+func (s *source) scan(bounds []relstore.ZoneBound, fn func(relstore.Row) bool) error {
+	if s.base != nil {
+		return s.base.Scan(bounds, func(_ relstore.RID, row relstore.Row) bool { return fn(row) })
+	}
+	return s.virtual.Scan(bounds, fn)
+}
+
+func (en *Engine) resolveSource(ref TableRef) (*source, error) {
+	if vt, ok := en.virtual[strings.ToLower(ref.Table)]; ok {
+		return &source{alias: ref.Alias, schema: vt.Schema(), virtual: vt}, nil
+	}
+	tbl, err := en.DB.MustTable(ref.Table)
+	if err != nil {
+		return nil, err
+	}
+	return &source{alias: ref.Alias, schema: tbl.Schema(), base: tbl}, nil
+}
+
+// splitAnd flattens a conjunction into its conjuncts.
+func splitAnd(e Expr, out []Expr) []Expr {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		out = splitAnd(b.L, out)
+		return splitAnd(b.R, out)
+	}
+	return append(out, e)
+}
+
+// exprAliases collects the table aliases referenced by an expression,
+// resolving unqualified column names against the candidate sources.
+func exprAliases(e Expr, sources []*source, out map[string]bool) error {
+	switch x := e.(type) {
+	case nil, *Literal:
+	case *ColRef:
+		if x.Qual != "" {
+			out[strings.ToLower(x.Qual)] = true
+			return nil
+		}
+		matches := 0
+		var owner string
+		for _, s := range sources {
+			if s.schema.ColumnIndex(x.Name) >= 0 {
+				matches++
+				owner = s.alias
+			}
+		}
+		if matches > 1 {
+			return fmt.Errorf("sql: ambiguous column %s", x.Name)
+		}
+		if matches == 1 {
+			out[strings.ToLower(owner)] = true
+		}
+	case *BinaryExpr:
+		if err := exprAliases(x.L, sources, out); err != nil {
+			return err
+		}
+		return exprAliases(x.R, sources, out)
+	case *UnaryExpr:
+		return exprAliases(x.X, sources, out)
+	case *IsNullExpr:
+		return exprAliases(x.X, sources, out)
+	case *InExpr:
+		if err := exprAliases(x.X, sources, out); err != nil {
+			return err
+		}
+		for _, it := range x.List {
+			if err := exprAliases(it, sources, out); err != nil {
+				return err
+			}
+		}
+	case *BetweenExpr:
+		for _, sub := range []Expr{x.X, x.Lo, x.Hi} {
+			if err := exprAliases(sub, sources, out); err != nil {
+				return err
+			}
+		}
+	case *FuncCall:
+		for _, a := range x.Args {
+			if err := exprAliases(a, sources, out); err != nil {
+				return err
+			}
+		}
+	case *XMLElementExpr:
+		for _, a := range x.Attrs {
+			if err := exprAliases(a.Expr, sources, out); err != nil {
+				return err
+			}
+		}
+		for _, c := range x.Children {
+			if err := exprAliases(c, sources, out); err != nil {
+				return err
+			}
+		}
+	case *XMLForestExpr:
+		for _, a := range x.Items {
+			if err := exprAliases(a.Expr, sources, out); err != nil {
+				return err
+			}
+		}
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			if err := exprAliases(w.Cond, sources, out); err != nil {
+				return err
+			}
+			if err := exprAliases(w.Result, sources, out); err != nil {
+				return err
+			}
+		}
+		if x.Else != nil {
+			return exprAliases(x.Else, sources, out)
+		}
+	}
+	return nil
+}
+
+// constValue evaluates an expression with no column references.
+func (en *Engine) constValue(e Expr) (relstore.Value, bool) {
+	fn, err := en.compileExpr(e, &rowLayout{})
+	if err != nil {
+		return relstore.Null, false
+	}
+	v, err := fn(nil)
+	if err != nil {
+		return relstore.Null, false
+	}
+	return v, true
+}
+
+// colConstConjunct recognizes `col op const` (or reversed) against one
+// source, returning the column position, normalized op and value.
+func (en *Engine) colConstConjunct(e Expr, s *source, sources []*source) (col int, op string, v relstore.Value, ok bool) {
+	b, isBin := e.(*BinaryExpr)
+	if !isBin {
+		return 0, "", relstore.Null, false
+	}
+	switch b.Op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return 0, "", relstore.Null, false
+	}
+	try := func(colSide, constSide Expr, op string) (int, string, relstore.Value, bool) {
+		ref, isRef := colSide.(*ColRef)
+		if !isRef {
+			return 0, "", relstore.Null, false
+		}
+		if ref.Qual != "" && !strings.EqualFold(ref.Qual, s.alias) {
+			return 0, "", relstore.Null, false
+		}
+		if ref.Qual == "" {
+			// Must resolve uniquely to this source.
+			owners := map[string]bool{}
+			if err := exprAliases(ref, sources, owners); err != nil || len(owners) != 1 || !owners[strings.ToLower(s.alias)] {
+				return 0, "", relstore.Null, false
+			}
+		}
+		pos := s.schema.ColumnIndex(ref.Name)
+		if pos < 0 {
+			return 0, "", relstore.Null, false
+		}
+		aliasSet := map[string]bool{}
+		if err := exprAliases(constSide, sources, aliasSet); err != nil || len(aliasSet) > 0 {
+			return 0, "", relstore.Null, false
+		}
+		cv, okc := en.constValue(constSide)
+		if !okc || cv.IsNull() {
+			return 0, "", relstore.Null, false
+		}
+		return pos, op, cv, true
+	}
+	if c, o, cv, okc := try(b.L, b.R, b.Op); okc {
+		return c, o, cv, true
+	}
+	flip := map[string]string{"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+	if c, o, cv, okc := try(b.R, b.L, flip[b.Op]); okc {
+		return c, o, cv, true
+	}
+	return 0, "", relstore.Null, false
+}
+
+// scanOne executes the single-table part of the plan: index selection,
+// zone-bound pushdown, residual filtering.
+func (en *Engine) scanOne(s *source, conjuncts []Expr, sources []*source) ([]relstore.Row, error) {
+	layout := layoutFor(s.alias, s.schema)
+
+	var bounds []relstore.ZoneBound
+	var eqCol = -1
+	var eqVal relstore.Value
+	var eqIndex *relstore.Index
+	for _, c := range conjuncts {
+		col, op, v, ok := en.colConstConjunct(c, s, sources)
+		if !ok {
+			continue
+		}
+		// Zone bound for INT/DATE columns.
+		ct := s.schema.Columns[col].Type
+		zv := v
+		if ct == relstore.TypeDate && v.Kind == relstore.TypeString {
+			if d, err := temporal.ParseDate(strings.TrimSpace(v.S)); err == nil {
+				zv = relstore.DateV(d)
+			}
+		}
+		if (ct == relstore.TypeInt || ct == relstore.TypeDate) &&
+			(zv.Kind == relstore.TypeInt || zv.Kind == relstore.TypeDate) {
+			bounds = append(bounds, relstore.ZoneBound{Col: col, Op: op, Bound: zv.I})
+		}
+		// Index equality candidate.
+		if op == "=" && s.base != nil && eqIndex == nil {
+			if ix := s.base.IndexOn(col); ix != nil {
+				cv, err := coerce(zv, ct)
+				if err == nil {
+					eqCol, eqVal, eqIndex = col, cv, ix
+				}
+			}
+		}
+	}
+
+	// Compile the full residual predicate (reapplying pushed bounds is
+	// harmless and keeps correctness independent of pruning).
+	var filter evalFunc
+	if len(conjuncts) > 0 {
+		var pred Expr = conjuncts[0]
+		for _, c := range conjuncts[1:] {
+			pred = &BinaryExpr{Op: "AND", L: pred, R: c}
+		}
+		var err error
+		if filter, err = en.compileExpr(pred, layout); err != nil {
+			return nil, err
+		}
+	}
+
+	var out []relstore.Row
+	emit := func(row relstore.Row) (bool, error) {
+		if filter != nil {
+			v, err := filter(row)
+			if err != nil {
+				return false, err
+			}
+			if !v.AsBool() {
+				return true, nil
+			}
+		}
+		out = append(out, row)
+		return true, nil
+	}
+
+	if eqIndex != nil {
+		_ = eqCol
+		for _, rid := range eqIndex.Lookup([]relstore.Value{eqVal}) {
+			row, live, err := s.base.Get(rid)
+			if err != nil {
+				return nil, err
+			}
+			if !live {
+				continue
+			}
+			if _, err := emit(row); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	var scanErr error
+	err := s.scan(bounds, func(row relstore.Row) bool {
+		cont, err := emit(row)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return cont
+	})
+	if err == nil {
+		err = scanErr
+	}
+	return out, err
+}
+
+// equiJoinCond recognizes `a.x = b.y` between a bound alias set and a
+// new alias.
+type equiJoin struct {
+	boundPos int // column position in the joined layout
+	newPos   int // column position in the new source's schema
+}
+
+func (en *Engine) equiJoinConds(conjuncts []Expr, joined *rowLayout, joinedAliases map[string]bool, s *source, sources []*source) ([]equiJoin, []Expr) {
+	var joins []equiJoin
+	var rest []Expr
+	for _, c := range conjuncts {
+		b, ok := c.(*BinaryExpr)
+		if !ok || b.Op != "=" {
+			rest = append(rest, c)
+			continue
+		}
+		lref, lok := b.L.(*ColRef)
+		rref, rok := b.R.(*ColRef)
+		if !lok || !rok {
+			rest = append(rest, c)
+			continue
+		}
+		side := func(ref *ColRef) (onNew bool, onBound bool) {
+			if ref.Qual != "" {
+				q := strings.ToLower(ref.Qual)
+				return q == strings.ToLower(s.alias), joinedAliases[q]
+			}
+			owners := map[string]bool{}
+			if err := exprAliases(ref, sources, owners); err != nil || len(owners) != 1 {
+				return false, false
+			}
+			for o := range owners {
+				return o == strings.ToLower(s.alias), joinedAliases[o]
+			}
+			return false, false
+		}
+		lNew, lBound := side(lref)
+		rNew, rBound := side(rref)
+		var newRef, boundRef *ColRef
+		switch {
+		case lNew && rBound:
+			newRef, boundRef = lref, rref
+		case rNew && lBound:
+			newRef, boundRef = rref, lref
+		default:
+			rest = append(rest, c)
+			continue
+		}
+		np := s.schema.ColumnIndex(newRef.Name)
+		bp, err := joined.resolve(boundRef.Qual, boundRef.Name)
+		if np < 0 || err != nil {
+			rest = append(rest, c)
+			continue
+		}
+		joins = append(joins, equiJoin{boundPos: bp, newPos: np})
+	}
+	return joins, rest
+}
+
+func joinKey(vals []relstore.Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		sb.WriteByte(byte(v.Kind))
+		sb.WriteString(v.Text())
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("sql: SELECT requires FROM")
+	}
+	sources := make([]*source, len(stmt.From))
+	seen := map[string]bool{}
+	for i, ref := range stmt.From {
+		s, err := en.resolveSource(ref)
+		if err != nil {
+			return nil, err
+		}
+		key := strings.ToLower(ref.Alias)
+		if seen[key] {
+			return nil, fmt.Errorf("sql: duplicate alias %s", ref.Alias)
+		}
+		seen[key] = true
+		sources[i] = s
+	}
+
+	var conjuncts []Expr
+	if stmt.Where != nil {
+		conjuncts = splitAnd(stmt.Where, nil)
+	}
+
+	// Partition conjuncts by the aliases they touch.
+	perAlias := map[string][]Expr{}
+	var multi []Expr
+	for _, c := range conjuncts {
+		aliases := map[string]bool{}
+		if err := exprAliases(c, sources, aliases); err != nil {
+			return nil, err
+		}
+		switch len(aliases) {
+		case 0, 1:
+			target := ""
+			for a := range aliases {
+				target = a
+			}
+			if target == "" {
+				multi = append(multi, c) // constant predicate; apply at end
+			} else {
+				perAlias[target] = append(perAlias[target], c)
+			}
+		default:
+			multi = append(multi, c)
+		}
+	}
+
+	// Scan the first source, then fold in the rest.
+	first := sources[0]
+	rows, err := en.scanOne(first, perAlias[strings.ToLower(first.alias)], sources)
+	if err != nil {
+		return nil, err
+	}
+	layout := layoutFor(first.alias, first.schema)
+	joinedAliases := map[string]bool{strings.ToLower(first.alias): true}
+	pendingMulti := multi
+
+	for _, s := range sources[1:] {
+		joins, rest := en.equiJoinConds(pendingMulti, layout, joinedAliases, s, sources)
+		pendingMulti = rest
+		newLayout := layout.concat(layoutFor(s.alias, s.schema))
+
+		singles := perAlias[strings.ToLower(s.alias)]
+		switch {
+		case len(joins) > 0 && s.base != nil && len(rows) <= indexJoinThreshold && s.base.IndexOn(joins[0].newPos) != nil:
+			// Index nested-loop join on the first equi key; remaining
+			// keys and single-table predicates filter after the probe.
+			rows, err = en.indexJoin(rows, s, joins, singles, sources, newLayout)
+		case len(joins) > 0:
+			rows, err = en.hashJoin(rows, s, joins, singles, sources)
+		default:
+			rows, err = en.nestedLoopJoin(rows, s, singles, sources)
+		}
+		if err != nil {
+			return nil, err
+		}
+		layout = newLayout
+		joinedAliases[strings.ToLower(s.alias)] = true
+	}
+
+	// Residual predicates.
+	if len(pendingMulti) > 0 {
+		var pred Expr = pendingMulti[0]
+		for _, c := range pendingMulti[1:] {
+			pred = &BinaryExpr{Op: "AND", L: pred, R: c}
+		}
+		fn, err := en.compileExpr(pred, layout)
+		if err != nil {
+			return nil, err
+		}
+		kept := rows[:0]
+		for _, r := range rows {
+			v, err := fn(r)
+			if err != nil {
+				return nil, err
+			}
+			if v.AsBool() {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	return en.project(stmt, rows, layout, sources)
+}
+
+func (en *Engine) hashJoin(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source) ([]relstore.Row, error) {
+	inner, err := en.scanOne(s, singles, sources)
+	if err != nil {
+		return nil, err
+	}
+	table := make(map[string][]relstore.Row, len(inner))
+	for _, r := range inner {
+		key := make([]relstore.Value, len(joins))
+		for i, j := range joins {
+			key[i] = r[j.newPos]
+		}
+		k := joinKey(key)
+		table[k] = append(table[k], r)
+	}
+	var out []relstore.Row
+	for _, o := range outer {
+		key := make([]relstore.Value, len(joins))
+		null := false
+		for i, j := range joins {
+			key[i] = o[j.boundPos]
+			if key[i].IsNull() {
+				null = true
+			}
+		}
+		if null {
+			continue
+		}
+		for _, m := range table[joinKey(key)] {
+			combined := make(relstore.Row, 0, len(o)+len(m))
+			combined = append(combined, o...)
+			combined = append(combined, m...)
+			out = append(out, combined)
+		}
+	}
+	return out, nil
+}
+
+func (en *Engine) indexJoin(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source, newLayout *rowLayout) ([]relstore.Row, error) {
+	ix := s.base.IndexOn(joins[0].newPos)
+	// Compile the inner-side residual (single-table predicates).
+	var filter evalFunc
+	if len(singles) > 0 {
+		var pred Expr = singles[0]
+		for _, c := range singles[1:] {
+			pred = &BinaryExpr{Op: "AND", L: pred, R: c}
+		}
+		var err error
+		if filter, err = en.compileExpr(pred, layoutFor(s.alias, s.schema)); err != nil {
+			return nil, err
+		}
+	}
+	var out []relstore.Row
+	for _, o := range outer {
+		probe := o[joins[0].boundPos]
+		if probe.IsNull() {
+			continue
+		}
+		pv, err := coerce(probe, s.schema.Columns[joins[0].newPos].Type)
+		if err != nil {
+			continue
+		}
+		for _, rid := range ix.Lookup([]relstore.Value{pv}) {
+			row, live, err := s.base.Get(rid)
+			if err != nil {
+				return nil, err
+			}
+			if !live {
+				continue
+			}
+			match := true
+			for _, j := range joins[1:] {
+				if compareValues(o[j.boundPos], row[j.newPos]) != 0 || row[j.newPos].IsNull() {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			if filter != nil {
+				v, err := filter(row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.AsBool() {
+					continue
+				}
+			}
+			combined := make(relstore.Row, 0, len(o)+len(row))
+			combined = append(combined, o...)
+			combined = append(combined, row...)
+			out = append(out, combined)
+		}
+	}
+	return out, nil
+}
+
+func (en *Engine) nestedLoopJoin(outer []relstore.Row, s *source, singles []Expr, sources []*source) ([]relstore.Row, error) {
+	inner, err := en.scanOne(s, singles, sources)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]relstore.Row, 0, len(outer)*len(inner))
+	for _, o := range outer {
+		for _, m := range inner {
+			combined := make(relstore.Row, 0, len(o)+len(m))
+			combined = append(combined, o...)
+			combined = append(combined, m...)
+			out = append(out, combined)
+		}
+	}
+	return out, nil
+}
+
+// ---- projection, grouping, ordering ----
+
+// hasAggregate walks an expression for aggregate calls.
+func (en *Engine) hasAggregate(e Expr) bool {
+	found := false
+	walkExpr(e, func(sub Expr) {
+		if fc, ok := sub.(*FuncCall); ok {
+			if _, isAgg := en.aggFuncs[fc.Name]; isAgg {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func walkExpr(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch x := e.(type) {
+	case *BinaryExpr:
+		walkExpr(x.L, visit)
+		walkExpr(x.R, visit)
+	case *UnaryExpr:
+		walkExpr(x.X, visit)
+	case *IsNullExpr:
+		walkExpr(x.X, visit)
+	case *InExpr:
+		walkExpr(x.X, visit)
+		for _, it := range x.List {
+			walkExpr(it, visit)
+		}
+	case *BetweenExpr:
+		walkExpr(x.X, visit)
+		walkExpr(x.Lo, visit)
+		walkExpr(x.Hi, visit)
+	case *FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, visit)
+		}
+	case *XMLElementExpr:
+		for _, a := range x.Attrs {
+			walkExpr(a.Expr, visit)
+		}
+		for _, c := range x.Children {
+			walkExpr(c, visit)
+		}
+	case *XMLForestExpr:
+		for _, a := range x.Items {
+			walkExpr(a.Expr, visit)
+		}
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			walkExpr(w.Cond, visit)
+			walkExpr(w.Result, visit)
+		}
+		walkExpr(x.Else, visit)
+	}
+}
+
+func (en *Engine) project(stmt *SelectStmt, rows []relstore.Row, layout *rowLayout, sources []*source) (*Result, error) {
+	grouped := len(stmt.GroupBy) > 0
+	if !grouped {
+		for _, it := range stmt.Select {
+			if it.Expr != nil && en.hasAggregate(it.Expr) {
+				grouped = true
+				break
+			}
+		}
+		if stmt.Having != nil && en.hasAggregate(stmt.Having) {
+			grouped = true
+		}
+	}
+	if grouped {
+		return en.projectGrouped(stmt, rows, layout)
+	}
+
+	// Expand stars.
+	var cols []string
+	var evals []evalFunc
+	var orderFns []evalFunc
+	for _, it := range stmt.Select {
+		if it.Star {
+			for i, c := range layout.cols {
+				if it.Qual != "" && !strings.EqualFold(c.qual, it.Qual) {
+					continue
+				}
+				pos := i
+				cols = append(cols, c.name)
+				evals = append(evals, func(row relstore.Row) (relstore.Value, error) { return row[pos], nil })
+			}
+			continue
+		}
+		fn, err := en.compileExpr(it.Expr, layout)
+		if err != nil {
+			return nil, err
+		}
+		evals = append(evals, fn)
+		cols = append(cols, selectItemName(it, len(cols)))
+	}
+	for _, o := range stmt.OrderBy {
+		fn, err := en.compileExpr(o.Expr, layout)
+		if err != nil {
+			return nil, err
+		}
+		orderFns = append(orderFns, fn)
+	}
+
+	type outRow struct {
+		vals relstore.Row
+		keys relstore.Row
+	}
+	outs := make([]outRow, 0, len(rows))
+	for _, r := range rows {
+		vals := make(relstore.Row, len(evals))
+		for i, fn := range evals {
+			v, err := fn(r)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		keys := make(relstore.Row, len(orderFns))
+		for i, fn := range orderFns {
+			v, err := fn(r)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		outs = append(outs, outRow{vals, keys})
+	}
+	if stmt.Distinct {
+		seen := map[string]bool{}
+		kept := outs[:0]
+		for _, o := range outs {
+			k := joinKey(o.vals)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, o)
+		}
+		outs = kept
+	}
+	if len(stmt.OrderBy) > 0 {
+		sort.SliceStable(outs, func(i, j int) bool {
+			for k, o := range stmt.OrderBy {
+				c := compareValues(outs[i].keys[k], outs[j].keys[k])
+				if c != 0 {
+					if o.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	res := &Result{Columns: cols}
+	for _, o := range outs {
+		res.Rows = append(res.Rows, o.vals)
+		if stmt.Limit >= 0 && len(res.Rows) >= stmt.Limit {
+			break
+		}
+	}
+	return res, nil
+}
+
+func selectItemName(it SelectItem, ordinal int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if ref, ok := it.Expr.(*ColRef); ok {
+		return ref.Name
+	}
+	if el, ok := it.Expr.(*XMLElementExpr); ok {
+		return el.Tag
+	}
+	if fc, ok := it.Expr.(*FuncCall); ok {
+		return strings.ToLower(fc.Name)
+	}
+	return fmt.Sprintf("col%d", ordinal+1)
+}
+
+// aggBinding couples one aggregate call with its compiled argument
+// evaluators and a slot in the group layout.
+type aggBinding struct {
+	call *FuncCall
+	args []evalFunc
+	mk   AggFunc
+	slot int
+}
+
+func (en *Engine) projectGrouped(stmt *SelectStmt, rows []relstore.Row, layout *rowLayout) (*Result, error) {
+	// Collect aggregate calls from SELECT, HAVING and ORDER BY.
+	var aggs []aggBinding
+	aggSlot := map[*FuncCall]int{}
+	collect := func(e Expr) error {
+		var walkErr error
+		walkExpr(e, func(sub Expr) {
+			fc, ok := sub.(*FuncCall)
+			if !ok {
+				return
+			}
+			mk, isAgg := en.aggFuncs[fc.Name]
+			if !isAgg {
+				return
+			}
+			if _, done := aggSlot[fc]; done {
+				return
+			}
+			args := make([]evalFunc, len(fc.Args))
+			for i, a := range fc.Args {
+				fn, err := en.compileExpr(a, layout)
+				if err != nil {
+					walkErr = err
+					return
+				}
+				args[i] = fn
+			}
+			slot := len(stmt.GroupBy) + len(aggs)
+			aggSlot[fc] = slot
+			aggs = append(aggs, aggBinding{call: fc, args: args, mk: mk, slot: slot})
+		})
+		return walkErr
+	}
+	for _, it := range stmt.Select {
+		if it.Star {
+			return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregates")
+		}
+		if err := collect(it.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Having != nil {
+		if err := collect(stmt.Having); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range stmt.OrderBy {
+		if err := collect(o.Expr); err != nil {
+			return nil, err
+		}
+	}
+
+	// Compile group keys.
+	keyFns := make([]evalFunc, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		fn, err := en.compileExpr(g, layout)
+		if err != nil {
+			return nil, err
+		}
+		keyFns[i] = fn
+	}
+
+	// Group layout: key columns (named when they are plain ColRefs)
+	// followed by aggregate slots.
+	groupLayout := &rowLayout{}
+	for i, g := range stmt.GroupBy {
+		if ref, ok := g.(*ColRef); ok {
+			groupLayout.cols = append(groupLayout.cols, colBinding{qual: ref.Qual, name: ref.Name})
+		} else {
+			groupLayout.cols = append(groupLayout.cols, colBinding{name: fmt.Sprintf("#g%d", i)})
+		}
+	}
+	for i := range aggs {
+		groupLayout.cols = append(groupLayout.cols, colBinding{name: fmt.Sprintf("#agg%d", i)})
+	}
+
+	// Accumulate groups (insertion-ordered).
+	type group struct {
+		keys   relstore.Row
+		states []AggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, r := range rows {
+		keys := make(relstore.Row, len(keyFns))
+		for i, fn := range keyFns {
+			v, err := fn(r)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		k := joinKey(keys)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{keys: keys, states: make([]AggState, len(aggs))}
+			for i, ab := range aggs {
+				g.states[i] = ab.mk()
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, ab := range aggs {
+			if ab.call.Star {
+				if err := g.states[i].Add(nil); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			argv := make([]relstore.Value, len(ab.args))
+			for j, fn := range ab.args {
+				v, err := fn(r)
+				if err != nil {
+					return nil, err
+				}
+				argv[j] = v
+			}
+			if err := g.states[i].Add(argv); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Aggregate query with no GROUP BY over zero rows still yields one
+	// group (COUNT(*) = 0).
+	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
+		g := &group{states: make([]AggState, len(aggs))}
+		for i, ab := range aggs {
+			g.states[i] = ab.mk()
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	// Rewrite output expressions against the group layout.
+	rewrite := func(e Expr) Expr { return rewriteAggs(e, aggSlot, stmt.GroupBy, groupLayout) }
+
+	var evals []evalFunc
+	var cols []string
+	for _, it := range stmt.Select {
+		fn, err := en.compileExpr(rewrite(it.Expr), groupLayout)
+		if err != nil {
+			return nil, err
+		}
+		evals = append(evals, fn)
+		cols = append(cols, selectItemName(it, len(cols)))
+	}
+	var havingFn evalFunc
+	if stmt.Having != nil {
+		var err error
+		if havingFn, err = en.compileExpr(rewrite(stmt.Having), groupLayout); err != nil {
+			return nil, err
+		}
+	}
+	orderFns := make([]evalFunc, len(stmt.OrderBy))
+	for i, o := range stmt.OrderBy {
+		fn, err := en.compileExpr(rewrite(o.Expr), groupLayout)
+		if err != nil {
+			return nil, err
+		}
+		orderFns[i] = fn
+	}
+
+	type outRow struct {
+		vals relstore.Row
+		keys relstore.Row
+	}
+	var outs []outRow
+	for _, k := range order {
+		g := groups[k]
+		groupRow := make(relstore.Row, len(groupLayout.cols))
+		copy(groupRow, g.keys)
+		for i, st := range g.states {
+			groupRow[len(stmt.GroupBy)+i] = st.Result()
+		}
+		if havingFn != nil {
+			v, err := havingFn(groupRow)
+			if err != nil {
+				return nil, err
+			}
+			if !v.AsBool() {
+				continue
+			}
+		}
+		vals := make(relstore.Row, len(evals))
+		for i, fn := range evals {
+			v, err := fn(groupRow)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		keys := make(relstore.Row, len(orderFns))
+		for i, fn := range orderFns {
+			v, err := fn(groupRow)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		outs = append(outs, outRow{vals, keys})
+	}
+	if len(stmt.OrderBy) > 0 {
+		sort.SliceStable(outs, func(i, j int) bool {
+			for k, o := range stmt.OrderBy {
+				c := compareValues(outs[i].keys[k], outs[j].keys[k])
+				if c != 0 {
+					if o.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	res := &Result{Columns: cols}
+	for _, o := range outs {
+		res.Rows = append(res.Rows, o.vals)
+		if stmt.Limit >= 0 && len(res.Rows) >= stmt.Limit {
+			break
+		}
+	}
+	return res, nil
+}
+
+// rewriteAggs replaces aggregate calls with references to their slots
+// and group-by expressions with references to their key columns.
+func rewriteAggs(e Expr, aggSlot map[*FuncCall]int, groupBy []Expr, groupLayout *rowLayout) Expr {
+	if e == nil {
+		return nil
+	}
+	if fc, ok := e.(*FuncCall); ok {
+		if slot, isAgg := aggSlot[fc]; isAgg {
+			return &ColRef{Name: groupLayout.cols[slot].name, Qual: groupLayout.cols[slot].qual}
+		}
+	}
+	// Group-by key match (structural for ColRefs).
+	if ref, ok := e.(*ColRef); ok {
+		for i, g := range groupBy {
+			if gref, ok := g.(*ColRef); ok &&
+				strings.EqualFold(gref.Name, ref.Name) &&
+				(ref.Qual == "" || strings.EqualFold(gref.Qual, ref.Qual)) {
+				return &ColRef{Qual: groupLayout.cols[i].qual, Name: groupLayout.cols[i].name}
+			}
+		}
+		return ref
+	}
+	switch x := e.(type) {
+	case *Literal:
+		return x
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op,
+			L: rewriteAggs(x.L, aggSlot, groupBy, groupLayout),
+			R: rewriteAggs(x.R, aggSlot, groupBy, groupLayout)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, X: rewriteAggs(x.X, aggSlot, groupBy, groupLayout)}
+	case *IsNullExpr:
+		return &IsNullExpr{X: rewriteAggs(x.X, aggSlot, groupBy, groupLayout), Negate: x.Negate}
+	case *InExpr:
+		out := &InExpr{X: rewriteAggs(x.X, aggSlot, groupBy, groupLayout), Negate: x.Negate}
+		for _, it := range x.List {
+			out.List = append(out.List, rewriteAggs(it, aggSlot, groupBy, groupLayout))
+		}
+		return out
+	case *BetweenExpr:
+		return &BetweenExpr{
+			X:  rewriteAggs(x.X, aggSlot, groupBy, groupLayout),
+			Lo: rewriteAggs(x.Lo, aggSlot, groupBy, groupLayout),
+			Hi: rewriteAggs(x.Hi, aggSlot, groupBy, groupLayout)}
+	case *FuncCall:
+		out := &FuncCall{Name: x.Name, Star: x.Star}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, rewriteAggs(a, aggSlot, groupBy, groupLayout))
+		}
+		return out
+	case *XMLElementExpr:
+		out := &XMLElementExpr{Tag: x.Tag}
+		for _, a := range x.Attrs {
+			out.Attrs = append(out.Attrs, XMLAttr{Expr: rewriteAggs(a.Expr, aggSlot, groupBy, groupLayout), Name: a.Name})
+		}
+		for _, c := range x.Children {
+			out.Children = append(out.Children, rewriteAggs(c, aggSlot, groupBy, groupLayout))
+		}
+		return out
+	case *XMLForestExpr:
+		out := &XMLForestExpr{}
+		for _, a := range x.Items {
+			out.Items = append(out.Items, XMLAttr{Expr: rewriteAggs(a.Expr, aggSlot, groupBy, groupLayout), Name: a.Name})
+		}
+		return out
+	case *CaseExpr:
+		out := &CaseExpr{Else: rewriteAggs(x.Else, aggSlot, groupBy, groupLayout)}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, CaseWhen{
+				Cond:   rewriteAggs(w.Cond, aggSlot, groupBy, groupLayout),
+				Result: rewriteAggs(w.Result, aggSlot, groupBy, groupLayout)})
+		}
+		return out
+	}
+	return e
+}

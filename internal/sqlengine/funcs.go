@@ -1,0 +1,449 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+	"archis/internal/xmltree"
+)
+
+// ScalarFunc is a scalar SQL function. Names are registered uppercase.
+type ScalarFunc func(en *Engine, args []relstore.Value) (relstore.Value, error)
+
+// AggFunc creates fresh accumulator state for one group.
+type AggFunc func() AggState
+
+// AggState accumulates one group's rows for an aggregate call.
+type AggState interface {
+	Add(args []relstore.Value) error
+	Result() relstore.Value
+}
+
+// RegisterScalar adds (or replaces) a scalar function.
+func (en *Engine) RegisterScalar(name string, fn ScalarFunc) {
+	en.scalarFuncs[strings.ToUpper(name)] = fn
+}
+
+// RegisterAggregate adds (or replaces) an aggregate function.
+func (en *Engine) RegisterAggregate(name string, fn AggFunc) {
+	en.aggFuncs[strings.ToUpper(name)] = fn
+}
+
+func wantArgs(name string, args []relstore.Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("sql: %s expects %d arguments, got %d", name, n, len(args))
+	}
+	return nil
+}
+
+func argDate(name string, v relstore.Value) (temporal.Date, error) {
+	switch v.Kind {
+	case relstore.TypeDate:
+		return v.Date(), nil
+	case relstore.TypeString:
+		d, err := temporal.ParseDate(strings.TrimSpace(v.S))
+		if err != nil {
+			return 0, fmt.Errorf("sql: %s: %w", name, err)
+		}
+		return d, nil
+	case relstore.TypeInt:
+		return temporal.Date(v.I), nil
+	}
+	return 0, fmt.Errorf("sql: %s: cannot use %s as date", name, v.Kind)
+}
+
+func argInterval(name string, ts, te relstore.Value) (temporal.Interval, error) {
+	s, err := argDate(name, ts)
+	if err != nil {
+		return temporal.Interval{}, err
+	}
+	e, err := argDate(name, te)
+	if err != nil {
+		return temporal.Interval{}, err
+	}
+	return temporal.NewInterval(s, e)
+}
+
+// intervalPredicate registers a 4-argument (ts1,te1,ts2,te2) temporal
+// predicate — the SQL side of the paper's XQuery interval functions.
+func intervalPredicate(name string, pred func(a, b temporal.Interval) bool) ScalarFunc {
+	return func(_ *Engine, args []relstore.Value) (relstore.Value, error) {
+		if err := wantArgs(name, args, 4); err != nil {
+			return relstore.Null, err
+		}
+		for _, a := range args {
+			if a.IsNull() {
+				return relstore.Null, nil
+			}
+		}
+		a, err := argInterval(name, args[0], args[1])
+		if err != nil {
+			return relstore.Null, err
+		}
+		b, err := argInterval(name, args[2], args[3])
+		if err != nil {
+			return relstore.Null, err
+		}
+		return relstore.Bool(pred(a, b)), nil
+	}
+}
+
+func (en *Engine) registerBuiltins() {
+	// --- general scalar functions ---
+	en.RegisterScalar("UPPER", func(_ *Engine, a []relstore.Value) (relstore.Value, error) {
+		if err := wantArgs("UPPER", a, 1); err != nil {
+			return relstore.Null, err
+		}
+		return relstore.String_(strings.ToUpper(a[0].Text())), nil
+	})
+	en.RegisterScalar("LOWER", func(_ *Engine, a []relstore.Value) (relstore.Value, error) {
+		if err := wantArgs("LOWER", a, 1); err != nil {
+			return relstore.Null, err
+		}
+		return relstore.String_(strings.ToLower(a[0].Text())), nil
+	})
+	en.RegisterScalar("LENGTH", func(_ *Engine, a []relstore.Value) (relstore.Value, error) {
+		if err := wantArgs("LENGTH", a, 1); err != nil {
+			return relstore.Null, err
+		}
+		return relstore.Int(int64(len(a[0].Text()))), nil
+	})
+	en.RegisterScalar("ABS", func(_ *Engine, a []relstore.Value) (relstore.Value, error) {
+		if err := wantArgs("ABS", a, 1); err != nil {
+			return relstore.Null, err
+		}
+		if a[0].Kind == relstore.TypeFloat {
+			f := a[0].F
+			if f < 0 {
+				f = -f
+			}
+			return relstore.Float(f), nil
+		}
+		n, ok := a[0].AsInt()
+		if !ok {
+			return relstore.Null, fmt.Errorf("sql: ABS of non-number")
+		}
+		if n < 0 {
+			n = -n
+		}
+		return relstore.Int(n), nil
+	})
+	en.RegisterScalar("COALESCE", func(_ *Engine, a []relstore.Value) (relstore.Value, error) {
+		for _, v := range a {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return relstore.Null, nil
+	})
+	en.RegisterScalar("CONCAT", func(_ *Engine, a []relstore.Value) (relstore.Value, error) {
+		var sb strings.Builder
+		for _, v := range a {
+			sb.WriteString(v.Text())
+		}
+		return relstore.String_(sb.String()), nil
+	})
+	en.RegisterScalar("DATE", func(_ *Engine, a []relstore.Value) (relstore.Value, error) {
+		if err := wantArgs("DATE", a, 1); err != nil {
+			return relstore.Null, err
+		}
+		d, err := argDate("DATE", a[0])
+		if err != nil {
+			return relstore.Null, err
+		}
+		return relstore.DateV(d), nil
+	})
+	en.RegisterScalar("YEAR", func(_ *Engine, a []relstore.Value) (relstore.Value, error) {
+		if err := wantArgs("YEAR", a, 1); err != nil {
+			return relstore.Null, err
+		}
+		d, err := argDate("YEAR", a[0])
+		if err != nil {
+			return relstore.Null, err
+		}
+		return relstore.Int(int64(d.Year())), nil
+	})
+	en.RegisterScalar("CURRENT_DATE", func(e *Engine, a []relstore.Value) (relstore.Value, error) {
+		if err := wantArgs("CURRENT_DATE", a, 0); err != nil {
+			return relstore.Null, err
+		}
+		return relstore.DateV(e.Now), nil
+	})
+
+	// --- temporal predicates (paper Section 5.4) ---
+	en.RegisterScalar("TOVERLAPS", intervalPredicate("TOVERLAPS", temporal.Interval.Overlaps))
+	en.RegisterScalar("TCONTAINS", intervalPredicate("TCONTAINS", temporal.Interval.ContainsInterval))
+	en.RegisterScalar("TEQUALS", intervalPredicate("TEQUALS", temporal.Interval.Equals))
+	en.RegisterScalar("TMEETS", intervalPredicate("TMEETS", temporal.Interval.Meets))
+	en.RegisterScalar("TPRECEDES", intervalPredicate("TPRECEDES", temporal.Interval.Precedes))
+
+	// OVERLAPINTERVAL(ts1,te1,ts2,te2) returns <interval tstart tend/>
+	// or NULL when disjoint.
+	en.RegisterScalar("OVERLAPINTERVAL", func(_ *Engine, a []relstore.Value) (relstore.Value, error) {
+		if err := wantArgs("OVERLAPINTERVAL", a, 4); err != nil {
+			return relstore.Null, err
+		}
+		x, err := argInterval("OVERLAPINTERVAL", a[0], a[1])
+		if err != nil {
+			return relstore.Null, err
+		}
+		y, err := argInterval("OVERLAPINTERVAL", a[2], a[3])
+		if err != nil {
+			return relstore.Null, err
+		}
+		iv, ok := x.Intersect(y)
+		if !ok {
+			return relstore.Null, nil
+		}
+		el := xmltree.NewElement("interval").
+			SetAttr("tstart", iv.Start.String()).
+			SetAttr("tend", iv.End.String())
+		return relstore.XML(el), nil
+	})
+
+	// TSPAN(ts, te) → days, clamping "now" to the engine clock.
+	en.RegisterScalar("TSPAN", func(e *Engine, a []relstore.Value) (relstore.Value, error) {
+		if err := wantArgs("TSPAN", a, 2); err != nil {
+			return relstore.Null, err
+		}
+		iv, err := argInterval("TSPAN", a[0], a[1])
+		if err != nil {
+			return relstore.Null, err
+		}
+		return relstore.Int(int64(iv.Days(e.Now))), nil
+	})
+
+	// RTEND(te) → te, with the internal end-of-time replaced by
+	// CURRENT_DATE (paper Section 4.3).
+	en.RegisterScalar("RTEND", func(e *Engine, a []relstore.Value) (relstore.Value, error) {
+		if err := wantArgs("RTEND", a, 1); err != nil {
+			return relstore.Null, err
+		}
+		d, err := argDate("RTEND", a[0])
+		if err != nil {
+			return relstore.Null, err
+		}
+		if d.IsForever() {
+			d = e.Now
+		}
+		return relstore.DateV(d), nil
+	})
+
+	// --- standard aggregates ---
+	en.RegisterAggregate("COUNT", func() AggState { return &countState{} })
+	en.RegisterAggregate("SUM", func() AggState { return &sumState{} })
+	en.RegisterAggregate("AVG", func() AggState { return &sumState{avg: true} })
+	en.RegisterAggregate("MIN", func() AggState { return &extremeState{want: -1} })
+	en.RegisterAggregate("MAX", func() AggState { return &extremeState{want: 1} })
+	en.RegisterAggregate("XMLAGG", func() AggState { return &xmlAggState{} })
+	en.RegisterAggregate("COUNT_DISTINCT", func() AggState { return &countDistinctState{seen: map[string]bool{}} })
+
+	// --- temporal aggregates (the paper's OLAP-function mapping) ---
+	en.RegisterAggregate("TAVG", func() AggState { return &temporalAggState{kind: "avg"} })
+	en.RegisterAggregate("TSUM", func() AggState { return &temporalAggState{kind: "sum"} })
+	en.RegisterAggregate("TCOUNT", func() AggState { return &temporalAggState{kind: "count"} })
+	en.RegisterAggregate("TMAXAGG", func() AggState { return &temporalAggState{kind: "max"} })
+	en.RegisterAggregate("TMINAGG", func() AggState { return &temporalAggState{kind: "min"} })
+	en.RegisterAggregate("TRISING", func() AggState { return &risingState{} })
+}
+
+type countState struct{ n int64 }
+
+func (s *countState) Add(args []relstore.Value) error {
+	if len(args) == 0 || !args[0].IsNull() { // COUNT(*) has no args
+		s.n++
+	}
+	return nil
+}
+func (s *countState) Result() relstore.Value { return relstore.Int(s.n) }
+
+// countDistinctState implements COUNT_DISTINCT(expr) — SQL's
+// COUNT(DISTINCT expr) as a named aggregate.
+type countDistinctState struct{ seen map[string]bool }
+
+func (s *countDistinctState) Add(args []relstore.Value) error {
+	if err := wantArgs("COUNT_DISTINCT", args, 1); err != nil {
+		return err
+	}
+	if !args[0].IsNull() {
+		s.seen[args[0].Text()] = true
+	}
+	return nil
+}
+func (s *countDistinctState) Result() relstore.Value { return relstore.Int(int64(len(s.seen))) }
+
+type sumState struct {
+	sum   float64
+	n     int64
+	anyF  bool
+	avg   bool
+	empty bool
+}
+
+func (s *sumState) Add(args []relstore.Value) error {
+	if err := wantArgs("SUM/AVG", args, 1); err != nil {
+		return err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("sql: SUM/AVG of non-number %s", v.Kind)
+	}
+	if v.Kind == relstore.TypeFloat {
+		s.anyF = true
+	}
+	s.sum += f
+	s.n++
+	return nil
+}
+
+func (s *sumState) Result() relstore.Value {
+	if s.n == 0 {
+		return relstore.Null
+	}
+	if s.avg {
+		return relstore.Float(s.sum / float64(s.n))
+	}
+	if s.anyF {
+		return relstore.Float(s.sum)
+	}
+	return relstore.Int(int64(s.sum))
+}
+
+type extremeState struct {
+	want int // sign of Compare(v, best) to replace best
+	best relstore.Value
+	any  bool
+}
+
+func (s *extremeState) Add(args []relstore.Value) error {
+	if err := wantArgs("MIN/MAX", args, 1); err != nil {
+		return err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return nil
+	}
+	if !s.any || relstore.Compare(v, s.best) == s.want {
+		s.best = v
+		s.any = true
+	}
+	return nil
+}
+
+func (s *extremeState) Result() relstore.Value {
+	if !s.any {
+		return relstore.Null
+	}
+	return s.best
+}
+
+// xmlAggState concatenates XML values into a forest.
+type xmlAggState struct{ forest *xmltree.Node }
+
+func (s *xmlAggState) Add(args []relstore.Value) error {
+	if err := wantArgs("XMLAGG", args, 1); err != nil {
+		return err
+	}
+	if s.forest == nil {
+		s.forest = xmltree.NewElement(forestTag)
+	}
+	appendXMLChild(s.forest, args[0])
+	return nil
+}
+
+func (s *xmlAggState) Result() relstore.Value {
+	if s.forest == nil {
+		return relstore.Null
+	}
+	return relstore.XML(s.forest)
+}
+
+// risingState implements TRISING(value, tstart, tend): the maximal
+// intervals over which a single history rises strictly (the paper's
+// RISING aggregate), returned as <intervals><interval/>…</intervals>.
+type risingState struct{ in []temporal.WeightedValue }
+
+func (s *risingState) Add(args []relstore.Value) error {
+	if err := wantArgs("TRISING", args, 3); err != nil {
+		return err
+	}
+	if args[0].IsNull() {
+		return nil
+	}
+	f, ok := args[0].AsFloat()
+	if !ok {
+		return fmt.Errorf("sql: TRISING of non-number %s", args[0].Kind)
+	}
+	iv, err := argInterval("TRISING", args[1], args[2])
+	if err != nil {
+		return err
+	}
+	s.in = append(s.in, temporal.WeightedValue{Value: f, Interval: iv})
+	return nil
+}
+
+func (s *risingState) Result() relstore.Value {
+	root := xmltree.NewElement("intervals")
+	for _, iv := range temporal.Rising(s.in) {
+		root.Append(xmltree.NewElement("interval").
+			SetAttr("tstart", iv.Start.String()).
+			SetAttr("tend", iv.End.String()))
+	}
+	return relstore.XML(root)
+}
+
+// temporalAggState implements TAVG/TSUM/TCOUNT/TMAXAGG/TMINAGG
+// (value, tstart, tend) → <steps><step value tstart tend/>…</steps>.
+type temporalAggState struct {
+	kind string
+	in   []temporal.WeightedValue
+}
+
+func (s *temporalAggState) Add(args []relstore.Value) error {
+	if err := wantArgs("temporal aggregate", args, 3); err != nil {
+		return err
+	}
+	if args[0].IsNull() || args[1].IsNull() || args[2].IsNull() {
+		return nil
+	}
+	f, ok := args[0].AsFloat()
+	if !ok {
+		return fmt.Errorf("sql: temporal aggregate of non-number %s", args[0].Kind)
+	}
+	iv, err := argInterval("temporal aggregate", args[1], args[2])
+	if err != nil {
+		return err
+	}
+	s.in = append(s.in, temporal.WeightedValue{Value: f, Interval: iv})
+	return nil
+}
+
+func (s *temporalAggState) Result() relstore.Value {
+	var steps []temporal.Step
+	switch s.kind {
+	case "avg":
+		steps = temporal.TAvg(s.in)
+	case "sum":
+		steps = temporal.TSum(s.in)
+	case "count":
+		steps = temporal.TCount(s.in)
+	case "max":
+		steps = temporal.TMax(s.in)
+	case "min":
+		steps = temporal.TMin(s.in)
+	}
+	root := xmltree.NewElement("steps")
+	for _, st := range steps {
+		root.Append(xmltree.NewElement("step").
+			SetAttr("value", relstore.Float(st.Value).Text()).
+			SetAttr("tstart", st.Interval.Start.String()).
+			SetAttr("tend", st.Interval.End.String()))
+	}
+	return relstore.XML(root)
+}

@@ -1,0 +1,878 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a single SQL statement (a trailing semicolon is
+// tolerated).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(s int) { p.pos = s }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// isKeyword reports whether the current token is the given keyword
+// (case-insensitive identifier match).
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, got %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+// accept consumes the symbol if present.
+func (p *parser) accept(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(sym string) error {
+	if !p.accept(sym) {
+		return p.errorf("expected %q, got %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errorf("expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.isKeyword("select"):
+		return p.parseSelect()
+	case p.isKeyword("insert"):
+		return p.parseInsert()
+	case p.isKeyword("update"):
+		return p.parseUpdate()
+	case p.isKeyword("delete"):
+		return p.parseDelete()
+	case p.isKeyword("create"):
+		return p.parseCreate()
+	case p.isKeyword("drop"):
+		return p.parseDrop()
+	}
+	return nil, p.errorf("expected statement, got %q", p.peek().text)
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	if p.acceptKeyword("distinct") {
+		stmt.Distinct = true
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = append(stmt.Select, item)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("limit") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errorf("expected LIMIT count")
+		}
+		p.pos++
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	// `*` or `alias.*`
+	if p.accept("*") {
+		return SelectItem{Star: true}, nil
+	}
+	if p.peek().kind == tokIdent {
+		s := p.save()
+		qual := p.next().text
+		if p.accept(".") && p.accept("*") {
+			return SelectItem{Star: true, Qual: qual}, nil
+		}
+		p.restore(s)
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("as") {
+		name, err := p.parseNameOrString()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = name
+	} else if p.peek().kind == tokIdent && !p.anyKeyword("from", "where", "group", "having", "order", "limit") {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) anyKeyword(kws ...string) bool {
+	for _, kw := range kws {
+		if p.isKeyword(kw) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name, Alias: name}
+	if p.acceptKeyword("as") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	} else if p.peek().kind == tokIdent && !p.anyKeyword("where", "group", "having", "order", "limit", "on", "set") {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("insert"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: name}
+	if p.accept("(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	if err := p.expectKeyword("update"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: name}
+	if err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, Assignment{Column: col, Expr: e})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKeyword("delete"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: name}
+	if p.acceptKeyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("create"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKeyword("table"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		stmt := &CreateTableStmt{Name: name}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			typName, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			// Swallow length parameters like VARCHAR(40).
+			if p.accept("(") {
+				for !p.accept(")") {
+					if p.atEOF() {
+						return nil, p.errorf("unterminated type parameters")
+					}
+					p.next()
+				}
+			}
+			typ, err := relstore.ParseType(typName)
+			if err != nil {
+				return nil, p.errorf("%v", err)
+			}
+			stmt.Columns = append(stmt.Columns, relstore.Col(col, typ))
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return stmt, nil
+	case p.acceptKeyword("index"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		table, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		stmt := &CreateIndexStmt{Name: name, Table: table}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return stmt, nil
+	}
+	return nil, p.errorf("expected TABLE or INDEX after CREATE")
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	if err := p.expectKeyword("drop"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Name: name}, nil
+}
+
+// ---- expressions ----
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("not") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "!=", "<>", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			if op == "<>" {
+				op = "!="
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	if p.acceptKeyword("is") {
+		neg := p.acceptKeyword("not")
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: l, Negate: neg}, nil
+	}
+	neg := false
+	if p.isKeyword("not") {
+		s := p.save()
+		p.pos++
+		if p.isKeyword("in") {
+			neg = true
+		} else {
+			p.restore(s)
+			return l, nil
+		}
+	}
+	if p.acceptKeyword("in") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{X: l, Negate: neg}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	if p.acceptKeyword("between") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: l, Lo: lo, Hi: hi}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-" || t.text == "||") {
+			p.pos++
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/") {
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.text)
+			}
+			return &Literal{Value: relstore.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.text)
+		}
+		return &Literal{Value: relstore.Int(n)}, nil
+	case tokString:
+		p.pos++
+		return &Literal{Value: relstore.String_(t.text)}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "*" {
+			return nil, p.errorf("unexpected *")
+		}
+	case tokIdent:
+		return p.parseIdentExpr()
+	}
+	return nil, p.errorf("unexpected token %q", t.text)
+}
+
+func (p *parser) parseIdentExpr() (Expr, error) {
+	name := p.next().text
+	up := strings.ToUpper(name)
+
+	// DATE 'yyyy-mm-dd' literal.
+	if up == "DATE" && p.peek().kind == tokString {
+		s := p.next().text
+		d, err := temporal.ParseDate(s)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		return &Literal{Value: relstore.DateV(d)}, nil
+	}
+	if up == "NULL" {
+		return &Literal{Value: relstore.Null}, nil
+	}
+	if up == "TRUE" {
+		return &Literal{Value: relstore.Bool(true)}, nil
+	}
+	if up == "FALSE" {
+		return &Literal{Value: relstore.Bool(false)}, nil
+	}
+	if up == "CASE" {
+		return p.parseCase()
+	}
+	if up == "XMLELEMENT" {
+		return p.parseXMLElement()
+	}
+	if up == "XMLFOREST" {
+		return p.parseXMLForest()
+	}
+
+	// Function call?
+	if p.accept("(") {
+		call := &FuncCall{Name: up}
+		if p.accept("*") {
+			call.Star = true
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		if !p.accept(")") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		return call, nil
+	}
+
+	// Qualified column reference alias.col.
+	if p.accept(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ColRef{Qual: name, Name: col}, nil
+	}
+	return &ColRef{Name: name}, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	out := &CaseExpr{}
+	for p.acceptKeyword("when") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("then"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Whens = append(out.Whens, CaseWhen{Cond: cond, Result: res})
+	}
+	if len(out.Whens) == 0 {
+		return nil, p.errorf("CASE without WHEN")
+	}
+	if p.acceptKeyword("else") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Else = e
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseNameOrString accepts an identifier or a quoted name.
+func (p *parser) parseNameOrString() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent || t.kind == tokString {
+		p.pos++
+		return t.text, nil
+	}
+	return "", p.errorf("expected name, got %q", t.text)
+}
+
+// parseXMLElement parses XMLELEMENT(NAME "tag", [XMLATTRIBUTES(...)],
+// child, ...).
+func (p *parser) parseXMLElement() (Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("name"); err != nil {
+		return nil, err
+	}
+	tag, err := p.parseNameOrString()
+	if err != nil {
+		return nil, err
+	}
+	out := &XMLElementExpr{Tag: tag}
+	for p.accept(",") {
+		if p.isKeyword("xmlattributes") {
+			p.pos++
+			attrs, err := p.parseXMLAttrList()
+			if err != nil {
+				return nil, err
+			}
+			out.Attrs = append(out.Attrs, attrs...)
+			continue
+		}
+		child, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Children = append(out.Children, child)
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseXMLForest() (Expr, error) {
+	items, err := p.parseXMLAttrList()
+	if err != nil {
+		return nil, err
+	}
+	return &XMLForestExpr{Items: items}, nil
+}
+
+// parseXMLAttrList parses ( expr AS name, ... ).
+func (p *parser) parseXMLAttrList() ([]XMLAttr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var out []XMLAttr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		attr := XMLAttr{Expr: e}
+		if p.acceptKeyword("as") {
+			name, err := p.parseNameOrString()
+			if err != nil {
+				return nil, err
+			}
+			attr.Name = name
+		} else if ref, ok := e.(*ColRef); ok {
+			attr.Name = ref.Name
+		} else {
+			return nil, p.errorf("XMLATTRIBUTES item needs AS name")
+		}
+		out = append(out, attr)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

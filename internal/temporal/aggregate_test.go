@@ -1,0 +1,234 @@
+package temporal
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestTAvgTwoEmployees(t *testing.T) {
+	in := []WeightedValue{
+		{60000, iv("1995-01-01", "1995-05-31")},
+		{70000, iv("1995-06-01", "1995-12-31")},
+		{50000, iv("1995-03-01", "1995-12-31")},
+	}
+	got := TAvg(in)
+	want := []Step{
+		{60000, iv("1995-01-01", "1995-02-28")},
+		{55000, iv("1995-03-01", "1995-05-31")},
+		{60000, iv("1995-06-01", "1995-12-31")},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TAvg = %v, want %v", got, want)
+	}
+}
+
+func TestTSumAndTCount(t *testing.T) {
+	in := []WeightedValue{
+		{10, iv("2000-01-01", "2000-01-10")},
+		{20, iv("2000-01-06", "2000-01-15")},
+	}
+	sum := TSum(in)
+	wantSum := []Step{
+		{10, iv("2000-01-01", "2000-01-05")},
+		{30, iv("2000-01-06", "2000-01-10")},
+		{20, iv("2000-01-11", "2000-01-15")},
+	}
+	if !reflect.DeepEqual(sum, wantSum) {
+		t.Errorf("TSum = %v, want %v", sum, wantSum)
+	}
+	cnt := TCount(in)
+	wantCnt := []Step{
+		{1, iv("2000-01-01", "2000-01-05")},
+		{2, iv("2000-01-06", "2000-01-10")},
+		{1, iv("2000-01-11", "2000-01-15")},
+	}
+	if !reflect.DeepEqual(cnt, wantCnt) {
+		t.Errorf("TCount = %v, want %v", cnt, wantCnt)
+	}
+}
+
+func TestAggregatesWithCurrentIntervals(t *testing.T) {
+	in := []WeightedValue{
+		{100, Current(MustParseDate("2004-01-01"))},
+		{50, iv("2004-02-01", "2004-03-01")},
+	}
+	got := TSum(in)
+	want := []Step{
+		{100, iv("2004-01-01", "2004-01-31")},
+		{150, iv("2004-02-01", "2004-03-01")},
+		{100, Interval{Start: MustParseDate("2004-03-02"), End: Forever}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TSum = %v, want %v", got, want)
+	}
+	if !got[len(got)-1].Interval.IsCurrent() {
+		t.Error("last step should be current")
+	}
+}
+
+func TestAggregateGap(t *testing.T) {
+	in := []WeightedValue{
+		{5, iv("2000-01-01", "2000-01-03")},
+		{7, iv("2000-01-10", "2000-01-12")},
+	}
+	got := TCount(in)
+	want := []Step{
+		{1, iv("2000-01-01", "2000-01-03")},
+		{1, iv("2000-01-10", "2000-01-12")},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TCount with gap = %v, want %v", got, want)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if TAvg(nil) != nil || TSum(nil) != nil || TCount(nil) != nil || TMax(nil) != nil || TMin(nil) != nil {
+		t.Error("aggregates of empty input must be nil")
+	}
+}
+
+func TestTMaxTMin(t *testing.T) {
+	in := []WeightedValue{
+		{10, iv("2000-01-01", "2000-01-10")},
+		{20, iv("2000-01-06", "2000-01-15")},
+	}
+	mx := TMax(in)
+	wantMx := []Step{
+		{10, iv("2000-01-01", "2000-01-05")},
+		{20, iv("2000-01-06", "2000-01-15")},
+	}
+	if !reflect.DeepEqual(mx, wantMx) {
+		t.Errorf("TMax = %v, want %v", mx, wantMx)
+	}
+	mn := TMin(in)
+	wantMn := []Step{
+		{10, iv("2000-01-01", "2000-01-10")},
+		{20, iv("2000-01-11", "2000-01-15")},
+	}
+	if !reflect.DeepEqual(mn, wantMn) {
+		t.Errorf("TMin = %v, want %v", mn, wantMn)
+	}
+}
+
+func TestRising(t *testing.T) {
+	in := []WeightedValue{
+		{40000, iv("1988-02-20", "1989-02-19")},
+		{42010, iv("1989-02-20", "1990-02-04")},
+		{42525, iv("1990-02-05", "1991-02-04")},
+		{41000, iv("1991-02-05", "1992-02-19")},
+		{43000, iv("1992-02-20", "1993-02-19")},
+	}
+	got := Rising(in)
+	want := []Interval{
+		iv("1988-02-20", "1991-02-04"),
+		iv("1991-02-05", "1993-02-19"),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Rising = %v, want %v", got, want)
+	}
+}
+
+func TestMovingWindowAvg(t *testing.T) {
+	now := MustParseDate("2000-02-01")
+	in := []WeightedValue{
+		{10, iv("2000-01-01", "2000-01-10")},
+		{30, iv("2000-01-11", "2000-01-20")},
+	}
+	got := MovingWindowAvg(in, 10, now)
+	if len(got) != 2 {
+		t.Fatalf("MovingWindowAvg = %v", got)
+	}
+	if got[0].Value != 10 {
+		t.Errorf("first window avg = %v", got[0].Value)
+	}
+	if got[1].Value != 30 {
+		t.Errorf("second window avg = %v", got[1].Value)
+	}
+	wide := MovingWindowAvg(in, 20, now)
+	if math.Abs(wide[1].Value-20) > 1e-9 {
+		t.Errorf("20-day window avg = %v, want 20", wide[1].Value)
+	}
+}
+
+// brute-force reference: evaluate the aggregate day by day.
+func bruteAgg(in []WeightedValue, day Date, kind string) (float64, bool) {
+	var sum float64
+	n := 0
+	best := math.Inf(-1)
+	worst := math.Inf(1)
+	for _, wv := range in {
+		if wv.Interval.Contains(day) {
+			sum += wv.Value
+			n++
+			if wv.Value > best {
+				best = wv.Value
+			}
+			if wv.Value < worst {
+				worst = wv.Value
+			}
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	switch kind {
+	case "sum":
+		return sum, true
+	case "count":
+		return float64(n), true
+	case "avg":
+		return sum / float64(n), true
+	case "max":
+		return best, true
+	case "min":
+		return worst, true
+	}
+	panic(kind)
+}
+
+func stepValueAt(steps []Step, day Date) (float64, bool) {
+	for _, s := range steps {
+		if s.Interval.Contains(day) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Property: sweep aggregates agree with a day-by-day brute force, and
+// steps are disjoint with distinct adjacent values.
+func TestAggregatePropertyAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	kinds := map[string]func([]WeightedValue) []Step{
+		"sum": TSum, "count": TCount, "avg": TAvg, "max": TMax, "min": TMin,
+	}
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + r.Intn(8)
+		in := make([]WeightedValue, n)
+		for i := range in {
+			s := Date(r.Intn(40))
+			in[i] = WeightedValue{float64(1 + r.Intn(50)), Interval{Start: s, End: s + Date(r.Intn(15))}}
+		}
+		for kind, fn := range kinds {
+			steps := fn(in)
+			for i := 1; i < len(steps); i++ {
+				if steps[i-1].Interval.Overlaps(steps[i].Interval) {
+					t.Fatalf("%s: overlapping steps %v", kind, steps)
+				}
+				if steps[i-1].Value == steps[i].Value && steps[i-1].Interval.Adjacent(steps[i].Interval) {
+					t.Fatalf("%s: uncoalesced equal steps %v", kind, steps)
+				}
+			}
+			for day := Date(0); day < 60; day++ {
+				want, wantLive := bruteAgg(in, day, kind)
+				got, gotLive := stepValueAt(steps, day)
+				if wantLive != gotLive || (wantLive && math.Abs(want-got) > 1e-9) {
+					t.Fatalf("%s day %d: got (%v,%v) want (%v,%v)\nin=%v\nsteps=%v",
+						kind, day, got, gotLive, want, wantLive, in, steps)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package temporal
+
+import "sort"
+
+// Timed pairs an opaque value with its validity interval. Histories of
+// an attribute are []Timed; the value type is deliberately generic so
+// both the relational and the XML layers can reuse the algorithms here.
+type Timed struct {
+	Value    string
+	Interval Interval
+}
+
+// Coalesce merges value-equivalent entries whose intervals overlap or
+// are adjacent (the paper's coalesce($l) restructuring function). The
+// input need not be sorted; the output is sorted by (Value, Start) and
+// contains maximal intervals.
+func Coalesce(in []Timed) []Timed {
+	if len(in) <= 1 {
+		out := make([]Timed, len(in))
+		copy(out, in)
+		return out
+	}
+	sorted := make([]Timed, len(in))
+	copy(sorted, in)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Value != sorted[j].Value {
+			return sorted[i].Value < sorted[j].Value
+		}
+		if sorted[i].Interval.Start != sorted[j].Interval.Start {
+			return sorted[i].Interval.Start < sorted[j].Interval.Start
+		}
+		return sorted[i].Interval.End < sorted[j].Interval.End
+	})
+	out := make([]Timed, 0, len(sorted))
+	cur := sorted[0]
+	for _, next := range sorted[1:] {
+		if next.Value == cur.Value && cur.Interval.Coalescable(next.Interval) {
+			cur.Interval = cur.Interval.Union(next.Interval)
+			continue
+		}
+		out = append(out, cur)
+		cur = next
+	}
+	return append(out, cur)
+}
+
+// CoalesceIntervals merges a bag of intervals regardless of value,
+// returning the minimal set of maximal disjoint intervals that covers
+// the same days.
+func CoalesceIntervals(in []Interval) []Interval {
+	if len(in) == 0 {
+		return nil
+	}
+	sorted := make([]Interval, len(in))
+	copy(sorted, in)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End < sorted[j].End
+	})
+	out := make([]Interval, 0, len(sorted))
+	cur := sorted[0]
+	for _, next := range sorted[1:] {
+		if cur.Coalescable(next) {
+			cur = cur.Union(next)
+			continue
+		}
+		out = append(out, cur)
+		cur = next
+	}
+	return append(out, cur)
+}
+
+// Restructure returns all pairwise overlaps between the two interval
+// lists (the paper's restructure($a,$b) function, used e.g. by QUERY 6
+// to find periods during which both a department and a title were
+// unchanged).
+func Restructure(a, b []Interval) []Interval {
+	var out []Interval
+	for _, x := range a {
+		for _, y := range b {
+			if iv, ok := x.Intersect(y); ok {
+				out = append(out, iv)
+			}
+		}
+	}
+	return out
+}
+
+// MaxSpan returns the longest span, in days, among the intervals; zero
+// for an empty list. Current intervals are clamped to now.
+func MaxSpan(in []Interval, now Date) int {
+	best := 0
+	for _, iv := range in {
+		if d := iv.Days(now); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// CoversExactly reports whether the two histories cover exactly the
+// same days with the same values — the "same employment history"
+// relation of QUERY 8 (period containment both ways).
+func CoversExactly(a, b []Timed) bool {
+	ca, cb := Coalesce(a), Coalesce(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package temporal
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestCoalesceMergesAdjacentEqualValues(t *testing.T) {
+	in := []Timed{
+		{"Engineer", iv("1995-01-01", "1995-05-31")},
+		{"Engineer", iv("1995-06-01", "1995-09-30")},
+		{"Sr Engineer", iv("1995-10-01", "1996-01-31")},
+	}
+	got := Coalesce(in)
+	want := []Timed{
+		{"Engineer", iv("1995-01-01", "1995-09-30")},
+		{"Sr Engineer", iv("1995-10-01", "1996-01-31")},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Coalesce = %v, want %v", got, want)
+	}
+}
+
+func TestCoalesceKeepsGaps(t *testing.T) {
+	in := []Timed{
+		{"d01", iv("1995-01-01", "1995-03-31")},
+		{"d01", iv("1995-06-01", "1995-09-30")},
+	}
+	if got := Coalesce(in); len(got) != 2 {
+		t.Errorf("gap wrongly coalesced: %v", got)
+	}
+}
+
+func TestCoalesceDistinctValuesStaySeparate(t *testing.T) {
+	in := []Timed{
+		{"d01", iv("1995-01-01", "1995-03-31")},
+		{"d02", iv("1995-04-01", "1995-09-30")},
+	}
+	if got := Coalesce(in); len(got) != 2 {
+		t.Errorf("distinct values merged: %v", got)
+	}
+}
+
+func TestCoalesceEmptyAndSingleton(t *testing.T) {
+	if got := Coalesce(nil); len(got) != 0 {
+		t.Errorf("Coalesce(nil) = %v", got)
+	}
+	one := []Timed{{"x", iv("2000-01-01", "2000-01-02")}}
+	if got := Coalesce(one); !reflect.DeepEqual(got, one) {
+		t.Errorf("Coalesce singleton = %v", got)
+	}
+}
+
+func TestCoalesceOverlapsAndUnsortedInput(t *testing.T) {
+	in := []Timed{
+		{"x", iv("2000-03-01", "2000-06-30")},
+		{"x", iv("2000-01-01", "2000-04-15")},
+		{"x", iv("2000-07-01", "2000-08-01")},
+	}
+	got := Coalesce(in)
+	want := []Timed{{"x", iv("2000-01-01", "2000-08-01")}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Coalesce = %v, want %v", got, want)
+	}
+}
+
+func TestCoalesceIntervals(t *testing.T) {
+	in := []Interval{
+		iv("2000-01-01", "2000-01-10"),
+		iv("2000-01-11", "2000-01-20"),
+		iv("2000-02-01", "2000-02-05"),
+	}
+	got := CoalesceIntervals(in)
+	want := []Interval{iv("2000-01-01", "2000-01-20"), iv("2000-02-01", "2000-02-05")}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CoalesceIntervals = %v, want %v", got, want)
+	}
+	if CoalesceIntervals(nil) != nil {
+		t.Error("CoalesceIntervals(nil) should be nil")
+	}
+}
+
+func TestRestructure(t *testing.T) {
+	dept := []Interval{iv("1995-01-01", "1995-09-30"), iv("1995-10-01", "1996-12-31")}
+	title := []Interval{iv("1995-01-01", "1995-09-30"), iv("1995-10-01", "1996-01-31"), iv("1996-02-01", "1996-12-31")}
+	got := Restructure(dept, title)
+	want := []Interval{
+		iv("1995-01-01", "1995-09-30"),
+		iv("1995-10-01", "1996-01-31"),
+		iv("1996-02-01", "1996-12-31"),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Restructure = %v, want %v", got, want)
+	}
+	now := MustParseDate("1997-01-01")
+	// QUERY 6 shape: longest unchanged (dept, title) stretch.
+	if got := MaxSpan(got, now); got != iv("1996-02-01", "1996-12-31").Days(now) {
+		t.Errorf("MaxSpan = %d", got)
+	}
+}
+
+func TestCoversExactly(t *testing.T) {
+	a := []Timed{
+		{"d01", iv("1995-01-01", "1995-05-31")},
+		{"d01", iv("1995-06-01", "1995-09-30")},
+	}
+	b := []Timed{{"d01", iv("1995-01-01", "1995-09-30")}}
+	if !CoversExactly(a, b) {
+		t.Error("coalesced-equal histories should match")
+	}
+	c := []Timed{{"d01", iv("1995-01-01", "1995-09-29")}}
+	if CoversExactly(a, c) {
+		t.Error("different end dates should not match")
+	}
+	d := []Timed{{"d02", iv("1995-01-01", "1995-09-30")}}
+	if CoversExactly(a, d) {
+		t.Error("different values should not match")
+	}
+}
+
+// coveredDays expands a timed history into the set of (value, day) pairs.
+func coveredDays(in []Timed) map[string]map[Date]bool {
+	out := map[string]map[Date]bool{}
+	for _, tv := range in {
+		m := out[tv.Value]
+		if m == nil {
+			m = map[Date]bool{}
+			out[tv.Value] = m
+		}
+		for d := tv.Interval.Start; d <= tv.Interval.End; d++ {
+			m[d] = true
+		}
+	}
+	return out
+}
+
+// Property: Coalesce preserves the covered (value, day) set, produces
+// non-coalescable output, and is idempotent.
+func TestCoalesceProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	values := []string{"a", "b", "c"}
+	for trial := 0; trial < 300; trial++ {
+		n := r.Intn(12)
+		in := make([]Timed, n)
+		for i := range in {
+			s := Date(r.Intn(60))
+			in[i] = Timed{values[r.Intn(len(values))], Interval{Start: s, End: s + Date(r.Intn(20))}}
+		}
+		out := Coalesce(in)
+		if !reflect.DeepEqual(coveredDays(in), coveredDays(out)) {
+			t.Fatalf("coverage changed: in=%v out=%v", in, out)
+		}
+		for i := range out {
+			for j := i + 1; j < len(out); j++ {
+				if out[i].Value == out[j].Value && out[i].Interval.Coalescable(out[j].Interval) {
+					t.Fatalf("output still coalescable: %v", out)
+				}
+			}
+		}
+		if again := Coalesce(out); !reflect.DeepEqual(again, out) {
+			t.Fatalf("not idempotent: %v vs %v", out, again)
+		}
+	}
+}

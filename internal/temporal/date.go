@@ -1,0 +1,98 @@
+// Package temporal implements the temporal data model used throughout
+// ArchIS: day-granularity dates, inclusive intervals, the "now"
+// (until-changed) convention, interval algebra, coalescing and
+// restructuring of timestamped histories, and sweep-based temporal
+// aggregates.
+//
+// The conventions follow the paper (TimeCenter TR-81):
+//
+//   - time granularity is one day;
+//   - intervals are inclusive at both ends;
+//   - the symbol "now" is stored internally as the end-of-time value
+//     9999-12-31 (Forever) and only externalized on demand via
+//     ReplaceForever (the paper's rtend/externalnow functions).
+package temporal
+
+import (
+	"fmt"
+	"time"
+)
+
+// Date is a day-granularity timestamp, counted in days since the Unix
+// epoch (1970-01-01). Negative values are dates before the epoch.
+type Date int32
+
+// Forever is the internal encoding of "now"/"until changed": the
+// end-of-time date 9999-12-31 (paper Section 4.3).
+var Forever = MustParseDate("9999-12-31")
+
+const secondsPerDay = 86400
+
+// NewDate builds a Date from a calendar year, month and day.
+func NewDate(year int, month time.Month, day int) Date {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return Date(t.Unix() / secondsPerDay)
+}
+
+// FromTime truncates a time.Time to day granularity.
+func FromTime(t time.Time) Date {
+	tt := t.UTC()
+	return NewDate(tt.Year(), tt.Month(), tt.Day())
+}
+
+// ParseDate parses a date in ISO "2006-01-02" form.
+func ParseDate(s string) (Date, error) {
+	t, err := time.ParseInLocation("2006-01-02", s, time.UTC)
+	if err != nil {
+		return 0, fmt.Errorf("temporal: parse date %q: %w", s, err)
+	}
+	return FromTime(t), nil
+}
+
+// MustParseDate is ParseDate for literals known to be valid; it panics
+// on malformed input.
+func MustParseDate(s string) Date {
+	d, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Time returns the midnight UTC time.Time for the date.
+func (d Date) Time() time.Time {
+	return time.Unix(int64(d)*secondsPerDay, 0).UTC()
+}
+
+// String renders the date in ISO form; Forever renders as "9999-12-31".
+func (d Date) String() string {
+	return d.Time().Format("2006-01-02")
+}
+
+// IsForever reports whether the date is the internal "now" encoding.
+func (d Date) IsForever() bool { return d == Forever }
+
+// AddDays returns the date n days later (earlier for negative n).
+func (d Date) AddDays(n int) Date { return d + Date(n) }
+
+// DaysBetween returns the signed number of days from d to other.
+func (d Date) DaysBetween(other Date) int { return int(other - d) }
+
+// Year returns the calendar year of the date.
+func (d Date) Year() int { return d.Time().Year() }
+
+// Min returns the earlier of two dates.
+func Min(a, b Date) Date {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the later of two dates.
+func Max(a, b Date) Date {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package temporal
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseDateRoundTrip(t *testing.T) {
+	cases := []string{"1970-01-01", "1995-06-01", "2003-02-04", "9999-12-31", "1969-12-31", "1900-02-28"}
+	for _, s := range cases {
+		d, err := ParseDate(s)
+		if err != nil {
+			t.Fatalf("ParseDate(%q): %v", s, err)
+		}
+		if got := d.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseDateErrors(t *testing.T) {
+	for _, s := range []string{"", "1995-13-01", "1995-02-30", "not-a-date", "1995/01/01"} {
+		if _, err := ParseDate(s); err == nil {
+			t.Errorf("ParseDate(%q): expected error", s)
+		}
+	}
+}
+
+func TestNewDateEpoch(t *testing.T) {
+	if d := NewDate(1970, time.January, 1); d != 0 {
+		t.Errorf("epoch = %d, want 0", d)
+	}
+	if d := NewDate(1970, time.January, 2); d != 1 {
+		t.Errorf("epoch+1 = %d, want 1", d)
+	}
+	if d := NewDate(1969, time.December, 31); d != -1 {
+		t.Errorf("epoch-1 = %d, want -1", d)
+	}
+}
+
+func TestForever(t *testing.T) {
+	if !Forever.IsForever() {
+		t.Fatal("Forever.IsForever() = false")
+	}
+	if Forever.String() != "9999-12-31" {
+		t.Fatalf("Forever = %s", Forever)
+	}
+	if MustParseDate("2004-01-01").IsForever() {
+		t.Fatal("ordinary date reported as forever")
+	}
+}
+
+func TestDateArithmetic(t *testing.T) {
+	a := MustParseDate("1995-01-01")
+	b := a.AddDays(31)
+	if b.String() != "1995-02-01" {
+		t.Errorf("AddDays(31) = %s", b)
+	}
+	if got := a.DaysBetween(b); got != 31 {
+		t.Errorf("DaysBetween = %d", got)
+	}
+	if a.Year() != 1995 {
+		t.Errorf("Year = %d", a.Year())
+	}
+	if Min(a, b) != a || Max(a, b) != b {
+		t.Error("Min/Max broken")
+	}
+}
+
+func TestFromTimeTruncates(t *testing.T) {
+	tt := time.Date(2001, time.July, 4, 23, 59, 58, 0, time.UTC)
+	if got := FromTime(tt).String(); got != "2001-07-04" {
+		t.Errorf("FromTime = %s", got)
+	}
+}
+
+// Property: String/ParseDate round-trips for arbitrary in-range dates.
+func TestDateRoundTripProperty(t *testing.T) {
+	f := func(n int32) bool {
+		// Clamp to a sane calendar range (year ~1970 .. ~9900).
+		v := n % 2900000
+		if v < 0 {
+			v = -v
+		}
+		d := Date(v)
+		back, err := ParseDate(d.String())
+		return err == nil && back == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AddDays is the inverse of DaysBetween.
+func TestAddDaysProperty(t *testing.T) {
+	f := func(base int32, delta int16) bool {
+		d := Date(base % 1000000)
+		return d.DaysBetween(d.AddDays(int(delta))) == int(delta)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

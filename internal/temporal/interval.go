@@ -1,0 +1,122 @@
+package temporal
+
+import "fmt"
+
+// Interval is a closed (inclusive at both ends) time interval
+// [Start, End]. An interval whose End is Forever is current ("now").
+// The zero Interval is invalid; use NewInterval.
+type Interval struct {
+	Start Date
+	End   Date
+}
+
+// NewInterval builds [start, end] and reports an error when end
+// precedes start.
+func NewInterval(start, end Date) (Interval, error) {
+	if end < start {
+		return Interval{}, fmt.Errorf("temporal: invalid interval [%s, %s]", start, end)
+	}
+	return Interval{Start: start, End: end}, nil
+}
+
+// MustInterval is NewInterval for literals known to be valid.
+func MustInterval(start, end Date) Interval {
+	iv, err := NewInterval(start, end)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}
+
+// Point returns the single-day interval [d, d].
+func Point(d Date) Interval { return Interval{Start: d, End: d} }
+
+// Current returns [start, Forever], the interval of a live tuple.
+func Current(start Date) Interval { return Interval{Start: start, End: Forever} }
+
+// Valid reports whether Start <= End.
+func (iv Interval) Valid() bool { return iv.Start <= iv.End }
+
+// IsCurrent reports whether the interval extends to "now".
+func (iv Interval) IsCurrent() bool { return iv.End.IsForever() }
+
+// String renders the interval as "[start, end]" with the internal
+// Forever encoding shown verbatim.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s, %s]", iv.Start, iv.End)
+}
+
+// Contains reports whether the interval covers the given day.
+func (iv Interval) Contains(d Date) bool { return iv.Start <= d && d <= iv.End }
+
+// ContainsInterval reports whether iv covers all of other
+// (the paper's tcontains).
+func (iv Interval) ContainsInterval(other Interval) bool {
+	return iv.Start <= other.Start && other.End <= iv.End
+}
+
+// Overlaps reports whether the two closed intervals share at least one
+// day (the paper's toverlaps).
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start <= other.End && other.Start <= iv.End
+}
+
+// Equals reports whether the two intervals are identical
+// (the paper's tequals).
+func (iv Interval) Equals(other Interval) bool { return iv == other }
+
+// Precedes reports whether iv ends strictly before other starts
+// (the paper's tprecedes).
+func (iv Interval) Precedes(other Interval) bool { return iv.End < other.Start }
+
+// Meets reports whether iv ends exactly one day before other starts,
+// i.e. the intervals are adjacent without overlapping (the paper's
+// tmeets, adapted to closed day-granularity intervals).
+func (iv Interval) Meets(other Interval) bool { return other.Start == iv.End+1 }
+
+// Adjacent reports whether the intervals meet in either direction.
+func (iv Interval) Adjacent(other Interval) bool {
+	return iv.Meets(other) || other.Meets(iv)
+}
+
+// Intersect returns the overlapped interval and true when the
+// intervals overlap (the paper's overlapinterval).
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	if !iv.Overlaps(other) {
+		return Interval{}, false
+	}
+	return Interval{Start: Max(iv.Start, other.Start), End: Min(iv.End, other.End)}, true
+}
+
+// Union returns the smallest interval covering both inputs; it is only
+// meaningful when the inputs overlap or are adjacent.
+func (iv Interval) Union(other Interval) Interval {
+	return Interval{Start: Min(iv.Start, other.Start), End: Max(iv.End, other.End)}
+}
+
+// Coalescable reports whether two intervals can be merged into one:
+// they overlap or are adjacent (value equivalence is the caller's
+// concern).
+func (iv Interval) Coalescable(other Interval) bool {
+	return iv.Overlaps(other) || iv.Adjacent(other)
+}
+
+// Days returns the number of days in the interval (the paper's
+// timespan); a single-day interval has span 1. For current intervals
+// the span is computed against the supplied now date.
+func (iv Interval) Days(now Date) int {
+	end := iv.End
+	if end.IsForever() {
+		end = now
+	}
+	return int(end-iv.Start) + 1
+}
+
+// ClampEnd returns the interval with a Forever end replaced by now
+// (the paper's rtend applied to one interval).
+func (iv Interval) ClampEnd(now Date) Interval {
+	if iv.End.IsForever() {
+		return Interval{Start: iv.Start, End: now}
+	}
+	return iv
+}

@@ -1,0 +1,154 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func iv(start, end string) Interval {
+	return MustInterval(MustParseDate(start), MustParseDate(end))
+}
+
+func TestNewIntervalValidation(t *testing.T) {
+	if _, err := NewInterval(10, 5); err == nil {
+		t.Error("expected error for end < start")
+	}
+	got, err := NewInterval(5, 5)
+	if err != nil || !got.Valid() {
+		t.Errorf("point interval rejected: %v", err)
+	}
+}
+
+func TestIntervalPredicates(t *testing.T) {
+	a := iv("1995-01-01", "1995-05-31")
+	b := iv("1995-06-01", "1995-09-30")
+	c := iv("1995-03-01", "1995-07-01")
+
+	if a.Overlaps(b) || b.Overlaps(a) {
+		t.Error("adjacent intervals must not overlap (closed intervals)")
+	}
+	if !a.Meets(b) {
+		t.Error("a should meet b")
+	}
+	if b.Meets(a) {
+		t.Error("meets is directional")
+	}
+	if !a.Adjacent(b) || !b.Adjacent(a) {
+		t.Error("adjacency should hold both ways")
+	}
+	if !a.Overlaps(c) || !c.Overlaps(b) {
+		t.Error("overlapping intervals not detected")
+	}
+	if !a.Precedes(b) {
+		t.Error("a precedes b")
+	}
+	if a.Precedes(c) {
+		t.Error("a does not precede c")
+	}
+	if !c.ContainsInterval(iv("1995-04-01", "1995-05-01")) {
+		t.Error("containment not detected")
+	}
+	if c.ContainsInterval(a) {
+		t.Error("false containment")
+	}
+	if !a.Equals(iv("1995-01-01", "1995-05-31")) {
+		t.Error("equals broken")
+	}
+}
+
+func TestIntervalContainsDate(t *testing.T) {
+	a := iv("1995-01-01", "1995-05-31")
+	for _, tc := range []struct {
+		d    string
+		want bool
+	}{
+		{"1995-01-01", true},
+		{"1995-05-31", true},
+		{"1995-03-15", true},
+		{"1994-12-31", false},
+		{"1995-06-01", false},
+	} {
+		if got := a.Contains(MustParseDate(tc.d)); got != tc.want {
+			t.Errorf("Contains(%s) = %v, want %v", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := iv("1995-01-01", "1995-05-31")
+	c := iv("1995-03-01", "1995-07-01")
+	got, ok := a.Intersect(c)
+	if !ok || got != iv("1995-03-01", "1995-05-31") {
+		t.Errorf("Intersect = %v, %v", got, ok)
+	}
+	if _, ok := a.Intersect(iv("1996-01-01", "1996-02-01")); ok {
+		t.Error("disjoint intervals must not intersect")
+	}
+}
+
+func TestCurrentAndClamp(t *testing.T) {
+	now := MustParseDate("2005-03-02")
+	cur := Current(MustParseDate("2001-01-01"))
+	if !cur.IsCurrent() {
+		t.Fatal("Current not current")
+	}
+	clamped := cur.ClampEnd(now)
+	if clamped.End != now || clamped.IsCurrent() {
+		t.Errorf("ClampEnd = %v", clamped)
+	}
+	fixed := iv("2001-01-01", "2002-01-01")
+	if fixed.ClampEnd(now) != fixed {
+		t.Error("ClampEnd must not touch bounded intervals")
+	}
+}
+
+func TestDays(t *testing.T) {
+	now := MustParseDate("1995-01-10")
+	if d := iv("1995-01-01", "1995-01-01").Days(now); d != 1 {
+		t.Errorf("point interval days = %d", d)
+	}
+	if d := iv("1995-01-01", "1995-01-31").Days(now); d != 31 {
+		t.Errorf("January days = %d", d)
+	}
+	if d := Current(MustParseDate("1995-01-01")).Days(now); d != 10 {
+		t.Errorf("current interval days = %d", d)
+	}
+}
+
+func randInterval(r *rand.Rand) Interval {
+	s := Date(r.Intn(20000))
+	return Interval{Start: s, End: s + Date(r.Intn(400))}
+}
+
+// Property: Intersect is symmetric and its result is contained in both.
+func TestIntersectProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b := randInterval(r), randInterval(r)
+		x, okx := a.Intersect(b)
+		y, oky := b.Intersect(a)
+		if okx != oky || x != y {
+			t.Fatalf("intersect asymmetric: %v %v", a, b)
+		}
+		if okx && (!a.ContainsInterval(x) || !b.ContainsInterval(x)) {
+			t.Fatalf("intersection escapes inputs: %v ∩ %v = %v", a, b, x)
+		}
+		if okx != a.Overlaps(b) {
+			t.Fatalf("overlap/intersect disagree: %v %v", a, b)
+		}
+	}
+}
+
+// Property: overlaps ⟺ share at least one day; meets ⟺ adjacent with gap 0.
+func TestOverlapSemanticsProperty(t *testing.T) {
+	f := func(s1, l1, s2, l2 uint16) bool {
+		a := Interval{Start: Date(s1), End: Date(s1) + Date(l1%200)}
+		b := Interval{Start: Date(s2), End: Date(s2) + Date(l2%200)}
+		shared := Max(a.Start, b.Start) <= Min(a.End, b.End)
+		return a.Overlaps(b) == shared
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Package translator implements Algorithm 1 of the paper: XQuery
+// written against H-views (the temporally grouped XML views of
+// relational history) is translated into SQL/XML text over the
+// underlying H-tables, with tag binding and structure construction
+// pushed into the relational engine via XMLELEMENT/XMLATTRIBUTES/
+// XMLAGG, temporal functions mapped to engine UDFs, and — when the
+// referenced attribute tables are clustered — segment restrictions
+// injected per Section 6.3.
+//
+// The translator covers the paper's query classes that it translates
+// itself (projection, snapshot, slicing, joins expressible without
+// nesting, temporal aggregates, since-style let-filters). Shapes
+// outside the subset (nested FLWOR constructors, quantified
+// expressions, restructuring) return ErrUnsupported, and callers fall
+// back to direct XQuery evaluation over the published H-documents —
+// the same pragmatic split the paper describes for its own system.
+package translator
+
+import (
+	"archis/internal/temporal"
+)
+
+// ViewInfo describes one H-view and its backing H-tables.
+type ViewInfo struct {
+	DocName    string // employees.xml
+	RootName   string // employees
+	EntityName string // employee
+	KeyTable   string // employee_id
+	KeyLeaf    string // the key's leaf name in the H-view (id, deptno, …)
+	// KeyColumn is the key-table column holding the visible key value
+	// ("id" for surrogate-free integer keys; the natural key column
+	// otherwise). Defaults to "id" when empty.
+	KeyColumn string
+	// AttrTables maps lowercase leaf names (salary, title, …) to their
+	// history-table names (employee_salary, …).
+	AttrTables map[string]string
+	// Segmented reports whether an attribute table is clustered (its
+	// schema then carries a segno column).
+	Segmented func(attrTable string) bool
+	// SegmentsFor returns the contiguous segment-number range whose
+	// intervals intersect [lo, hi]; ok is false when the table is not
+	// clustered or the range cannot be restricted.
+	SegmentsFor func(attrTable string, lo, hi temporal.Date) (minSeg, maxSeg int64, ok bool)
+}
+
+// Catalog resolves doc() names to views.
+type Catalog interface {
+	ViewByDoc(doc string) (*ViewInfo, bool)
+}
+
+// MapCatalog is a trivial Catalog backed by a map keyed by doc name.
+type MapCatalog map[string]*ViewInfo
+
+// ViewByDoc implements Catalog.
+func (m MapCatalog) ViewByDoc(doc string) (*ViewInfo, bool) {
+	v, ok := m[doc]
+	return v, ok
+}

@@ -1,0 +1,209 @@
+// Package xmldb is the native XML DBMS baseline of the paper's
+// evaluation (the Tamino stand-in): H-documents are stored whole —
+// optionally zlib-compressed, as Tamino compresses documents with a
+// gzip-like algorithm — and queried by direct XQuery evaluation over
+// the parsed tree.
+//
+// The baseline reproduces the cost structure the paper measures
+// against: every cold query pays whole-document decompression and
+// parsing, there is no temporal clustering, and query evaluation is a
+// tree walk. Path value-indexes (the paper built indexes "for all
+// nodes/attributes which have values selected") accelerate exact-match
+// lookups via LookupValue, but the general XQuery path still walks the
+// tree, matching the behaviour the paper observed.
+package xmldb
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"archis/internal/temporal"
+	"archis/internal/xmltree"
+	"archis/internal/xquery"
+)
+
+// Options configure the store.
+type Options struct {
+	// Compress stores documents zlib-compressed (Tamino's default).
+	Compress bool
+	// CacheParsed keeps parsed trees in memory between queries. Cold
+	// benchmark runs disable it (or call DropCaches).
+	CacheParsed bool
+}
+
+// Stats counts the physical work the baseline performs.
+type Stats struct {
+	DocLoads       int64 // parse operations
+	Decompressions int64
+	BytesLoaded    int64
+}
+
+// DB is a document store with XQuery querying.
+type DB struct {
+	opts   Options
+	docs   map[string][]byte
+	parsed map[string]*xmltree.Node
+	index  map[string]map[string]map[string][]*xmltree.Node // doc → path → value → nodes
+	stats  Stats
+	Now    temporal.Date
+}
+
+// New creates an empty store.
+func New(opts Options) *DB {
+	return &DB{
+		opts:   opts,
+		docs:   map[string][]byte{},
+		parsed: map[string]*xmltree.Node{},
+		index:  map[string]map[string]map[string][]*xmltree.Node{},
+		Now:    temporal.FromTime(time.Now()),
+	}
+}
+
+// Store serializes (and optionally compresses) a document under name.
+func (db *DB) Store(name string, root *xmltree.Node) error {
+	raw := []byte(xmltree.String(root))
+	if db.opts.Compress {
+		var buf bytes.Buffer
+		zw := zlib.NewWriter(&buf)
+		if _, err := zw.Write(raw); err != nil {
+			return fmt.Errorf("xmldb: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("xmldb: %w", err)
+		}
+		db.docs[name] = buf.Bytes()
+	} else {
+		db.docs[name] = raw
+	}
+	delete(db.parsed, name)
+	delete(db.index, name)
+	return nil
+}
+
+// Names lists stored documents.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.docs))
+	for n := range db.docs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// StorageBytes is the physical footprint of the stored documents.
+func (db *DB) StorageBytes() int {
+	n := 0
+	for _, d := range db.docs {
+		n += len(d)
+	}
+	return n
+}
+
+// Stats returns the counters.
+func (db *DB) Stats() Stats { return db.stats }
+
+// ResetStats zeroes the counters.
+func (db *DB) ResetStats() { db.stats = Stats{} }
+
+// DropCaches forgets parsed trees and indexes — the cold-query state
+// of the paper's methodology.
+func (db *DB) DropCaches() {
+	db.parsed = map[string]*xmltree.Node{}
+	db.index = map[string]map[string]map[string][]*xmltree.Node{}
+}
+
+// load decompresses and parses a document (through the cache when
+// enabled).
+func (db *DB) load(name string) (*xmltree.Node, error) {
+	if root, ok := db.parsed[name]; ok {
+		return root, nil
+	}
+	data, ok := db.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("xmldb: no document %q", name)
+	}
+	raw := data
+	if db.opts.Compress {
+		zr, err := zlib.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("xmldb: %w", err)
+		}
+		raw, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("xmldb: %w", err)
+		}
+		_ = zr.Close()
+		db.stats.Decompressions++
+	}
+	root, err := xmltree.Parse(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	db.stats.DocLoads++
+	db.stats.BytesLoaded += int64(len(raw))
+	if db.opts.CacheParsed {
+		db.parsed[name] = root
+	}
+	return root, nil
+}
+
+// Evaluator returns an XQuery evaluator whose doc() resolves against
+// this store.
+func (db *DB) Evaluator() *xquery.Evaluator {
+	ev := xquery.NewEvaluator(db.load)
+	ev.Now = db.Now
+	return ev
+}
+
+// Query parses and evaluates an XQuery against the store.
+func (db *DB) Query(q string) (xquery.Seq, error) {
+	return db.Evaluator().Eval(q)
+}
+
+// BuildIndex builds a value index for a path (e.g.
+// "employees/employee/name"): exact text matches resolve to the
+// elements' parents' path nodes without a full tree walk.
+func (db *DB) BuildIndex(doc, path string) error {
+	root, err := db.load(doc)
+	if err != nil {
+		return err
+	}
+	steps := strings.Split(path, "/")
+	nodes := []*xmltree.Node{root}
+	if len(steps) > 0 && steps[0] == root.Name {
+		steps = steps[1:]
+	}
+	for _, st := range steps {
+		var next []*xmltree.Node
+		for _, n := range nodes {
+			next = append(next, n.ChildElements(st)...)
+		}
+		nodes = next
+	}
+	byValue := map[string][]*xmltree.Node{}
+	for _, n := range nodes {
+		byValue[n.TextContent()] = append(byValue[n.TextContent()], n)
+	}
+	if db.index[doc] == nil {
+		db.index[doc] = map[string]map[string][]*xmltree.Node{}
+	}
+	db.index[doc][path] = byValue
+	return nil
+}
+
+// LookupValue returns indexed nodes whose text equals value; ok is
+// false when no index exists for the path.
+func (db *DB) LookupValue(doc, path, value string) ([]*xmltree.Node, bool) {
+	p, ok := db.index[doc]
+	if !ok {
+		return nil, false
+	}
+	byValue, ok := p[path]
+	if !ok {
+		return nil, false
+	}
+	return byValue[value], true
+}

@@ -1,0 +1,117 @@
+package xmldb
+
+import (
+	"strings"
+	"testing"
+
+	"archis/internal/temporal"
+	"archis/internal/xmltree"
+)
+
+const doc = `<employees tstart="1995-01-01" tend="9999-12-31">
+<employee tstart="1995-01-01" tend="1996-12-31">
+<id tstart="1995-01-01" tend="1996-12-31">1001</id>
+<name tstart="1995-01-01" tend="1996-12-31">Bob</name>
+<salary tstart="1995-01-01" tend="1995-05-31">60000</salary>
+<salary tstart="1995-06-01" tend="1996-12-31">70000</salary>
+</employee>
+</employees>`
+
+func storeDoc(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db := New(opts)
+	db.Now = temporal.MustParseDate("1997-01-01")
+	if err := db.Store("employees.xml", xmltree.MustParseString(doc)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestStoreAndQuery(t *testing.T) {
+	for _, opts := range []Options{{}, {Compress: true}, {Compress: true, CacheParsed: true}} {
+		db := storeDoc(t, opts)
+		got, err := db.Query(`doc("employees.xml")/employees/employee[name="Bob"]/salary[2]`)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if len(got) != 1 || !strings.Contains(got.Serialize(), "70000") {
+			t.Errorf("opts %+v: got %s", opts, got.Serialize())
+		}
+	}
+}
+
+func TestCompressionShrinksDocs(t *testing.T) {
+	plain := storeDoc(t, Options{})
+	comp := storeDoc(t, Options{Compress: true})
+	if comp.StorageBytes() >= plain.StorageBytes() {
+		t.Errorf("compressed %d >= plain %d", comp.StorageBytes(), plain.StorageBytes())
+	}
+}
+
+func TestColdQueriesReloadAndDecompress(t *testing.T) {
+	db := storeDoc(t, Options{Compress: true})
+	_, _ = db.Query(`doc("employees.xml")/employees/employee`)
+	_, _ = db.Query(`doc("employees.xml")/employees/employee`)
+	st := db.Stats()
+	// No cache: each query decompresses and parses again.
+	if st.DocLoads != 2 || st.Decompressions != 2 {
+		t.Errorf("cold stats = %+v", st)
+	}
+	db2 := storeDoc(t, Options{Compress: true, CacheParsed: true})
+	_, _ = db2.Query(`doc("employees.xml")/employees/employee`)
+	_, _ = db2.Query(`doc("employees.xml")/employees/employee`)
+	if db2.Stats().DocLoads != 1 {
+		t.Errorf("warm stats = %+v", db2.Stats())
+	}
+	db2.DropCaches()
+	_, _ = db2.Query(`doc("employees.xml")/employees/employee`)
+	if db2.Stats().DocLoads != 2 {
+		t.Errorf("post-drop stats = %+v", db2.Stats())
+	}
+}
+
+func TestMissingDocument(t *testing.T) {
+	db := New(Options{})
+	if _, err := db.Query(`doc("nosuch.xml")`); err == nil {
+		t.Error("missing document accepted")
+	}
+}
+
+func TestValueIndex(t *testing.T) {
+	db := storeDoc(t, Options{CacheParsed: true})
+	if err := db.BuildIndex("employees.xml", "employees/employee/name"); err != nil {
+		t.Fatal(err)
+	}
+	nodes, ok := db.LookupValue("employees.xml", "employees/employee/name", "Bob")
+	if !ok || len(nodes) != 1 {
+		t.Fatalf("lookup = %v, %v", nodes, ok)
+	}
+	if nodes[0].Parent.Name != "employee" {
+		t.Errorf("indexed node parent = %s", nodes[0].Parent.Name)
+	}
+	if _, ok := db.LookupValue("employees.xml", "not/indexed", "x"); ok {
+		t.Error("unindexed path reported ok")
+	}
+	if nodes, _ := db.LookupValue("employees.xml", "employees/employee/name", "Nobody"); len(nodes) != 0 {
+		t.Error("phantom match")
+	}
+}
+
+func TestStoreReplacesAndInvalidates(t *testing.T) {
+	db := storeDoc(t, Options{CacheParsed: true})
+	_ = db.BuildIndex("employees.xml", "employees/employee/name")
+	newDoc := xmltree.MustParseString(`<employees><employee><name>Zed</name></employee></employees>`)
+	if err := db.Store("employees.xml", newDoc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Query(`doc("employees.xml")/employees/employee/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got.Serialize(), "Zed") {
+		t.Errorf("stale document served: %s", got.Serialize())
+	}
+	if _, ok := db.LookupValue("employees.xml", "employees/employee/name", "Bob"); ok {
+		t.Error("stale index served")
+	}
+}

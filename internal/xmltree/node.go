@@ -1,0 +1,231 @@
+// Package xmltree provides the lightweight XML document model used by
+// ArchIS for H-documents (temporally grouped XML views of relational
+// history), for query results, and for the native-XML-database
+// baseline.
+//
+// The model is deliberately small: documents, elements with ordered
+// attributes and children, and text nodes. Namespaces are not needed by
+// H-documents and are treated as plain prefixed names.
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attr is a single name="value" attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is an XML tree node: either an element (Name != "") or a text
+// node (Name == "", Text holds the content). The Parent pointer is
+// maintained by the mutation helpers.
+type Node struct {
+	Name     string
+	Attrs    []Attr
+	Children []*Node
+	Text     string
+	Parent   *Node
+}
+
+// NewElement returns a childless element node.
+func NewElement(name string) *Node { return &Node{Name: name} }
+
+// NewText returns a text node.
+func NewText(text string) *Node { return &Node{Text: text} }
+
+// IsElement reports whether the node is an element.
+func (n *Node) IsElement() bool { return n.Name != "" }
+
+// IsText reports whether the node is a text node.
+func (n *Node) IsText() bool { return n.Name == "" }
+
+// SetAttr sets or replaces an attribute.
+func (n *Node) SetAttr(name, value string) *Node {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name {
+			n.Attrs[i].Value = value
+			return n
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+	return n
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the named attribute or a default.
+func (n *Node) AttrOr(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// Append adds children, fixing their Parent pointers, and returns n.
+func (n *Node) Append(children ...*Node) *Node {
+	for _, c := range children {
+		c.Parent = n
+		n.Children = append(n.Children, c)
+	}
+	return n
+}
+
+// AppendText adds a text child.
+func (n *Node) AppendText(text string) *Node { return n.Append(NewText(text)) }
+
+// TextContent returns the concatenated text of the node and its
+// descendants, the XPath string value of an element.
+func (n *Node) TextContent() string {
+	if n.IsText() {
+		return n.Text
+	}
+	var sb strings.Builder
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.IsText() {
+			sb.WriteString(m.Text)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return sb.String()
+}
+
+// ChildElements returns the element children, optionally filtered by
+// name ("" matches all).
+func (n *Node) ChildElements(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.IsElement() && (name == "" || c.Name == name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FirstChild returns the first element child with the given name, or nil.
+func (n *Node) FirstChild(name string) *Node {
+	for _, c := range n.Children {
+		if c.IsElement() && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Descendants appends to out every element in document order whose
+// name matches ("" matches all), including n itself.
+func (n *Node) Descendants(name string, out []*Node) []*Node {
+	if n.IsElement() && (name == "" || n.Name == name) {
+		out = append(out, n)
+	}
+	for _, c := range n.Children {
+		if c.IsElement() {
+			out = c.Descendants(name, out)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the subtree. The clone's Parent is nil.
+func (n *Node) Clone() *Node {
+	c := &Node{Name: n.Name, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		c.Attrs = make([]Attr, len(n.Attrs))
+		copy(c.Attrs, n.Attrs)
+	}
+	for _, child := range n.Children {
+		c.Append(child.Clone())
+	}
+	return c
+}
+
+// Equal reports deep structural equality, ignoring Parent pointers and
+// attribute order.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || a.Text != b.Text || len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	sortedAttrs := func(n *Node) []Attr {
+		s := make([]Attr, len(n.Attrs))
+		copy(s, n.Attrs)
+		sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+		return s
+	}
+	sa, sb := sortedAttrs(a), sortedAttrs(b)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize merges adjacent text-node children throughout the subtree
+// and drops empty text nodes, matching what a serialize/parse round
+// trip produces. It returns n.
+func (n *Node) Normalize() *Node {
+	out := n.Children[:0]
+	for _, c := range n.Children {
+		if c.IsText() {
+			if c.Text == "" {
+				continue
+			}
+			if len(out) > 0 && out[len(out)-1].IsText() {
+				out[len(out)-1].Text += c.Text
+				continue
+			}
+			out = append(out, c)
+			continue
+		}
+		out = append(out, c.Normalize())
+	}
+	n.Children = out
+	return n
+}
+
+// Path returns a /-separated element path from the root to n,
+// for diagnostics.
+func (n *Node) Path() string {
+	var parts []string
+	for m := n; m != nil; m = m.Parent {
+		if m.IsElement() {
+			parts = append(parts, m.Name)
+		}
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// GoString aids test failure messages.
+func (n *Node) GoString() string {
+	if n == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("xmltree.Node(%s)", n.Path())
+}

@@ -1,0 +1,86 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r and returns its root element.
+// Whitespace-only text between elements is dropped; other text is
+// preserved verbatim. Comments and processing instructions are ignored.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := NewElement(flatName(t.Name))
+			for _, a := range t.Attr {
+				name := flatName(a.Name)
+				if name == "xmlns" || strings.HasPrefix(name, "xmlns:") {
+					continue
+				}
+				el.SetAttr(name, a.Value)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: parse: multiple root elements")
+				}
+				root = el
+			} else {
+				stack[len(stack)-1].Append(el)
+			}
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue
+			}
+			text := string(t)
+			if strings.TrimSpace(text) == "" {
+				continue
+			}
+			stack[len(stack)-1].AppendText(text)
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: unclosed element %s", stack[len(stack)-1].Name)
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: parse: empty document")
+	}
+	return root, nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Node, error) { return Parse(strings.NewReader(s)) }
+
+// MustParseString is ParseString for literals known to be valid.
+func MustParseString(s string) *Node {
+	n, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func flatName(n xml.Name) string {
+	// encoding/xml resolves prefixes to namespace URIs in Name.Space.
+	// H-documents don't use namespaces; if one slips in, keep the local
+	// name so path matching stays predictable.
+	return n.Local
+}

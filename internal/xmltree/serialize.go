@@ -1,0 +1,106 @@
+package xmltree
+
+import (
+	"io"
+	"strings"
+)
+
+// WriteOptions control serialization.
+type WriteOptions struct {
+	// Indent, when non-empty, pretty-prints with that unit (e.g. "  ").
+	Indent string
+}
+
+// Write serializes the subtree rooted at n to w.
+func Write(w io.Writer, n *Node, opts WriteOptions) error {
+	sw := &stickyWriter{w: w}
+	writeNode(sw, n, opts.Indent, 0)
+	if opts.Indent != "" && n.IsElement() {
+		sw.WriteString("\n")
+	}
+	return sw.err
+}
+
+// String serializes the subtree compactly.
+func String(n *Node) string {
+	var sb strings.Builder
+	_ = Write(&sb, n, WriteOptions{})
+	return sb.String()
+}
+
+// Pretty serializes the subtree with two-space indentation.
+func Pretty(n *Node) string {
+	var sb strings.Builder
+	_ = Write(&sb, n, WriteOptions{Indent: "  "})
+	return sb.String()
+}
+
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stickyWriter) WriteString(str string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, str)
+}
+
+func writeNode(w *stickyWriter, n *Node, indent string, depth int) {
+	if n.IsText() {
+		w.WriteString(escapeText(n.Text))
+		return
+	}
+	pad := ""
+	if indent != "" {
+		pad = strings.Repeat(indent, depth)
+		if depth > 0 {
+			w.WriteString("\n")
+		}
+		w.WriteString(pad)
+	}
+	w.WriteString("<")
+	w.WriteString(n.Name)
+	for _, a := range n.Attrs {
+		w.WriteString(" ")
+		w.WriteString(a.Name)
+		w.WriteString(`="`)
+		w.WriteString(escapeAttr(a.Value))
+		w.WriteString(`"`)
+	}
+	if len(n.Children) == 0 {
+		w.WriteString("/>")
+		return
+	}
+	w.WriteString(">")
+	// Mixed or text-only content must be rendered compactly: inserting
+	// indentation whitespace would change the text value.
+	hasText := false
+	for _, c := range n.Children {
+		if c.IsText() {
+			hasText = true
+			break
+		}
+	}
+	for _, c := range n.Children {
+		if hasText {
+			writeNode(w, c, "", 0)
+		} else {
+			writeNode(w, c, indent, depth+1)
+		}
+	}
+	if indent != "" && !hasText {
+		w.WriteString("\n")
+		w.WriteString(pad)
+	}
+	w.WriteString("</")
+	w.WriteString(n.Name)
+	w.WriteString(">")
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

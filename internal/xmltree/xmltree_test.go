@@ -1,0 +1,203 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBuildAndAccess(t *testing.T) {
+	emp := NewElement("employee").SetAttr("tstart", "1995-01-01").SetAttr("tend", "9999-12-31")
+	name := NewElement("name")
+	name.AppendText("Bob")
+	emp.Append(name)
+
+	if !emp.IsElement() || emp.IsText() {
+		t.Error("element kind confusion")
+	}
+	if v, ok := emp.Attr("tstart"); !ok || v != "1995-01-01" {
+		t.Errorf("Attr = %q, %v", v, ok)
+	}
+	if _, ok := emp.Attr("missing"); ok {
+		t.Error("missing attribute reported present")
+	}
+	if emp.AttrOr("missing", "x") != "x" {
+		t.Error("AttrOr default broken")
+	}
+	if got := emp.FirstChild("name").TextContent(); got != "Bob" {
+		t.Errorf("TextContent = %q", got)
+	}
+	if name.Parent != emp {
+		t.Error("parent pointer not set")
+	}
+}
+
+func TestSetAttrReplaces(t *testing.T) {
+	n := NewElement("e").SetAttr("a", "1").SetAttr("a", "2")
+	if len(n.Attrs) != 1 || n.Attrs[0].Value != "2" {
+		t.Errorf("SetAttr did not replace: %v", n.Attrs)
+	}
+}
+
+func TestParseSimple(t *testing.T) {
+	doc := `<employees>
+  <employee tstart="1995-01-01" tend="9999-12-31">
+    <id tstart="1995-01-01" tend="9999-12-31">1001</id>
+    <name tstart="1995-01-01" tend="9999-12-31">Bob</name>
+  </employee>
+</employees>`
+	root, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "employees" {
+		t.Fatalf("root = %s", root.Name)
+	}
+	emps := root.ChildElements("employee")
+	if len(emps) != 1 {
+		t.Fatalf("employees = %d", len(emps))
+	}
+	if got := emps[0].FirstChild("name").TextContent(); got != "Bob" {
+		t.Errorf("name = %q", got)
+	}
+	if got, _ := emps[0].FirstChild("id").Attr("tend"); got != "9999-12-31" {
+		t.Errorf("tend = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "<a><b></a>", "<a/><b/>", "<a>"} {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("ParseString(%q): expected error", s)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	n := NewElement("m").SetAttr("q", `a"b<c`)
+	n.AppendText("x < y & z > w")
+	s := String(n)
+	back, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s, err)
+	}
+	if !Equal(n, back) {
+		t.Errorf("escape round trip failed: %q", s)
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	root := MustParseString(`<a><b><c/><c/></b><c/><d><c/></d></a>`)
+	if got := len(root.Descendants("c", nil)); got != 4 {
+		t.Errorf("descendants c = %d", got)
+	}
+	if got := len(root.Descendants("", nil)); got != 7 {
+		t.Errorf("all descendants = %d", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := MustParseString(`<a x="1"><b>t</b></a>`)
+	cl := orig.Clone()
+	if !Equal(orig, cl) {
+		t.Fatal("clone differs")
+	}
+	cl.SetAttr("x", "2")
+	cl.FirstChild("b").Children[0].Text = "changed"
+	if v, _ := orig.Attr("x"); v != "1" {
+		t.Error("clone shares attrs")
+	}
+	if orig.FirstChild("b").TextContent() != "t" {
+		t.Error("clone shares children")
+	}
+	if cl.Parent != nil {
+		t.Error("clone parent should be nil")
+	}
+}
+
+func TestEqualIgnoresAttrOrder(t *testing.T) {
+	a := MustParseString(`<e x="1" y="2"/>`)
+	b := MustParseString(`<e y="2" x="1"/>`)
+	if !Equal(a, b) {
+		t.Error("attribute order should not matter")
+	}
+	c := MustParseString(`<e x="1" y="3"/>`)
+	if Equal(a, c) {
+		t.Error("different attr values should differ")
+	}
+}
+
+func TestPath(t *testing.T) {
+	root := MustParseString(`<a><b><c/></b></a>`)
+	c := root.FirstChild("b").FirstChild("c")
+	if got := c.Path(); got != "/a/b/c" {
+		t.Errorf("Path = %q", got)
+	}
+}
+
+func TestPrettyStable(t *testing.T) {
+	root := MustParseString(`<a><b>text</b><c k="v"/></a>`)
+	p := Pretty(root)
+	if !strings.Contains(p, "\n") {
+		t.Errorf("Pretty not indented: %q", p)
+	}
+	back, err := ParseString(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(root, back) {
+		t.Errorf("pretty round trip failed:\n%s", p)
+	}
+}
+
+func randomTree(r *rand.Rand, depth int) *Node {
+	names := []string{"a", "b", "c", "dept", "salary"}
+	n := NewElement(names[r.Intn(len(names))])
+	if r.Intn(2) == 0 {
+		n.SetAttr("tstart", "1995-01-01")
+	}
+	if r.Intn(3) == 0 {
+		n.SetAttr("k", `weird "value" <&>`)
+	}
+	kids := r.Intn(3)
+	if depth <= 0 {
+		kids = 0
+	}
+	for i := 0; i < kids; i++ {
+		if r.Intn(4) == 0 {
+			n.AppendText("txt&<>" + names[r.Intn(len(names))])
+		} else {
+			n.Append(randomTree(r, depth-1))
+		}
+	}
+	if len(n.Children) == 0 && r.Intn(2) == 0 {
+		n.AppendText("leaf")
+	}
+	return n
+}
+
+// Property: serialize → parse is the identity on random trees.
+func TestSerializeParseRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		// Normalize first: adjacent text nodes are indistinguishable
+		// from one merged node after a serialize/parse round trip.
+		tree := randomTree(r, 4).Normalize()
+		back, err := ParseString(String(tree))
+		if err != nil {
+			t.Fatalf("reparse: %v\n%s", err, String(tree))
+		}
+		if !Equal(tree, back) {
+			t.Fatalf("round trip mismatch:\n%s\n%s", String(tree), String(back))
+		}
+		pback, err := ParseString(Pretty(tree))
+		if err != nil {
+			t.Fatalf("pretty reparse: %v", err)
+		}
+		// Pretty-printing may merge adjacent text nodes' handling of
+		// whitespace; compare text-normalized structure.
+		if !Equal(tree, pback) && strings.ReplaceAll(String(tree), " ", "") != strings.ReplaceAll(String(pback), " ", "") {
+			t.Fatalf("pretty round trip mismatch:\n%s\n%s", String(tree), String(pback))
+		}
+	}
+}

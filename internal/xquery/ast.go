@@ -1,0 +1,157 @@
+package xquery
+
+// Expr is any XQuery expression node.
+type Expr interface{ xq() }
+
+// FuncDecl is one prolog `declare function name($p, …) { body }`.
+type FuncDecl struct {
+	Name   string // normalized lowercase, prefix kept (local:raise)
+	Params []string
+	Body   Expr
+}
+
+// Query is a parsed query: an optional prolog of user-defined
+// functions plus the body expression. The paper leans on this
+// extensibility — its temporal library is definable in XQuery itself.
+type Query struct {
+	Funcs []*FuncDecl
+	Body  Expr
+}
+
+// SeqExpr is a parenthesized sequence (e1, e2, ...); empty for ().
+type SeqExpr struct{ Items []Expr }
+
+// LiteralString is a quoted string.
+type LiteralString struct{ Value string }
+
+// LiteralNumber is a numeric literal.
+type LiteralNumber struct{ Value float64 }
+
+// VarRef references $name.
+type VarRef struct{ Name string }
+
+// ContextItem is ".".
+type ContextItem struct{}
+
+// FLWOR is the for/let/where/order by/return expression.
+type FLWOR struct {
+	Clauses []FLWORClause
+	Where   Expr
+	OrderBy []OrderSpec
+	Return  Expr
+}
+
+// FLWORClause is one for- or let-binding.
+type FLWORClause struct {
+	IsLet bool
+	Var   string
+	In    Expr
+}
+
+// OrderSpec is one "order by" key.
+type OrderSpec struct {
+	Key        Expr
+	Descending bool
+}
+
+// Quantified is `some/every $v in e satisfies p`.
+type Quantified struct {
+	Every     bool
+	Var       string
+	In        Expr
+	Satisfies Expr
+}
+
+// IfExpr is if (cond) then a else b.
+type IfExpr struct {
+	Cond, Then, Else Expr
+}
+
+// Binary applies an operator: or, and, =, !=, <, <=, >, >=, +, -, *,
+// div, mod, to (range).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is -x or +x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Path is a path expression: Root then steps.
+type Path struct {
+	// Root is the initial expression ("" means the path starts with a
+	// step relative to the context item).
+	Root  Expr
+	Steps []Step
+}
+
+// StepAxis selects how a step navigates.
+type StepAxis uint8
+
+const (
+	AxisChild      StepAxis = iota // name or *
+	AxisAttribute                  // @name
+	AxisDescendant                 // // name
+	AxisSelf                       // .
+	AxisParent                     // ..
+	AxisText                       // text()
+)
+
+// Step is one path step with optional predicates.
+type Step struct {
+	Axis  StepAxis
+	Name  string // element/attribute name; "*" matches all
+	Preds []Expr
+}
+
+// FuncCall invokes a built-in or temporal function.
+type FuncCall struct {
+	Name string // normalized lowercase, namespace prefixes kept ("xs:date")
+	Args []Expr
+}
+
+// DirectElement is a literal XML constructor, e.g.
+// <employee tstart="{...}">{$e/id}</employee>.
+type DirectElement struct {
+	Tag      string
+	Attrs    []DirectAttr
+	Children []ConstructorContent
+}
+
+// DirectAttr is one attribute in a direct constructor; its value is a
+// list of literal strings and embedded expressions.
+type DirectAttr struct {
+	Name  string
+	Parts []ConstructorContent
+}
+
+// ConstructorContent is literal text or an embedded expression.
+type ConstructorContent struct {
+	Text string
+	Expr Expr // non-nil for {expr}
+	Elem *DirectElement
+}
+
+// ComputedElement is `element name { content }`.
+type ComputedElement struct {
+	Tag     string
+	Content Expr // may be nil for empty element
+}
+
+func (*SeqExpr) xq()         {}
+func (*LiteralString) xq()   {}
+func (*LiteralNumber) xq()   {}
+func (*VarRef) xq()          {}
+func (*ContextItem) xq()     {}
+func (*FLWOR) xq()           {}
+func (*Quantified) xq()      {}
+func (*IfExpr) xq()          {}
+func (*Binary) xq()          {}
+func (*Unary) xq()           {}
+func (*Path) xq()            {}
+func (*FuncCall) xq()        {}
+func (*DirectElement) xq()   {}
+func (*ComputedElement) xq() {}

@@ -1,0 +1,639 @@
+package xquery
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"archis/internal/temporal"
+	"archis/internal/xmltree"
+)
+
+// Evaluator evaluates parsed XQuery expressions over XML trees.
+type Evaluator struct {
+	// Docs resolves doc("name") references.
+	Docs func(name string) (*xmltree.Node, error)
+	// Now is the query-time instant used for current-date() and for
+	// instantiating the internal "now" encoding (Section 4.3).
+	Now temporal.Date
+
+	funcs     map[string]builtinFunc
+	userDepth int
+}
+
+// NewEvaluator returns an evaluator with the standard and temporal
+// function libraries installed.
+func NewEvaluator(docs func(name string) (*xmltree.Node, error)) *Evaluator {
+	ev := &Evaluator{Docs: docs, Now: temporal.FromTime(time.Now())}
+	ev.funcs = builtinFuncs()
+	return ev
+}
+
+// env is one lexical scope: variable bindings, the context item, and
+// the query's user-defined functions (shared, not copied per scope).
+type env struct {
+	vars      map[string]Seq
+	ctx       Item
+	hasCtx    bool
+	ctxPos    int // 1-based position() inside a predicate; 0 outside
+	ctxSize   int // last() inside a predicate; 0 outside
+	userFuncs map[string]*FuncDecl
+}
+
+func (e *env) child() *env {
+	vars := make(map[string]Seq, len(e.vars)+2)
+	for k, v := range e.vars {
+		vars[k] = v
+	}
+	return &env{vars: vars, ctx: e.ctx, hasCtx: e.hasCtx,
+		ctxPos: e.ctxPos, ctxSize: e.ctxSize, userFuncs: e.userFuncs}
+}
+
+// Eval parses and evaluates a query, including any `declare function`
+// prolog.
+func (ev *Evaluator) Eval(src string) (Seq, error) {
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return ev.EvalQuery(q)
+}
+
+// EvalQuery evaluates a parsed query with its prolog functions bound.
+func (ev *Evaluator) EvalQuery(q *Query) (Seq, error) {
+	en := &env{vars: map[string]Seq{}, userFuncs: map[string]*FuncDecl{}}
+	for _, fd := range q.Funcs {
+		if _, dup := en.userFuncs[fd.Name]; dup {
+			return nil, fmt.Errorf("xquery: function %s() declared twice", fd.Name)
+		}
+		en.userFuncs[fd.Name] = fd
+	}
+	return ev.eval(q.Body, en)
+}
+
+// EvalExpr evaluates a parsed expression with no initial bindings.
+func (ev *Evaluator) EvalExpr(e Expr) (Seq, error) {
+	return ev.eval(e, &env{vars: map[string]Seq{}})
+}
+
+func (ev *Evaluator) eval(e Expr, en *env) (Seq, error) {
+	switch x := e.(type) {
+	case *LiteralString:
+		return Seq{StringItem(x.Value)}, nil
+	case *LiteralNumber:
+		return Seq{NumberItem(x.Value)}, nil
+	case *VarRef:
+		v, ok := en.vars[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("xquery: unbound variable $%s", x.Name)
+		}
+		return v, nil
+	case *ContextItem:
+		if !en.hasCtx {
+			return nil, fmt.Errorf("xquery: no context item for '.'")
+		}
+		return Seq{en.ctx}, nil
+	case *SeqExpr:
+		var out Seq
+		for _, it := range x.Items {
+			s, err := ev.eval(it, en)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s...)
+		}
+		return out, nil
+	case *FLWOR:
+		return ev.evalFLWOR(x, en)
+	case *Quantified:
+		return ev.evalQuantified(x, en)
+	case *IfExpr:
+		cond, err := ev.eval(x.Cond, en)
+		if err != nil {
+			return nil, err
+		}
+		if cond.EffectiveBool() {
+			return ev.eval(x.Then, en)
+		}
+		return ev.eval(x.Else, en)
+	case *Binary:
+		return ev.evalBinary(x, en)
+	case *Unary:
+		s, err := ev.eval(x.X, en)
+		if err != nil {
+			return nil, err
+		}
+		if len(s) == 0 {
+			return nil, nil
+		}
+		f, ok := s[0].NumberValue()
+		if !ok {
+			return nil, fmt.Errorf("xquery: unary minus of non-number")
+		}
+		return Seq{NumberItem(-f)}, nil
+	case *Path:
+		return ev.evalPath(x, en)
+	case *FuncCall:
+		return ev.evalFuncCall(x, en)
+	case *DirectElement:
+		n, err := ev.buildDirect(x, en)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{NodeItem(n)}, nil
+	case *ComputedElement:
+		el := xmltree.NewElement(x.Tag)
+		if x.Content != nil {
+			s, err := ev.eval(x.Content, en)
+			if err != nil {
+				return nil, err
+			}
+			appendSeq(el, s)
+		}
+		return Seq{NodeItem(el)}, nil
+	}
+	return nil, fmt.Errorf("xquery: cannot evaluate %T", e)
+}
+
+func (ev *Evaluator) evalFLWOR(x *FLWOR, en *env) (Seq, error) {
+	type tuple struct {
+		env  *env
+		keys Seq
+	}
+	var tuples []tuple
+
+	var bind func(i int, cur *env) error
+	bind = func(i int, cur *env) error {
+		if i == len(x.Clauses) {
+			if x.Where != nil {
+				c, err := ev.eval(x.Where, cur)
+				if err != nil {
+					return err
+				}
+				if !c.EffectiveBool() {
+					return nil
+				}
+			}
+			keys := make(Seq, len(x.OrderBy))
+			for k, spec := range x.OrderBy {
+				s, err := ev.eval(spec.Key, cur)
+				if err != nil {
+					return err
+				}
+				if len(s) > 0 {
+					keys[k] = s[0]
+				} else {
+					keys[k] = StringItem("")
+				}
+			}
+			tuples = append(tuples, tuple{env: cur, keys: keys})
+			return nil
+		}
+		cl := x.Clauses[i]
+		if cl.IsLet {
+			s, err := ev.eval(cl.In, cur)
+			if err != nil {
+				return err
+			}
+			next := cur.child()
+			next.vars[cl.Var] = s
+			return bind(i+1, next)
+		}
+		s, err := ev.eval(cl.In, cur)
+		if err != nil {
+			return err
+		}
+		for _, it := range s {
+			next := cur.child()
+			next.vars[cl.Var] = Seq{it}
+			if err := bind(i+1, next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := bind(0, en); err != nil {
+		return nil, err
+	}
+
+	if len(x.OrderBy) > 0 {
+		sort.SliceStable(tuples, func(i, j int) bool {
+			for k, spec := range x.OrderBy {
+				c := compareItemsTotal(tuples[i].keys[k], tuples[j].keys[k])
+				if c != 0 {
+					if spec.Descending {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+
+	var out Seq
+	for _, t := range tuples {
+		s, err := ev.eval(x.Return, t.env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+func (ev *Evaluator) evalQuantified(x *Quantified, en *env) (Seq, error) {
+	in, err := ev.eval(x.In, en)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range in {
+		next := en.child()
+		next.vars[x.Var] = Seq{it}
+		sat, err := ev.eval(x.Satisfies, next)
+		if err != nil {
+			return nil, err
+		}
+		if x.Every && !sat.EffectiveBool() {
+			return Seq{BoolItem(false)}, nil
+		}
+		if !x.Every && sat.EffectiveBool() {
+			return Seq{BoolItem(true)}, nil
+		}
+	}
+	return Seq{BoolItem(x.Every)}, nil
+}
+
+func (ev *Evaluator) evalBinary(x *Binary, en *env) (Seq, error) {
+	switch x.Op {
+	case "and":
+		l, err := ev.eval(x.L, en)
+		if err != nil {
+			return nil, err
+		}
+		if !l.EffectiveBool() {
+			return Seq{BoolItem(false)}, nil
+		}
+		r, err := ev.eval(x.R, en)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{BoolItem(r.EffectiveBool())}, nil
+	case "or":
+		l, err := ev.eval(x.L, en)
+		if err != nil {
+			return nil, err
+		}
+		if l.EffectiveBool() {
+			return Seq{BoolItem(true)}, nil
+		}
+		r, err := ev.eval(x.R, en)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{BoolItem(r.EffectiveBool())}, nil
+	}
+	l, err := ev.eval(x.L, en)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ev.eval(x.R, en)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		// General comparison: true if any pair satisfies.
+		for _, a := range l {
+			for _, b := range r {
+				if compareGeneral(a, b, x.Op) {
+					return Seq{BoolItem(true)}, nil
+				}
+			}
+		}
+		return Seq{BoolItem(false)}, nil
+	case "+", "-", "*", "div", "mod":
+		if len(l) == 0 || len(r) == 0 {
+			return nil, nil
+		}
+		return arithItems(l[0], r[0], x.Op)
+	}
+	return nil, fmt.Errorf("xquery: unknown operator %s", x.Op)
+}
+
+func arithItems(a, b Item, op string) (Seq, error) {
+	// Date ± number and date - date.
+	if da, ok := a.dateAtom(); ok {
+		if db, ok2 := b.dateAtom(); ok2 && op == "-" {
+			return Seq{NumberItem(float64(db.DaysBetween(da)) * -1)}, nil
+		}
+		if f, ok2 := b.NumberValue(); ok2 {
+			switch op {
+			case "+":
+				return Seq{DateItem(da.AddDays(int(f)))}, nil
+			case "-":
+				return Seq{DateItem(da.AddDays(-int(f)))}, nil
+			}
+		}
+	}
+	af, aok := a.NumberValue()
+	bf, bok := b.NumberValue()
+	if !aok || !bok {
+		return nil, fmt.Errorf("xquery: non-numeric operand for %s (%q, %q)", op, a.String(), b.String())
+	}
+	switch op {
+	case "+":
+		return Seq{NumberItem(af + bf)}, nil
+	case "-":
+		return Seq{NumberItem(af - bf)}, nil
+	case "*":
+		return Seq{NumberItem(af * bf)}, nil
+	case "div":
+		if bf == 0 {
+			return nil, fmt.Errorf("xquery: division by zero")
+		}
+		return Seq{NumberItem(af / bf)}, nil
+	case "mod":
+		if bf == 0 {
+			return nil, fmt.Errorf("xquery: modulo by zero")
+		}
+		return Seq{NumberItem(math.Mod(af, bf))}, nil
+	}
+	return nil, fmt.Errorf("xquery: unknown arithmetic %s", op)
+}
+
+// dateAtom returns the date when the item is a date atom (not a node).
+func (it Item) dateAtom() (temporal.Date, bool) {
+	if !it.IsNode() && it.Kind == AtomDate {
+		return it.D, true
+	}
+	return 0, false
+}
+
+// compareGeneral applies XPath-style dynamic comparison rules.
+func compareGeneral(a, b Item, op string) bool {
+	c, ok := compareItems(a, b)
+	if !ok {
+		return false
+	}
+	switch op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// compareItems picks a comparison domain: dates when either side is a
+// date atom, numbers when either side is a number atom, booleans for
+// bool atoms, otherwise strings. Untyped node content adapts to the
+// other side.
+func compareItems(a, b Item) (int, bool) {
+	aDate, aIsDate := a.dateAtom()
+	bDate, bIsDate := b.dateAtom()
+	if aIsDate || bIsDate {
+		if !aIsDate {
+			var ok bool
+			if aDate, ok = a.DateValue(); !ok {
+				return 0, false
+			}
+		}
+		if !bIsDate {
+			var ok bool
+			if bDate, ok = b.DateValue(); !ok {
+				return 0, false
+			}
+		}
+		switch {
+		case aDate < bDate:
+			return -1, true
+		case aDate > bDate:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	aNum := !a.IsNode() && a.Kind == AtomNumber
+	bNum := !b.IsNode() && b.Kind == AtomNumber
+	if aNum || bNum {
+		af, aok := a.NumberValue()
+		bf, bok := b.NumberValue()
+		if !aok || !bok {
+			return 0, false
+		}
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	aBool := !a.IsNode() && a.Kind == AtomBool
+	bBool := !b.IsNode() && b.Kind == AtomBool
+	if aBool || bBool {
+		av := a.StringValue() == "true"
+		bv := b.StringValue() == "true"
+		if a.Kind == AtomBool {
+			av = a.B
+		}
+		if b.Kind == AtomBool {
+			bv = b.B
+		}
+		switch {
+		case av == bv:
+			return 0, true
+		case !av:
+			return -1, true
+		default:
+			return 1, true
+		}
+	}
+	return strings.Compare(a.StringValue(), b.StringValue()), true
+}
+
+// compareItemsTotal is a total order for "order by" (falls back to
+// string comparison when domains mismatch).
+func compareItemsTotal(a, b Item) int {
+	if c, ok := compareItems(a, b); ok {
+		return c
+	}
+	return strings.Compare(a.StringValue(), b.StringValue())
+}
+
+func (ev *Evaluator) evalPath(x *Path, en *env) (Seq, error) {
+	var cur Seq
+	if x.Root != nil {
+		s, err := ev.eval(x.Root, en)
+		if err != nil {
+			return nil, err
+		}
+		cur = s
+	} else {
+		if !en.hasCtx {
+			return nil, fmt.Errorf("xquery: relative path with no context item")
+		}
+		cur = Seq{en.ctx}
+	}
+	for _, st := range x.Steps {
+		next, err := ev.evalStep(st, cur, en)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (ev *Evaluator) evalStep(st Step, input Seq, en *env) (Seq, error) {
+	var out Seq
+	seen := map[*xmltree.Node]bool{}
+	addNode := func(n *xmltree.Node) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, NodeItem(n))
+		}
+	}
+	for _, it := range input {
+		switch st.Axis {
+		case AxisSelf:
+			out = append(out, it)
+		case AxisAttribute:
+			if it.IsNode() {
+				if v, ok := it.Node.Attr(st.Name); ok {
+					out = append(out, StringItem(v))
+				}
+			}
+		case AxisChild:
+			if it.IsNode() {
+				for _, c := range it.Node.Children {
+					if c.IsElement() && (st.Name == "*" || c.Name == st.Name) {
+						addNode(c)
+					}
+				}
+			}
+		case AxisDescendant:
+			if it.IsNode() {
+				for _, c := range it.Node.Children {
+					if c.IsElement() {
+						for _, d := range c.Descendants(st.Name, nil) {
+							addNode(d)
+						}
+					}
+				}
+			}
+		case AxisParent:
+			if it.IsNode() && it.Node.Parent != nil {
+				addNode(it.Node.Parent)
+			}
+		case AxisText:
+			if it.IsNode() {
+				for _, c := range it.Node.Children {
+					if c.IsText() {
+						out = append(out, StringItem(c.Text))
+					}
+				}
+			}
+		}
+	}
+	// Predicates filter positionally.
+	for _, pred := range st.Preds {
+		filtered := make(Seq, 0, len(out))
+		for pos, it := range out {
+			next := en.child()
+			next.ctx = it
+			next.hasCtx = true
+			next.ctxPos = pos + 1
+			next.ctxSize = len(out)
+			s, err := ev.eval(pred, next)
+			if err != nil {
+				return nil, err
+			}
+			if len(s) == 1 && !s[0].IsNode() && s[0].Kind == AtomNumber {
+				if int(s[0].F) == pos+1 {
+					filtered = append(filtered, it)
+				}
+				continue
+			}
+			if s.EffectiveBool() {
+				filtered = append(filtered, it)
+			}
+		}
+		out = filtered
+	}
+	return out, nil
+}
+
+func (ev *Evaluator) buildDirect(x *DirectElement, en *env) (*xmltree.Node, error) {
+	el := xmltree.NewElement(x.Tag)
+	for _, a := range x.Attrs {
+		var sb strings.Builder
+		for _, part := range a.Parts {
+			if part.Expr == nil {
+				sb.WriteString(part.Text)
+				continue
+			}
+			s, err := ev.eval(part.Expr, en)
+			if err != nil {
+				return nil, err
+			}
+			for i, it := range s {
+				if i > 0 {
+					sb.WriteString(" ")
+				}
+				sb.WriteString(it.StringValue())
+			}
+		}
+		el.SetAttr(a.Name, sb.String())
+	}
+	for _, c := range x.Children {
+		switch {
+		case c.Elem != nil:
+			child, err := ev.buildDirect(c.Elem, en)
+			if err != nil {
+				return nil, err
+			}
+			el.Append(child)
+		case c.Expr != nil:
+			s, err := ev.eval(c.Expr, en)
+			if err != nil {
+				return nil, err
+			}
+			appendSeq(el, s)
+		default:
+			el.AppendText(c.Text)
+		}
+	}
+	return el, nil
+}
+
+// appendSeq inserts a sequence into constructed element content: nodes
+// are copied, adjacent atomics joined with single spaces.
+func appendSeq(el *xmltree.Node, s Seq) {
+	prevAtom := false
+	for _, it := range s {
+		if it.IsNode() {
+			el.Append(it.Node.Clone())
+			prevAtom = false
+			continue
+		}
+		text := it.StringValue()
+		if prevAtom {
+			text = " " + text
+		}
+		el.AppendText(text)
+		prevAtom = true
+	}
+}

@@ -1,0 +1,291 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLiteralAndArithmetic(t *testing.T) {
+	ev := newTestEvaluator(t)
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{`1 + 2 * 3`, "7"},
+		{`(1 + 2) * 3`, "9"},
+		{`10 div 4`, "2.5"},
+		{`10 mod 3`, "1"},
+		{`-5 + 2`, "-3"},
+		{`"a"`, "a"},
+		{`concat("a", "b", "c")`, "abc"},
+		{`xs:date("1995-01-01") + 31`, "1995-02-01"},
+		{`string-length("hello")`, "5"},
+	}
+	for _, c := range cases {
+		got := evalOK(t, ev, c.q).Serialize()
+		if got != c.want {
+			t.Errorf("Eval(%q) = %q, want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPathNavigation(t *testing.T) {
+	ev := newTestEvaluator(t)
+	if got := len(evalOK(t, ev, `doc("employees.xml")/employees/employee`)); got != 3 {
+		t.Errorf("employees = %d", got)
+	}
+	if got := len(evalOK(t, ev, `doc("employees.xml")/employees/employee/salary`)); got != 5 {
+		t.Errorf("salaries = %d", got)
+	}
+	if got := len(evalOK(t, ev, `doc("employees.xml")//salary`)); got != 5 {
+		t.Errorf("descendant salaries = %d", got)
+	}
+	got := evalOK(t, ev, `doc("employees.xml")/employees/employee[name="Bob"]/name`).Serialize()
+	if !strings.Contains(got, ">Bob<") {
+		t.Errorf("bob name = %q", got)
+	}
+	if got := len(evalOK(t, ev, `doc("employees.xml")/employees/*`)); got != 3 {
+		t.Errorf("wildcard = %d", got)
+	}
+}
+
+func TestAttributeAxisAndPredicates(t *testing.T) {
+	ev := newTestEvaluator(t)
+	got := evalOK(t, ev, `doc("employees.xml")/employees/employee[name="Bob"]/salary[1]/@tstart`).Serialize()
+	if got != "1995-01-01" {
+		t.Errorf("@tstart = %q", got)
+	}
+	got = evalOK(t, ev, `doc("employees.xml")/employees/employee[name="Bob"]/salary[2]`).Serialize()
+	if !strings.Contains(got, "70000") {
+		t.Errorf("salary[2] = %q", got)
+	}
+	// Numeric comparison in predicate.
+	n := len(evalOK(t, ev, `doc("employees.xml")/employees/employee/salary[. > 56000]`))
+	if n != 3 {
+		t.Errorf("salaries > 56000 = %d", n)
+	}
+}
+
+func TestFLWORBasics(t *testing.T) {
+	ev := newTestEvaluator(t)
+	got := evalOK(t, ev, `
+		for $e in doc("employees.xml")/employees/employee
+		where $e/name = "Alice"
+		return $e/id`).Serialize()
+	if !strings.Contains(got, "1002") {
+		t.Errorf("flwor = %q", got)
+	}
+	got = evalOK(t, ev, `
+		for $e in doc("employees.xml")/employees/employee
+		let $n := $e/name
+		order by $n descending
+		return string($n)`).Serialize()
+	if got != "Carol Bob Alice" {
+		t.Errorf("order by = %q", got)
+	}
+}
+
+func TestIfAndQuantified(t *testing.T) {
+	ev := newTestEvaluator(t)
+	got := evalOK(t, ev, `if (1 < 2) then "yes" else "no"`).Serialize()
+	if got != "yes" {
+		t.Errorf("if = %q", got)
+	}
+	got = evalOK(t, ev, `
+		some $s in doc("employees.xml")//salary satisfies number($s) > 69000`).Serialize()
+	if got != "true" {
+		t.Errorf("some = %q", got)
+	}
+	got = evalOK(t, ev, `
+		every $s in doc("employees.xml")//salary satisfies number($s) > 49000`).Serialize()
+	if got != "true" {
+		t.Errorf("every = %q", got)
+	}
+	got = evalOK(t, ev, `
+		every $s in doc("employees.xml")//salary satisfies number($s) > 51000`).Serialize()
+	if got != "false" {
+		t.Errorf("every2 = %q", got)
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	ev := newTestEvaluator(t)
+	got := evalOK(t, ev, `<wrap a="x{1+1}y"><inner>{2+3}</inner></wrap>`).Serialize()
+	want := `<wrap a="x2y"><inner>5</inner></wrap>`
+	if got != want {
+		t.Errorf("direct constructor = %q", got)
+	}
+	got = evalOK(t, ev, `element box { "text" }`).Serialize()
+	if got != `<box>text</box>` {
+		t.Errorf("computed constructor = %q", got)
+	}
+	got = evalOK(t, ev, `
+		<names>{ for $e in doc("employees.xml")/employees/employee return $e/name }</names>`).Serialize()
+	if !strings.Contains(got, ">Bob<") || !strings.Contains(got, ">Alice<") {
+		t.Errorf("names = %q", got)
+	}
+}
+
+func TestTemporalFunctions(t *testing.T) {
+	ev := newTestEvaluator(t)
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{`tstart(doc("employees.xml")/employees/employee[name="Bob"])`, "1995-01-01"},
+		{`tend(doc("employees.xml")/employees/employee[name="Bob"])`, "1996-12-31"},
+		// Alice is current: tend reports current-date (1997-01-01).
+		{`tend(doc("employees.xml")/employees/employee[name="Alice"])`, "1997-01-01"},
+		{`timespan(doc("employees.xml")/employees/employee[name="Bob"]/salary[1])`, "151"},
+		{`toverlaps(doc("employees.xml")/employees/employee[name="Bob"],
+		            telement(xs:date("1994-05-06"), xs:date("1995-05-06")))`, "true"},
+		{`tprecedes(telement(xs:date("1994-01-01"), xs:date("1994-02-01")),
+		            telement(xs:date("1995-01-01"), xs:date("1995-02-01")))`, "true"},
+		{`tmeets(telement(xs:date("1994-01-01"), xs:date("1994-02-01")),
+		         telement(xs:date("1994-02-02"), xs:date("1994-03-01")))`, "true"},
+		{`tcontains(doc("employees.xml")/employees/employee[name="Bob"],
+		            doc("employees.xml")/employees/employee[name="Bob"]/title[2])`, "true"},
+		{`tequals(doc("employees.xml")/employees/employee[name="Carol"],
+		          doc("employees.xml")/employees/employee[name="Carol"]/salary[1])`, "true"},
+	}
+	for _, c := range cases {
+		got := evalOK(t, ev, c.q).Serialize()
+		if got != c.want {
+			t.Errorf("Eval(%q) = %q, want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestOverlapIntervalAndRestructure(t *testing.T) {
+	ev := newTestEvaluator(t)
+	got := evalOK(t, ev, `
+		overlapinterval(doc("employees.xml")/employees/employee[name="Bob"]/salary[1],
+		                doc("employees.xml")/employees/employee[name="Bob"]/title[1])`).Serialize()
+	if got != `<interval tstart="1995-01-01" tend="1995-05-31"/>` {
+		t.Errorf("overlapinterval = %q", got)
+	}
+	if s := evalOK(t, ev, `
+		overlapinterval(telement(xs:date("1994-01-01"), xs:date("1994-02-01")),
+		                telement(xs:date("1995-01-01"), xs:date("1995-02-01")))`); len(s) != 0 {
+		t.Errorf("disjoint overlapinterval = %v", s)
+	}
+	rs := evalOK(t, ev, `
+		restructure(doc("employees.xml")/employees/employee[name="Bob"]/deptno,
+		            doc("employees.xml")/employees/employee[name="Bob"]/title)`)
+	if len(rs) != 3 {
+		t.Errorf("restructure = %d intervals: %s", len(rs), rs.Serialize())
+	}
+}
+
+func TestCoalesceFunction(t *testing.T) {
+	ev := newTestEvaluator(t)
+	// Bob's salary history has two adjacent but different values — no
+	// merging. Titles named the same merge across employees? No:
+	// coalesce matches on name+text.
+	got := evalOK(t, ev, `
+		coalesce(doc("employees.xml")/employees/employee[name="Bob"]/salary)`)
+	if len(got) != 2 {
+		t.Errorf("coalesce salaries = %d", len(got))
+	}
+	// Construct a case that needs merging: same value, adjacent.
+	got = evalOK(t, ev, `
+		coalesce((<v tstart="1995-01-01" tend="1995-01-31">5</v>,
+		          <v tstart="1995-02-01" tend="1995-03-31">5</v>,
+		          <v tstart="1995-06-01" tend="1995-06-30">5</v>))`)
+	if len(got) != 2 {
+		t.Fatalf("coalesce = %s", got.Serialize())
+	}
+	if v, _ := got[0].Node.Attr("tend"); v != "1995-03-31" {
+		t.Errorf("merged tend = %s", v)
+	}
+}
+
+func TestRtendAndExternalNow(t *testing.T) {
+	ev := newTestEvaluator(t)
+	got := evalOK(t, ev, `rtend(doc("employees.xml")/employees/employee[name="Alice"]/deptno[1])`).Serialize()
+	if !strings.Contains(got, `tend="1997-01-01"`) {
+		t.Errorf("rtend = %q", got)
+	}
+	got = evalOK(t, ev, `externalnow(doc("employees.xml")/employees/employee[name="Alice"]/deptno[1])`).Serialize()
+	if !strings.Contains(got, `tend="now"`) {
+		t.Errorf("externalnow = %q", got)
+	}
+}
+
+func TestParseErrorsXQ(t *testing.T) {
+	bad := []string{
+		``,
+		`for $x return 1`,
+		`for $x in (1,2)`,
+		`if (1) then 2`,
+		`<a><b></a>`,
+		`$`,
+		`1 +`,
+		`doc("x"`,
+		`some $v in (1,2) satisfie true()`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q): expected error", q)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	ev := newTestEvaluator(t)
+	bad := []string{
+		`$unbound`,
+		`doc("nosuch.xml")`,
+		`unknownfn(1)`,
+		`1 div 0`,
+		`tstart(doc("employees.xml"))`, // #document has no tstart
+	}
+	for _, q := range bad {
+		if _, err := ev.Eval(q); err == nil {
+			t.Errorf("Eval(%q): expected error", q)
+		}
+	}
+}
+
+func TestDistinctValuesAndCount(t *testing.T) {
+	ev := newTestEvaluator(t)
+	got := evalOK(t, ev, `count(distinct-values(doc("employees.xml")//deptno))`).Serialize()
+	if got != "2" {
+		t.Errorf("distinct deptnos = %q", got)
+	}
+	got = evalOK(t, ev, `count(doc("employees.xml")//title)`).Serialize()
+	if got != "6" {
+		t.Errorf("title count = %q", got)
+	}
+	got = evalOK(t, ev, `avg(doc("employees.xml")/employees/employee/salary[@tstart="1995-01-01"])`).Serialize()
+	if got != "57500" {
+		t.Errorf("avg = %q", got)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	ev := newTestEvaluator(t)
+	got := evalOK(t, ev, `(: leading comment :) 1 + (: nested (: inner :) :) 2`).Serialize()
+	if got != "3" {
+		t.Errorf("comments = %q", got)
+	}
+}
+
+func TestPositionAndLast(t *testing.T) {
+	ev := newTestEvaluator(t)
+	got := evalOK(t, ev, `doc("employees.xml")/employees/employee[name="Bob"]/title[position() = 2]`).Serialize()
+	if !strings.Contains(got, "Sr Engineer") {
+		t.Errorf("position() = %q", got)
+	}
+	got = evalOK(t, ev, `string(doc("employees.xml")/employees/employee[name="Bob"]/title[last()])`).Serialize()
+	if got != "TechLeader" {
+		t.Errorf("last() = %q", got)
+	}
+	got = evalOK(t, ev, `count(doc("employees.xml")/employees/employee[position() < last()])`).Serialize()
+	if got != "2" {
+		t.Errorf("position<last = %q", got)
+	}
+	if _, err := ev.Eval(`position()`); err == nil {
+		t.Error("position() outside predicate accepted")
+	}
+}

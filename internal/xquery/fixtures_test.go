@@ -1,0 +1,92 @@
+package xquery
+
+import (
+	"fmt"
+	"testing"
+
+	"archis/internal/temporal"
+	"archis/internal/xmltree"
+)
+
+// The H-documents of the paper's Figures 3 and 4 (employees.xml and
+// depts.xml for Tables 1 and 2), with Alice added as a current
+// employee so queries about "now" have a live target.
+const employeesXML = `
+<employees tstart="1995-01-01" tend="9999-12-31">
+  <employee tstart="1995-01-01" tend="1996-12-31">
+    <id tstart="1995-01-01" tend="1996-12-31">1001</id>
+    <name tstart="1995-01-01" tend="1996-12-31">Bob</name>
+    <salary tstart="1995-01-01" tend="1995-05-31">60000</salary>
+    <salary tstart="1995-06-01" tend="1996-12-31">70000</salary>
+    <title tstart="1995-01-01" tend="1995-09-30">Engineer</title>
+    <title tstart="1995-10-01" tend="1996-01-31">Sr Engineer</title>
+    <title tstart="1996-02-01" tend="1996-12-31">TechLeader</title>
+    <deptno tstart="1995-01-01" tend="1995-09-30">d01</deptno>
+    <deptno tstart="1995-10-01" tend="1996-12-31">d02</deptno>
+  </employee>
+  <employee tstart="1995-03-01" tend="9999-12-31">
+    <id tstart="1995-03-01" tend="9999-12-31">1002</id>
+    <name tstart="1995-03-01" tend="9999-12-31">Alice</name>
+    <salary tstart="1995-03-01" tend="1995-12-31">50000</salary>
+    <salary tstart="1996-01-01" tend="9999-12-31">65000</salary>
+    <title tstart="1995-03-01" tend="1996-06-30">Engineer</title>
+    <title tstart="1996-07-01" tend="9999-12-31">Sr Engineer</title>
+    <deptno tstart="1995-03-01" tend="9999-12-31">d01</deptno>
+  </employee>
+  <employee tstart="1995-01-01" tend="1996-12-31">
+    <id tstart="1995-01-01" tend="1996-12-31">1003</id>
+    <name tstart="1995-01-01" tend="1996-12-31">Carol</name>
+    <salary tstart="1995-01-01" tend="1996-12-31">55000</salary>
+    <title tstart="1995-01-01" tend="1996-12-31">Engineer</title>
+    <deptno tstart="1995-01-01" tend="1995-09-30">d01</deptno>
+    <deptno tstart="1995-10-01" tend="1996-12-31">d02</deptno>
+  </employee>
+</employees>`
+
+const deptsXML = `
+<depts tstart="1992-01-01" tend="9999-12-31">
+  <dept tstart="1994-01-01" tend="1998-12-31">
+    <deptno tstart="1994-01-01" tend="1998-12-31">d01</deptno>
+    <deptname tstart="1994-01-01" tend="1998-12-31">QA</deptname>
+    <mgrno tstart="1994-01-01" tend="1998-12-31">2501</mgrno>
+  </dept>
+  <dept tstart="1992-01-01" tend="1998-12-31">
+    <deptno tstart="1992-01-01" tend="1998-12-31">d02</deptno>
+    <deptname tstart="1992-01-01" tend="1998-12-31">RD</deptname>
+    <mgrno tstart="1992-01-01" tend="1996-12-31">3402</mgrno>
+    <mgrno tstart="1997-01-01" tend="1998-12-31">1009</mgrno>
+  </dept>
+  <dept tstart="1993-01-01" tend="1997-12-31">
+    <deptno tstart="1993-01-01" tend="1997-12-31">d03</deptno>
+    <deptname tstart="1993-01-01" tend="1997-12-31">Sales</deptname>
+    <mgrno tstart="1993-01-01" tend="1997-12-31">4748</mgrno>
+  </dept>
+</depts>`
+
+// newTestEvaluator serves the two fixture documents under all the
+// names the paper's queries use.
+func newTestEvaluator(t *testing.T) *Evaluator {
+	t.Helper()
+	emp := xmltree.MustParseString(employeesXML)
+	dep := xmltree.MustParseString(deptsXML)
+	ev := NewEvaluator(func(name string) (*xmltree.Node, error) {
+		switch name {
+		case "employees.xml", "emp.xml":
+			return emp, nil
+		case "depts.xml", "departments.xml":
+			return dep, nil
+		}
+		return nil, fmt.Errorf("no document %q", name)
+	})
+	ev.Now = temporal.MustParseDate("1997-01-01")
+	return ev
+}
+
+func evalOK(t *testing.T, ev *Evaluator, q string) Seq {
+	t.Helper()
+	s, err := ev.Eval(q)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", q, err)
+	}
+	return s
+}

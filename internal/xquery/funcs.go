@@ -1,0 +1,704 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"archis/internal/temporal"
+	"archis/internal/xmltree"
+)
+
+// builtinFunc implements one XQuery function.
+type builtinFunc func(ev *Evaluator, en *env, args []Seq) (Seq, error)
+
+func (ev *Evaluator) evalFuncCall(x *FuncCall, en *env) (Seq, error) {
+	// User-defined functions (the query prolog) take precedence over
+	// builtins, so the temporal library can be redefined in XQuery
+	// itself — which is how the paper originally implements it.
+	if en.userFuncs != nil {
+		if fd, ok := en.userFuncs[x.Name]; ok {
+			return ev.callUserFunc(fd, x, en)
+		}
+	}
+	fn, ok := ev.funcs[x.Name]
+	if !ok {
+		return nil, fmt.Errorf("xquery: unknown function %s()", x.Name)
+	}
+	args := make([]Seq, len(x.Args))
+	for i, a := range x.Args {
+		s, err := ev.eval(a, en)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = s
+	}
+	return fn(ev, en, args)
+}
+
+// maxUserFuncDepth bounds recursive user-defined functions.
+const maxUserFuncDepth = 4096
+
+func (ev *Evaluator) callUserFunc(fd *FuncDecl, x *FuncCall, en *env) (Seq, error) {
+	if len(x.Args) != len(fd.Params) {
+		return nil, fmt.Errorf("xquery: %s() expects %d arguments, got %d",
+			fd.Name, len(fd.Params), len(x.Args))
+	}
+	ev.userDepth++
+	defer func() { ev.userDepth-- }()
+	if ev.userDepth > maxUserFuncDepth {
+		return nil, fmt.Errorf("xquery: %s(): recursion too deep", fd.Name)
+	}
+	// Function bodies see only their parameters (and the prolog), not
+	// the caller's variables or context item.
+	callee := &env{vars: make(map[string]Seq, len(fd.Params)), userFuncs: en.userFuncs}
+	for i, a := range x.Args {
+		v, err := ev.eval(a, en)
+		if err != nil {
+			return nil, err
+		}
+		callee.vars[fd.Params[i]] = v
+	}
+	return ev.eval(fd.Body, callee)
+}
+
+func wantN(name string, args []Seq, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("xquery: %s() expects %d arguments, got %d", name, n, len(args))
+	}
+	return nil
+}
+
+// firstInterval extracts the interval of the first item of a sequence.
+func firstInterval(name string, s Seq) (temporal.Interval, error) {
+	if len(s) == 0 {
+		return temporal.Interval{}, fmt.Errorf("xquery: %s() of empty sequence", name)
+	}
+	return s[0].Interval()
+}
+
+// intervalFunc adapts a two-interval predicate.
+func intervalFunc(name string, pred func(a, b temporal.Interval) bool) builtinFunc {
+	return func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN(name, args, 2); err != nil {
+			return nil, err
+		}
+		if len(args[0]) == 0 || len(args[1]) == 0 {
+			return Seq{BoolItem(false)}, nil
+		}
+		a, err := firstInterval(name, args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := firstInterval(name, args[1])
+		if err != nil {
+			return nil, err
+		}
+		return Seq{BoolItem(pred(a, b))}, nil
+	}
+}
+
+func intervalElement(iv temporal.Interval) *xmltree.Node {
+	return xmltree.NewElement("interval").
+		SetAttr("tstart", iv.Start.String()).
+		SetAttr("tend", iv.End.String())
+}
+
+func builtinFuncs() map[string]builtinFunc {
+	f := map[string]builtinFunc{}
+
+	// ---- documents & nodes ----
+	docFn := func(ev *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("doc", args, 1); err != nil {
+			return nil, err
+		}
+		if ev.Docs == nil {
+			return nil, fmt.Errorf("xquery: no document resolver installed")
+		}
+		if len(args[0]) == 0 {
+			return nil, fmt.Errorf("xquery: doc() of empty sequence")
+		}
+		root, err := ev.Docs(args[0][0].StringValue())
+		if err != nil {
+			return nil, err
+		}
+		// Wrap in a document node so the first path step matches the
+		// root element by name.
+		docNode := xmltree.NewElement("#document")
+		docNode.Children = []*xmltree.Node{root} // avoid reparenting root
+		return Seq{NodeItem(docNode)}, nil
+	}
+	f["doc"] = docFn
+	f["document"] = docFn
+
+	f["root"] = func(_ *Evaluator, en *env, args []Seq) (Seq, error) {
+		if !en.hasCtx || !en.ctx.IsNode() {
+			return nil, fmt.Errorf("xquery: root() requires a node context")
+		}
+		n := en.ctx.Node
+		for n.Parent != nil {
+			n = n.Parent
+		}
+		doc := xmltree.NewElement("#document")
+		doc.Children = []*xmltree.Node{n}
+		return Seq{NodeItem(doc)}, nil
+	}
+
+	f["position"] = func(_ *Evaluator, en *env, args []Seq) (Seq, error) {
+		if en.ctxPos == 0 {
+			return nil, fmt.Errorf("xquery: position() outside a predicate")
+		}
+		return Seq{NumberItem(float64(en.ctxPos))}, nil
+	}
+	f["last"] = func(_ *Evaluator, en *env, args []Seq) (Seq, error) {
+		if en.ctxSize == 0 {
+			return nil, fmt.Errorf("xquery: last() outside a predicate")
+		}
+		return Seq{NumberItem(float64(en.ctxSize))}, nil
+	}
+
+	f["name"] = func(_ *Evaluator, en *env, args []Seq) (Seq, error) {
+		var it Item
+		switch {
+		case len(args) >= 1 && len(args[0]) > 0:
+			it = args[0][0]
+		case en.hasCtx:
+			it = en.ctx
+		default:
+			return Seq{StringItem("")}, nil
+		}
+		if it.IsNode() {
+			return Seq{StringItem(it.Node.Name)}, nil
+		}
+		return Seq{StringItem("")}, nil
+	}
+
+	// ---- general ----
+	f["empty"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("empty", args, 1); err != nil {
+			return nil, err
+		}
+		return Seq{BoolItem(len(args[0]) == 0)}, nil
+	}
+	f["exists"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("exists", args, 1); err != nil {
+			return nil, err
+		}
+		return Seq{BoolItem(len(args[0]) > 0)}, nil
+	}
+	f["not"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("not", args, 1); err != nil {
+			return nil, err
+		}
+		return Seq{BoolItem(!args[0].EffectiveBool())}, nil
+	}
+	f["boolean"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("boolean", args, 1); err != nil {
+			return nil, err
+		}
+		return Seq{BoolItem(args[0].EffectiveBool())}, nil
+	}
+	f["true"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		return Seq{BoolItem(true)}, nil
+	}
+	f["false"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		return Seq{BoolItem(false)}, nil
+	}
+	f["count"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("count", args, 1); err != nil {
+			return nil, err
+		}
+		return Seq{NumberItem(float64(len(args[0])))}, nil
+	}
+	f["sum"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("sum", args, 1); err != nil {
+			return nil, err
+		}
+		var total float64
+		for _, it := range args[0] {
+			v, ok := it.NumberValue()
+			if !ok {
+				return nil, fmt.Errorf("xquery: sum() of non-number %q", it.String())
+			}
+			total += v
+		}
+		return Seq{NumberItem(total)}, nil
+	}
+	f["avg"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("avg", args, 1); err != nil {
+			return nil, err
+		}
+		if len(args[0]) == 0 {
+			return nil, nil
+		}
+		var total float64
+		for _, it := range args[0] {
+			v, ok := it.NumberValue()
+			if !ok {
+				return nil, fmt.Errorf("xquery: avg() of non-number %q", it.String())
+			}
+			total += v
+		}
+		return Seq{NumberItem(total / float64(len(args[0])))}, nil
+	}
+	extremum := func(name string, keep func(cmp int) bool) builtinFunc {
+		return func(ev *Evaluator, _ *env, args []Seq) (Seq, error) {
+			if err := wantN(name, args, 1); err != nil {
+				return nil, err
+			}
+			if len(args[0]) == 0 {
+				return nil, nil
+			}
+			// Interval nodes compare by span (supports the QUERY 6
+			// restructure → max() idiom); everything else numerically,
+			// falling back to strings.
+			best := args[0][0]
+			bestKey := extremumKey(ev, best)
+			for _, it := range args[0][1:] {
+				k := extremumKey(ev, it)
+				if keep(compareItemsTotal(k, bestKey)) {
+					best, bestKey = it, k
+				}
+			}
+			return Seq{bestKey}, nil
+		}
+	}
+	f["max"] = extremum("max", func(c int) bool { return c > 0 })
+	f["min"] = extremum("min", func(c int) bool { return c < 0 })
+
+	f["string"] = func(_ *Evaluator, en *env, args []Seq) (Seq, error) {
+		switch len(args) {
+		case 0:
+			if !en.hasCtx {
+				return Seq{StringItem("")}, nil
+			}
+			return Seq{StringItem(en.ctx.StringValue())}, nil
+		case 1:
+			if len(args[0]) == 0 {
+				return Seq{StringItem("")}, nil
+			}
+			return Seq{StringItem(args[0][0].StringValue())}, nil
+		}
+		return nil, fmt.Errorf("xquery: string() takes 0 or 1 arguments")
+	}
+	f["number"] = func(_ *Evaluator, en *env, args []Seq) (Seq, error) {
+		var it Item
+		switch {
+		case len(args) == 1 && len(args[0]) > 0:
+			it = args[0][0]
+		case len(args) == 0 && en.hasCtx:
+			it = en.ctx
+		default:
+			return nil, nil
+		}
+		v, ok := it.NumberValue()
+		if !ok {
+			return nil, nil
+		}
+		return Seq{NumberItem(v)}, nil
+	}
+	f["data"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("data", args, 1); err != nil {
+			return nil, err
+		}
+		out := make(Seq, 0, len(args[0]))
+		for _, it := range args[0] {
+			out = append(out, StringItem(it.StringValue()))
+		}
+		return out, nil
+	}
+	f["distinct-values"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("distinct-values", args, 1); err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		var out Seq
+		for _, it := range args[0] {
+			s := it.StringValue()
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, StringItem(s))
+			}
+		}
+		return out, nil
+	}
+	f["concat"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		var sb strings.Builder
+		for _, a := range args {
+			if len(a) > 0 {
+				sb.WriteString(a[0].StringValue())
+			}
+		}
+		return Seq{StringItem(sb.String())}, nil
+	}
+	f["contains"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("contains", args, 2); err != nil {
+			return nil, err
+		}
+		hay, needle := "", ""
+		if len(args[0]) > 0 {
+			hay = args[0][0].StringValue()
+		}
+		if len(args[1]) > 0 {
+			needle = args[1][0].StringValue()
+		}
+		return Seq{BoolItem(strings.Contains(hay, needle))}, nil
+	}
+	f["starts-with"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("starts-with", args, 2); err != nil {
+			return nil, err
+		}
+		s, pre := "", ""
+		if len(args[0]) > 0 {
+			s = args[0][0].StringValue()
+		}
+		if len(args[1]) > 0 {
+			pre = args[1][0].StringValue()
+		}
+		return Seq{BoolItem(strings.HasPrefix(s, pre))}, nil
+	}
+	f["string-length"] = func(_ *Evaluator, en *env, args []Seq) (Seq, error) {
+		s := ""
+		switch {
+		case len(args) == 1 && len(args[0]) > 0:
+			s = args[0][0].StringValue()
+		case len(args) == 0 && en.hasCtx:
+			s = en.ctx.StringValue()
+		}
+		return Seq{NumberItem(float64(len(s)))}, nil
+	}
+
+	// ---- dates ----
+	f["current-date"] = func(ev *Evaluator, _ *env, args []Seq) (Seq, error) {
+		return Seq{DateItem(ev.Now)}, nil
+	}
+	f["xs:date"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("xs:date", args, 1); err != nil {
+			return nil, err
+		}
+		if len(args[0]) == 0 {
+			return nil, nil
+		}
+		d, err := temporal.ParseDate(strings.TrimSpace(args[0][0].StringValue()))
+		if err != nil {
+			return nil, err
+		}
+		return Seq{DateItem(d)}, nil
+	}
+	f["date"] = f["xs:date"]
+
+	// ---- temporal library (paper Section 4.2) ----
+	f["tstart"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("tstart", args, 1); err != nil {
+			return nil, err
+		}
+		if len(args[0]) == 0 {
+			return nil, nil
+		}
+		iv, err := args[0][0].Interval()
+		if err != nil {
+			return nil, err
+		}
+		return Seq{DateItem(iv.Start)}, nil
+	}
+	f["tend"] = func(ev *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("tend", args, 1); err != nil {
+			return nil, err
+		}
+		if len(args[0]) == 0 {
+			return nil, nil
+		}
+		iv, err := args[0][0].Interval()
+		if err != nil {
+			return nil, err
+		}
+		// Section 4.3: the user never sees the internal end-of-time
+		// value — a current tuple reports current-date().
+		if iv.End.IsForever() {
+			return Seq{DateItem(ev.Now)}, nil
+		}
+		return Seq{DateItem(iv.End)}, nil
+	}
+	f["tinterval"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("tinterval", args, 1); err != nil {
+			return nil, err
+		}
+		iv, err := firstInterval("tinterval", args[0])
+		if err != nil {
+			return nil, err
+		}
+		return Seq{NodeItem(intervalElement(iv))}, nil
+	}
+	f["telement"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("telement", args, 2); err != nil {
+			return nil, err
+		}
+		if len(args[0]) == 0 || len(args[1]) == 0 {
+			return nil, fmt.Errorf("xquery: telement() of empty sequence")
+		}
+		s, ok1 := args[0][0].DateValue()
+		e, ok2 := args[1][0].DateValue()
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("xquery: telement() expects dates")
+		}
+		el := xmltree.NewElement("telement").
+			SetAttr("tstart", s.String()).
+			SetAttr("tend", e.String())
+		return Seq{NodeItem(el)}, nil
+	}
+	f["toverlaps"] = intervalFunc("toverlaps", temporal.Interval.Overlaps)
+	f["tcontains"] = intervalFunc("tcontains", temporal.Interval.ContainsInterval)
+	f["tequals"] = intervalFunc("tequals", temporal.Interval.Equals)
+	f["tmeets"] = intervalFunc("tmeets", temporal.Interval.Meets)
+	f["tprecedes"] = intervalFunc("tprecedes", temporal.Interval.Precedes)
+
+	f["overlapinterval"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("overlapinterval", args, 2); err != nil {
+			return nil, err
+		}
+		if len(args[0]) == 0 || len(args[1]) == 0 {
+			return nil, nil
+		}
+		a, err := firstInterval("overlapinterval", args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := firstInterval("overlapinterval", args[1])
+		if err != nil {
+			return nil, err
+		}
+		iv, ok := a.Intersect(b)
+		if !ok {
+			return nil, nil
+		}
+		return Seq{NodeItem(intervalElement(iv))}, nil
+	}
+	f["timespan"] = func(ev *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("timespan", args, 1); err != nil {
+			return nil, err
+		}
+		iv, err := firstInterval("timespan", args[0])
+		if err != nil {
+			return nil, err
+		}
+		return Seq{NumberItem(float64(iv.Days(ev.Now)))}, nil
+	}
+
+	f["coalesce"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("coalesce", args, 1); err != nil {
+			return nil, err
+		}
+		type meta struct {
+			name string
+			text string
+		}
+		var timed []temporal.Timed
+		metas := map[string]meta{}
+		for _, it := range args[0] {
+			if !it.IsNode() {
+				return nil, fmt.Errorf("xquery: coalesce() expects nodes")
+			}
+			iv, err := it.Interval()
+			if err != nil {
+				return nil, err
+			}
+			key := it.Node.Name + "\x00" + it.Node.TextContent()
+			metas[key] = meta{name: it.Node.Name, text: it.Node.TextContent()}
+			timed = append(timed, temporal.Timed{Value: key, Interval: iv})
+		}
+		var out Seq
+		for _, tv := range temporal.Coalesce(timed) {
+			m := metas[tv.Value]
+			el := xmltree.NewElement(m.name).
+				SetAttr("tstart", tv.Interval.Start.String()).
+				SetAttr("tend", tv.Interval.End.String())
+			if m.text != "" {
+				el.AppendText(m.text)
+			}
+			out = append(out, NodeItem(el))
+		}
+		return out, nil
+	}
+
+	f["restructure"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("restructure", args, 2); err != nil {
+			return nil, err
+		}
+		collect := func(s Seq) ([]temporal.Interval, error) {
+			var out []temporal.Interval
+			for _, it := range s {
+				iv, err := it.Interval()
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, iv)
+			}
+			return out, nil
+		}
+		a, err := collect(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := collect(args[1])
+		if err != nil {
+			return nil, err
+		}
+		var out Seq
+		for _, iv := range temporal.Restructure(a, b) {
+			out = append(out, NodeItem(intervalElement(iv)))
+		}
+		return out, nil
+	}
+
+	// Temporal aggregates: tavg/tsum/tcount over value-carrying nodes.
+	taggs := map[string]func([]temporal.WeightedValue) []temporal.Step{
+		"tavg": temporal.TAvg, "tsum": temporal.TSum, "tcount": temporal.TCount,
+		"tmax": temporal.TMax, "tmin": temporal.TMin,
+	}
+	for name, agg := range taggs {
+		agg := agg
+		name := name
+		f[name] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+			if err := wantN(name, args, 1); err != nil {
+				return nil, err
+			}
+			var in []temporal.WeightedValue
+			for _, it := range args[0] {
+				iv, err := it.Interval()
+				if err != nil {
+					return nil, err
+				}
+				v, ok := it.NumberValue()
+				if !ok {
+					return nil, fmt.Errorf("xquery: %s() of non-numeric node %q", name, it.String())
+				}
+				in = append(in, temporal.WeightedValue{Value: v, Interval: iv})
+			}
+			var out Seq
+			for _, st := range agg(in) {
+				el := intervalElement(st.Interval)
+				el.Name = "step"
+				el.SetAttr("value", NumberItem(st.Value).StringValue())
+				out = append(out, NodeItem(el))
+			}
+			return out, nil
+		}
+	}
+
+	// rising($s): maximal intervals over which the (sorted) history is
+	// strictly increasing — the RISING aggregate the paper mentions.
+	f["rising"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("rising", args, 1); err != nil {
+			return nil, err
+		}
+		var in []temporal.WeightedValue
+		for _, it := range args[0] {
+			iv, err := it.Interval()
+			if err != nil {
+				return nil, err
+			}
+			v, ok := it.NumberValue()
+			if !ok {
+				return nil, fmt.Errorf("xquery: rising() of non-numeric node %q", it.String())
+			}
+			in = append(in, temporal.WeightedValue{Value: v, Interval: iv})
+		}
+		var out Seq
+		for _, iv := range temporal.Rising(in) {
+			out = append(out, NodeItem(intervalElement(iv)))
+		}
+		return out, nil
+	}
+
+	// movingavg($s, $days): moving-window average of a value history
+	// (the paper's moving-window aggregate example).
+	f["movingavg"] = func(ev *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("movingavg", args, 2); err != nil {
+			return nil, err
+		}
+		if len(args[1]) == 0 {
+			return nil, fmt.Errorf("xquery: movingavg() needs a window")
+		}
+		win, ok := args[1][0].NumberValue()
+		if !ok || win <= 0 {
+			return nil, fmt.Errorf("xquery: movingavg() window must be positive")
+		}
+		var in []temporal.WeightedValue
+		for _, it := range args[0] {
+			iv, err := it.Interval()
+			if err != nil {
+				return nil, err
+			}
+			v, ok := it.NumberValue()
+			if !ok {
+				return nil, fmt.Errorf("xquery: movingavg() of non-numeric node %q", it.String())
+			}
+			in = append(in, temporal.WeightedValue{Value: v, Interval: iv})
+		}
+		var out Seq
+		for _, st := range temporal.MovingWindowAvg(in, int(win), ev.Now) {
+			el := intervalElement(st.Interval)
+			el.Name = "step"
+			el.SetAttr("value", NumberItem(st.Value).StringValue())
+			out = append(out, NodeItem(el))
+		}
+		return out, nil
+	}
+
+	f["rtend"] = replaceForeverFunc("rtend", func(ev *Evaluator) string { return ev.Now.String() })
+	f["externalnow"] = replaceForeverFunc("externalnow", func(*Evaluator) string { return "now" })
+
+	return f
+}
+
+// extremumKey maps an item to its comparison key for max()/min():
+// interval-bearing element nodes compare by timespan (the QUERY 6
+// idiom `max(restructure(...))`), other items by their own value.
+func extremumKey(ev *Evaluator, it Item) Item {
+	if it.IsNode() {
+		if _, ok := it.Node.Attr("tstart"); ok {
+			if iv, err := it.Interval(); err == nil {
+				return NumberItem(float64(iv.Days(ev.Now)))
+			}
+		}
+		return StringItem(it.Node.TextContent())
+	}
+	return it
+}
+
+// replaceForeverFunc builds rtend/externalnow: deep-copy the node and
+// substitute every "9999-12-31" attribute value.
+func replaceForeverFunc(name string, repl func(*Evaluator) string) builtinFunc {
+	forever := temporal.Forever.String()
+	return func(ev *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN(name, args, 1); err != nil {
+			return nil, err
+		}
+		sub := repl(ev)
+		var out Seq
+		for _, it := range args[0] {
+			if !it.IsNode() {
+				if it.StringValue() == forever {
+					out = append(out, StringItem(sub))
+				} else {
+					out = append(out, it)
+				}
+				continue
+			}
+			clone := it.Node.Clone()
+			var walk func(n *xmltree.Node)
+			walk = func(n *xmltree.Node) {
+				for i := range n.Attrs {
+					if n.Attrs[i].Value == forever {
+						n.Attrs[i].Value = sub
+					}
+				}
+				for _, c := range n.Children {
+					walk(c)
+				}
+			}
+			walk(clone)
+			out = append(out, NodeItem(clone))
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,56 @@
+package xquery
+
+import (
+	"testing"
+	"time"
+
+	"archis/internal/temporal"
+	"archis/internal/xmltree"
+)
+
+// FuzzParse checks the parser never panics and that anything it
+// accepts can also be evaluated (or fails cleanly) against a tiny
+// document.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`1 + 2 * 3`,
+		`for $e in doc("d.xml")/r/e return $e/a`,
+		`element x { for $t in doc("d.xml")/r/e[a="v"]/b return $t }`,
+		`some $x in (1,2,3) satisfies $x > 2`,
+		`<a b="{1+1}">{2}</a>`,
+		`declare function local:f($x) { $x * 2 }; local:f(3)`,
+		`let $s := doc("d.xml")/r/e/a return tavg($s)`,
+		`if (true()) then "a" else "b"`,
+		`//a[@tstart="1995-01-01"][position() = last()]`,
+		`coalesce((<v tstart="1995-01-01" tend="1995-01-31">5</v>))`,
+		`(: comment :) restructure((), ())`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	doc := xmltree.MustParseString(
+		`<r tstart="1990-01-01" tend="9999-12-31"><e tstart="1990-01-01" tend="9999-12-31">` +
+			`<a tstart="1990-01-01" tend="9999-12-31">v</a>` +
+			`<b tstart="1990-01-01" tend="1991-01-01">7</b></e></r>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		ev := NewEvaluator(func(string) (*xmltree.Node, error) { return doc, nil })
+		ev.Now = temporal.MustParseDate("1995-06-01")
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, _ = ev.EvalQuery(q) // must not panic
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("evaluation hung for %q", src)
+		}
+	})
+}

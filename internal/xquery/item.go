@@ -1,0 +1,198 @@
+// Package xquery implements the XQuery subset that ArchIS accepts:
+// FLWOR expressions (for/let/where/order by/return), quantified
+// expressions (some/every … satisfies), path expressions with
+// predicates, direct and computed element constructors, general
+// comparisons, arithmetic, conditionals, and a function library
+// containing both standard functions and the temporal user-defined
+// functions of the paper's Section 4.2 (tstart, tend, toverlaps,
+// overlapinterval, coalesce, restructure, tavg, rtend, externalnow, …).
+//
+// Queries evaluate either directly over XML trees (the native-XML-DB
+// baseline) or are handed to internal/translator for the SQL/XML
+// route; both produce the same results.
+package xquery
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"archis/internal/temporal"
+	"archis/internal/xmltree"
+)
+
+// AtomKind tags atomic items.
+type AtomKind uint8
+
+const (
+	AtomString AtomKind = iota
+	AtomNumber
+	AtomBool
+	AtomDate
+)
+
+// Item is one XQuery item: a node or an atomic value.
+type Item struct {
+	Node *xmltree.Node // non-nil for node items
+	Kind AtomKind
+	S    string
+	F    float64
+	B    bool
+	D    temporal.Date
+}
+
+// Seq is an XQuery sequence (flat, ordered).
+type Seq []Item
+
+// NodeItem wraps a node.
+func NodeItem(n *xmltree.Node) Item { return Item{Node: n} }
+
+// StringItem wraps a string.
+func StringItem(s string) Item { return Item{Kind: AtomString, S: s} }
+
+// NumberItem wraps a number.
+func NumberItem(f float64) Item { return Item{Kind: AtomNumber, F: f} }
+
+// BoolItem wraps a boolean.
+func BoolItem(b bool) Item { return Item{Kind: AtomBool, B: b} }
+
+// DateItem wraps a date.
+func DateItem(d temporal.Date) Item { return Item{Kind: AtomDate, D: d} }
+
+// IsNode reports whether the item is a node.
+func (it Item) IsNode() bool { return it.Node != nil }
+
+// StringValue atomizes the item to a string.
+func (it Item) StringValue() string {
+	if it.IsNode() {
+		return it.Node.TextContent()
+	}
+	switch it.Kind {
+	case AtomString:
+		return it.S
+	case AtomNumber:
+		// Integral values render without exponent notation (XQuery's
+		// integer serialization); large/fractional values fall back to
+		// the shortest representation.
+		if it.F == float64(int64(it.F)) && it.F > -1e15 && it.F < 1e15 {
+			return strconv.FormatInt(int64(it.F), 10)
+		}
+		return strconv.FormatFloat(it.F, 'g', -1, 64)
+	case AtomBool:
+		return strconv.FormatBool(it.B)
+	case AtomDate:
+		return it.D.String()
+	}
+	return ""
+}
+
+// NumberValue atomizes the item to a float; ok is false when the item
+// is not numeric.
+func (it Item) NumberValue() (float64, bool) {
+	if it.IsNode() {
+		f, err := strconv.ParseFloat(strings.TrimSpace(it.Node.TextContent()), 64)
+		return f, err == nil
+	}
+	switch it.Kind {
+	case AtomNumber:
+		return it.F, true
+	case AtomString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(it.S), 64)
+		return f, err == nil
+	case AtomDate:
+		return float64(it.D), true
+	case AtomBool:
+		if it.B {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// DateValue atomizes the item to a date.
+func (it Item) DateValue() (temporal.Date, bool) {
+	if it.Kind == AtomDate && !it.IsNode() {
+		return it.D, true
+	}
+	d, err := temporal.ParseDate(strings.TrimSpace(it.StringValue()))
+	return d, err == nil
+}
+
+// String renders the item for diagnostics and for text insertion in
+// constructors.
+func (it Item) String() string {
+	if it.IsNode() {
+		return xmltree.String(it.Node)
+	}
+	return it.StringValue()
+}
+
+// EffectiveBool implements XPath effective boolean value: empty → false,
+// first item node → true, single atomic by kind.
+func (s Seq) EffectiveBool() bool {
+	if len(s) == 0 {
+		return false
+	}
+	if s[0].IsNode() {
+		return true
+	}
+	if len(s) > 1 {
+		return true
+	}
+	it := s[0]
+	switch it.Kind {
+	case AtomBool:
+		return it.B
+	case AtomNumber:
+		return it.F != 0
+	case AtomString:
+		return it.S != ""
+	case AtomDate:
+		return true
+	}
+	return false
+}
+
+// Serialize renders a sequence as the concatenation of its items'
+// XML forms, separating adjacent atomics by spaces (the XQuery
+// serialization rule).
+func (s Seq) Serialize() string {
+	var sb strings.Builder
+	prevAtom := false
+	for _, it := range s {
+		if it.IsNode() {
+			sb.WriteString(xmltree.String(it.Node))
+			prevAtom = false
+			continue
+		}
+		if prevAtom {
+			sb.WriteString(" ")
+		}
+		sb.WriteString(it.StringValue())
+		prevAtom = true
+	}
+	return sb.String()
+}
+
+// Interval extracts the [tstart, tend] interval from a node item's
+// attributes — the convention every element of an H-document follows.
+func (it Item) Interval() (temporal.Interval, error) {
+	if !it.IsNode() {
+		return temporal.Interval{}, fmt.Errorf("xquery: interval of non-node item %q", it.String())
+	}
+	ts, ok1 := it.Node.Attr("tstart")
+	te, ok2 := it.Node.Attr("tend")
+	if !ok1 || !ok2 {
+		return temporal.Interval{}, fmt.Errorf("xquery: node <%s> has no tstart/tend", it.Node.Name)
+	}
+	s, err := temporal.ParseDate(ts)
+	if err != nil {
+		return temporal.Interval{}, err
+	}
+	e, err := temporal.ParseDate(te)
+	if err != nil {
+		return temporal.Interval{}, err
+	}
+	return temporal.NewInterval(s, e)
+}

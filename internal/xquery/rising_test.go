@@ -1,0 +1,43 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRisingFunction(t *testing.T) {
+	ev := newTestEvaluator(t)
+	// Bob's salaries rise across both versions: one maximal interval.
+	got := evalOK(t, ev, `rising(doc("employees.xml")/employees/employee[name="Bob"]/salary)`)
+	if len(got) != 1 {
+		t.Fatalf("rising = %s", got.Serialize())
+	}
+	if got[0].Node.AttrOr("tstart", "") != "1995-01-01" {
+		t.Errorf("rising interval = %s", got.Serialize())
+	}
+	// A constructed falling history splits.
+	got = evalOK(t, ev, `
+		rising((<v tstart="2000-01-01" tend="2000-01-31">10</v>,
+		        <v tstart="2000-02-01" tend="2000-02-28">20</v>,
+		        <v tstart="2000-03-01" tend="2000-03-31">5</v>,
+		        <v tstart="2000-04-01" tend="2000-04-30">7</v>))`)
+	if len(got) != 2 {
+		t.Fatalf("rising split = %s", got.Serialize())
+	}
+}
+
+func TestMovingAvgFunction(t *testing.T) {
+	ev := newTestEvaluator(t)
+	got := evalOK(t, ev, `
+		movingavg((<v tstart="2000-01-01" tend="2000-01-10">10</v>,
+		           <v tstart="2000-01-11" tend="2000-01-20">30</v>), 20)`)
+	if len(got) != 2 {
+		t.Fatalf("movingavg = %s", got.Serialize())
+	}
+	if !strings.Contains(got[1].String(), `value="20"`) {
+		t.Errorf("20-day window avg = %s", got[1].String())
+	}
+	if _, err := ev.Eval(`movingavg((), 0)`); err == nil {
+		t.Error("zero window accepted")
+	}
+}
