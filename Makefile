@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build vet test race verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 verification: everything must compile, pass vet, and pass the
+# full test suite under the race detector (the concurrency layer is
+# only considered correct when -race is clean).
+verify: build vet race
+
+bench:
+	$(GO) run ./cmd/archis-bench
+
+bench-parallel:
+	$(GO) run ./cmd/archis-bench -parallel

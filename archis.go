@@ -79,6 +79,17 @@ const (
 // QueryResult is the unified result of a temporal query.
 type QueryResult = core.QueryResult
 
+// ParallelResult is the outcome of one query in a System.RunParallel
+// batch: ArchIS serves read-mostly archives, so batches of temporal
+// queries (XQuery or SQL SELECT) can be fanned out across a worker
+// pool while sharing one page cache and one set of H-tables.
+//
+//	results := sys.RunParallel([]string{q1, q2, q3}, 0) // 0 → GOMAXPROCS
+//	for _, r := range results {
+//	    if r.Err != nil { ... }
+//	}
+type ParallelResult = core.ParallelResult
+
 // TableSpec declares a table to archive.
 type TableSpec = htable.TableSpec
 

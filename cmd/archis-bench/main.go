@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -34,6 +35,9 @@ var (
 	scale     = flag.Int("scale", 4, "figure 10 scale factor (paper: 7)")
 	runs      = flag.Int("runs", 3, "cold runs per query; the average is reported")
 	figs      = flag.String("fig", "all", "comma-separated figures to run")
+	parallel  = flag.Bool("parallel", false, "run the Q1-Q6 suite and multi-snapshot workloads across goroutines and report serial vs parallel throughput")
+	workers   = flag.Int("workers", 0, "worker count for -parallel (0 = GOMAXPROCS)")
+	rounds    = flag.Int("rounds", 8, "suite repetitions per -parallel batch")
 )
 
 func main() {
@@ -47,6 +51,10 @@ func main() {
 	h := &harness{}
 	fmt.Printf("ArchIS evaluation harness — %d employees, %d years (S=1)\n\n", *employees, *years)
 
+	if *parallel {
+		h.parallelSuite()
+		return
+	}
 	if all || want["trans"] {
 		h.translationCost()
 	}
@@ -182,6 +190,45 @@ func printQueryTable(headers []string, cols []map[bench.QueryID]time.Duration) {
 		}
 		fmt.Println()
 	}
+	fmt.Println()
+}
+
+// parallelSuite runs the Q1–Q6 suite and a multi-snapshot workload
+// through System.RunParallel, once with one worker (serial mode) and
+// once with the configured pool, verifying that both modes return
+// identical results and reporting aggregate throughput.
+func (h *harness) parallelSuite() {
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("== parallel query execution — %d workers ==\n", w)
+
+	run := func(label string, e *bench.Env, queries []string) {
+		// Warm-up pass so both modes start from the same cache state.
+		e.Cold()
+		if _, _, err := e.RunBatch(queries, 1); err != nil {
+			die(err)
+		}
+		serialT, serialR, err := e.RunBatch(queries, 1)
+		die(err)
+		parT, parR, err := e.RunBatch(queries, w)
+		die(err)
+		if !bench.SameAnswers(serialR, parR) {
+			die(fmt.Errorf("%s: parallel results differ from serial results", label))
+		}
+		qps := func(d time.Duration) float64 {
+			return float64(len(queries)) / d.Seconds()
+		}
+		fmt.Printf("  %-28s %4d queries   serial %8.1f q/s   parallel %8.1f q/s   speedup %.2fx (identical results)\n",
+			label, len(queries), qps(serialT), qps(parT), float64(serialT)/float64(parT))
+	}
+
+	e := h.getClustered()
+	run("Q1-Q6 suite (clustered)", e, e.SuiteQueries(*rounds))
+	run("multi-snapshot (clustered)", e, e.SnapshotQueries(8**rounds))
+	c := h.getCompressed()
+	run("Q1-Q6 suite (compressed)", c, c.SuiteQueries(*rounds))
 	fmt.Println()
 }
 

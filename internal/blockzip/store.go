@@ -3,6 +3,7 @@ package blockzip
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"archis/internal/relstore"
 	"archis/internal/segment"
@@ -32,8 +33,15 @@ type CompressedStore struct {
 	whole      bool // ablation: one stream per segment instead of blocks
 
 	// Decompressions counts block decompressions (the CPU side of the
-	// paper's I/O-vs-CPU trade).
+	// paper's I/O-vs-CPU trade). Scans update it atomically; use
+	// DecompressionCount to read it while scans may be in flight.
 	Decompressions int64
+}
+
+// DecompressionCount reads the decompression counter; safe to call
+// concurrently with scans.
+func (cs *CompressedStore) DecompressionCount() int64 {
+	return atomic.LoadInt64(&cs.Decompressions)
 }
 
 // BlobTableName and SegRangeTableName name the side tables.
@@ -312,7 +320,7 @@ func (cs *CompressedStore) Scan(bounds []relstore.ZoneBound, fn func(relstore.Ro
 				err = derr
 				return false
 			}
-			cs.Decompressions++
+			atomic.AddInt64(&cs.Decompressions, 1)
 			for _, enc := range recs {
 				r, _, _, derr := relstore.DecodeRow(enc)
 				if derr != nil {

@@ -9,7 +9,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"archis/internal/blockzip"
 	"archis/internal/htable"
@@ -71,6 +74,10 @@ type System struct {
 	segStores  map[string]*segment.Store            // attr table → store
 	compStores map[string]*blockzip.CompressedStore // attr table → store
 
+	// pubMu guards pubCache and dirty: the published-view cache is
+	// filled lazily on the query (read) path, so concurrent queries
+	// touch it at the same time.
+	pubMu    sync.RWMutex
 	pubCache map[string]*xmltree.Node // table → published H-doc
 	dirty    map[string]bool
 }
@@ -210,15 +217,21 @@ func (s *System) finishRegister(spec htable.TableSpec) error {
 		}
 	}
 	s.catalog[spec.DocName()] = view
-	s.dirty[strings.ToLower(spec.Name)] = true
+	s.markDirty(spec.Name)
 
 	// Invalidate the published H-doc on every change.
 	table := spec.Name
 	s.Engine.AddTrigger(table, func(sqlengine.TriggerEvent) error {
-		s.dirty[strings.ToLower(table)] = true
+		s.markDirty(table)
 		return nil
 	})
 	return nil
+}
+
+func (s *System) markDirty(table string) {
+	s.pubMu.Lock()
+	s.dirty[strings.ToLower(table)] = true
+	s.pubMu.Unlock()
 }
 
 // AliasDoc makes the H-view of a table reachable under an extra doc()
@@ -288,6 +301,77 @@ func (s *System) Query(query string) (*QueryResult, error) {
 	return &QueryResult{Items: seq, Path: PathXML}, nil
 }
 
+// ParallelResult is the outcome of one query in a RunParallel batch.
+type ParallelResult struct {
+	Query  string
+	Result *QueryResult
+	Err    error
+}
+
+// RunParallel executes a batch of read-only queries concurrently over
+// a worker pool and returns the outcomes in input order. Each query is
+// either an XQuery over the H-views (answered by Query, so it may run
+// on either execution path) or a SQL SELECT (run directly on the
+// engine). workers <= 0 uses GOMAXPROCS. DML and DDL are rejected:
+// writers require exclusive access to the system (see the concurrency
+// model in DESIGN.md), so they must not ride in a parallel batch.
+func (s *System) RunParallel(queries []string, workers int) []ParallelResult {
+	out := make([]ParallelResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				out[i] = s.runReadOnly(queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runReadOnly answers one RunParallel batch entry.
+func (s *System) runReadOnly(q string) ParallelResult {
+	pr := ParallelResult{Query: q}
+	switch kw := firstKeyword(q); kw {
+	case "select":
+		res, err := s.Engine.Exec(q)
+		if err != nil {
+			pr.Err = err
+			return pr
+		}
+		pr.Result = &QueryResult{Items: rowsToSeq(res), Path: PathSQL, SQL: q}
+	case "insert", "update", "delete", "create", "drop":
+		pr.Err = fmt.Errorf("core: RunParallel is read-only; %s requires exclusive access", strings.ToUpper(kw))
+	default:
+		pr.Result, pr.Err = s.Query(q)
+	}
+	return pr
+}
+
+func firstKeyword(q string) string {
+	f := strings.Fields(q)
+	if len(f) == 0 {
+		return ""
+	}
+	return strings.ToLower(f[0])
+}
+
 // QueryXML evaluates a query directly over the published H-documents.
 func (s *System) QueryXML(query string) (xquery.Seq, error) {
 	ev := xquery.NewEvaluator(s.resolveDoc)
@@ -302,17 +386,26 @@ func (s *System) resolveDoc(name string) (*xmltree.Node, error) {
 	}
 	table := view.EntityName
 	key := strings.ToLower(table)
-	if !s.dirty[key] {
-		if doc, ok := s.pubCache[key]; ok {
-			return doc, nil
-		}
+	s.pubMu.RLock()
+	doc := s.pubCache[key]
+	if s.dirty[key] {
+		doc = nil
 	}
+	s.pubMu.RUnlock()
+	if doc != nil {
+		return doc, nil
+	}
+	// Publish outside the lock: PublishHDoc only reads the H-tables, so
+	// concurrent first-queries for the same document at worst duplicate
+	// work, never corrupt state.
 	doc, err := s.Archive.PublishHDoc(table)
 	if err != nil {
 		return nil, err
 	}
+	s.pubMu.Lock()
 	s.pubCache[key] = doc
 	s.dirty[key] = false
+	s.pubMu.Unlock()
 	return doc, nil
 }
 

@@ -1,0 +1,164 @@
+package relstore
+
+import "sync"
+
+// The page cache is safe for concurrent readers: it is split into
+// power-of-two shards, each owning a private map plus a CLOCK ring, so
+// parallel scans over different pages rarely contend on the same lock.
+// Eviction is clock-hand second-chance — O(1) amortized per insertion —
+// replacing the old full-cache sort that made every put at capacity
+// O(n log n).
+//
+// Entries are immutable once published: writers never mutate the
+// row/live slices held by the cache (see Table.rewritePage), so a get
+// can hand the shared slices to concurrent readers without copying.
+
+// maxCacheShards bounds the shard count; small caches use fewer shards
+// so the configured capacity stays meaningful per shard.
+const maxCacheShards = 32
+
+// minShardPages is the target minimum per-shard capacity when choosing
+// the shard count.
+const minShardPages = 32
+
+type cacheKey struct {
+	table  uint64 // Table.id; ids are never reused
+	pageNo int
+}
+
+type cacheEntry struct {
+	rows []Row
+	live []bool
+	ref  bool // CLOCK reference bit, set on every hit
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	// ring is the CLOCK ring of keys in insertion order. Invalidated
+	// keys leave stale slots behind; the hand removes them when it
+	// passes.
+	ring []cacheKey
+	hand int
+}
+
+type pageCache struct {
+	shards   []cacheShard
+	shardCap int
+	mask     uint64 // len(shards) - 1; shard count is a power of two
+	total    int    // configured capacity in pages; 0 disables caching
+}
+
+// newPageCache sizes the shard array so each shard holds at least
+// minShardPages (exact capacity for tiny caches, up to maxCacheShards
+// shards for large ones).
+func newPageCache(totalPages int) *pageCache {
+	pc := &pageCache{total: totalPages}
+	if totalPages <= 0 {
+		return pc
+	}
+	n := 1
+	for n < maxCacheShards && totalPages/(n*2) >= minShardPages {
+		n *= 2
+	}
+	pc.shards = make([]cacheShard, n)
+	pc.mask = uint64(n - 1)
+	pc.shardCap = (totalPages + n - 1) / n
+	for i := range pc.shards {
+		pc.shards[i].entries = map[cacheKey]*cacheEntry{}
+	}
+	return pc
+}
+
+func (pc *pageCache) shard(k cacheKey) *cacheShard {
+	h := k.table*0x9E3779B97F4A7C15 + uint64(k.pageNo)*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return &pc.shards[h&pc.mask]
+}
+
+func (pc *pageCache) get(k cacheKey) ([]Row, []bool, bool) {
+	if pc.total == 0 {
+		return nil, nil, false
+	}
+	sh := pc.shard(k)
+	sh.mu.Lock()
+	e, ok := sh.entries[k]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, nil, false
+	}
+	e.ref = true
+	rows, live := e.rows, e.live
+	sh.mu.Unlock()
+	return rows, live, true
+}
+
+// put inserts or replaces an entry. The caller transfers ownership of
+// rows/live to the cache: they must never be mutated afterwards.
+func (pc *pageCache) put(k cacheKey, rows []Row, live []bool) {
+	if pc.total == 0 {
+		return
+	}
+	sh := pc.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[k]; ok {
+		e.rows, e.live, e.ref = rows, live, true
+		return
+	}
+	for len(sh.entries) >= pc.shardCap {
+		if !sh.evictOne() {
+			break
+		}
+	}
+	sh.entries[k] = &cacheEntry{rows: rows, live: live}
+	sh.ring = append(sh.ring, k)
+}
+
+// evictOne runs the clock hand until one entry is evicted: referenced
+// entries get a second chance (ref cleared), stale ring slots from
+// invalidations are discarded, unreferenced entries are removed.
+func (sh *cacheShard) evictOne() bool {
+	for len(sh.ring) > 0 {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
+		}
+		k := sh.ring[sh.hand]
+		e, ok := sh.entries[k]
+		if !ok {
+			sh.ring = append(sh.ring[:sh.hand], sh.ring[sh.hand+1:]...)
+			continue
+		}
+		if e.ref {
+			e.ref = false
+			sh.hand++
+			continue
+		}
+		delete(sh.entries, k)
+		sh.ring = append(sh.ring[:sh.hand], sh.ring[sh.hand+1:]...)
+		return true
+	}
+	return false
+}
+
+func (pc *pageCache) invalidate(k cacheKey) {
+	if pc.total == 0 {
+		return
+	}
+	sh := pc.shard(k)
+	sh.mu.Lock()
+	delete(sh.entries, k)
+	sh.mu.Unlock()
+}
+
+// len reports the number of cached pages across all shards.
+func (pc *pageCache) len() int {
+	n := 0
+	for i := range pc.shards {
+		sh := &pc.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -2,8 +2,9 @@ package relstore
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Stats counts physical activity; the deterministic analogue of the
@@ -17,26 +18,28 @@ type Stats struct {
 
 // Database is a catalog of tables and indexes plus a shared page
 // cache.
+//
+// Concurrency model: any number of goroutines may read concurrently
+// (Table lookups, Get, Scan, index lookups, Stats). Writes — DML on
+// tables, DDL, Compact, Truncate, SetCacheCapacity — require exclusive
+// access: no reader or other writer may run at the same time. The page
+// cache and the stats counters are internally synchronized so that the
+// read paths are race-free on their own.
 type Database struct {
-	tables map[string]*Table
-	names  []string // insertion order, for deterministic listings
+	mu          sync.RWMutex // guards tables, names, nextTableID
+	tables      map[string]*Table
+	names       []string // insertion order, for deterministic listings
+	nextTableID uint64
 
-	cache     map[cacheKey]cacheEntry
-	cacheCap  int
-	cacheTick int64
+	cache    atomic.Pointer[pageCache]
+	cacheCap atomic.Int64 // configured capacity, for DropCaches rebuilds
 
-	stats Stats
-}
-
-type cacheKey struct {
-	table  *Table
-	pageNo int
-}
-
-type cacheEntry struct {
-	rows []Row
-	live []bool
-	used int64
+	stats struct {
+		blockReads   atomic.Int64
+		bytesRead    atomic.Int64
+		cacheHits    atomic.Int64
+		pagesSkipped atomic.Int64
+	}
 }
 
 // DefaultCachePages is the default page-cache capacity (~16 MiB of
@@ -45,38 +48,57 @@ const DefaultCachePages = 4096
 
 // NewDatabase returns an empty database with the default cache size.
 func NewDatabase() *Database {
-	return &Database{
-		tables:   map[string]*Table{},
-		cache:    map[cacheKey]cacheEntry{},
-		cacheCap: DefaultCachePages,
-	}
+	db := &Database{tables: map[string]*Table{}}
+	db.cacheCap.Store(DefaultCachePages)
+	db.cache.Store(newPageCache(DefaultCachePages))
+	return db
 }
 
 // SetCacheCapacity sets the page-cache capacity in pages; 0 disables
 // caching entirely (every read is physical).
 func (db *Database) SetCacheCapacity(pages int) {
-	db.cacheCap = pages
-	db.DropCaches()
+	db.cacheCap.Store(int64(pages))
+	db.cache.Store(newPageCache(pages))
 }
 
 // Stats returns a snapshot of the physical counters.
-func (db *Database) Stats() Stats { return db.stats }
+func (db *Database) Stats() Stats {
+	return Stats{
+		BlockReads:   db.stats.blockReads.Load(),
+		BytesRead:    db.stats.bytesRead.Load(),
+		CacheHits:    db.stats.cacheHits.Load(),
+		PagesSkipped: db.stats.pagesSkipped.Load(),
+	}
+}
 
 // ResetStats zeroes the counters.
-func (db *Database) ResetStats() { db.stats = Stats{} }
+func (db *Database) ResetStats() {
+	db.stats.blockReads.Store(0)
+	db.stats.bytesRead.Store(0)
+	db.stats.cacheHits.Store(0)
+	db.stats.pagesSkipped.Store(0)
+}
 
 // DropCaches empties the page cache — the equivalent of the paper's
 // unmount/remount between queries.
-func (db *Database) DropCaches() { db.cache = map[cacheKey]cacheEntry{} }
+func (db *Database) DropCaches() {
+	db.cache.Store(newPageCache(int(db.cacheCap.Load())))
+}
+
+// CachedPages reports how many pages are currently cached.
+func (db *Database) CachedPages() int { return db.cache.Load().len() }
 
 // CreateTable registers a new table. Zone maps are maintained for all
 // INT and DATE columns.
 func (db *Database) CreateTable(s Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	key := strings.ToLower(s.Name)
 	if _, exists := db.tables[key]; exists {
 		return nil, fmt.Errorf("relstore: table %s already exists", s.Name)
 	}
-	t := &Table{db: db, schema: s}
+	db.nextTableID++
+	t := &Table{db: db, id: db.nextTableID, schema: s}
 	for i, c := range s.Columns {
 		if c.Type == TypeInt || c.Type == TypeDate {
 			t.zoneCols = append(t.zoneCols, i)
@@ -89,7 +111,9 @@ func (db *Database) CreateTable(s Schema) (*Table, error) {
 
 // Table looks a table up by name (case-insensitive).
 func (db *Database) Table(name string) (*Table, bool) {
+	db.mu.RLock()
 	t, ok := db.tables[strings.ToLower(name)]
+	db.mu.RUnlock()
 	return t, ok
 }
 
@@ -104,12 +128,13 @@ func (db *Database) MustTable(name string) (*Table, error) {
 
 // DropTable removes a table and its indexes.
 func (db *Database) DropTable(name string) error {
+	db.mu.Lock()
 	key := strings.ToLower(name)
 	t, ok := db.tables[key]
 	if !ok {
+		db.mu.Unlock()
 		return fmt.Errorf("relstore: no such table %s", name)
 	}
-	t.Truncate()
 	delete(db.tables, key)
 	for i, n := range db.names {
 		if strings.EqualFold(n, name) {
@@ -117,11 +142,15 @@ func (db *Database) DropTable(name string) error {
 			break
 		}
 	}
+	db.mu.Unlock()
+	t.Truncate()
 	return nil
 }
 
 // TableNames lists tables in creation order.
 func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, len(db.names))
 	copy(out, db.names)
 	return out
@@ -180,6 +209,8 @@ func (t *Table) Indexes() []*Index { return t.indexes }
 
 // TotalBytes returns the physical footprint of all tables.
 func (db *Database) TotalBytes() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	n := 0
 	for _, t := range db.tables {
 		n += t.ByteSize()
@@ -188,51 +219,17 @@ func (db *Database) TotalBytes() int {
 }
 
 func (db *Database) cacheGet(t *Table, pageNo int) ([]Row, []bool, bool) {
-	if db.cacheCap == 0 {
-		return nil, nil, false
+	rows, live, ok := db.cache.Load().get(cacheKey{t.id, pageNo})
+	if ok {
+		db.stats.cacheHits.Add(1)
 	}
-	e, ok := db.cache[cacheKey{t, pageNo}]
-	if !ok {
-		return nil, nil, false
-	}
-	db.cacheTick++
-	e.used = db.cacheTick
-	db.cache[cacheKey{t, pageNo}] = e
-	db.stats.CacheHits++
-	return e.rows, e.live, true
+	return rows, live, ok
 }
 
 func (db *Database) cachePut(t *Table, pageNo int, rows []Row, live []bool) {
-	if db.cacheCap == 0 {
-		return
-	}
-	if len(db.cache) >= db.cacheCap {
-		db.evictOldest(len(db.cache) - db.cacheCap + 1)
-	}
-	db.cacheTick++
-	db.cache[cacheKey{t, pageNo}] = cacheEntry{rows: rows, live: live, used: db.cacheTick}
+	db.cache.Load().put(cacheKey{t.id, pageNo}, rows, live)
 }
 
 func (db *Database) cacheInvalidate(t *Table, pageNo int) {
-	delete(db.cache, cacheKey{t, pageNo})
-}
-
-// evictOldest removes the n least recently used entries. Linear in the
-// cache size, but eviction is rare relative to lookups.
-func (db *Database) evictOldest(n int) {
-	type aged struct {
-		key  cacheKey
-		used int64
-	}
-	entries := make([]aged, 0, len(db.cache))
-	for k, e := range db.cache {
-		entries = append(entries, aged{k, e.used})
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].used < entries[j].used })
-	if n > len(entries) {
-		n = len(entries)
-	}
-	for _, e := range entries[:n] {
-		delete(db.cache, e.key)
-	}
+	db.cache.Load().invalidate(cacheKey{t.id, pageNo})
 }

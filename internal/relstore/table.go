@@ -10,6 +10,7 @@ import (
 // cache. Zone maps on INT/DATE columns let scans skip pages.
 type Table struct {
 	db     *Database
+	id     uint64 // unique within the database, never reused
 	schema Schema
 
 	pages []*page
@@ -100,13 +101,15 @@ func (t *Table) sealBuilder() {
 // Flush seals the open builder page, if any.
 func (t *Table) Flush() { t.sealBuilder() }
 
-// Get returns the row at rid and whether it is live.
+// Get returns the row at rid and whether it is live. The returned row
+// is the caller's to keep: it never aliases cache-internal or
+// builder-internal storage.
 func (t *Table) Get(rid RID) (Row, bool, error) {
 	if int(rid.Page) == len(t.pages) {
 		if int(rid.Slot) >= len(t.bRows) {
 			return nil, false, fmt.Errorf("relstore: %s: bad rid %v", t.Name(), rid)
 		}
-		return t.bRows[rid.Slot], t.bLive[rid.Slot], nil
+		return copyRow(t.bRows[rid.Slot]), t.bLive[rid.Slot], nil
 	}
 	if int(rid.Page) > len(t.pages) {
 		return nil, false, fmt.Errorf("relstore: %s: bad rid %v", t.Name(), rid)
@@ -118,7 +121,17 @@ func (t *Table) Get(rid RID) (Row, bool, error) {
 	if int(rid.Slot) >= len(rows) {
 		return nil, false, fmt.Errorf("relstore: %s: bad rid %v", t.Name(), rid)
 	}
-	return rows[rid.Slot], live[rid.Slot], nil
+	return copyRow(rows[rid.Slot]), live[rid.Slot], nil
+}
+
+// copyRow shallow-copies a row so callers can overwrite cells without
+// reaching into shared page-cache storage. Values are immutable by
+// convention, so copying the cell slice is enough.
+func copyRow(r Row) Row {
+	if r == nil {
+		return nil
+	}
+	return append(Row(nil), r...)
 }
 
 // Update replaces the row at rid.
@@ -140,6 +153,14 @@ func (t *Table) Update(rid RID, r Row) error {
 		t.bSize = 0
 		for i, br := range t.bRows {
 			t.bSize += len(EncodeRow(nil, br, t.bLive[i]))
+		}
+		if t.bSize > PageSize {
+			// The grown row pushed the builder past a page; seal so
+			// ByteSize stays honest and the oversized open page does not
+			// linger until the next insert. Sealing keeps RIDs valid:
+			// builder rows at page len(t.pages) become that same page
+			// number once sealed.
+			t.sealBuilder()
 		}
 	} else {
 		if err := t.rewritePage(int(rid.Page), func(rows []Row, live []bool) {
@@ -180,20 +201,29 @@ func (t *Table) Delete(rid RID) error {
 	return nil
 }
 
+// rewritePage re-encodes a sealed page through a mutation callback.
+// It is copy-on-write: the row/live slices held by the page cache and
+// by any in-progress Scan or Get over the page are never mutated — the
+// mutation runs on fresh copies, which then replace the page and the
+// cache entry. An Update/Delete issued from inside a Scan callback
+// therefore leaves the scan's view of the current page intact.
 func (t *Table) rewritePage(pageNo int, mutate func(rows []Row, live []bool)) error {
 	rows, live, err := t.readPage(pageNo)
 	if err != nil {
 		return err
 	}
-	mutate(rows, live)
-	t.pages[pageNo] = buildPage(rows, live, t.zoneCols, len(t.schema.Columns))
-	t.db.cacheInvalidate(t, pageNo)
-	t.db.cachePut(t, pageNo, rows, live)
+	newRows := append([]Row(nil), rows...)
+	newLive := append([]bool(nil), live...)
+	mutate(newRows, newLive)
+	t.pages[pageNo] = buildPage(newRows, newLive, t.zoneCols, len(t.schema.Columns))
+	t.db.cachePut(t, pageNo, newRows, newLive)
 	return nil
 }
 
 // readPage returns the decoded rows of a sealed page via the database
-// page cache, counting a physical block read on a miss.
+// page cache, counting a physical block read on a miss. The returned
+// slices are shared with the cache and treated as immutable; public
+// entry points (Get, Scan) copy rows before handing them out.
 func (t *Table) readPage(pageNo int) ([]Row, []bool, error) {
 	if rows, live, ok := t.db.cacheGet(t, pageNo); ok {
 		return rows, live, nil
@@ -203,8 +233,8 @@ func (t *Table) readPage(pageNo int) ([]Row, []bool, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	t.db.stats.BlockReads++
-	t.db.stats.BytesRead += int64(p.byteSize())
+	t.db.stats.blockReads.Add(1)
+	t.db.stats.bytesRead.Add(int64(p.byteSize()))
 	t.db.cachePut(t, pageNo, rows, live)
 	return rows, live, nil
 }
@@ -220,6 +250,8 @@ type ZoneBound struct {
 // Scan iterates live rows in physical order, calling fn until it
 // returns false. bounds (may be nil) prune pages via zone maps; they
 // do NOT filter rows — the caller still applies its own predicate.
+// Rows passed to fn are copies the callback may keep or overwrite;
+// they never alias cache-internal storage.
 func (t *Table) Scan(bounds []ZoneBound, fn func(rid RID, row Row) bool) error {
 	for pn, p := range t.pages {
 		skip := false
@@ -230,7 +262,7 @@ func (t *Table) Scan(bounds []ZoneBound, fn func(rid RID, row Row) bool) error {
 			}
 		}
 		if skip {
-			t.db.stats.PagesSkipped++
+			t.db.stats.pagesSkipped.Add(1)
 			continue
 		}
 		rows, live, err := t.readPage(pn)
@@ -241,7 +273,7 @@ func (t *Table) Scan(bounds []ZoneBound, fn func(rid RID, row Row) bool) error {
 			if !live[slot] {
 				continue
 			}
-			if !fn(RID{Page: int32(pn), Slot: int32(slot)}, row) {
+			if !fn(RID{Page: int32(pn), Slot: int32(slot)}, copyRow(row)) {
 				return nil
 			}
 		}
@@ -250,7 +282,7 @@ func (t *Table) Scan(bounds []ZoneBound, fn func(rid RID, row Row) bool) error {
 		if !t.bLive[slot] {
 			continue
 		}
-		if !fn(RID{Page: int32(len(t.pages)), Slot: int32(slot)}, row) {
+		if !fn(RID{Page: int32(len(t.pages)), Slot: int32(slot)}, copyRow(row)) {
 			return nil
 		}
 	}

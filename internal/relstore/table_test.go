@@ -211,8 +211,8 @@ func TestCacheEviction(t *testing.T) {
 	}
 	tbl.Flush()
 	_ = tbl.Scan(nil, func(RID, Row) bool { return true })
-	if len(db.cache) > 4 {
-		t.Errorf("cache grew to %d entries", len(db.cache))
+	if n := db.CachedPages(); n > 4 {
+		t.Errorf("cache grew to %d entries", n)
 	}
 }
 

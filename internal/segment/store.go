@@ -14,6 +14,7 @@ package segment
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"archis/internal/htable"
 	"archis/internal/relstore"
@@ -36,11 +37,19 @@ type Config struct {
 
 // Store is a usefulness-clustered attribute store. It satisfies
 // htable.AttrStore.
+//
+// Reads (Scan, ScanHistory, Segments, SegmentsFor, Usefulness, …) may
+// run concurrently; mu makes their view of the segment metadata
+// consistent. Writes (Append, Close, Rewrite, ArchiveNow,
+// RebuildLiveMap) take the write lock and additionally require that no
+// other goroutine touches the underlying tables, per the relstore
+// writer-exclusivity rule.
 type Store struct {
 	table *relstore.Table // (segno, id, value, tstart, tend)
 	dir   *relstore.Table // (segno, segstart, segend)
 	cfg   Config
 
+	mu        sync.RWMutex
 	liveSeg   int64
 	liveStart temporal.Date
 	nall      int
@@ -103,13 +112,27 @@ func (s *Store) TableName() string { return s.table.Name() }
 func (s *Store) Table() *relstore.Table { return s.table }
 
 // LiveSegment returns the live segment number.
-func (s *Store) LiveSegment() int64 { return s.liveSeg }
+func (s *Store) LiveSegment() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.liveSeg
+}
 
 // Archives returns how many archive operations have run.
-func (s *Store) Archives() int { return s.archives }
+func (s *Store) Archives() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.archives
+}
 
 // Usefulness returns the live segment's current U = Nlive/Nall.
 func (s *Store) Usefulness() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.usefulness()
+}
+
+func (s *Store) usefulness() float64 {
 	if s.nall == 0 {
 		return 1
 	}
@@ -118,6 +141,8 @@ func (s *Store) Usefulness() float64 {
 
 // Append implements htable.AttrStore.
 func (s *Store) Append(id int64, value relstore.Value, start temporal.Date) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, exists := s.live[id]; exists {
 		return fmt.Errorf("segment: %s: id %d already live", s.table.Name(), id)
 	}
@@ -141,6 +166,8 @@ func (s *Store) Append(id int64, value relstore.Value, start temporal.Date) erro
 
 // Close implements htable.AttrStore.
 func (s *Store) Close(id int64, end temporal.Date) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	rid, ok := s.live[id]
 	if !ok {
 		return nil
@@ -167,6 +194,8 @@ func (s *Store) Close(id int64, end temporal.Date) error {
 
 // Rewrite implements htable.AttrStore.
 func (s *Store) Rewrite(id int64, value relstore.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	rid, ok := s.live[id]
 	if !ok {
 		return fmt.Errorf("segment: %s: no live version for id %d", s.table.Name(), id)
@@ -181,10 +210,10 @@ func (s *Store) Rewrite(id int64, value relstore.Value) error {
 }
 
 func (s *Store) maybeArchive() error {
-	if s.nall < s.cfg.MinSegmentRows || s.Usefulness() >= s.cfg.Umin {
+	if s.nall < s.cfg.MinSegmentRows || s.usefulness() >= s.cfg.Umin {
 		return nil
 	}
-	return s.ArchiveNow()
+	return s.archiveNow()
 }
 
 // ArchiveNow performs the Section 6.1 archive operation immediately:
@@ -192,6 +221,13 @@ func (s *Store) maybeArchive() error {
 // copied into a fresh live segment, and the old live segment is
 // dropped.
 func (s *Store) ArchiveNow() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.archiveNow()
+}
+
+// archiveNow is ArchiveNow with s.mu already held.
+func (s *Store) archiveNow() error {
 	now := s.cfg.Clock()
 
 	// Collect the live segment.
@@ -288,6 +324,8 @@ func (s *Store) ArchiveNow() error {
 // RebuildLiveMap re-scans the live segment to refresh the id→RID map
 // after an external pass (e.g. compression) compacted the table.
 func (s *Store) RebuildLiveMap() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.live = map[int64]relstore.RID{}
 	return s.table.Scan(
 		[]relstore.ZoneBound{{Col: 0, Op: "=", Bound: s.liveSeg}},
@@ -303,6 +341,8 @@ func (s *Store) RebuildLiveMap() error {
 // deduplicated across segment copies, preferring the most recent
 // segment (whose tend is authoritative).
 func (s *Store) ScanHistory(fn func(id int64, value relstore.Value, start, end temporal.Date) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	type rec struct {
 		segno int64
 		id    int64
@@ -346,6 +386,13 @@ type SegmentInterval struct {
 
 // Segments lists the frozen segments in order.
 func (s *Store) Segments() ([]SegmentInterval, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.segments()
+}
+
+// segments is Segments with s.mu already held (read or write).
+func (s *Store) segments() ([]SegmentInterval, error) {
 	var out []SegmentInterval
 	err := s.dir.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
 		out = append(out, SegmentInterval{SegNo: row[0].I, Start: row[1].Date(), End: row[2].Date()})
@@ -359,7 +406,9 @@ func (s *Store) Segments() ([]SegmentInterval, error) {
 // touch — the Section 6.3 query-mapping step. The live segment is
 // included when the range reaches past the last frozen segment.
 func (s *Store) SegmentsFor(lo, hi temporal.Date) ([]int64, error) {
-	segs, err := s.Segments()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	segs, err := s.segments()
 	if err != nil {
 		return nil, err
 	}
@@ -386,6 +435,8 @@ func (s *Store) Schema() relstore.Schema { return s.table.Schema() }
 // (Section 6.3 query mapping); an id equality bound (col 1) uses the
 // base table's id index when one exists.
 func (s *Store) Scan(bounds []relstore.ZoneBound, fn func(relstore.Row) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	lo, hi := int64(1), s.liveSeg
 	var idEq *int64
 	for _, zb := range bounds {
@@ -465,7 +516,9 @@ func (s *Store) Scan(bounds []relstore.ZoneBound, fn func(relstore.Row) bool) er
 
 // SegmentCount returns frozen segments + the live one.
 func (s *Store) SegmentCount() (int, error) {
-	segs, err := s.Segments()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	segs, err := s.segments()
 	if err != nil {
 		return 0, err
 	}
