@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench
+.PHONY: build vet test race parallel-stress bench-smoke verify lint bench bench-parallel bench-json
 
 build:
 	$(GO) build ./...
@@ -14,13 +14,35 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused stress of the morsel-parallel executor: the randomized
+# serial-vs-parallel differential tests, under the race detector.
+parallel-stress:
+	$(GO) test -race -run Parallel ./...
+
+# One-iteration benchmark smoke: the scan benchmarks must still
+# compile and run (allocation regressions show up here first).
+bench-smoke:
+	$(GO) test -bench='Scan(Copy|Borrow)' -benchtime=1x -run '^$$' ./internal/relstore/
+
 # Tier-1 verification: everything must compile, pass vet, and pass the
 # full test suite under the race detector (the concurrency layer is
-# only considered correct when -race is clean).
-verify: build vet race
+# only considered correct when -race is clean), plus the parallel
+# differential stress and the benchmark smoke run.
+verify: build vet race parallel-stress bench-smoke
+
+# Optional linters: run when installed, skip quietly otherwise (the
+# build environment is offline; nothing is downloaded).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "lint: govulncheck not installed, skipping"; fi
 
 bench:
 	$(GO) run ./cmd/archis-bench
 
 bench-parallel:
 	$(GO) run ./cmd/archis-bench -parallel
+
+# Machine-readable Q1-Q6 timing records (serial vs parallel) for
+# cross-commit regression diffing.
+bench-json:
+	$(GO) run ./cmd/archis-bench -json BENCH_$(shell date +%Y%m%dT%H%M%S).json

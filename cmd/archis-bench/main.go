@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,8 +37,9 @@ var (
 	runs      = flag.Int("runs", 3, "cold runs per query; the average is reported")
 	figs      = flag.String("fig", "all", "comma-separated figures to run")
 	parallel  = flag.Bool("parallel", false, "run the Q1-Q6 suite and multi-snapshot workloads across goroutines and report serial vs parallel throughput")
-	workers   = flag.Int("workers", 0, "worker count for -parallel (0 = GOMAXPROCS)")
+	workers   = flag.Int("workers", 0, "worker count for -parallel batches and -json intra-query runs (0 = GOMAXPROCS)")
 	rounds    = flag.Int("rounds", 8, "suite repetitions per -parallel batch")
+	jsonOut   = flag.String("json", "", "time the Q1-Q6 suite at Workers=1 and Workers=-workers on the scaled dataset and write JSON records to this path")
 )
 
 func main() {
@@ -51,6 +53,10 @@ func main() {
 	h := &harness{}
 	fmt.Printf("ArchIS evaluation harness — %d employees, %d years (S=1)\n\n", *employees, *years)
 
+	if *jsonOut != "" {
+		h.benchJSON(*jsonOut)
+		return
+	}
 	if *parallel {
 		h.parallelSuite()
 		return
@@ -205,6 +211,9 @@ func (h *harness) parallelSuite() {
 	fmt.Printf("== parallel query execution — %d workers ==\n", w)
 
 	run := func(label string, e *bench.Env, queries []string) {
+		// Pin intra-query parallelism off so the speedup measured here
+		// is purely the batch-level worker pool's.
+		e.Sys.Engine.Workers = 1
 		// Warm-up pass so both modes start from the same cache state.
 		e.Cold()
 		if _, _, err := e.RunBatch(queries, 1); err != nil {
@@ -230,6 +239,84 @@ func (h *harness) parallelSuite() {
 	c := h.getCompressed()
 	run("Q1-Q6 suite (compressed)", c, c.SuiteQueries(*rounds))
 	fmt.Println()
+}
+
+// benchRecord is one (query, workers) timing cell of a -json run.
+type benchRecord struct {
+	Query   string `json:"query"`
+	Path    string `json:"path"` // physical layout the query ran on
+	Workers int    `json:"workers"`
+	MeanNS  int64  `json:"mean_ns"`
+	MinNS   int64  `json:"min_ns"`
+	Rows    int    `json:"rows"`
+}
+
+// benchReport is the top-level -json document: dataset parameters plus
+// one record per query per worker level.
+type benchReport struct {
+	Timestamp string        `json:"timestamp"`
+	Employees int           `json:"employees"`
+	Years     int           `json:"years"`
+	Scale     int           `json:"scale"`
+	Runs      int           `json:"runs"`
+	Records   []benchRecord `json:"records"`
+}
+
+// benchJSON times the Q1-Q6 suite on the scaled clustered dataset at
+// Workers=1 (serial) and Workers=-workers (parallel) and writes the
+// machine-readable record file regression tooling diffs across
+// commits.
+func (h *harness) benchJSON(path string) {
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	cfgS := cfg1().Scaled(*scale)
+	fmt.Printf("== JSON bench: Q1-Q6, S=%d (%d employees), workers 1 vs %d ==\n", *scale, cfgS.Employees, w)
+	e, err := bench.Build(cfgS, bench.Options{Layout: core.LayoutClustered, Workers: 1})
+	die(err)
+	rep := benchReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Employees: cfgS.Employees,
+		Years:     cfgS.Years,
+		Scale:     *scale,
+		Runs:      *runs,
+	}
+	for _, lvl := range []int{1, w} {
+		e.Sys.Engine.Workers = lvl
+		for _, q := range bench.AllQueries {
+			e.Cold() // untimed warm-up absorbs lazy initialization
+			res, err := e.Run(q)
+			die(err)
+			var total, min time.Duration
+			for i := 0; i < *runs; i++ {
+				e.Cold()
+				start := time.Now()
+				_, err := e.Run(q)
+				die(err)
+				d := time.Since(start)
+				total += d
+				if i == 0 || d < min {
+					min = d
+				}
+			}
+			mean := total / time.Duration(*runs)
+			rep.Records = append(rep.Records, benchRecord{
+				Query:   fmt.Sprintf("Q%d", q),
+				Path:    "clustered",
+				Workers: lvl,
+				MeanNS:  mean.Nanoseconds(),
+				MinNS:   min.Nanoseconds(),
+				Rows:    res.Rows,
+			})
+			fmt.Printf("  Q%-2d workers=%-2d  mean %s ms  min %s ms  rows %d\n",
+				q, lvl, strings.TrimSpace(ms(mean)), strings.TrimSpace(ms(min)), res.Rows)
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	die(err)
+	die(os.WriteFile(path, append(data, '\n'), 0o644))
+	fmt.Printf("wrote %d records to %s\n", len(rep.Records), path)
 }
 
 func (h *harness) translationCost() {

@@ -35,6 +35,7 @@ var (
 	yearsN    = flag.Int("years", 10, "years of synthetic history")
 	demo      = flag.Bool("demo", true, "load the paper's Tables 1-2 micro history")
 	dbPath    = flag.String("db", "", "open an existing system file (and save back on 'save')")
+	workers   = flag.Int("workers", 0, "intra-query scan workers (0 = GOMAXPROCS, 1 = serial)")
 )
 
 func main() {
@@ -60,7 +61,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unknown layout", *layout)
 		os.Exit(2)
 	}
-	sys, err := archis.New(archis.Options{Layout: lay})
+	sys, err := archis.New(archis.Options{Layout: lay, Workers: *workers})
 	check(err)
 	check(sys.Register(dataset.EmployeeSpec()))
 	check(sys.Register(dataset.DeptSpec()))
@@ -179,6 +180,8 @@ func repl(sys *archis.System) {
 			st := sys.DB.Stats()
 			fmt.Printf("block reads: %d  cache hits: %d  pages skipped: %d\n",
 				st.BlockReads, st.CacheHits, st.PagesSkipped)
+			fmt.Printf("morsels: %d  rows borrowed: %d  rows copied: %d\n",
+				st.Morsels, st.RowsBorrowed, st.RowsCopied)
 			fmt.Printf("history storage: %d KiB\n", sys.StorageBytes()/1024)
 		default:
 			fmt.Println("unknown command; type help")

@@ -44,6 +44,9 @@ type Options struct {
 	MinSegmentRows int
 	Compress       bool // run CompressFrozen after loading
 	WholeSegments  bool // ablation: whole-segment compression
+	// Workers is the intra-query scan parallelism (0 = GOMAXPROCS,
+	// 1 = serial); see core.Options.Workers.
+	Workers int
 }
 
 // Build generates the workload into a fresh ArchIS instance.
@@ -61,6 +64,7 @@ func Build(cfg dataset.Config, opts Options) (*Env, error) {
 		Umin:                    opts.Umin,
 		MinSegmentRows:          opts.MinSegmentRows,
 		WholeSegmentCompression: opts.WholeSegments,
+		Workers:                 opts.Workers,
 	})
 	if err != nil {
 		return nil, err

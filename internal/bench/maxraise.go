@@ -45,6 +45,23 @@ func (s *maxRaiseState) Add(args []relstore.Value) error {
 	return nil
 }
 
+// Merge combines a partial accumulated over a disjoint row subset, so
+// MAXRAISE runs on the engine's morsel-parallel path. Result sorts
+// each id's versions by start, so append order doesn't matter.
+func (s *maxRaiseState) Merge(other sqlengine.AggState) error {
+	o, ok := other.(*maxRaiseState)
+	if !ok {
+		return fmt.Errorf("MAXRAISE: cannot merge partial of type %T", other)
+	}
+	if o.window != 0 {
+		s.window = o.window
+	}
+	for id, versions := range o.byID {
+		s.byID[id] = append(s.byID[id], versions...)
+	}
+	return nil
+}
+
 func (s *maxRaiseState) Result() relstore.Value {
 	best := int64(0)
 	// A version paired with itself gives a zero raise, matching the

@@ -117,7 +117,7 @@ func (cs *CompressedStore) compressSegment(sg segment.SegmentInterval) error {
 		rid relstore.RID
 	}
 	var recs []rec
-	err := base.Scan(
+	err := base.ScanBorrow(
 		[]relstore.ZoneBound{{Col: 0, Op: "=", Bound: sg.SegNo}},
 		func(rid relstore.RID, row relstore.Row) bool {
 			if row[0].I != sg.SegNo {
@@ -280,8 +280,28 @@ func (cs *CompressedStore) Scan(bounds []relstore.ZoneBound, fn func(relstore.Ro
 	type srange struct {
 		segno, startBlock, endBlock int64
 	}
+	ranges, err := cs.ranges(segLo, segHi)
+	if err != nil {
+		return err
+	}
+
+	for _, rg := range ranges {
+		rgStopped, err := cs.scanRange(rg, idEq, emit)
+		if err != nil {
+			return err
+		}
+		if rgStopped || stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ranges lists the compressed segment ranges intersecting
+// [segLo, segHi], newest segment first.
+func (cs *CompressedStore) ranges(segLo, segHi int64) ([]srange, error) {
 	var ranges []srange
-	err = cs.segrange.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+	err := cs.segrange.ScanBorrow(nil, func(_ relstore.RID, row relstore.Row) bool {
 		if row[0].I < segLo || row[0].I > segHi {
 			return true
 		}
@@ -289,58 +309,135 @@ func (cs *CompressedStore) Scan(bounds []relstore.ZoneBound, fn func(relstore.Ro
 		return true
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sort.Slice(ranges, func(i, j int) bool { return ranges[i].segno > ranges[j].segno })
+	return ranges, nil
+}
 
-	for _, rg := range ranges {
-		blobBounds := []relstore.ZoneBound{
-			{Col: 0, Op: ">=", Bound: rg.startBlock},
-			{Col: 0, Op: "<=", Bound: rg.endBlock},
+// srange is one compressed segment's block range.
+type srange struct {
+	segno, startBlock, endBlock int64
+}
+
+// scanRange decompresses one segment range's blocks and feeds decoded
+// rows to emit, reporting whether emit stopped the scan.
+func (cs *CompressedStore) scanRange(rg srange, idEq *int64, emit func(relstore.Row) bool) (bool, error) {
+	blobBounds := []relstore.ZoneBound{
+		{Col: 0, Op: ">=", Bound: rg.startBlock},
+		{Col: 0, Op: "<=", Bound: rg.endBlock},
+	}
+	if idEq != nil {
+		target := sid(rg.segno, *idEq)
+		blobBounds = append(blobBounds,
+			relstore.ZoneBound{Col: 1, Op: "<=", Bound: target},
+			relstore.ZoneBound{Col: 2, Op: ">=", Bound: target})
+	}
+	stopped := false
+	var blockErr error
+	err := cs.blob.ScanBorrow(blobBounds, func(_ relstore.RID, row relstore.Row) bool {
+		blockNo := row[0].I
+		if blockNo < rg.startBlock || blockNo > rg.endBlock {
+			return true
 		}
 		if idEq != nil {
 			target := sid(rg.segno, *idEq)
-			blobBounds = append(blobBounds,
-				relstore.ZoneBound{Col: 1, Op: "<=", Bound: target},
-				relstore.ZoneBound{Col: 2, Op: ">=", Bound: target})
-		}
-		err := cs.blob.Scan(blobBounds, func(_ relstore.RID, row relstore.Row) bool {
-			blockNo := row[0].I
-			if blockNo < rg.startBlock || blockNo > rg.endBlock {
+			if row[1].I > target || row[2].I < target {
 				return true
 			}
-			if idEq != nil {
-				target := sid(rg.segno, *idEq)
-				if row[1].I > target || row[2].I < target {
-					return true
-				}
-			}
-			recs, derr := Decompress(row[3].B)
+		}
+		recs, derr := Decompress(row[3].B)
+		if derr != nil {
+			blockErr = derr
+			return false
+		}
+		atomic.AddInt64(&cs.Decompressions, 1)
+		// One Value arena per block: rows are immutable subslices of
+		// it, so decode pays one backing allocation per block rather
+		// than one per row (mirrors page.decodeRows).
+		arena := make([]relstore.Value, 0, 4*len(recs))
+		for _, enc := range recs {
+			start := len(arena)
+			var derr error
+			arena, _, _, derr = relstore.DecodeRowInto(arena, enc)
 			if derr != nil {
-				err = derr
+				blockErr = derr
 				return false
 			}
-			atomic.AddInt64(&cs.Decompressions, 1)
-			for _, enc := range recs {
-				r, _, _, derr := relstore.DecodeRow(enc)
-				if derr != nil {
-					err = derr
-					return false
-				}
-				if !emit(r) {
-					return false
-				}
+			end := len(arena)
+			if !emit(relstore.Row(arena[start:end:end])) {
+				stopped = true
+				return false
 			}
-			return true
-		})
-		if err != nil {
-			return err
 		}
-		if stopped {
-			return nil
+		return true
+	})
+	if err == nil {
+		err = blockErr
+	}
+	return stopped, err
+}
+
+// ScanMorsels implements relstore.MorselSource: the uncompressed
+// side's morsels (live segment plus any not-yet-compressed frozen
+// rows) come first, wrapped with this store's range/stale/id filter,
+// followed by one morsel per compressed segment range (newest first)
+// that decompresses and decodes its blocks. Concatenated in order,
+// the morsels emit exactly Scan's row sequence, so segment
+// decompression parallelizes across workers.
+func (cs *CompressedStore) ScanMorsels(bounds []relstore.ZoneBound) ([]relstore.MorselFunc, error) {
+	segLo, segHi := int64(1), cs.Seg.LiveSegment()
+	var idEq *int64
+	for _, zb := range bounds {
+		switch {
+		case zb.Col == 0 && zb.Op == "=":
+			segLo, segHi = zb.Bound, zb.Bound
+		case zb.Col == 0 && zb.Op == ">=" && zb.Bound > segLo:
+			segLo = zb.Bound
+		case zb.Col == 0 && zb.Op == "<=" && zb.Bound < segHi:
+			segHi = zb.Bound
+		case zb.Col == 1 && zb.Op == "=":
+			v := zb.Bound
+			idEq = &v
 		}
 	}
-	return nil
+	// Per-morsel stateless version of Scan's dedup/filter rule.
+	filter := func(row relstore.Row, fn func(relstore.Row) bool) bool {
+		if row[0].I < segLo || row[0].I > segHi {
+			return true
+		}
+		if row[0].I < segHi && row[4].Date().IsForever() {
+			return true
+		}
+		if idEq != nil && row[1].I != *idEq {
+			return true
+		}
+		return fn(row)
+	}
+
+	segMorsels, err := cs.Seg.ScanMorsels(bounds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]relstore.MorselFunc, 0, len(segMorsels)+8)
+	for _, m := range segMorsels {
+		m := m
+		out = append(out, func(borrow bool, fn func(relstore.Row) bool) (bool, error) {
+			return m(borrow, func(row relstore.Row) bool { return filter(row, fn) })
+		})
+	}
+
+	ranges, err := cs.ranges(segLo, segHi)
+	if err != nil {
+		return nil, err
+	}
+	for _, rg := range ranges {
+		rg := rg
+		out = append(out, func(borrow bool, fn func(relstore.Row) bool) (bool, error) {
+			return cs.scanRange(rg, idEq, func(row relstore.Row) bool { return filter(row, fn) })
+		})
+	}
+	return out, nil
 }
 
 // StorageBytes reports the physical footprint of the compressed

@@ -59,6 +59,10 @@ type Options struct {
 	// WholeSegmentCompression is the ablation mode: compress whole
 	// segments as single streams instead of blocks.
 	WholeSegmentCompression bool
+	// Workers caps intra-query morsel parallelism for single-table
+	// scan/aggregate SELECTs (0 = GOMAXPROCS, 1 = serial). See
+	// sqlengine.Engine.Workers.
+	Workers int
 }
 
 // System is the assembled ArchIS instance.
@@ -92,6 +96,7 @@ func newWithDB(db *relstore.Database, opts Options) (*System, error) {
 		opts.Umin = 0.4
 	}
 	en := sqlengine.New(db)
+	en.Workers = opts.Workers
 	a, err := htable.New(en, opts.Capture)
 	if err != nil {
 		return nil, err
@@ -364,12 +369,40 @@ func (s *System) runReadOnly(q string) ParallelResult {
 	return pr
 }
 
+// firstKeyword returns the first SQL keyword of q in lower case,
+// skipping leading whitespace, parentheses and SQL comments (`-- …`
+// to end of line, `/* … */`), so the RunParallel read-only gate
+// classifies statements like `(select …)` or `-- note\nselect …`
+// correctly instead of falling through to the XQuery path.
 func firstKeyword(q string) string {
-	f := strings.Fields(q)
-	if len(f) == 0 {
-		return ""
+	i := 0
+	for i < len(q) {
+		c := q[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '(':
+			i++
+		case strings.HasPrefix(q[i:], "--"):
+			nl := strings.IndexByte(q[i:], '\n')
+			if nl < 0 {
+				return ""
+			}
+			i += nl + 1
+		case strings.HasPrefix(q[i:], "/*"):
+			end := strings.Index(q[i+2:], "*/")
+			if end < 0 {
+				return ""
+			}
+			i += 2 + end + 2
+		default:
+			j := i
+			for j < len(q) && (q[j] == '_' ||
+				('a' <= q[j] && q[j] <= 'z') || ('A' <= q[j] && q[j] <= 'Z')) {
+				j++
+			}
+			return strings.ToLower(q[i:j])
+		}
 	}
-	return strings.ToLower(f[0])
+	return ""
 }
 
 // QueryXML evaluates a query directly over the published H-documents.

@@ -243,3 +243,51 @@ func TestPublishCacheInvalidation(t *testing.T) {
 		t.Errorf("published view not invalidated: %s vs %s", before.Serialize(), after.Serialize())
 	}
 }
+
+func TestFirstKeywordSkipsCommentsAndParens(t *testing.T) {
+	cases := map[string]string{
+		"select 1":                                  "select",
+		"  \t\nSELECT 1":                            "select",
+		"(select 1)":                                "select",
+		"((select 1))":                              "select",
+		"-- note\nselect 1":                         "select",
+		"-- note\n-- more\n  (select 1)":            "select",
+		"/* block */ select 1":                      "select",
+		"/* multi\nline */ ( /* again */ update t)": "update",
+		"-- only a comment":                         "",
+		"/* unterminated":                           "",
+		"":                                          "",
+		`for $x in doc("d") return $x`:              "for",
+		"123":                                       "",
+	}
+	for q, want := range cases {
+		if got := firstKeyword(q); got != want {
+			t.Errorf("firstKeyword(%q) = %q, want %q", q, got, want)
+		}
+	}
+}
+
+// RunParallel's read-only gate must classify commented/parenthesized
+// SQL as SQL (not XQuery) and still reject writes hidden behind
+// comments.
+func TestRunParallelGateSeesThroughCommentsParallel(t *testing.T) {
+	s := newLoadedSystem(t, Options{})
+	res := s.RunParallel([]string{
+		"(select name from employee_name where name = 'Bob')",
+		"-- cold probe\nselect name from employee_name where name = 'Bob'",
+		"/* gate test */ select name from employee_name where name = 'Bob'",
+		"-- sneaky\ndelete from employee_name",
+	}, 2)
+	for i := 0; i < 3; i++ {
+		if res[i].Err != nil {
+			t.Errorf("query %d: %v", i, res[i].Err)
+			continue
+		}
+		if got := res[i].Result.Items.Serialize(); !strings.Contains(got, "Bob") {
+			t.Errorf("query %d: items = %s", i, got)
+		}
+	}
+	if res[3].Err == nil || !strings.Contains(res[3].Err.Error(), "read-only") {
+		t.Errorf("commented DELETE not rejected: %v", res[3].Err)
+	}
+}

@@ -51,7 +51,7 @@ func NewPlainStore(db *relstore.Database, schema relstore.Schema) (AttrStore, er
 // OpenPlainStore wraps an existing table, rebuilding the live map.
 func OpenPlainStore(t *relstore.Table) (AttrStore, error) {
 	ps := &plainStore{table: t, live: map[int64]relstore.RID{}}
-	err := t.Scan(nil, func(rid relstore.RID, row relstore.Row) bool {
+	err := t.ScanBorrow(nil, func(rid relstore.RID, row relstore.Row) bool {
 		if row[len(row)-1].Date().IsForever() {
 			id, _ := row[0].AsInt()
 			ps.live[id] = rid
@@ -105,8 +105,11 @@ func (ps *plainStore) Close(id int64, end temporal.Date) error {
 	return nil
 }
 
+// ScanHistory borrows rows from the underlying table: values handed
+// to fn are immutable and safe to retain, per the relstore borrow
+// contract.
 func (ps *plainStore) ScanHistory(fn func(id int64, value relstore.Value, start, end temporal.Date) bool) error {
-	return ps.table.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+	return ps.table.ScanBorrow(nil, func(_ relstore.RID, row relstore.Row) bool {
 		id, _ := row[0].AsInt()
 		return fn(id, row[1], row[2].Date(), row[3].Date())
 	})

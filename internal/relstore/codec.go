@@ -139,6 +139,19 @@ func EncodeRow(dst []byte, r Row, live bool) []byte {
 // DecodeRow reads one row from buf, returning the row, its live flag
 // and the bytes consumed.
 func DecodeRow(buf []byte) (Row, bool, int, error) {
+	vals, live, pos, err := DecodeRowInto(nil, buf)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	return Row(vals), live, pos, nil
+}
+
+// DecodeRowInto is DecodeRow appending into a caller-provided arena,
+// so bulk decoders (a whole page or block of rows) amortize one
+// backing-array allocation across every row instead of paying one per
+// row. It returns the extended arena; the decoded row occupies the
+// appended tail.
+func DecodeRowInto(arena []Value, buf []byte) ([]Value, bool, int, error) {
 	if len(buf) == 0 {
 		return nil, false, 0, fmt.Errorf("relstore: decode row: empty buffer")
 	}
@@ -149,16 +162,15 @@ func DecodeRow(buf []byte) (Row, bool, int, error) {
 		return nil, false, 0, fmt.Errorf("relstore: decode row: bad column count")
 	}
 	pos += n
-	row := make(Row, ncols)
-	for i := range row {
+	for i := 0; i < int(ncols); i++ {
 		v, n, err := DecodeValue(buf[pos:])
 		if err != nil {
 			return nil, false, 0, fmt.Errorf("relstore: decode row col %d: %w", i, err)
 		}
-		row[i] = v
+		arena = append(arena, v)
 		pos += n
 	}
-	return row, live, pos, nil
+	return arena, live, pos, nil
 }
 
 // EncodedRowSize returns the encoded size of a row without allocating.

@@ -14,6 +14,9 @@ type Stats struct {
 	BytesRead    int64 // physical bytes of those blocks
 	CacheHits    int64
 	PagesSkipped int64 // pages pruned by zone maps
+	Morsels      int64 // morsel work units dispatched
+	RowsBorrowed int64 // rows handed out zero-copy (ScanBorrow / borrow morsels)
+	RowsCopied   int64 // rows defensively copied (Scan / copy morsels)
 }
 
 // Database is a catalog of tables and indexes plus a shared page
@@ -39,6 +42,9 @@ type Database struct {
 		bytesRead    atomic.Int64
 		cacheHits    atomic.Int64
 		pagesSkipped atomic.Int64
+		morsels      atomic.Int64
+		rowsBorrowed atomic.Int64
+		rowsCopied   atomic.Int64
 	}
 }
 
@@ -68,6 +74,9 @@ func (db *Database) Stats() Stats {
 		BytesRead:    db.stats.bytesRead.Load(),
 		CacheHits:    db.stats.cacheHits.Load(),
 		PagesSkipped: db.stats.pagesSkipped.Load(),
+		Morsels:      db.stats.morsels.Load(),
+		RowsBorrowed: db.stats.rowsBorrowed.Load(),
+		RowsCopied:   db.stats.rowsCopied.Load(),
 	}
 }
 
@@ -77,6 +86,9 @@ func (db *Database) ResetStats() {
 	db.stats.bytesRead.Store(0)
 	db.stats.cacheHits.Store(0)
 	db.stats.pagesSkipped.Store(0)
+	db.stats.morsels.Store(0)
+	db.stats.rowsBorrowed.Store(0)
+	db.stats.rowsCopied.Store(0)
 }
 
 // DropCaches empties the page cache — the equivalent of the paper's
@@ -172,7 +184,7 @@ func (db *Database) CreateIndex(name, table string, columns ...string) (*Index, 
 		cols[i] = pos
 	}
 	ix := &Index{Name: name, Table: t, Cols: cols, tree: newBTree()}
-	err = t.Scan(nil, func(rid RID, row Row) bool {
+	err = t.ScanBorrow(nil, func(rid RID, row Row) bool {
 		ix.insertRow(row, rid)
 		return true
 	})

@@ -1,0 +1,267 @@
+package relstore
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// collectScan runs a serial scan and returns the emitted rows in order.
+func collectScan(t *testing.T, tbl *Table, bounds []ZoneBound) []Row {
+	t.Helper()
+	var out []Row
+	err := tbl.Scan(bounds, func(_ RID, row Row) bool {
+		out = append(out, row)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// collectMorsels executes every morsel serially in index order and
+// concatenates the emitted rows.
+func collectMorsels(t *testing.T, morsels []MorselFunc, borrow bool) []Row {
+	t.Helper()
+	var out []Row
+	for _, m := range morsels {
+		_, err := m(borrow, func(row Row) bool {
+			out = append(out, row)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func rowsEqual(t *testing.T, got, want []Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d width %d, want %d", i, len(got[i]), len(want[i]))
+		}
+		for c := range want[i] {
+			if Compare(got[i][c], want[i][c]) != 0 {
+				t.Fatalf("row %d col %d: %v, want %v", i, c, got[i][c], want[i][c])
+			}
+		}
+	}
+}
+
+func TestScanBorrowMatchesScan(t *testing.T) {
+	_, tbl, _ := sealedIntTable(t, 700) // sealed pages + no tail
+	mustInsert(t, tbl, Row{Int(700), Int(7000)})
+	mustInsert(t, tbl, Row{Int(701), Int(7010)}) // builder tail
+	copied := collectScan(t, tbl, nil)
+	var borrowed []Row
+	err := tbl.ScanBorrow(nil, func(_ RID, row Row) bool {
+		borrowed = append(borrowed, row)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsEqual(t, borrowed, copied)
+}
+
+// Concatenating morsel outputs in index order must reproduce the
+// serial scan exactly, with and without zone bounds, and the stats
+// counters must account for every row and morsel.
+func TestMorselsParallelConcatMatchesSerial(t *testing.T) {
+	db, tbl, _ := sealedIntTable(t, 1500)
+	mustInsert(t, tbl, Row{Int(1500), Int(15000)}) // builder tail
+	if tbl.PageCount() < 2 {
+		t.Fatalf("want multiple sealed pages, got %d", tbl.PageCount())
+	}
+	for _, bounds := range [][]ZoneBound{
+		nil,
+		{{Col: 0, Op: ">=", Bound: 1000}},
+		{{Col: 0, Op: "<=", Bound: 200}},
+		{{Col: 0, Op: ">=", Bound: 9999999}}, // prunes everything sealed
+	} {
+		serial := collectScan(t, tbl, bounds)
+		db.ResetStats()
+		morsels, err := tbl.ScanMorsels(bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collectMorsels(t, morsels, true)
+		rowsEqual(t, got, serial)
+		st := db.Stats()
+		if st.Morsels != int64(len(morsels)) {
+			t.Errorf("bounds %v: Morsels = %d, want %d", bounds, st.Morsels, len(morsels))
+		}
+		if st.RowsBorrowed != int64(len(got)) {
+			t.Errorf("bounds %v: RowsBorrowed = %d, want %d", bounds, st.RowsBorrowed, len(got))
+		}
+	}
+}
+
+// Copy-mode morsels must count rows as copied, not borrowed, and the
+// rows must not alias page storage.
+func TestMorselsCopyModeCounts(t *testing.T) {
+	db, tbl, _ := sealedIntTable(t, 300)
+	db.ResetStats()
+	morsels, err := tbl.ScanMorsels(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectMorsels(t, morsels, false)
+	st := db.Stats()
+	if st.RowsCopied != int64(len(got)) || st.RowsBorrowed != 0 {
+		t.Errorf("copied=%d borrowed=%d, want %d/0", st.RowsCopied, st.RowsBorrowed, len(got))
+	}
+}
+
+// Executing the morsels of one scan concurrently must produce the
+// same multiset of rows as the serial scan, regardless of schedule.
+func TestMorselsParallelConcurrentExecution(t *testing.T) {
+	_, tbl, _ := sealedIntTable(t, 2000)
+	serial := collectScan(t, tbl, nil)
+	var wantSum int64
+	for _, r := range serial {
+		wantSum += r[1].I
+	}
+	for trial := 0; trial < 4; trial++ {
+		morsels, err := tbl.ScanMorsels(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var next, gotRows, gotSum atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(len(morsels)) {
+						return
+					}
+					var localRows, localSum int64
+					_, err := morsels[i](true, func(row Row) bool {
+						localRows++
+						localSum += row[1].I
+						return true
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					gotRows.Add(localRows)
+					gotSum.Add(localSum)
+				}
+			}()
+		}
+		wg.Wait()
+		if gotRows.Load() != int64(len(serial)) || gotSum.Load() != wantSum {
+			t.Fatalf("concurrent morsels saw %d rows sum %d, want %d rows sum %d",
+				gotRows.Load(), gotSum.Load(), len(serial), wantSum)
+		}
+	}
+}
+
+// Mirror of TestScanSnapshotUnderMidScanDelete for the morsel path: a
+// Delete issued from inside a morsel's callback must not change what
+// that morsel sees — the page was decoded (copy-on-write protected)
+// before emission started.
+func TestMorselsParallelSnapshotUnderMidScanDelete(t *testing.T) {
+	_, tbl, rids := sealedIntTable(t, 8)
+	morsels, err := tbl.ScanMorsels(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(morsels) != 1 {
+		t.Fatalf("want 1 morsel for 1 page, got %d", len(morsels))
+	}
+	var seen []int64
+	_, err = morsels[0](true, func(row Row) bool {
+		if row[0].I == 0 {
+			if err := tbl.Delete(rids[5]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seen = append(seen, row[0].I)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("morsel saw %d rows, want the 8-row snapshot: %v", len(seen), seen)
+	}
+	// Fresh morsels observe the delete.
+	fresh, _ := tbl.ScanMorsels(nil)
+	count := 0
+	for _, m := range fresh {
+		if _, err := m(true, func(Row) bool { count++; return true }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != 7 {
+		t.Errorf("post-delete morsels saw %d rows, want 7", count)
+	}
+}
+
+// Early stop from the row callback is reported per morsel.
+func TestMorselEarlyStop(t *testing.T) {
+	_, tbl, _ := sealedIntTable(t, 600)
+	morsels, err := tbl.ScanMorsels(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	stopped, err := morsels[0](true, func(Row) bool { count++; return count < 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stopped || count != 3 {
+		t.Errorf("stopped=%v count=%d, want true/3", stopped, count)
+	}
+}
+
+func benchScanTable(b *testing.B) *Table {
+	b.Helper()
+	db := NewDatabase()
+	tbl, err := db.CreateTable(NewSchema("b",
+		Col("id", TypeInt), Col("v", TypeInt), Col("s", TypeString)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if _, err := tbl.Insert(Row{Int(int64(i)), Int(int64(i * 7)), String_("payload-string")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tbl.Flush()
+	// Warm the page cache so the benchmark measures row handling, not
+	// physical decode.
+	_ = tbl.ScanBorrow(nil, func(RID, Row) bool { return true })
+	return tbl
+}
+
+func BenchmarkScanCopy(b *testing.B) {
+	tbl := benchScanTable(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		_ = tbl.Scan(nil, func(_ RID, row Row) bool { sum += row[1].I; return true })
+	}
+}
+
+func BenchmarkScanBorrow(b *testing.B) {
+	tbl := benchScanTable(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		_ = tbl.ScanBorrow(nil, func(_ RID, row Row) bool { sum += row[1].I; return true })
+	}
+}

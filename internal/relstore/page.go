@@ -1,6 +1,9 @@
 package relstore
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // PageSize is the physical block size of the storage layer. Rows
 // larger than a page get a private oversized ("jumbo") page, the
@@ -37,17 +40,47 @@ func (p *page) rowCount() int { return len(p.offsets) }
 
 // decode returns the rows (nil entries for dead slots).
 func (p *page) decodeRows() ([]Row, []bool, error) {
-	rows := make([]Row, len(p.offsets))
-	liveFlags := make([]bool, len(p.offsets))
+	n := len(p.offsets)
+	rows := make([]Row, n)
+	liveFlags := make([]bool, n)
+	// All rows decode into one shared Value arena — one allocation per
+	// page instead of one per row. The arena (like the cache entry it
+	// becomes part of) is immutable after decode, so rows may alias it
+	// freely. Row headers are fixed up after the loop in case an
+	// underestimated arena reallocates while growing.
+	arena := make([]Value, 0, n*p.rowWidthHint())
+	bounds := make([]int32, n+1)
 	for i, off := range p.offsets {
-		row, live, _, err := DecodeRow(p.buf[off:])
+		var live bool
+		var err error
+		arena, live, _, err = DecodeRowInto(arena, p.buf[off:])
 		if err != nil {
 			return nil, nil, fmt.Errorf("relstore: page decode slot %d: %w", i, err)
 		}
-		rows[i] = row
+		bounds[i+1] = int32(len(arena))
 		liveFlags[i] = live
 	}
+	for i := range rows {
+		rows[i] = Row(arena[bounds[i]:bounds[i+1]:bounds[i+1]])
+	}
 	return rows, liveFlags, nil
+}
+
+// rowWidthHint estimates columns per row for arena pre-sizing from the
+// first encoded row (0 when the page is empty).
+func (p *page) rowWidthHint() int {
+	if len(p.offsets) == 0 {
+		return 0
+	}
+	buf := p.buf[p.offsets[0]:]
+	if len(buf) < 2 {
+		return 0
+	}
+	ncols, n := binary.Uvarint(buf[1:])
+	if n <= 0 {
+		return 0
+	}
+	return int(ncols)
 }
 
 // buildPage encodes rows into a fresh page and computes zone maps.

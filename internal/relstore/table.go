@@ -253,6 +253,22 @@ type ZoneBound struct {
 // Rows passed to fn are copies the callback may keep or overwrite;
 // they never alias cache-internal storage.
 func (t *Table) Scan(bounds []ZoneBound, fn func(rid RID, row Row) bool) error {
+	return t.scanRows(bounds, false, fn)
+}
+
+// ScanBorrow is Scan without the per-row defensive copy: rows passed
+// to fn alias shared page-cache or builder storage. The contract
+// (DESIGN.md §8): the callback must never mutate a borrowed row or
+// its cells, and may retain it at most for the duration of the
+// enclosing statement — page rewrites are copy-on-write, so borrowed
+// slices stay valid, but a later writer may publish a newer version
+// the borrower won't see. Internal executors use this path; public
+// consumers should prefer Scan.
+func (t *Table) ScanBorrow(bounds []ZoneBound, fn func(rid RID, row Row) bool) error {
+	return t.scanRows(bounds, true, fn)
+}
+
+func (t *Table) scanRows(bounds []ZoneBound, borrow bool, fn func(rid RID, row Row) bool) error {
 	for pn, p := range t.pages {
 		skip := false
 		for _, zb := range bounds {
@@ -269,23 +285,39 @@ func (t *Table) Scan(bounds []ZoneBound, fn func(rid RID, row Row) bool) error {
 		if err != nil {
 			return err
 		}
+		emitted := int64(0)
 		for slot, row := range rows {
 			if !live[slot] {
 				continue
 			}
-			if !fn(RID{Page: int32(pn), Slot: int32(slot)}, copyRow(row)) {
+			r := row
+			if !borrow {
+				r = copyRow(row)
+			}
+			emitted++
+			if !fn(RID{Page: int32(pn), Slot: int32(slot)}, r) {
+				t.db.countScanRows(borrow, emitted)
 				return nil
 			}
 		}
+		t.db.countScanRows(borrow, emitted)
 	}
+	emitted := int64(0)
 	for slot, row := range t.bRows {
 		if !t.bLive[slot] {
 			continue
 		}
-		if !fn(RID{Page: int32(len(t.pages)), Slot: int32(slot)}, copyRow(row)) {
+		r := row
+		if !borrow {
+			r = copyRow(row)
+		}
+		emitted++
+		if !fn(RID{Page: int32(len(t.pages)), Slot: int32(slot)}, r) {
+			t.db.countScanRows(borrow, emitted)
 			return nil
 		}
 	}
+	t.db.countScanRows(borrow, emitted)
 	return nil
 }
 
@@ -294,7 +326,7 @@ func (t *Table) Scan(bounds []ZoneBound, fn func(rid RID, row Row) bool) error {
 // issued RIDs are invalidated.
 func (t *Table) Compact() error {
 	var rows []Row
-	err := t.Scan(nil, func(_ RID, row Row) bool {
+	err := t.ScanBorrow(nil, func(_ RID, row Row) bool {
 		rows = append(rows, row.Clone())
 		return true
 	})

@@ -232,7 +232,7 @@ func (s *Store) archiveNow() error {
 
 	// Collect the live segment.
 	var all []relstore.Row
-	err := s.table.Scan(
+	err := s.table.ScanBorrow(
 		[]relstore.ZoneBound{{Col: 0, Op: "=", Bound: s.liveSeg}},
 		func(_ relstore.RID, row relstore.Row) bool {
 			if row[0].I == s.liveSeg {
@@ -262,7 +262,7 @@ func (s *Store) archiveNow() error {
 	}
 	// Tombstone every old live-segment row.
 	var rids []relstore.RID
-	err = s.table.Scan(
+	err = s.table.ScanBorrow(
 		[]relstore.ZoneBound{{Col: 0, Op: "=", Bound: oldLive}},
 		func(rid relstore.RID, row relstore.Row) bool {
 			if row[0].I == oldLive {
@@ -311,7 +311,7 @@ func (s *Store) archiveNow() error {
 		return err
 	}
 	s.live = map[int64]relstore.RID{}
-	return s.table.Scan(
+	return s.table.ScanBorrow(
 		[]relstore.ZoneBound{{Col: 0, Op: "=", Bound: s.liveSeg}},
 		func(rid relstore.RID, row relstore.Row) bool {
 			if row[0].I == s.liveSeg && row[4].Date().IsForever() {
@@ -327,7 +327,7 @@ func (s *Store) RebuildLiveMap() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.live = map[int64]relstore.RID{}
-	return s.table.Scan(
+	return s.table.ScanBorrow(
 		[]relstore.ZoneBound{{Col: 0, Op: "=", Bound: s.liveSeg}},
 		func(rid relstore.RID, row relstore.Row) bool {
 			if row[0].I == s.liveSeg && row[4].Date().IsForever() {
@@ -351,7 +351,7 @@ func (s *Store) ScanHistory(fn func(id int64, value relstore.Value, start, end t
 		end   temporal.Date
 	}
 	var all []rec
-	err := s.table.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+	err := s.table.ScanBorrow(nil, func(_ relstore.RID, row relstore.Row) bool {
 		all = append(all, rec{row[0].I, row[1].I, row[2], row[3].Date(), row[4].Date()})
 		return true
 	})
@@ -394,7 +394,7 @@ func (s *Store) Segments() ([]SegmentInterval, error) {
 // segments is Segments with s.mu already held (read or write).
 func (s *Store) segments() ([]SegmentInterval, error) {
 	var out []SegmentInterval
-	err := s.dir.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+	err := s.dir.ScanBorrow(nil, func(_ relstore.RID, row relstore.Row) bool {
 		out = append(out, SegmentInterval{SegNo: row[0].I, Start: row[1].Date(), End: row[2].Date()})
 		return true
 	})
@@ -494,7 +494,7 @@ func (s *Store) Scan(bounds []relstore.ZoneBound, fn func(relstore.Row) bool) er
 		}, bounds...)
 	}
 	stopped := false
-	err := s.table.Scan(segBounds, func(_ relstore.RID, row relstore.Row) bool {
+	err := s.table.ScanBorrow(segBounds, func(_ relstore.RID, row relstore.Row) bool {
 		if row[0].I < lo || row[0].I > hi || isStale(row) {
 			return true
 		}
@@ -512,6 +512,94 @@ func (s *Store) Scan(bounds []relstore.ZoneBound, fn func(relstore.Row) bool) er
 	}
 	_ = stopped
 	return nil
+}
+
+// ScanMorsels implements relstore.MorselSource with the same
+// logical-version semantics as Scan: the segment range, id equality
+// and staleness rule are captured under the read lock, then the base
+// table's page morsels are wrapped with that filter, so a clustered
+// table parallelizes across its archived segments. The morsels run
+// after this call returns, which is safe under the
+// readers-concurrent / writers-exclusive model: no writer may change
+// the segment metadata while a query executes.
+func (s *Store) ScanMorsels(bounds []relstore.ZoneBound) ([]relstore.MorselFunc, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo, hi := int64(1), s.liveSeg
+	var idEq *int64
+	for _, zb := range bounds {
+		switch {
+		case zb.Col == 0 && zb.Op == "=":
+			lo, hi = zb.Bound, zb.Bound
+		case zb.Col == 0 && (zb.Op == ">=") && zb.Bound > lo:
+			lo = zb.Bound
+		case zb.Col == 0 && (zb.Op == "<=") && zb.Bound < hi:
+			hi = zb.Bound
+		case zb.Col == 1 && zb.Op == "=":
+			v := zb.Bound
+			idEq = &v
+		}
+	}
+	isStale := func(row relstore.Row) bool {
+		return row[0].I < hi && row[4].Date().IsForever()
+	}
+
+	// Single-object shape: one morsel running the index probe — no
+	// point fanning out a handful of versions.
+	if idEq != nil {
+		if ix := s.table.IndexOn(1); ix != nil {
+			table := s.table
+			id := *idEq
+			return []relstore.MorselFunc{func(borrow bool, fn func(relstore.Row) bool) (bool, error) {
+				var rows []relstore.Row
+				for _, rid := range ix.Lookup([]relstore.Value{relstore.Int(id)}) {
+					row, live, err := table.Get(rid)
+					if err != nil {
+						return false, err
+					}
+					if !live || row[0].I < lo || row[0].I > hi || isStale(row) {
+						continue
+					}
+					rows = append(rows, row)
+				}
+				sort.SliceStable(rows, func(i, j int) bool { return rows[i][0].I > rows[j][0].I })
+				for _, row := range rows {
+					if !fn(row) {
+						return true, nil
+					}
+				}
+				return false, nil
+			}}, nil
+		}
+	}
+
+	segBounds := bounds
+	if lo > 1 || hi < s.liveSeg {
+		segBounds = append([]relstore.ZoneBound{
+			{Col: 0, Op: ">=", Bound: lo},
+			{Col: 0, Op: "<=", Bound: hi},
+		}, bounds...)
+	}
+	base, err := s.table.ScanMorsels(segBounds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]relstore.MorselFunc, len(base))
+	for i, m := range base {
+		m := m
+		out[i] = func(borrow bool, fn func(relstore.Row) bool) (bool, error) {
+			return m(borrow, func(row relstore.Row) bool {
+				if row[0].I < lo || row[0].I > hi || isStale(row) {
+					return true
+				}
+				if idEq != nil && row[1].I != *idEq {
+					return true
+				}
+				return fn(row)
+			})
+		}
+	}
+	return out, nil
 }
 
 // SegmentCount returns frozen segments + the live one.

@@ -2,6 +2,7 @@ package sqlengine
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -12,6 +13,11 @@ import (
 // VirtualTable is a read-only table-valued source; ArchIS registers
 // BlockZIP-compressed attribute tables as virtual tables so translated
 // queries run unchanged against compressed storage.
+//
+// Rows passed to fn are borrowed: they may alias the implementation's
+// internal (immutable) storage, so callers must not mutate them or
+// their cells. Implementations that additionally satisfy
+// relstore.MorselSource participate in morsel-parallel scans.
 type VirtualTable interface {
 	Schema() relstore.Schema
 	// Scan iterates rows; bounds are page/block pruning hints in the
@@ -60,10 +66,29 @@ type Engine struct {
 	// CURRENT_DATE and the instantiation of "now" (Section 4.3).
 	Now temporal.Date
 
+	// Workers caps intra-query morsel parallelism for single-table
+	// scan+filter / scan+aggregate SELECTs. 0 means GOMAXPROCS; 1
+	// forces the serial path (pre-parallelism behavior); values < 0
+	// are treated as 1. Writers stay exclusive regardless — only read
+	// paths fan out.
+	Workers int
+
 	scalarFuncs map[string]ScalarFunc
 	aggFuncs    map[string]AggFunc
 	virtual     map[string]VirtualTable
 	triggers    map[string][]Trigger
+}
+
+// scanWorkers resolves the configured Workers value to an effective
+// worker count.
+func (en *Engine) scanWorkers() int {
+	switch {
+	case en.Workers == 0:
+		return runtime.GOMAXPROCS(0)
+	case en.Workers < 1:
+		return 1
+	}
+	return en.Workers
 }
 
 // New creates an engine over db with the built-in function library.
@@ -403,7 +428,7 @@ func (en *Engine) findTargets(tbl *relstore.Table, alias string, whereExpr Expr,
 		}
 	}
 	var scanErr error
-	err := tbl.Scan(bounds, func(rid relstore.RID, row relstore.Row) bool {
+	err := tbl.ScanBorrow(bounds, func(rid relstore.RID, row relstore.Row) bool {
 		cont, err := emit(rid, row)
 		if err != nil {
 			scanErr = err

@@ -3,6 +3,7 @@ package sqlengine
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"archis/internal/relstore"
@@ -27,6 +28,26 @@ func (s *source) scan(bounds []relstore.ZoneBound, fn func(relstore.Row) bool) e
 		return s.base.Scan(bounds, func(_ relstore.RID, row relstore.Row) bool { return fn(row) })
 	}
 	return s.virtual.Scan(bounds, fn)
+}
+
+// scanBorrow is scan on the zero-copy path: rows may alias shared
+// immutable storage and must be treated as read-only (virtual tables
+// already hand out borrowed rows; see VirtualTable).
+func (s *source) scanBorrow(bounds []relstore.ZoneBound, fn func(relstore.Row) bool) error {
+	if s.base != nil {
+		return s.base.ScanBorrow(bounds, func(_ relstore.RID, row relstore.Row) bool { return fn(row) })
+	}
+	return s.virtual.Scan(bounds, fn)
+}
+
+// morselSource returns the storage behind s as a morsel provider, if
+// it supports one (base tables always do; virtual tables opt in).
+func (s *source) morselSource() (relstore.MorselSource, bool) {
+	if s.base != nil {
+		return s.base, true
+	}
+	ms, ok := s.virtual.(relstore.MorselSource)
+	return ms, ok
 }
 
 func (en *Engine) resolveSource(ref TableRef) (*source, error) {
@@ -200,15 +221,20 @@ func (en *Engine) colConstConjunct(e Expr, s *source, sources []*source) (col in
 	return 0, "", relstore.Null, false
 }
 
-// scanOne executes the single-table part of the plan: index selection,
-// zone-bound pushdown, residual filtering.
-func (en *Engine) scanOne(s *source, conjuncts []Expr, sources []*source) ([]relstore.Row, error) {
-	layout := layoutFor(s.alias, s.schema)
+// scanPlan is the compiled single-table access plan: pushed-down zone
+// bounds, an optional equality-index probe, and the residual filter.
+type scanPlan struct {
+	bounds  []relstore.ZoneBound
+	eqVal   relstore.Value
+	eqIndex *relstore.Index
+	filter  evalFunc
+}
 
-	var bounds []relstore.ZoneBound
-	var eqCol = -1
-	var eqVal relstore.Value
-	var eqIndex *relstore.Index
+// planScan builds the access plan for one source: index selection,
+// zone-bound pushdown, residual filter compilation.
+func (en *Engine) planScan(s *source, conjuncts []Expr, sources []*source) (*scanPlan, error) {
+	layout := layoutFor(s.alias, s.schema)
+	p := &scanPlan{}
 	for _, c := range conjuncts {
 		col, op, v, ok := en.colConstConjunct(c, s, sources)
 		if !ok {
@@ -224,14 +250,14 @@ func (en *Engine) scanOne(s *source, conjuncts []Expr, sources []*source) ([]rel
 		}
 		if (ct == relstore.TypeInt || ct == relstore.TypeDate) &&
 			(zv.Kind == relstore.TypeInt || zv.Kind == relstore.TypeDate) {
-			bounds = append(bounds, relstore.ZoneBound{Col: col, Op: op, Bound: zv.I})
+			p.bounds = append(p.bounds, relstore.ZoneBound{Col: col, Op: op, Bound: zv.I})
 		}
 		// Index equality candidate.
-		if op == "=" && s.base != nil && eqIndex == nil {
+		if op == "=" && s.base != nil && p.eqIndex == nil {
 			if ix := s.base.IndexOn(col); ix != nil {
 				cv, err := coerce(zv, ct)
 				if err == nil {
-					eqCol, eqVal, eqIndex = col, cv, ix
+					p.eqVal, p.eqIndex = cv, ix
 				}
 			}
 		}
@@ -239,22 +265,32 @@ func (en *Engine) scanOne(s *source, conjuncts []Expr, sources []*source) ([]rel
 
 	// Compile the full residual predicate (reapplying pushed bounds is
 	// harmless and keeps correctness independent of pruning).
-	var filter evalFunc
 	if len(conjuncts) > 0 {
 		var pred Expr = conjuncts[0]
 		for _, c := range conjuncts[1:] {
 			pred = &BinaryExpr{Op: "AND", L: pred, R: c}
 		}
 		var err error
-		if filter, err = en.compileExpr(pred, layout); err != nil {
+		if p.filter, err = en.compileExpr(pred, layout); err != nil {
 			return nil, err
 		}
+	}
+	return p, nil
+}
+
+// scanOne executes the single-table part of the plan: index selection,
+// zone-bound pushdown, residual filtering. Returned rows are borrowed
+// (read-only, may alias shared storage).
+func (en *Engine) scanOne(s *source, conjuncts []Expr, sources []*source) ([]relstore.Row, error) {
+	p, err := en.planScan(s, conjuncts, sources)
+	if err != nil {
+		return nil, err
 	}
 
 	var out []relstore.Row
 	emit := func(row relstore.Row) (bool, error) {
-		if filter != nil {
-			v, err := filter(row)
+		if p.filter != nil {
+			v, err := p.filter(row)
 			if err != nil {
 				return false, err
 			}
@@ -266,9 +302,8 @@ func (en *Engine) scanOne(s *source, conjuncts []Expr, sources []*source) ([]rel
 		return true, nil
 	}
 
-	if eqIndex != nil {
-		_ = eqCol
-		for _, rid := range eqIndex.Lookup([]relstore.Value{eqVal}) {
+	if p.eqIndex != nil {
+		for _, rid := range p.eqIndex.Lookup([]relstore.Value{p.eqVal}) {
 			row, live, err := s.base.Get(rid)
 			if err != nil {
 				return nil, err
@@ -284,7 +319,7 @@ func (en *Engine) scanOne(s *source, conjuncts []Expr, sources []*source) ([]rel
 	}
 
 	var scanErr error
-	err := s.scan(bounds, func(row relstore.Row) bool {
+	err = s.scanBorrow(p.bounds, func(row relstore.Row) bool {
 		cont, err := emit(row)
 		if err != nil {
 			scanErr = err
@@ -357,6 +392,25 @@ func (en *Engine) equiJoinConds(conjuncts []Expr, joined *rowLayout, joinedAlias
 	return joins, rest
 }
 
+// appendKey appends a collision-safe encoding of vals to dst — the
+// allocation-free analogue of joinKey for the grouped hot path (ints
+// and dates encode from their raw representation, skipping Text).
+func appendKey(dst []byte, vals []relstore.Value) []byte {
+	for _, v := range vals {
+		dst = append(dst, byte(v.Kind))
+		switch v.Kind {
+		case relstore.TypeInt, relstore.TypeDate:
+			dst = strconv.AppendInt(dst, v.I, 10)
+		case relstore.TypeFloat:
+			dst = strconv.AppendFloat(dst, v.F, 'g', -1, 64)
+		default:
+			dst = append(dst, v.Text()...)
+		}
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
 func joinKey(vals []relstore.Value) string {
 	var sb strings.Builder
 	for _, v := range vals {
@@ -412,6 +466,14 @@ func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
 			}
 		default:
 			multi = append(multi, c)
+		}
+	}
+
+	// Single-table statements with no usable point index fan out over
+	// morsels when the engine is configured for parallel scans.
+	if len(sources) == 1 {
+		if res, handled, err := en.execSingleParallel(stmt, sources[0], conjuncts, sources); handled {
+			return res, err
 		}
 	}
 
@@ -649,20 +711,22 @@ func walkExpr(e Expr, visit func(Expr)) {
 	}
 }
 
-func (en *Engine) project(stmt *SelectStmt, rows []relstore.Row, layout *rowLayout, sources []*source) (*Result, error) {
-	grouped := len(stmt.GroupBy) > 0
-	if !grouped {
-		for _, it := range stmt.Select {
-			if it.Expr != nil && en.hasAggregate(it.Expr) {
-				grouped = true
-				break
-			}
-		}
-		if stmt.Having != nil && en.hasAggregate(stmt.Having) {
-			grouped = true
+// isGrouped reports whether the statement runs through the grouping
+// pipeline (explicit GROUP BY or aggregates in SELECT/HAVING).
+func (en *Engine) isGrouped(stmt *SelectStmt) bool {
+	if len(stmt.GroupBy) > 0 {
+		return true
+	}
+	for _, it := range stmt.Select {
+		if it.Expr != nil && en.hasAggregate(it.Expr) {
+			return true
 		}
 	}
-	if grouped {
+	return stmt.Having != nil && en.hasAggregate(stmt.Having)
+}
+
+func (en *Engine) project(stmt *SelectStmt, rows []relstore.Row, layout *rowLayout, sources []*source) (*Result, error) {
+	if en.isGrouped(stmt) {
 		return en.projectGrouped(stmt, rows, layout)
 	}
 
@@ -783,10 +847,24 @@ type aggBinding struct {
 	slot int
 }
 
-func (en *Engine) projectGrouped(stmt *SelectStmt, rows []relstore.Row, layout *rowLayout) (*Result, error) {
-	// Collect aggregate calls from SELECT, HAVING and ORDER BY.
-	var aggs []aggBinding
-	aggSlot := map[*FuncCall]int{}
+// groupPlan is a compiled grouping pipeline: key evaluators,
+// aggregate bindings and the group-row layout. It is immutable after
+// compilation and safe to share across goroutines; per-scan state
+// lives in groupAcc.
+type groupPlan struct {
+	stmt        *SelectStmt
+	aggs        []aggBinding
+	aggSlot     map[*FuncCall]int
+	keyFns      []evalFunc
+	groupLayout *rowLayout
+}
+
+// compileGrouping builds the grouping plan for an aggregate query:
+// aggregate calls collected from SELECT, HAVING and ORDER BY, group
+// keys compiled, and the group layout laid out as key columns (named
+// when they are plain ColRefs) followed by aggregate slots.
+func (en *Engine) compileGrouping(stmt *SelectStmt, layout *rowLayout) (*groupPlan, error) {
+	p := &groupPlan{stmt: stmt, aggSlot: map[*FuncCall]int{}}
 	collect := func(e Expr) error {
 		var walkErr error
 		walkExpr(e, func(sub Expr) {
@@ -798,7 +876,7 @@ func (en *Engine) projectGrouped(stmt *SelectStmt, rows []relstore.Row, layout *
 			if !isAgg {
 				return
 			}
-			if _, done := aggSlot[fc]; done {
+			if _, done := p.aggSlot[fc]; done {
 				return
 			}
 			args := make([]evalFunc, len(fc.Args))
@@ -810,9 +888,9 @@ func (en *Engine) projectGrouped(stmt *SelectStmt, rows []relstore.Row, layout *
 				}
 				args[i] = fn
 			}
-			slot := len(stmt.GroupBy) + len(aggs)
-			aggSlot[fc] = slot
-			aggs = append(aggs, aggBinding{call: fc, args: args, mk: mk, slot: slot})
+			slot := len(stmt.GroupBy) + len(p.aggs)
+			p.aggSlot[fc] = slot
+			p.aggs = append(p.aggs, aggBinding{call: fc, args: args, mk: mk, slot: slot})
 		})
 		return walkErr
 	}
@@ -835,81 +913,174 @@ func (en *Engine) projectGrouped(stmt *SelectStmt, rows []relstore.Row, layout *
 		}
 	}
 
-	// Compile group keys.
-	keyFns := make([]evalFunc, len(stmt.GroupBy))
+	p.keyFns = make([]evalFunc, len(stmt.GroupBy))
 	for i, g := range stmt.GroupBy {
 		fn, err := en.compileExpr(g, layout)
 		if err != nil {
 			return nil, err
 		}
-		keyFns[i] = fn
+		p.keyFns[i] = fn
 	}
 
-	// Group layout: key columns (named when they are plain ColRefs)
-	// followed by aggregate slots.
-	groupLayout := &rowLayout{}
+	p.groupLayout = &rowLayout{}
 	for i, g := range stmt.GroupBy {
 		if ref, ok := g.(*ColRef); ok {
-			groupLayout.cols = append(groupLayout.cols, colBinding{qual: ref.Qual, name: ref.Name})
+			p.groupLayout.cols = append(p.groupLayout.cols, colBinding{qual: ref.Qual, name: ref.Name})
 		} else {
-			groupLayout.cols = append(groupLayout.cols, colBinding{name: fmt.Sprintf("#g%d", i)})
+			p.groupLayout.cols = append(p.groupLayout.cols, colBinding{name: fmt.Sprintf("#g%d", i)})
 		}
 	}
-	for i := range aggs {
-		groupLayout.cols = append(groupLayout.cols, colBinding{name: fmt.Sprintf("#agg%d", i)})
+	for i := range p.aggs {
+		p.groupLayout.cols = append(p.groupLayout.cols, colBinding{name: fmt.Sprintf("#agg%d", i)})
 	}
+	return p, nil
+}
 
-	// Accumulate groups (insertion-ordered).
-	type group struct {
-		keys   relstore.Row
-		states []AggState
+// mergeable reports whether every aggregate in the plan supports
+// partial-result merging — the precondition for parallel execution.
+func (p *groupPlan) mergeable() bool {
+	for _, ab := range p.aggs {
+		if _, ok := ab.mk().(MergeableAggState); !ok {
+			return false
+		}
 	}
-	groups := map[string]*group{}
-	var order []string
-	for _, r := range rows {
-		keys := make(relstore.Row, len(keyFns))
-		for i, fn := range keyFns {
+	return true
+}
+
+type group struct {
+	keys   relstore.Row
+	states []AggState
+}
+
+// groupAcc is one accumulation of rows into insertion-ordered groups.
+// The parallel executor runs one groupAcc per morsel and merges them
+// in morsel order, which reproduces the serial first-seen group order
+// and the serial per-group Add order exactly.
+type groupAcc struct {
+	p      *groupPlan
+	groups map[string]*group
+	order  []string
+	// Per-row scratch, reused across add calls so the grouped hot path
+	// allocates nothing per row once every group exists. single caches
+	// the lone group of an ungrouped aggregate (no key evaluation, no
+	// map lookup per row).
+	single *group
+	keyBuf relstore.Row
+	keyEnc []byte
+	argBuf []relstore.Value
+}
+
+func (p *groupPlan) newAcc() *groupAcc {
+	return &groupAcc{p: p, groups: map[string]*group{}}
+}
+
+func (a *groupAcc) newGroup(keys relstore.Row) *group {
+	g := &group{keys: keys, states: make([]AggState, len(a.p.aggs))}
+	for i, ab := range a.p.aggs {
+		g.states[i] = ab.mk()
+	}
+	return g
+}
+
+// add folds one input row into the accumulator.
+func (a *groupAcc) add(r relstore.Row) error {
+	var g *group
+	if len(a.p.keyFns) == 0 {
+		// Ungrouped aggregate: exactly one group, keyed "".
+		if a.single == nil {
+			if cached, ok := a.groups[""]; ok {
+				a.single = cached
+			} else {
+				a.single = a.newGroup(relstore.Row{})
+				a.groups[""] = a.single
+				a.order = append(a.order, "")
+			}
+		}
+		g = a.single
+	} else {
+		if a.keyBuf == nil {
+			a.keyBuf = make(relstore.Row, len(a.p.keyFns))
+		}
+		for i, fn := range a.p.keyFns {
 			v, err := fn(r)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			keys[i] = v
+			a.keyBuf[i] = v
 		}
-		k := joinKey(keys)
-		g, ok := groups[k]
+		// Encode the key into a reused byte scratch; the map lookup via
+		// string(keyEnc) does not allocate on a hit.
+		a.keyEnc = appendKey(a.keyEnc[:0], a.keyBuf)
+		var ok bool
+		g, ok = a.groups[string(a.keyEnc)]
 		if !ok {
-			g = &group{keys: keys, states: make([]AggState, len(aggs))}
-			for i, ab := range aggs {
-				g.states[i] = ab.mk()
-			}
-			groups[k] = g
-			order = append(order, k)
+			g = a.newGroup(a.keyBuf.Clone())
+			k := string(a.keyEnc)
+			a.groups[k] = g
+			a.order = append(a.order, k)
 		}
-		for i, ab := range aggs {
-			if ab.call.Star {
-				if err := g.states[i].Add(nil); err != nil {
-					return nil, err
-				}
-				continue
+	}
+	for i, ab := range a.p.aggs {
+		if ab.call.Star {
+			if err := g.states[i].Add(nil); err != nil {
+				return err
 			}
-			argv := make([]relstore.Value, len(ab.args))
-			for j, fn := range ab.args {
-				v, err := fn(r)
-				if err != nil {
-					return nil, err
-				}
-				argv[j] = v
+			continue
+		}
+		if cap(a.argBuf) < len(ab.args) {
+			a.argBuf = make([]relstore.Value, len(ab.args))
+		}
+		argv := a.argBuf[:len(ab.args)]
+		for j, fn := range ab.args {
+			v, err := fn(r)
+			if err != nil {
+				return err
 			}
-			if err := g.states[i].Add(argv); err != nil {
-				return nil, err
+			argv[j] = v
+		}
+		if err := g.states[i].Add(argv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// merge folds b into a. b's groups are appended after a's in b's
+// first-seen order, so merging per-morsel accumulators in morsel
+// order preserves serial group order; b must not be used afterwards
+// (its states are absorbed).
+func (a *groupAcc) merge(b *groupAcc) error {
+	for _, k := range b.order {
+		bg := b.groups[k]
+		ag, ok := a.groups[k]
+		if !ok {
+			a.groups[k] = bg
+			a.order = append(a.order, k)
+			continue
+		}
+		for i, st := range ag.states {
+			m, ok := st.(MergeableAggState)
+			if !ok {
+				return fmt.Errorf("sql: aggregate %s cannot merge partial results", a.p.aggs[i].call.Name)
+			}
+			if err := m.Merge(bg.states[i]); err != nil {
+				return err
 			}
 		}
 	}
+	return nil
+}
+
+// finalizeGroups renders accumulated groups through HAVING, the
+// output expressions, ORDER BY and LIMIT.
+func (en *Engine) finalizeGroups(p *groupPlan, acc *groupAcc) (*Result, error) {
+	stmt := p.stmt
+	groups, order := acc.groups, acc.order
 	// Aggregate query with no GROUP BY over zero rows still yields one
 	// group (COUNT(*) = 0).
 	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
-		g := &group{states: make([]AggState, len(aggs))}
-		for i, ab := range aggs {
+		g := &group{states: make([]AggState, len(p.aggs))}
+		for i, ab := range p.aggs {
 			g.states[i] = ab.mk()
 		}
 		groups[""] = g
@@ -917,12 +1088,12 @@ func (en *Engine) projectGrouped(stmt *SelectStmt, rows []relstore.Row, layout *
 	}
 
 	// Rewrite output expressions against the group layout.
-	rewrite := func(e Expr) Expr { return rewriteAggs(e, aggSlot, stmt.GroupBy, groupLayout) }
+	rewrite := func(e Expr) Expr { return rewriteAggs(e, p.aggSlot, stmt.GroupBy, p.groupLayout) }
 
 	var evals []evalFunc
 	var cols []string
 	for _, it := range stmt.Select {
-		fn, err := en.compileExpr(rewrite(it.Expr), groupLayout)
+		fn, err := en.compileExpr(rewrite(it.Expr), p.groupLayout)
 		if err != nil {
 			return nil, err
 		}
@@ -932,13 +1103,13 @@ func (en *Engine) projectGrouped(stmt *SelectStmt, rows []relstore.Row, layout *
 	var havingFn evalFunc
 	if stmt.Having != nil {
 		var err error
-		if havingFn, err = en.compileExpr(rewrite(stmt.Having), groupLayout); err != nil {
+		if havingFn, err = en.compileExpr(rewrite(stmt.Having), p.groupLayout); err != nil {
 			return nil, err
 		}
 	}
 	orderFns := make([]evalFunc, len(stmt.OrderBy))
 	for i, o := range stmt.OrderBy {
-		fn, err := en.compileExpr(rewrite(o.Expr), groupLayout)
+		fn, err := en.compileExpr(rewrite(o.Expr), p.groupLayout)
 		if err != nil {
 			return nil, err
 		}
@@ -952,7 +1123,7 @@ func (en *Engine) projectGrouped(stmt *SelectStmt, rows []relstore.Row, layout *
 	var outs []outRow
 	for _, k := range order {
 		g := groups[k]
-		groupRow := make(relstore.Row, len(groupLayout.cols))
+		groupRow := make(relstore.Row, len(p.groupLayout.cols))
 		copy(groupRow, g.keys)
 		for i, st := range g.states {
 			groupRow[len(stmt.GroupBy)+i] = st.Result()
@@ -1006,6 +1177,20 @@ func (en *Engine) projectGrouped(stmt *SelectStmt, rows []relstore.Row, layout *
 		}
 	}
 	return res, nil
+}
+
+func (en *Engine) projectGrouped(stmt *SelectStmt, rows []relstore.Row, layout *rowLayout) (*Result, error) {
+	p, err := en.compileGrouping(stmt, layout)
+	if err != nil {
+		return nil, err
+	}
+	acc := p.newAcc()
+	for _, r := range rows {
+		if err := acc.add(r); err != nil {
+			return nil, err
+		}
+	}
+	return en.finalizeGroups(p, acc)
 }
 
 // rewriteAggs replaces aggregate calls with references to their slots

@@ -15,10 +15,30 @@ type ScalarFunc func(en *Engine, args []relstore.Value) (relstore.Value, error)
 // AggFunc creates fresh accumulator state for one group.
 type AggFunc func() AggState
 
-// AggState accumulates one group's rows for an aggregate call.
+// AggState accumulates one group's rows for an aggregate call. The
+// args slice passed to Add is a scratch buffer the executor reuses
+// between rows: implementations may keep individual Values but must
+// not retain the slice itself.
 type AggState interface {
 	Add(args []relstore.Value) error
 	Result() relstore.Value
+}
+
+// MergeableAggState is implemented by aggregate states whose partial
+// results over disjoint row subsets can be combined — the
+// precondition for morsel-parallel aggregation. Merge(other) must
+// behave as if other's rows had been Added after this state's rows;
+// the parallel executor merges per-morsel partials in morsel (scan)
+// order, so order-sensitive states stay deterministic. other is
+// always a state created by the same AggFunc; it must not be used
+// after being merged.
+type MergeableAggState interface {
+	AggState
+	Merge(other AggState) error
+}
+
+func mergeTypeError(name string, other AggState) error {
+	return fmt.Errorf("sql: %s: cannot merge partial of type %T", name, other)
 }
 
 // RegisterScalar adds (or replaces) a scalar function.
@@ -259,6 +279,15 @@ func (s *countState) Add(args []relstore.Value) error {
 }
 func (s *countState) Result() relstore.Value { return relstore.Int(s.n) }
 
+func (s *countState) Merge(other AggState) error {
+	o, ok := other.(*countState)
+	if !ok {
+		return mergeTypeError("COUNT", other)
+	}
+	s.n += o.n
+	return nil
+}
+
 // countDistinctState implements COUNT_DISTINCT(expr) — SQL's
 // COUNT(DISTINCT expr) as a named aggregate.
 type countDistinctState struct{ seen map[string]bool }
@@ -273,6 +302,17 @@ func (s *countDistinctState) Add(args []relstore.Value) error {
 	return nil
 }
 func (s *countDistinctState) Result() relstore.Value { return relstore.Int(int64(len(s.seen))) }
+
+func (s *countDistinctState) Merge(other AggState) error {
+	o, ok := other.(*countDistinctState)
+	if !ok {
+		return mergeTypeError("COUNT_DISTINCT", other)
+	}
+	for k := range o.seen {
+		s.seen[k] = true
+	}
+	return nil
+}
 
 type sumState struct {
 	sum   float64
@@ -299,6 +339,21 @@ func (s *sumState) Add(args []relstore.Value) error {
 	}
 	s.sum += f
 	s.n++
+	return nil
+}
+
+// Merge adds the partial sum. Note float addition reassociates here:
+// for float inputs the result can differ from serial by rounding, but
+// is still deterministic for a fixed morsel partition; integer inputs
+// are exact (sums stay within float64's 2^53 integer range).
+func (s *sumState) Merge(other AggState) error {
+	o, ok := other.(*sumState)
+	if !ok {
+		return mergeTypeError("SUM/AVG", other)
+	}
+	s.sum += o.sum
+	s.n += o.n
+	s.anyF = s.anyF || o.anyF
 	return nil
 }
 
@@ -343,6 +398,18 @@ func (s *extremeState) Result() relstore.Value {
 	return s.best
 }
 
+func (s *extremeState) Merge(other AggState) error {
+	o, ok := other.(*extremeState)
+	if !ok {
+		return mergeTypeError("MIN/MAX", other)
+	}
+	if o.any && (!s.any || relstore.Compare(o.best, s.best) == s.want) {
+		s.best = o.best
+		s.any = true
+	}
+	return nil
+}
+
 // xmlAggState concatenates XML values into a forest.
 type xmlAggState struct{ forest *xmltree.Node }
 
@@ -362,6 +429,22 @@ func (s *xmlAggState) Result() relstore.Value {
 		return relstore.Null
 	}
 	return relstore.XML(s.forest)
+}
+
+func (s *xmlAggState) Merge(other AggState) error {
+	o, ok := other.(*xmlAggState)
+	if !ok {
+		return mergeTypeError("XMLAGG", other)
+	}
+	if o.forest == nil {
+		return nil
+	}
+	if s.forest == nil {
+		s.forest = o.forest
+		return nil
+	}
+	s.forest.Append(o.forest.Children...)
+	return nil
 }
 
 // risingState implements TRISING(value, tstart, tend): the maximal
@@ -385,6 +468,15 @@ func (s *risingState) Add(args []relstore.Value) error {
 		return err
 	}
 	s.in = append(s.in, temporal.WeightedValue{Value: f, Interval: iv})
+	return nil
+}
+
+func (s *risingState) Merge(other AggState) error {
+	o, ok := other.(*risingState)
+	if !ok {
+		return mergeTypeError("TRISING", other)
+	}
+	s.in = append(s.in, o.in...)
 	return nil
 }
 
@@ -421,6 +513,15 @@ func (s *temporalAggState) Add(args []relstore.Value) error {
 		return err
 	}
 	s.in = append(s.in, temporal.WeightedValue{Value: f, Interval: iv})
+	return nil
+}
+
+func (s *temporalAggState) Merge(other AggState) error {
+	o, ok := other.(*temporalAggState)
+	if !ok || o.kind != s.kind {
+		return mergeTypeError("temporal aggregate", other)
+	}
+	s.in = append(s.in, o.in...)
 	return nil
 }
 

@@ -32,7 +32,9 @@ type lexer struct {
 func lex(src string) ([]token, error) {
 	l := &lexer{src: src}
 	for {
-		l.skipSpace()
+		if err := l.skipSpace(); err != nil {
+			return nil, err
+		}
 		if l.pos >= len(l.src) {
 			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
 			return l.toks, nil
@@ -60,7 +62,9 @@ func lex(src string) ([]token, error) {
 	}
 }
 
-func (l *lexer) skipSpace() {
+// skipSpace advances past whitespace, `-- …` line comments and
+// `/* … */` block comments.
+func (l *lexer) skipSpace() error {
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
 		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
@@ -69,11 +73,20 @@ func (l *lexer) skipSpace() {
 			}
 			continue
 		}
+		if c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*' {
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return fmt.Errorf("sql: unterminated block comment at %d", l.pos)
+			}
+			l.pos += 2 + end + 2
+			continue
+		}
 		if !unicode.IsSpace(rune(c)) {
-			return
+			return nil
 		}
 		l.pos++
 	}
+	return nil
 }
 
 func (l *lexer) lexQuoted(quote byte) (string, error) {

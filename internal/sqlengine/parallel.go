@@ -1,0 +1,161 @@
+package sqlengine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"archis/internal/relstore"
+)
+
+// Morsel-parallel single-table execution. A statement qualifies when:
+//
+//   - it reads exactly one source whose storage provides morsels,
+//   - the planner found no equality-index probe (point lookups beat
+//     parallel scans), and
+//   - it is a pure scan+filter, or a scan+aggregate whose aggregates
+//     all support partial-result merging (MergeableAggState).
+//
+// Workers pull morsels from a shared counter; per-morsel results are
+// combined in morsel order, which reproduces the serial row order and
+// serial group order exactly, so ORDER BY / DISTINCT / LIMIT /
+// GROUP BY / HAVING all run unchanged on top and results are
+// identical to Workers=1 (for float SUM/AVG, identical up to the
+// addition reassociation noted on sumState.Merge).
+
+// execSingleParallel attempts the parallel path for a single-source
+// SELECT. handled=false means the caller should run the serial plan.
+func (en *Engine) execSingleParallel(stmt *SelectStmt, s *source, conjuncts []Expr, sources []*source) (*Result, bool, error) {
+	workers := en.scanWorkers()
+	if workers <= 1 {
+		return nil, false, nil
+	}
+	ms, ok := s.morselSource()
+	if !ok {
+		return nil, false, nil
+	}
+	plan, err := en.planScan(s, conjuncts, sources)
+	if err != nil {
+		return nil, true, err
+	}
+	if plan.eqIndex != nil {
+		return nil, false, nil
+	}
+	layout := layoutFor(s.alias, s.schema)
+
+	var gplan *groupPlan
+	if en.isGrouped(stmt) {
+		gplan, err = en.compileGrouping(stmt, layout)
+		if err != nil {
+			return nil, true, err
+		}
+		if !gplan.mergeable() {
+			return nil, false, nil
+		}
+	}
+
+	morsels, err := ms.ScanMorsels(plan.bounds)
+	if err != nil {
+		return nil, true, err
+	}
+
+	// Per-morsel partials, merged in morsel order after the pool
+	// drains. Each worker owns whole morsels, so no row-level
+	// synchronization is needed; rows are borrowed (zero-copy) because
+	// everything downstream treats them as read-only.
+	accs := make([]*groupAcc, len(morsels))
+	rowss := make([][]relstore.Row, len(morsels))
+	errs := make([]error, len(morsels))
+	var next atomic.Int64
+	var failed atomic.Bool
+	if workers > len(morsels) {
+		workers = len(morsels)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(morsels) || failed.Load() {
+					return
+				}
+				if err := en.runMorsel(morsels[i], plan, gplan, &accs[i], &rowss[i]); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Report the error of the earliest morsel, matching what a serial
+	// scan would have hit first.
+	for _, err := range errs {
+		if err != nil {
+			return nil, true, err
+		}
+	}
+
+	if gplan != nil {
+		acc := gplan.newAcc()
+		for _, a := range accs {
+			if a == nil {
+				continue
+			}
+			if err := acc.merge(a); err != nil {
+				return nil, true, err
+			}
+		}
+		res, err := en.finalizeGroups(gplan, acc)
+		return res, true, err
+	}
+
+	n := 0
+	for _, rs := range rowss {
+		n += len(rs)
+	}
+	rows := make([]relstore.Row, 0, n)
+	for _, rs := range rowss {
+		rows = append(rows, rs...)
+	}
+	res, err := en.project(stmt, rows, layout, sources)
+	return res, true, err
+}
+
+// runMorsel drains one morsel through the residual filter into either
+// a fresh group accumulator (aggregate shape) or a row list (filter
+// shape).
+func (en *Engine) runMorsel(m relstore.MorselFunc, plan *scanPlan, gplan *groupPlan, acc **groupAcc, rows *[]relstore.Row) error {
+	var a *groupAcc
+	if gplan != nil {
+		a = gplan.newAcc()
+		*acc = a
+	}
+	var rowErr error
+	_, err := m(true, func(row relstore.Row) bool {
+		if plan.filter != nil {
+			v, err := plan.filter(row)
+			if err != nil {
+				rowErr = err
+				return false
+			}
+			if !v.AsBool() {
+				return true
+			}
+		}
+		if a != nil {
+			if err := a.add(row); err != nil {
+				rowErr = err
+				return false
+			}
+			return true
+		}
+		*rows = append(*rows, row)
+		return true
+	})
+	if err == nil {
+		err = rowErr
+	}
+	return err
+}

@@ -22,9 +22,21 @@ func Parse(src string) (Statement, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks}
+	// A statement may be wrapped in redundant parentheses —
+	// `(select …)` — common in generated and copy-pasted SQL.
+	wrapped := 0
+	for p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.next()
+		wrapped++
+	}
 	stmt, err := p.parseStatement()
 	if err != nil {
 		return nil, err
+	}
+	for ; wrapped > 0; wrapped-- {
+		if !p.accept(")") {
+			return nil, p.errorf("expected \")\" closing the parenthesized statement")
+		}
 	}
 	p.accept(";")
 	if !p.atEOF() {

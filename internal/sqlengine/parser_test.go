@@ -200,3 +200,32 @@ func TestParseCase(t *testing.T) {
 		t.Errorf("case: %+v", c)
 	}
 }
+
+func TestParseBlockCommentsAndParenWrapping(t *testing.T) {
+	for _, sql := range []string{
+		"/* leading */ select a from t",
+		"select /* mid */ a from t /* trailing */",
+		"select a /* multi\nline */ from t",
+		"(select a from t)",
+		"((select a from t))",
+		"-- note\n(select a from t);",
+	} {
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", sql, err)
+			continue
+		}
+		if s, ok := stmt.(*SelectStmt); !ok || len(s.Select) != 1 {
+			t.Errorf("Parse(%q) = %T", sql, stmt)
+		}
+	}
+	for _, sql := range []string{
+		"(select a from t",      // unbalanced
+		"(select a from t))",    // extra close
+		"select a from t /* x",  // unterminated comment swallows rest
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q): expected error", sql)
+		}
+	}
+}
