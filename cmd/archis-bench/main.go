@@ -40,7 +40,13 @@ var (
 	workers   = flag.Int("workers", 0, "worker count for -parallel batches and -json intra-query runs (0 = GOMAXPROCS)")
 	rounds    = flag.Int("rounds", 8, "suite repetitions per -parallel batch")
 	jsonOut   = flag.String("json", "", "time the Q1-Q6 suite at Workers=1 and Workers=-workers on the scaled dataset and write JSON records to this path")
+	warm      = flag.Int("warm", 0, "also time N warm runs per query (caches kept between runs) in -json mode; 0 = cold only")
 )
+
+// benchBlockCacheBytes is the decoded-block cache budget used for the
+// compressed layout in -json runs. Cold records are unaffected: Cold()
+// drops the block cache along with the page cache.
+const benchBlockCacheBytes = 64 << 20
 
 func main() {
 	flag.Parse()
@@ -241,31 +247,48 @@ func (h *harness) parallelSuite() {
 	fmt.Println()
 }
 
-// benchRecord is one (query, workers) timing cell of a -json run.
+// benchRecord is one (layout, workers, mode, query) timing cell of a
+// -json run.
 type benchRecord struct {
 	Query   string `json:"query"`
 	Path    string `json:"path"` // physical layout the query ran on
 	Workers int    `json:"workers"`
+	Mode    string `json:"mode"` // "cold" (caches dropped per run) or "warm"
 	MeanNS  int64  `json:"mean_ns"`
 	MinNS   int64  `json:"min_ns"`
 	Rows    int    `json:"rows"`
 }
 
-// benchReport is the top-level -json document: dataset parameters plus
-// one record per query per worker level.
-type benchReport struct {
-	Timestamp string        `json:"timestamp"`
-	Employees int           `json:"employees"`
-	Years     int           `json:"years"`
-	Scale     int           `json:"scale"`
-	Runs      int           `json:"runs"`
-	Records   []benchRecord `json:"records"`
+// hostInfo makes single-core caveats machine-readable in committed
+// BENCH_*.json files.
+type hostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 }
 
-// benchJSON times the Q1-Q6 suite on the scaled clustered dataset at
-// Workers=1 (serial) and Workers=-workers (parallel) and writes the
-// machine-readable record file regression tooling diffs across
-// commits.
+// benchReport is the top-level -json document: dataset and host
+// parameters plus one record per (layout, workers, mode, query).
+type benchReport struct {
+	Timestamp       string        `json:"timestamp"`
+	Host            hostInfo      `json:"host"`
+	Employees       int           `json:"employees"`
+	Years           int           `json:"years"`
+	Scale           int           `json:"scale"`
+	Runs            int           `json:"runs"`
+	WarmRuns        int           `json:"warm_runs,omitempty"`
+	BlockCacheBytes int           `json:"block_cache_bytes,omitempty"`
+	Records         []benchRecord `json:"records"`
+}
+
+// benchJSON times the Q1-Q6 suite on the scaled dataset — clustered
+// and compressed layouts, Workers=1 (serial) and Workers=-workers
+// (parallel) — and writes the machine-readable record file regression
+// tooling diffs across commits. With -warm N, each cell also gets a
+// warm series: caches dropped once, then N timed runs that keep the
+// page and decoded-block caches hot.
 func (h *harness) benchJSON(path string) {
 	w := *workers
 	if w <= 0 {
@@ -273,44 +296,90 @@ func (h *harness) benchJSON(path string) {
 	}
 	cfgS := cfg1().Scaled(*scale)
 	fmt.Printf("== JSON bench: Q1-Q6, S=%d (%d employees), workers 1 vs %d ==\n", *scale, cfgS.Employees, w)
-	e, err := bench.Build(cfgS, bench.Options{Layout: core.LayoutClustered, Workers: 1})
-	die(err)
 	rep := benchReport{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Host: hostInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
 		Employees: cfgS.Employees,
 		Years:     cfgS.Years,
 		Scale:     *scale,
 		Runs:      *runs,
+		WarmRuns:  *warm,
 	}
-	for _, lvl := range []int{1, w} {
-		e.Sys.Engine.Workers = lvl
-		for _, q := range bench.AllQueries {
-			e.Cold() // untimed warm-up absorbs lazy initialization
-			res, err := e.Run(q)
-			die(err)
-			var total, min time.Duration
-			for i := 0; i < *runs; i++ {
+	if *warm > 0 {
+		rep.BlockCacheBytes = benchBlockCacheBytes
+	}
+
+	levels := []int{1}
+	if w > 1 {
+		levels = append(levels, w)
+	}
+	layouts := []struct {
+		name string
+		opts bench.Options
+	}{
+		{"clustered", bench.Options{Layout: core.LayoutClustered, Workers: 1}},
+		{"compressed", bench.Options{Layout: core.LayoutCompressed, Compress: true, Workers: 1,
+			BlockCacheBytes: benchBlockCacheBytes}},
+	}
+	measure := func(e *bench.Env, q bench.QueryID, n int, cold bool) (time.Duration, time.Duration, int) {
+		e.Cold() // untimed warm-up absorbs lazy initialization (and, warm mode, fills caches)
+		res, err := e.Run(q)
+		die(err)
+		var total, min time.Duration
+		for i := 0; i < n; i++ {
+			if cold {
 				e.Cold()
-				start := time.Now()
-				_, err := e.Run(q)
-				die(err)
-				d := time.Since(start)
-				total += d
-				if i == 0 || d < min {
-					min = d
+			}
+			start := time.Now()
+			_, err := e.Run(q)
+			die(err)
+			d := time.Since(start)
+			total += d
+			if i == 0 || d < min {
+				min = d
+			}
+		}
+		return total / time.Duration(n), min, res.Rows
+	}
+	for _, lay := range layouts {
+		e, err := bench.Build(cfgS, lay.opts)
+		die(err)
+		for _, lvl := range levels {
+			e.Sys.Engine.Workers = lvl
+			for _, q := range bench.AllQueries {
+				modes := []struct {
+					name string
+					n    int
+					cold bool
+				}{{"cold", *runs, true}}
+				if *warm > 0 {
+					modes = append(modes, struct {
+						name string
+						n    int
+						cold bool
+					}{"warm", *warm, false})
+				}
+				for _, m := range modes {
+					mean, min, rows := measure(e, q, m.n, m.cold)
+					rep.Records = append(rep.Records, benchRecord{
+						Query:   fmt.Sprintf("Q%d", q),
+						Path:    lay.name,
+						Workers: lvl,
+						Mode:    m.name,
+						MeanNS:  mean.Nanoseconds(),
+						MinNS:   min.Nanoseconds(),
+						Rows:    rows,
+					})
+					fmt.Printf("  %-10s Q%-2d workers=%-2d %-4s  mean %s ms  min %s ms  rows %d\n",
+						lay.name, q, lvl, m.name, strings.TrimSpace(ms(mean)), strings.TrimSpace(ms(min)), rows)
 				}
 			}
-			mean := total / time.Duration(*runs)
-			rep.Records = append(rep.Records, benchRecord{
-				Query:   fmt.Sprintf("Q%d", q),
-				Path:    "clustered",
-				Workers: lvl,
-				MeanNS:  mean.Nanoseconds(),
-				MinNS:   min.Nanoseconds(),
-				Rows:    res.Rows,
-			})
-			fmt.Printf("  Q%-2d workers=%-2d  mean %s ms  min %s ms  rows %d\n",
-				q, lvl, strings.TrimSpace(ms(mean)), strings.TrimSpace(ms(min)), res.Rows)
 		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

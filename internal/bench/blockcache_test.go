@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"testing"
+
+	"archis/internal/core"
+	"archis/internal/dataset"
+)
+
+// TestBlockCacheDifferential runs the Table 3 suite on every layout
+// with the decoded-block cache off (reference) and then on, serial and
+// with concurrent readers, and requires identical answers everywhere.
+// Run with -race: on the compressed layout the second concurrent pass
+// reads shared cached decoded rows from many goroutines at once.
+func TestBlockCacheDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		layout core.Layout
+	}{
+		{"plain", core.LayoutPlain},
+		{"clustered", core.LayoutClustered},
+		{"compressed", core.LayoutCompressed},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := Build(dataset.Config{
+				Employees:   30,
+				Years:       4,
+				Departments: 4,
+				Seed:        11,
+			}, Options{
+				Layout:         tc.layout,
+				MinSegmentRows: 40,
+				Compress:       tc.layout == core.LayoutCompressed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.layout == core.LayoutCompressed {
+				// Force every attribute history into frozen, compressed
+				// segments so the suite actually reads BlockZIP blocks at
+				// this small scale.
+				for _, at := range []string{
+					"employee_name", "employee_salary", "employee_title", "employee_deptno",
+					"dept_deptname", "dept_mgrno",
+				} {
+					if st, ok := e.Sys.SegmentStore(at); ok {
+						if err := st.ArchiveNow(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if err := e.Sys.CompressFrozen(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			queries := append(e.SuiteQueries(2), e.SnapshotQueries(4)...)
+
+			// Reference: cache off (the default), serial, cold.
+			e.Cold()
+			_, ref, err := e.RunBatch(queries, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			e.Sys.DB.SetBlockCacheBytes(32 << 20)
+			e.Cold()
+			e.Sys.DB.ResetStats()
+			for _, pass := range []struct {
+				name    string
+				workers int
+			}{{"serial-cold", 1}, {"concurrent-warm", 4}, {"concurrent-warm-2", 4}} {
+				_, got, err := e.RunBatch(queries, pass.workers)
+				if err != nil {
+					t.Fatalf("%s: %v", pass.name, err)
+				}
+				if !SameAnswers(got, ref) {
+					t.Fatalf("%s: answers with block cache on differ from cache-off reference", pass.name)
+				}
+			}
+			st := e.Sys.DB.Stats()
+			if tc.layout == core.LayoutCompressed {
+				if st.BlockCacheHits == 0 {
+					t.Error("compressed layout never hit the block cache across warm passes")
+				}
+			} else if st.BlockCacheHits != 0 || st.BlockCacheMisses != 0 {
+				t.Errorf("layout without BlockZIP touched the block cache: %+v", st)
+			}
+
+			// Cold mode must stay honest: DropCaches empties the block
+			// cache even while a budget is configured.
+			e.Cold()
+			if n := e.Sys.DB.CachedBlocks(); n != 0 {
+				t.Errorf("Cold() left %d decoded blocks cached", n)
+			}
+			_, got, err := e.RunBatch(queries, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !SameAnswers(got, ref) {
+				t.Fatal("post-Cold answers differ from reference")
+			}
+		})
+	}
+}

@@ -47,6 +47,9 @@ type Options struct {
 	// Workers is the intra-query scan parallelism (0 = GOMAXPROCS,
 	// 1 = serial); see core.Options.Workers.
 	Workers int
+	// BlockCacheBytes is the decoded-block cache budget for compressed
+	// layouts (0 = off); see core.Options.BlockCacheBytes.
+	BlockCacheBytes int
 }
 
 // Build generates the workload into a fresh ArchIS instance.
@@ -65,6 +68,7 @@ func Build(cfg dataset.Config, opts Options) (*Env, error) {
 		MinSegmentRows:          opts.MinSegmentRows,
 		WholeSegmentCompression: opts.WholeSegments,
 		Workers:                 opts.Workers,
+		BlockCacheBytes:         opts.BlockCacheBytes,
 	})
 	if err != nil {
 		return nil, err

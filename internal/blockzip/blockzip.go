@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // DefaultBlockSize is the paper's experimental block size (4000 bytes).
@@ -157,18 +158,76 @@ func Compress(records [][]byte, blockSize int) ([]Block, error) {
 	return out, nil
 }
 
+// resettableReader is the concrete shape of compress/zlib's reader:
+// an io.ReadCloser that can be re-pointed at a new stream without
+// reallocating its (large) internal inflate state.
+type resettableReader interface {
+	io.ReadCloser
+	zlib.Resetter
+}
+
+// inflater couples one reusable zlib reader with the bytes.Reader it
+// draws from, so a pooled decompression allocates neither.
+type inflater struct {
+	br bytes.Reader
+	zr resettableReader
+}
+
+// inflaterPool recycles inflaters across blocks: without it every
+// decompressed block pays a fresh zlib.NewReader (inflate dictionary,
+// window and Huffman state — tens of KiB of allocation per block).
+var inflaterPool = sync.Pool{New: func() any { return new(inflater) }}
+
+// inflate decompresses one zlib stream into a fresh buffer using a
+// pooled inflater. The returned buffer is owned by the caller.
+func inflate(data []byte) ([]byte, error) {
+	inf := inflaterPool.Get().(*inflater)
+	defer func() {
+		inf.br.Reset(nil) // drop the reference to data before pooling
+		inflaterPool.Put(inf)
+	}()
+	inf.br.Reset(data)
+	if inf.zr == nil {
+		zr, err := zlib.NewReader(&inf.br)
+		if err != nil {
+			return nil, err
+		}
+		inf.zr = zr.(resettableReader)
+	} else if err := inf.zr.Reset(&inf.br, nil); err != nil {
+		return nil, err
+	}
+	// Read into a growing buffer by hand: io.ReadAll's internal
+	// append pattern is fine, but starting from the compressed size
+	// avoids most of the doubling steps.
+	raw := make([]byte, 0, 4*len(data))
+	for {
+		if len(raw) == cap(raw) {
+			raw = append(raw, 0)[:len(raw)]
+		}
+		n, err := inf.zr.Read(raw[len(raw):cap(raw)])
+		raw = raw[:len(raw)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := inf.zr.Close(); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
 // Decompress splits a block back into its records. Padding beyond the
-// zlib stream is ignored.
+// zlib stream is ignored. The records alias the returned stream's
+// backing buffer, which is freshly allocated per call (the inflater
+// itself is pooled; see inflaterPool).
 func Decompress(data []byte) ([][]byte, error) {
-	zr, err := zlib.NewReader(bytes.NewReader(data))
+	raw, err := inflate(data)
 	if err != nil {
 		return nil, fmt.Errorf("blockzip: %w", err)
 	}
-	raw, err := io.ReadAll(zr)
-	if err != nil {
-		return nil, fmt.Errorf("blockzip: %w", err)
-	}
-	_ = zr.Close()
 	var out [][]byte
 	pos := 0
 	for pos < len(raw) {

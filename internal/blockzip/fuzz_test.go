@@ -3,6 +3,8 @@ package blockzip
 import (
 	"bytes"
 	"testing"
+
+	"archis/internal/relstore"
 )
 
 // FuzzCompressRoundTrip ensures arbitrary record streams survive
@@ -48,6 +50,83 @@ func FuzzCompressRoundTrip(f *testing.F) {
 			if !bytes.Equal(records[i], got[i]) {
 				t.Fatalf("record %d corrupted", i)
 			}
+		}
+	})
+}
+
+// FuzzBlockCacheRoundTrip pushes arbitrary rows through Compress and
+// then through blockRows twice — once cold (cache miss: inflate +
+// decode) and once warm (cache hit: shared decoded rows) — and
+// requires all three views to agree record-for-record. Re-encoding
+// each returned row must reproduce the original record bytes, so a
+// cache that returned stale, truncated or aliased rows would fail.
+func FuzzBlockCacheRoundTrip(f *testing.F) {
+	f.Add([]byte("hello world block cache"), 5, 1<<20)
+	f.Add(bytes.Repeat([]byte{0, 255, 1, 254}, 300), 40, 4096)
+	f.Add([]byte("x"), 1, 0) // cache disabled: both calls take the miss path
+	f.Fuzz(func(t *testing.T, data []byte, nRows, cacheBytes int) {
+		if nRows <= 0 || nRows > 100 || len(data) == 0 {
+			return
+		}
+		if cacheBytes < 0 || cacheBytes > 1<<24 {
+			return
+		}
+		records := make([][]byte, nRows)
+		for i := range records {
+			lo := (i * 17) % len(data)
+			hi := lo + 1 + (i*29)%48
+			if hi > len(data) {
+				hi = len(data)
+			}
+			row := relstore.Row{
+				relstore.Int(int64(i)),
+				relstore.String_(string(data[lo:hi])),
+				relstore.Bytes(data[lo:hi]),
+			}
+			records[i] = relstore.EncodeRow(nil, row, true)
+		}
+		blocks, err := Compress(records, 512)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+
+		db := relstore.NewDatabase()
+		db.SetBlockCacheBytes(cacheBytes)
+		blob, err := db.CreateTable(relstore.Schema{Name: "fuzz_blob", Columns: []relstore.Column{
+			{Name: "blockno", Type: relstore.TypeInt},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := &CompressedStore{db: db, blob: blob}
+
+		check := func(pass string, rows []relstore.Row, want [][]byte, base int) {
+			for i, r := range rows {
+				if got := relstore.EncodeRow(nil, r, true); !bytes.Equal(got, want[i]) {
+					t.Fatalf("%s: block record %d (global %d) corrupted", pass, i, base+i)
+				}
+			}
+		}
+		next := 0
+		for bi, blk := range blocks {
+			want := records[next : next+blk.Records]
+			cold, err := cs.blockRows(int64(bi+1), blk.Data)
+			if err != nil {
+				t.Fatalf("cold blockRows: %v", err)
+			}
+			if len(cold) != blk.Records {
+				t.Fatalf("cold: %d rows, block holds %d", len(cold), blk.Records)
+			}
+			check("cold(miss)", cold, want, next)
+			warm, err := cs.blockRows(int64(bi+1), blk.Data)
+			if err != nil {
+				t.Fatalf("warm blockRows: %v", err)
+			}
+			if len(warm) != len(cold) {
+				t.Fatalf("warm: %d rows, cold had %d", len(warm), len(cold))
+			}
+			check("warm(hit-or-miss)", warm, want, next)
+			next += blk.Records
 		}
 	})
 }

@@ -1,0 +1,55 @@
+package blockzip
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func benchBlock(b *testing.B) []byte {
+	b.Helper()
+	records := make([][]byte, 200)
+	for i := range records {
+		records[i] = []byte(fmt.Sprintf("record-%04d payload payload payload", i))
+	}
+	blocks, err := Compress(records, DefaultBlockSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return blocks[0].Data
+}
+
+// BenchmarkInflatePooled is the shipping path: one pooled inflater
+// reused across blocks. Compare allocs/op with
+// BenchmarkInflateNewReader — the pool removes the per-block inflate
+// state (window, dictionaries, Huffman tables).
+func BenchmarkInflatePooled(b *testing.B) {
+	data := benchBlock(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inflate(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInflateNewReader is the pre-pool baseline: a fresh
+// zlib.NewReader and io.ReadAll per block.
+func BenchmarkInflateNewReader(b *testing.B) {
+	data := benchBlock(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		zr, err := zlib.NewReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadAll(zr); err != nil {
+			b.Fatal(err)
+		}
+		zr.Close()
+	}
+}

@@ -24,6 +24,7 @@ func OpenCompressedStore(db *relstore.Database, seg *segment.Store, opts Options
 		return nil, fmt.Errorf("blockzip: open: segrange table for %s missing", name)
 	}
 	cs := &CompressedStore{
+		db:         db,
 		Seg:        seg,
 		blob:       blob,
 		segrange:   segrange,

@@ -24,6 +24,7 @@ import (
 // run unchanged over compressed storage.
 type CompressedStore struct {
 	Seg      *segment.Store
+	db       *relstore.Database
 	blob     *relstore.Table
 	segrange *relstore.Table
 
@@ -79,6 +80,7 @@ func NewCompressedStore(db *relstore.Database, seg *segment.Store, opts Options)
 	}
 	return &CompressedStore{
 		Seg:        seg,
+		db:         db,
 		blob:       blob,
 		segrange:   segrange,
 		compressed: map[int64]bool{},
@@ -286,7 +288,8 @@ func (cs *CompressedStore) Scan(bounds []relstore.ZoneBound, fn func(relstore.Ro
 	}
 
 	for _, rg := range ranges {
-		rgStopped, err := cs.scanRange(rg, idEq, emit)
+		// VirtualTable.Scan's contract hands out borrowed rows.
+		rgStopped, err := cs.scanRange(rg, idEq, true, emit)
 		if err != nil {
 			return err
 		}
@@ -320,9 +323,55 @@ type srange struct {
 	segno, startBlock, endBlock int64
 }
 
-// scanRange decompresses one segment range's blocks and feeds decoded
-// rows to emit, reporting whether emit stopped the scan.
-func (cs *CompressedStore) scanRange(rg srange, idEq *int64, emit func(relstore.Row) bool) (bool, error) {
+// valueBytes approximates the in-memory footprint of one relstore.Value
+// header for block-cache budget accounting (the struct itself; string
+// and byte payloads are added separately).
+const valueBytes = 64
+
+// blockRows returns the decoded rows of one block, consulting the
+// database's decoded-block cache first (warm queries skip both inflate
+// and row decode). Returned rows are shared and immutable: callers may
+// hand them out borrowed but must never mutate them. Blocks are
+// append-only — a block number is never rewritten — so entries need no
+// invalidation beyond DropCaches.
+func (cs *CompressedStore) blockRows(blockNo int64, blob []byte) ([]relstore.Row, error) {
+	if rows, ok := cs.db.BlockCacheGet(cs.blob, blockNo); ok {
+		return rows, nil
+	}
+	recs, err := Decompress(blob)
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(&cs.Decompressions, 1)
+	// One Value arena per block: rows are immutable subslices of it, so
+	// decode pays one backing allocation per block rather than one per
+	// row (mirrors page.decodeRows). The decoded Values own their
+	// string/byte payloads (the codec copies), so the arena does not
+	// pin the transient decompression buffer.
+	arena := make([]relstore.Value, 0, 4*len(recs))
+	bounds := make([]int32, len(recs)+1)
+	payload := 0
+	for i, enc := range recs {
+		arena, _, _, err = relstore.DecodeRowInto(arena, enc)
+		if err != nil {
+			return nil, err
+		}
+		bounds[i+1] = int32(len(arena))
+		payload += len(enc)
+	}
+	rows := make([]relstore.Row, len(recs))
+	for i := range rows {
+		rows[i] = relstore.Row(arena[bounds[i]:bounds[i+1]:bounds[i+1]])
+	}
+	cs.db.BlockCachePut(cs.blob, blockNo, rows, payload+valueBytes*len(arena))
+	return rows, nil
+}
+
+// scanRange feeds one segment range's block rows to emit (decompressing
+// on block-cache misses), reporting whether emit stopped the scan. With
+// borrow=true emitted rows alias shared cache storage; with
+// borrow=false each row is a defensive copy.
+func (cs *CompressedStore) scanRange(rg srange, idEq *int64, borrow bool, emit func(relstore.Row) bool) (bool, error) {
 	blobBounds := []relstore.ZoneBound{
 		{Col: 0, Op: ">=", Bound: rg.startBlock},
 		{Col: 0, Op: "<=", Bound: rg.endBlock},
@@ -346,26 +395,16 @@ func (cs *CompressedStore) scanRange(rg srange, idEq *int64, emit func(relstore.
 				return true
 			}
 		}
-		recs, derr := Decompress(row[3].B)
+		rows, derr := cs.blockRows(blockNo, row[3].B)
 		if derr != nil {
 			blockErr = derr
 			return false
 		}
-		atomic.AddInt64(&cs.Decompressions, 1)
-		// One Value arena per block: rows are immutable subslices of
-		// it, so decode pays one backing allocation per block rather
-		// than one per row (mirrors page.decodeRows).
-		arena := make([]relstore.Value, 0, 4*len(recs))
-		for _, enc := range recs {
-			start := len(arena)
-			var derr error
-			arena, _, _, derr = relstore.DecodeRowInto(arena, enc)
-			if derr != nil {
-				blockErr = derr
-				return false
+		for _, r := range rows {
+			if !borrow {
+				r = r.Clone()
 			}
-			end := len(arena)
-			if !emit(relstore.Row(arena[start:end:end])) {
+			if !emit(r) {
 				stopped = true
 				return false
 			}
@@ -434,7 +473,7 @@ func (cs *CompressedStore) ScanMorsels(bounds []relstore.ZoneBound) ([]relstore.
 	for _, rg := range ranges {
 		rg := rg
 		out = append(out, func(borrow bool, fn func(relstore.Row) bool) (bool, error) {
-			return cs.scanRange(rg, idEq, func(row relstore.Row) bool { return filter(row, fn) })
+			return cs.scanRange(rg, idEq, borrow, func(row relstore.Row) bool { return filter(row, fn) })
 		})
 	}
 	return out, nil

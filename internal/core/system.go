@@ -63,6 +63,11 @@ type Options struct {
 	// scan/aggregate SELECTs (0 = GOMAXPROCS, 1 = serial). See
 	// sqlengine.Engine.Workers.
 	Workers int
+	// BlockCacheBytes is the byte budget of the decoded-block cache for
+	// BlockZIP reads (0 = off). Only meaningful with LayoutCompressed;
+	// DropCaches/cold runs still discard it, so cold numbers are
+	// unaffected (DESIGN.md §8.3).
+	BlockCacheBytes int
 }
 
 // System is the assembled ArchIS instance.
@@ -97,6 +102,7 @@ func newWithDB(db *relstore.Database, opts Options) (*System, error) {
 	}
 	en := sqlengine.New(db)
 	en.Workers = opts.Workers
+	db.SetBlockCacheBytes(opts.BlockCacheBytes)
 	a, err := htable.New(en, opts.Capture)
 	if err != nil {
 		return nil, err

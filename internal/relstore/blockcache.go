@@ -1,0 +1,217 @@
+package relstore
+
+import "sync"
+
+// The decoded-block cache holds the arena-decoded rows of BlockZIP
+// blocks (see internal/blockzip), keyed by (store table, block number),
+// so warm queries over compressed storage skip both the zlib inflate
+// and the per-record row decode. It reuses the page cache's
+// sharded-CLOCK design, but the budget is bytes rather than entries:
+// decoded blocks vary widely in size (a jumbo BLOB block can dwarf a
+// 4000-byte one), so counting entries would make the configured
+// capacity meaningless.
+//
+// Entries are immutable once published: block blobs are append-only
+// (a block number is never rewritten), so a get can hand the shared
+// row slices to concurrent readers without copying, under the same
+// borrow contract as page-cache rows (DESIGN.md §8.2/§8.3).
+
+// minShardBlockBytes is the target minimum per-shard byte budget when
+// choosing the shard count.
+const minShardBlockBytes = 256 << 10
+
+type blockKey struct {
+	store   uint64 // owning blob Table.id; ids are never reused
+	blockNo int64
+}
+
+type blockEntry struct {
+	rows  []Row
+	bytes int
+	ref   bool // CLOCK reference bit, set on every hit
+}
+
+type blockShard struct {
+	mu      sync.Mutex
+	entries map[blockKey]*blockEntry
+	bytes   int // sum of entry sizes in this shard
+	// ring is the CLOCK ring of keys in insertion order.
+	ring []blockKey
+	hand int
+}
+
+type blockCache struct {
+	shards      []blockShard
+	shardBudget int
+	mask        uint64 // len(shards) - 1; shard count is a power of two
+	total       int    // configured budget in bytes; 0 disables caching
+}
+
+// newBlockCache sizes the shard array so each shard owns at least
+// minShardBlockBytes of budget (exact budget for tiny caches, up to
+// maxCacheShards shards for large ones).
+func newBlockCache(totalBytes int) *blockCache {
+	bc := &blockCache{total: totalBytes}
+	if totalBytes <= 0 {
+		return bc
+	}
+	n := 1
+	for n < maxCacheShards && totalBytes/(n*2) >= minShardBlockBytes {
+		n *= 2
+	}
+	bc.shards = make([]blockShard, n)
+	bc.mask = uint64(n - 1)
+	bc.shardBudget = (totalBytes + n - 1) / n
+	for i := range bc.shards {
+		bc.shards[i].entries = map[blockKey]*blockEntry{}
+	}
+	return bc
+}
+
+func (bc *blockCache) shard(k blockKey) *blockShard {
+	h := k.store*0x9E3779B97F4A7C15 + uint64(k.blockNo)*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return &bc.shards[h&bc.mask]
+}
+
+func (bc *blockCache) get(k blockKey) ([]Row, bool) {
+	if bc.total == 0 {
+		return nil, false
+	}
+	sh := bc.shard(k)
+	sh.mu.Lock()
+	e, ok := sh.entries[k]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	e.ref = true
+	rows := e.rows
+	sh.mu.Unlock()
+	return rows, true
+}
+
+// put inserts an entry. The caller transfers ownership of rows to the
+// cache: they must never be mutated afterwards. Entries larger than a
+// whole shard's budget are not cached at all (they would evict
+// everything and then be evicted themselves on the next insert).
+func (bc *blockCache) put(k blockKey, rows []Row, nbytes int) {
+	if bc.total == 0 || nbytes > bc.shardBudget {
+		return
+	}
+	if nbytes < 1 {
+		nbytes = 1
+	}
+	sh := bc.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[k]; ok {
+		// Blocks are immutable, so a re-put carries identical rows; just
+		// refresh the reference bit and the (recomputed) size.
+		sh.bytes += nbytes - e.bytes
+		e.rows, e.bytes, e.ref = rows, nbytes, true
+		return
+	}
+	for sh.bytes+nbytes > bc.shardBudget {
+		if !sh.evictOne() {
+			break
+		}
+	}
+	sh.entries[k] = &blockEntry{rows: rows, bytes: nbytes}
+	sh.ring = append(sh.ring, k)
+	sh.bytes += nbytes
+}
+
+// evictOne runs the clock hand until one entry is evicted: referenced
+// entries get a second chance (ref cleared), unreferenced entries are
+// removed.
+func (sh *blockShard) evictOne() bool {
+	for len(sh.ring) > 0 {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
+		}
+		k := sh.ring[sh.hand]
+		e, ok := sh.entries[k]
+		if !ok {
+			sh.ring = append(sh.ring[:sh.hand], sh.ring[sh.hand+1:]...)
+			continue
+		}
+		if e.ref {
+			e.ref = false
+			sh.hand++
+			continue
+		}
+		delete(sh.entries, k)
+		sh.ring = append(sh.ring[:sh.hand], sh.ring[sh.hand+1:]...)
+		sh.bytes -= e.bytes
+		return true
+	}
+	return false
+}
+
+// bytesUsed reports the cached bytes across all shards.
+func (bc *blockCache) bytesUsed() int {
+	n := 0
+	for i := range bc.shards {
+		sh := &bc.shards[i]
+		sh.mu.Lock()
+		n += sh.bytes
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// entryCount reports the number of cached blocks across all shards.
+func (bc *blockCache) entryCount() int {
+	n := 0
+	for i := range bc.shards {
+		sh := &bc.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ---- Database wiring ----
+
+// SetBlockCacheBytes sets the decoded-block cache budget in bytes;
+// 0 (the default) disables the cache entirely so every compressed
+// read pays inflate + decode, which keeps cold-methodology numbers
+// honest unless a deployment opts in.
+func (db *Database) SetBlockCacheBytes(n int) {
+	db.blockCacheCap.Store(int64(n))
+	db.blockCache.Store(newBlockCache(n))
+}
+
+// BlockCacheBytes reports the bytes currently held by the decoded-block
+// cache.
+func (db *Database) BlockCacheBytes() int { return db.blockCache.Load().bytesUsed() }
+
+// CachedBlocks reports how many decoded blocks are currently cached.
+func (db *Database) CachedBlocks() int { return db.blockCache.Load().entryCount() }
+
+// BlockCacheGet looks up the decoded rows of block blockNo of the
+// given store table. The returned rows are shared and immutable
+// (borrow contract). Hit/miss counters are updated.
+func (db *Database) BlockCacheGet(store *Table, blockNo int64) ([]Row, bool) {
+	bc := db.blockCache.Load()
+	if bc.total == 0 {
+		return nil, false
+	}
+	rows, ok := bc.get(blockKey{store.id, blockNo})
+	if ok {
+		db.stats.blockCacheHits.Add(1)
+	} else {
+		db.stats.blockCacheMisses.Add(1)
+	}
+	return rows, ok
+}
+
+// BlockCachePut publishes the decoded rows of a block. Ownership of
+// rows transfers to the cache: the caller (and every later reader)
+// must treat them as immutable. nbytes is the entry's approximate
+// memory footprint used for budget accounting.
+func (db *Database) BlockCachePut(store *Table, blockNo int64, rows []Row, nbytes int) {
+	db.blockCache.Load().put(blockKey{store.id, blockNo}, rows, nbytes)
+}

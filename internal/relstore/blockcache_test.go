@@ -1,0 +1,179 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func blockCacheTable(t *testing.T, db *Database) *Table {
+	t.Helper()
+	tbl, err := db.CreateTable(Schema{Name: "blobs", Columns: []Column{
+		{Name: "blockno", Type: TypeInt},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func blockCacheRows(n int64) []Row {
+	return []Row{{Int(n)}, {Int(n + 1)}}
+}
+
+func TestBlockCacheDisabledByDefault(t *testing.T) {
+	db := NewDatabase()
+	tbl := blockCacheTable(t, db)
+	db.BlockCachePut(tbl, 1, blockCacheRows(1), 100)
+	if _, ok := db.BlockCacheGet(tbl, 1); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	st := db.Stats()
+	if st.BlockCacheHits != 0 || st.BlockCacheMisses != 0 {
+		t.Fatalf("disabled cache counted hits/misses: %+v", st)
+	}
+}
+
+func TestBlockCacheHitMissAndStats(t *testing.T) {
+	db := NewDatabase()
+	tbl := blockCacheTable(t, db)
+	db.SetBlockCacheBytes(1 << 20)
+
+	if _, ok := db.BlockCacheGet(tbl, 1); ok {
+		t.Fatal("hit before any put")
+	}
+	want := blockCacheRows(1)
+	db.BlockCachePut(tbl, 1, want, 64)
+	got, ok := db.BlockCacheGet(tbl, 1)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if len(got) != len(want) || got[0][0].I != want[0][0].I {
+		t.Fatalf("cached rows differ: got %v want %v", got, want)
+	}
+	st := db.Stats()
+	if st.BlockCacheHits != 1 || st.BlockCacheMisses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", st.BlockCacheHits, st.BlockCacheMisses)
+	}
+	if st.BlockCacheBytes != 64 {
+		t.Fatalf("bytes gauge %d, want 64", st.BlockCacheBytes)
+	}
+	if db.CachedBlocks() != 1 {
+		t.Fatalf("CachedBlocks %d, want 1", db.CachedBlocks())
+	}
+}
+
+func TestBlockCacheByteBudgetEviction(t *testing.T) {
+	const budget = 10_000
+	bc := newBlockCache(budget)
+	for i := int64(0); i < 100; i++ {
+		bc.put(blockKey{1, i}, blockCacheRows(i), 1000)
+	}
+	if used := bc.bytesUsed(); used > budget {
+		t.Fatalf("cache holds %d bytes, budget %d", used, budget)
+	}
+	if n := bc.entryCount(); n == 0 {
+		t.Fatal("eviction emptied the cache entirely")
+	}
+	// Every surviving entry must still return its own rows.
+	hits := 0
+	for i := int64(0); i < 100; i++ {
+		if rows, ok := bc.get(blockKey{1, i}); ok {
+			hits++
+			if rows[0][0].I != i {
+				t.Fatalf("block %d returned rows of block %d", i, rows[0][0].I)
+			}
+		}
+	}
+	if hits != bc.entryCount() {
+		t.Fatalf("%d hits but %d entries", hits, bc.entryCount())
+	}
+}
+
+func TestBlockCacheSecondChance(t *testing.T) {
+	bc := newBlockCache(4000) // single shard at this size
+	bc.put(blockKey{1, 1}, blockCacheRows(1), 1500)
+	bc.put(blockKey{1, 2}, blockCacheRows(2), 1500)
+	// Touch block 1 so it carries the reference bit.
+	if _, ok := bc.get(blockKey{1, 1}); !ok {
+		t.Fatal("block 1 missing before eviction")
+	}
+	// Inserting a third block forces an eviction; the clock should
+	// spare referenced block 1 and take block 2.
+	bc.put(blockKey{1, 3}, blockCacheRows(3), 1500)
+	if _, ok := bc.get(blockKey{1, 1}); !ok {
+		t.Fatal("referenced block 1 was evicted before unreferenced block 2")
+	}
+	if _, ok := bc.get(blockKey{1, 2}); ok {
+		t.Fatal("unreferenced block 2 survived over referenced block 1")
+	}
+}
+
+func TestBlockCacheOversizedEntrySkipped(t *testing.T) {
+	bc := newBlockCache(1000)
+	bc.put(blockKey{1, 1}, blockCacheRows(1), 5000)
+	if _, ok := bc.get(blockKey{1, 1}); ok {
+		t.Fatal("entry larger than the shard budget was cached")
+	}
+	if bc.bytesUsed() != 0 {
+		t.Fatalf("oversized entry counted %d bytes", bc.bytesUsed())
+	}
+}
+
+func TestBlockCacheDropCaches(t *testing.T) {
+	db := NewDatabase()
+	tbl := blockCacheTable(t, db)
+	db.SetBlockCacheBytes(1 << 20)
+	db.BlockCachePut(tbl, 1, blockCacheRows(1), 64)
+	db.DropCaches()
+	if db.CachedBlocks() != 0 {
+		t.Fatalf("DropCaches left %d blocks cached", db.CachedBlocks())
+	}
+	if _, ok := db.BlockCacheGet(tbl, 1); ok {
+		t.Fatal("hit after DropCaches")
+	}
+	// The configured budget survives the drop: the cache refills.
+	db.BlockCachePut(tbl, 1, blockCacheRows(1), 64)
+	if _, ok := db.BlockCacheGet(tbl, 1); !ok {
+		t.Fatal("cache did not refill after DropCaches")
+	}
+}
+
+// TestBlockCacheConcurrent hammers gets, puts and drops from many
+// goroutines; run with -race. Correctness check: a hit for key i must
+// return rows for block i.
+func TestBlockCacheConcurrent(t *testing.T) {
+	db := NewDatabase()
+	tbl := blockCacheTable(t, db)
+	db.SetBlockCacheBytes(64 << 10)
+
+	const goroutines = 8
+	const rounds = 500
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				n := int64((g*rounds + r) % 37)
+				if rows, ok := db.BlockCacheGet(tbl, n); ok {
+					if rows[0][0].I != n {
+						errc <- fmt.Errorf("block %d returned rows of block %d", n, rows[0][0].I)
+						return
+					}
+				} else {
+					db.BlockCachePut(tbl, n, blockCacheRows(n), 512)
+				}
+				if g == 0 && r%100 == 99 {
+					db.DropCaches()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

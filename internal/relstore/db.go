@@ -17,6 +17,16 @@ type Stats struct {
 	Morsels      int64 // morsel work units dispatched
 	RowsBorrowed int64 // rows handed out zero-copy (ScanBorrow / borrow morsels)
 	RowsCopied   int64 // rows defensively copied (Scan / copy morsels)
+
+	// Decoded-block cache (BlockZIP warm path; see blockcache.go).
+	BlockCacheHits   int64
+	BlockCacheMisses int64
+	BlockCacheBytes  int64 // bytes currently cached (gauge, not a counter)
+
+	// Join executor row accounting: probe-side rows processed zero-copy
+	// vs combined output rows materialized.
+	JoinRowsBorrowed int64
+	JoinRowsCopied   int64
 }
 
 // Database is a catalog of tables and indexes plus a shared page
@@ -37,14 +47,21 @@ type Database struct {
 	cache    atomic.Pointer[pageCache]
 	cacheCap atomic.Int64 // configured capacity, for DropCaches rebuilds
 
+	blockCache    atomic.Pointer[blockCache]
+	blockCacheCap atomic.Int64 // configured byte budget, for DropCaches rebuilds
+
 	stats struct {
-		blockReads   atomic.Int64
-		bytesRead    atomic.Int64
-		cacheHits    atomic.Int64
-		pagesSkipped atomic.Int64
-		morsels      atomic.Int64
-		rowsBorrowed atomic.Int64
-		rowsCopied   atomic.Int64
+		blockReads       atomic.Int64
+		bytesRead        atomic.Int64
+		cacheHits        atomic.Int64
+		pagesSkipped     atomic.Int64
+		morsels          atomic.Int64
+		rowsBorrowed     atomic.Int64
+		rowsCopied       atomic.Int64
+		blockCacheHits   atomic.Int64
+		blockCacheMisses atomic.Int64
+		joinRowsBorrowed atomic.Int64
+		joinRowsCopied   atomic.Int64
 	}
 }
 
@@ -57,6 +74,7 @@ func NewDatabase() *Database {
 	db := &Database{tables: map[string]*Table{}}
 	db.cacheCap.Store(DefaultCachePages)
 	db.cache.Store(newPageCache(DefaultCachePages))
+	db.blockCache.Store(newBlockCache(0)) // off by default; see SetBlockCacheBytes
 	return db
 }
 
@@ -70,13 +88,18 @@ func (db *Database) SetCacheCapacity(pages int) {
 // Stats returns a snapshot of the physical counters.
 func (db *Database) Stats() Stats {
 	return Stats{
-		BlockReads:   db.stats.blockReads.Load(),
-		BytesRead:    db.stats.bytesRead.Load(),
-		CacheHits:    db.stats.cacheHits.Load(),
-		PagesSkipped: db.stats.pagesSkipped.Load(),
-		Morsels:      db.stats.morsels.Load(),
-		RowsBorrowed: db.stats.rowsBorrowed.Load(),
-		RowsCopied:   db.stats.rowsCopied.Load(),
+		BlockReads:       db.stats.blockReads.Load(),
+		BytesRead:        db.stats.bytesRead.Load(),
+		CacheHits:        db.stats.cacheHits.Load(),
+		PagesSkipped:     db.stats.pagesSkipped.Load(),
+		Morsels:          db.stats.morsels.Load(),
+		RowsBorrowed:     db.stats.rowsBorrowed.Load(),
+		RowsCopied:       db.stats.rowsCopied.Load(),
+		BlockCacheHits:   db.stats.blockCacheHits.Load(),
+		BlockCacheMisses: db.stats.blockCacheMisses.Load(),
+		BlockCacheBytes:  int64(db.BlockCacheBytes()),
+		JoinRowsBorrowed: db.stats.joinRowsBorrowed.Load(),
+		JoinRowsCopied:   db.stats.joinRowsCopied.Load(),
 	}
 }
 
@@ -89,12 +112,31 @@ func (db *Database) ResetStats() {
 	db.stats.morsels.Store(0)
 	db.stats.rowsBorrowed.Store(0)
 	db.stats.rowsCopied.Store(0)
+	db.stats.blockCacheHits.Store(0)
+	db.stats.blockCacheMisses.Store(0)
+	db.stats.joinRowsBorrowed.Store(0)
+	db.stats.joinRowsCopied.Store(0)
 }
 
-// DropCaches empties the page cache — the equivalent of the paper's
-// unmount/remount between queries.
+// AddJoinRows feeds the join executor's row accounting: borrowed
+// counts probe-side rows processed zero-copy, copied counts combined
+// output rows materialized.
+func (db *Database) AddJoinRows(borrowed, copied int64) {
+	if borrowed != 0 {
+		db.stats.joinRowsBorrowed.Add(borrowed)
+	}
+	if copied != 0 {
+		db.stats.joinRowsCopied.Add(copied)
+	}
+}
+
+// DropCaches empties the page cache and the decoded-block cache — the
+// equivalent of the paper's unmount/remount between queries. Dropping
+// both keeps cold-mode benchmark numbers honest even when a block
+// cache is configured.
 func (db *Database) DropCaches() {
 	db.cache.Store(newPageCache(int(db.cacheCap.Load())))
+	db.blockCache.Store(newBlockCache(int(db.blockCacheCap.Load())))
 }
 
 // CachedPages reports how many pages are currently cached.

@@ -1,9 +1,10 @@
 package sqlengine
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
-	"strconv"
 	"strings"
 
 	"archis/internal/relstore"
@@ -286,9 +287,19 @@ func (en *Engine) scanOne(s *source, conjuncts []Expr, sources []*source) ([]rel
 	if err != nil {
 		return nil, err
 	}
-
 	var out []relstore.Row
-	emit := func(row relstore.Row) (bool, error) {
+	err = en.runScanPlan(s, p, func(row relstore.Row) (bool, error) {
+		out = append(out, row)
+		return true, nil
+	})
+	return out, err
+}
+
+// runScanPlan drives a compiled plan (index probe or bounded borrow
+// scan) and streams each row surviving the residual filter into emit.
+// Rows are borrowed; emit returning false stops the scan early.
+func (en *Engine) runScanPlan(s *source, p *scanPlan, emit func(relstore.Row) (bool, error)) error {
+	pass := func(row relstore.Row) (bool, error) {
 		if p.filter != nil {
 			v, err := p.filter(row)
 			if err != nil {
@@ -298,29 +309,28 @@ func (en *Engine) scanOne(s *source, conjuncts []Expr, sources []*source) ([]rel
 				return true, nil
 			}
 		}
-		out = append(out, row)
-		return true, nil
+		return emit(row)
 	}
 
 	if p.eqIndex != nil {
 		for _, rid := range p.eqIndex.Lookup([]relstore.Value{p.eqVal}) {
 			row, live, err := s.base.Get(rid)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !live {
 				continue
 			}
-			if _, err := emit(row); err != nil {
-				return nil, err
+			if cont, err := pass(row); err != nil || !cont {
+				return err
 			}
 		}
-		return out, nil
+		return nil
 	}
 
 	var scanErr error
-	err = s.scanBorrow(p.bounds, func(row relstore.Row) bool {
-		cont, err := emit(row)
+	err := s.scanBorrow(p.bounds, func(row relstore.Row) bool {
+		cont, err := pass(row)
 		if err != nil {
 			scanErr = err
 			return false
@@ -330,7 +340,7 @@ func (en *Engine) scanOne(s *source, conjuncts []Expr, sources []*source) ([]rel
 	if err == nil {
 		err = scanErr
 	}
-	return out, err
+	return err
 }
 
 // equiJoinCond recognizes `a.x = b.y` between a bound alias set and a
@@ -392,33 +402,45 @@ func (en *Engine) equiJoinConds(conjuncts []Expr, joined *rowLayout, joinedAlias
 	return joins, rest
 }
 
-// appendKey appends a collision-safe encoding of vals to dst — the
-// allocation-free analogue of joinKey for the grouped hot path (ints
-// and dates encode from their raw representation, skipping Text).
+// appendKey appends a self-delimiting, collision-proof encoding of
+// vals to dst — the shared scratch-buffer key builder for hash joins,
+// GROUP BY and DISTINCT. Every value starts with its kind tag and
+// carries a fixed-width payload (floats, bools), a varint (ints,
+// dates) or a uvarint length prefix (text, blobs), so no two distinct
+// value lists can share an encoding. The previous terminator-based
+// scheme collided whenever a payload embedded the terminator:
+// ("a\x00\x03b","c") and ("a","b\x00\x03c") encoded identically.
 func appendKey(dst []byte, vals []relstore.Value) []byte {
+	var tmp [binary.MaxVarintLen64]byte
 	for _, v := range vals {
 		dst = append(dst, byte(v.Kind))
 		switch v.Kind {
+		case relstore.TypeNull:
+			// The kind tag alone identifies NULL.
 		case relstore.TypeInt, relstore.TypeDate:
-			dst = strconv.AppendInt(dst, v.I, 10)
+			n := binary.PutVarint(tmp[:], v.I)
+			dst = append(dst, tmp[:n]...)
 		case relstore.TypeFloat:
-			dst = strconv.AppendFloat(dst, v.F, 'g', -1, 64)
+			binary.LittleEndian.PutUint64(tmp[:8], math.Float64bits(v.F))
+			dst = append(dst, tmp[:8]...)
+		case relstore.TypeBool:
+			if v.Truth {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		case relstore.TypeBytes:
+			n := binary.PutUvarint(tmp[:], uint64(len(v.B)))
+			dst = append(dst, tmp[:n]...)
+			dst = append(dst, v.B...)
 		default:
-			dst = append(dst, v.Text()...)
+			s := v.Text()
+			n := binary.PutUvarint(tmp[:], uint64(len(s)))
+			dst = append(dst, tmp[:n]...)
+			dst = append(dst, s...)
 		}
-		dst = append(dst, 0)
 	}
 	return dst
-}
-
-func joinKey(vals []relstore.Value) string {
-	var sb strings.Builder
-	for _, v := range vals {
-		sb.WriteByte(byte(v.Kind))
-		sb.WriteString(v.Text())
-		sb.WriteByte(0)
-	}
-	return sb.String()
 }
 
 func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
@@ -477,15 +499,20 @@ func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
 		}
 	}
 
-	// Scan the first source, then fold in the rest.
+	// Scan the first source, then fold in the rest. When the first fold
+	// is certainly a hash join — equi keys exist and the inner side has
+	// no index on the leading key, so the index-join plan is off the
+	// table regardless of outer cardinality — the initial scan is fused
+	// into the probe (hashJoinFirst), which streams the outer side and
+	// can fan it out over morsels.
 	first := sources[0]
-	rows, err := en.scanOne(first, perAlias[strings.ToLower(first.alias)], sources)
-	if err != nil {
-		return nil, err
-	}
+	firstConjuncts := perAlias[strings.ToLower(first.alias)]
 	layout := layoutFor(first.alias, first.schema)
 	joinedAliases := map[string]bool{strings.ToLower(first.alias): true}
 	pendingMulti := multi
+	var rows []relstore.Row
+	var err error
+	scanned := false
 
 	for _, s := range sources[1:] {
 		joins, rest := en.equiJoinConds(pendingMulti, layout, joinedAliases, s, sources)
@@ -493,6 +520,21 @@ func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
 		newLayout := layout.concat(layoutFor(s.alias, s.schema))
 
 		singles := perAlias[strings.ToLower(s.alias)]
+		if !scanned {
+			scanned = true
+			if len(joins) > 0 && !(s.base != nil && s.base.IndexOn(joins[0].newPos) != nil) {
+				rows, err = en.hashJoinFirst(first, firstConjuncts, s, joins, singles, sources)
+				if err != nil {
+					return nil, err
+				}
+				layout = newLayout
+				joinedAliases[strings.ToLower(s.alias)] = true
+				continue
+			}
+			if rows, err = en.scanOne(first, firstConjuncts, sources); err != nil {
+				return nil, err
+			}
+		}
 		switch {
 		case len(joins) > 0 && s.base != nil && len(rows) <= indexJoinThreshold && s.base.IndexOn(joins[0].newPos) != nil:
 			// Index nested-loop join on the first equi key; remaining
@@ -508,6 +550,11 @@ func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
 		}
 		layout = newLayout
 		joinedAliases[strings.ToLower(s.alias)] = true
+	}
+	if !scanned {
+		if rows, err = en.scanOne(first, firstConjuncts, sources); err != nil {
+			return nil, err
+		}
 	}
 
 	// Residual predicates.
@@ -534,43 +581,6 @@ func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
 	}
 
 	return en.project(stmt, rows, layout, sources)
-}
-
-func (en *Engine) hashJoin(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source) ([]relstore.Row, error) {
-	inner, err := en.scanOne(s, singles, sources)
-	if err != nil {
-		return nil, err
-	}
-	table := make(map[string][]relstore.Row, len(inner))
-	for _, r := range inner {
-		key := make([]relstore.Value, len(joins))
-		for i, j := range joins {
-			key[i] = r[j.newPos]
-		}
-		k := joinKey(key)
-		table[k] = append(table[k], r)
-	}
-	var out []relstore.Row
-	for _, o := range outer {
-		key := make([]relstore.Value, len(joins))
-		null := false
-		for i, j := range joins {
-			key[i] = o[j.boundPos]
-			if key[i].IsNull() {
-				null = true
-			}
-		}
-		if null {
-			continue
-		}
-		for _, m := range table[joinKey(key)] {
-			combined := make(relstore.Row, 0, len(o)+len(m))
-			combined = append(combined, o...)
-			combined = append(combined, m...)
-			out = append(out, combined)
-		}
-	}
-	return out, nil
 }
 
 func (en *Engine) indexJoin(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source, newLayout *rowLayout) ([]relstore.Row, error) {
@@ -787,13 +797,14 @@ func (en *Engine) project(stmt *SelectStmt, rows []relstore.Row, layout *rowLayo
 	}
 	if stmt.Distinct {
 		seen := map[string]bool{}
+		var enc []byte
 		kept := outs[:0]
 		for _, o := range outs {
-			k := joinKey(o.vals)
-			if seen[k] {
+			enc = appendKey(enc[:0], o.vals)
+			if seen[string(enc)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(enc)] = true
 			kept = append(kept, o)
 		}
 		outs = kept

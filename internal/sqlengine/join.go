@@ -1,0 +1,224 @@
+package sqlengine
+
+// Hash-join executors on the zero-copy path (DESIGN.md §8.2). The
+// build side indexes borrowed inner rows by their appendKey encoding;
+// probes encode outer keys into a reusable scratch buffer, so a probe
+// allocates nothing for non-matching rows (map lookups keyed on
+// string(scratch) do not copy the bytes) and materializes only the
+// combined output row on a match. When the statement's first join has
+// a morsel-eligible outer scan, the probe fans out across the scan
+// worker pool (hashJoinFirst / probeMorsels).
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"archis/internal/relstore"
+)
+
+// joinTable is the build side of a hash join: bucket indexes keyed by
+// the encoded join key. One string key is allocated per distinct key
+// value; probing is allocation-free and, because the table is
+// read-only after build, safe to share across probe workers.
+type joinTable struct {
+	idx     map[string]int
+	buckets [][]relstore.Row
+}
+
+func buildJoinTable(inner []relstore.Row, joins []equiJoin) *joinTable {
+	jt := &joinTable{idx: make(map[string]int, len(inner))}
+	var enc []byte
+	key := make([]relstore.Value, len(joins))
+	for _, r := range inner {
+		for i, j := range joins {
+			key[i] = r[j.newPos]
+		}
+		enc = appendKey(enc[:0], key)
+		if b, ok := jt.idx[string(enc)]; ok {
+			jt.buckets[b] = append(jt.buckets[b], r)
+		} else {
+			jt.idx[string(enc)] = len(jt.buckets)
+			jt.buckets = append(jt.buckets, []relstore.Row{r})
+		}
+	}
+	return jt
+}
+
+// probeScratch holds one prober's reusable buffers; concurrent
+// workers must each own their own.
+type probeScratch struct {
+	enc []byte
+	key []relstore.Value
+}
+
+func newProbeScratch(joins []equiJoin) *probeScratch {
+	return &probeScratch{key: make([]relstore.Value, len(joins))}
+}
+
+// probe appends the combined rows for one outer row to out. Rows with
+// a NULL key component never match (SQL equality semantics); probed
+// reports whether the row had a fully non-NULL key.
+func (jt *joinTable) probe(o relstore.Row, joins []equiJoin, sc *probeScratch, out []relstore.Row) (res []relstore.Row, probed bool) {
+	for i, j := range joins {
+		sc.key[i] = o[j.boundPos]
+		if sc.key[i].IsNull() {
+			return out, false
+		}
+	}
+	sc.enc = appendKey(sc.enc[:0], sc.key)
+	b, ok := jt.idx[string(sc.enc)]
+	if !ok {
+		return out, true
+	}
+	for _, m := range jt.buckets[b] {
+		combined := make(relstore.Row, 0, len(o)+len(m))
+		combined = append(combined, o...)
+		combined = append(combined, m...)
+		out = append(out, combined)
+	}
+	return out, true
+}
+
+// hashJoin folds source s into already-materialized outer rows.
+func (en *Engine) hashJoin(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source) ([]relstore.Row, error) {
+	inner, err := en.scanOne(s, singles, sources)
+	if err != nil {
+		return nil, err
+	}
+	jt := buildJoinTable(inner, joins)
+	sc := newProbeScratch(joins)
+	var out []relstore.Row
+	var probed int64
+	for _, o := range outer {
+		var ok bool
+		out, ok = jt.probe(o, joins, sc, out)
+		if ok {
+			probed++
+		}
+	}
+	en.DB.AddJoinRows(probed, int64(len(out)))
+	return out, nil
+}
+
+// hashJoinFirst fuses the statement's initial table scan into the
+// probe side of its first hash join: outer rows stream from the
+// borrow scan straight into the probe with no intermediate []Row, and
+// when the outer scan is morsel-eligible the probe fans out over the
+// scan worker pool. Only called when the inner side has no index on
+// the leading key, so the plan choice matches the serial executor's.
+func (en *Engine) hashJoinFirst(outer *source, conjuncts []Expr, s *source, joins []equiJoin, singles []Expr, sources []*source) ([]relstore.Row, error) {
+	inner, err := en.scanOne(s, singles, sources)
+	if err != nil {
+		return nil, err
+	}
+	jt := buildJoinTable(inner, joins)
+	plan, err := en.planScan(outer, conjuncts, sources)
+	if err != nil {
+		return nil, err
+	}
+
+	if workers := en.scanWorkers(); workers > 1 && plan.eqIndex == nil {
+		if ms, ok := outer.morselSource(); ok {
+			morsels, err := ms.ScanMorsels(plan.bounds)
+			if err != nil {
+				return nil, err
+			}
+			if len(morsels) > 1 {
+				return en.probeMorsels(morsels, plan, jt, joins, workers)
+			}
+		}
+	}
+
+	sc := newProbeScratch(joins)
+	var out []relstore.Row
+	var probed int64
+	err = en.runScanPlan(outer, plan, func(row relstore.Row) (bool, error) {
+		var ok bool
+		out, ok = jt.probe(row, joins, sc, out)
+		if ok {
+			probed++
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	en.DB.AddJoinRows(probed, int64(len(out)))
+	return out, nil
+}
+
+// probeMorsels fans the probe scan across the worker pool. The build
+// table is shared read-only; each worker owns its scratch and whole
+// morsels, and per-morsel outputs concatenated in morsel order
+// reproduce the serial output order exactly (the same argument as
+// execSingleParallel).
+func (en *Engine) probeMorsels(morsels []relstore.MorselFunc, plan *scanPlan, jt *joinTable, joins []equiJoin, workers int) ([]relstore.Row, error) {
+	outs := make([][]relstore.Row, len(morsels))
+	errs := make([]error, len(morsels))
+	var probed atomic.Int64
+	var next atomic.Int64
+	var failed atomic.Bool
+	if workers > len(morsels) {
+		workers = len(morsels)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newProbeScratch(joins)
+			var n int64
+			defer func() { probed.Add(n) }()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(morsels) || failed.Load() {
+					return
+				}
+				var rowErr error
+				_, err := morsels[i](true, func(row relstore.Row) bool {
+					if plan.filter != nil {
+						v, err := plan.filter(row)
+						if err != nil {
+							rowErr = err
+							return false
+						}
+						if !v.AsBool() {
+							return true
+						}
+					}
+					var ok bool
+					outs[i], ok = jt.probe(row, joins, sc, outs[i])
+					if ok {
+						n++
+					}
+					return true
+				})
+				if err == nil {
+					err = rowErr
+				}
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Report the earliest morsel's error, matching the serial scan.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	out := make([]relstore.Row, 0, total)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	en.DB.AddJoinRows(probed.Load(), int64(total))
+	return out, nil
+}
