@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race parallel-stress bench-smoke verify lint bench bench-parallel bench-json
+.PHONY: build vet test race parallel-stress bench-smoke crash-matrix fuzz-smoke verify lint bench bench-parallel bench-json
 
 build:
 	$(GO) build ./...
@@ -24,10 +24,28 @@ parallel-stress:
 bench-smoke:
 	$(GO) test -bench='Scan(Copy|Borrow)' -benchtime=1x -run '^$$' ./internal/relstore/
 
+# Durability stress: kill the durable system at every fsync boundary
+# (with and without torn tail bytes) and require every survivor to
+# recover to an acknowledged-consistent state, under the race detector.
+crash-matrix:
+	$(GO) test -race -count=1 -run 'TestCrashMatrix|TestRecoveredEqualsContinuous' ./internal/bench/
+	$(GO) test -race -count=1 -run 'Crash|Torn|Recover' ./internal/wal/ ./internal/core/
+
+# Short fuzzing pass over every parser/decoder boundary: WAL replay,
+# the two query language parsers, and BlockZIP codecs. Each fuzzer gets
+# a few seconds — enough to catch regressions in the seed corpus
+# neighborhood without stalling CI.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/xquery/
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/sqlengine/
+	$(GO) test -run '^$$' -fuzz FuzzDecompress -fuzztime 5s ./internal/blockzip/
+
 # Tier-1 verification: everything must compile, pass vet, and pass the
 # full test suite under the race detector (the concurrency layer is
 # only considered correct when -race is clean), plus the parallel
-# differential stress and the benchmark smoke run.
+# differential stress and the benchmark smoke run. The crash matrix
+# runs as part of `race` (it lives in the normal test suite).
 verify: build vet race parallel-stress bench-smoke
 
 # Optional linters: run when installed, skip quietly otherwise (the

@@ -33,6 +33,7 @@ import (
 	"archis/internal/htable"
 	"archis/internal/relstore"
 	"archis/internal/temporal"
+	"archis/internal/wal"
 	"archis/internal/xmltree"
 )
 
@@ -108,10 +109,27 @@ var Forever = temporal.Forever
 // New builds a System.
 func New(opts Options) (*System, error) { return core.New(opts) }
 
-// Open reconstructs a System from a file written by System.SaveFile,
-// including its history, clustering and compression state, clock and
-// registered tables.
+// Open reconstructs a System from a file written by System.SaveFile —
+// or, when path is the directory of a durable system (Options.WALDir),
+// recovers it: the latest checkpoint snapshot is loaded and the
+// write-ahead log tail replayed, tolerating a torn final record.
 func Open(path string) (*System, error) { return core.Open(path) }
+
+// SyncMode selects the WAL commit durability policy
+// (Options.WALSync).
+type SyncMode = wal.SyncMode
+
+// WAL commit policies: every commit fsyncs (grouped), commits coalesce
+// in a batch window, or durability waits for checkpoint/close.
+const (
+	SyncAlways = wal.SyncAlways
+	SyncBatch  = wal.SyncBatch
+	SyncNone   = wal.SyncNone
+)
+
+// Stats combines storage-engine and durability counters
+// (System.Stats).
+type Stats = core.Stats
 
 // MustDate parses an ISO date ("2006-01-02"), panicking on bad input.
 func MustDate(s string) Date { return temporal.MustParseDate(s) }

@@ -9,7 +9,11 @@
 //	archis-bench [-employees N] [-years Y] [-scale K] [-runs R] [-fig LIST]
 //
 // where LIST is a comma-separated subset of
-// fig7,fig8,fig9,fig10,fig11,fig13,fig14,upd,trans (default all).
+// fig7,fig8,fig9,fig10,fig11,fig13,fig14,upd,trans,dur (default all).
+// dur is the durability experiment: single-row insert throughput with
+// the write-ahead log under each commit policy (fsync-per-commit,
+// group commit across concurrent writers, batched, none) plus the time
+// to recover the resulting directory.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"archis/internal/bench"
@@ -27,6 +32,8 @@ import (
 	"archis/internal/dataset"
 	"archis/internal/htable"
 	"archis/internal/segment"
+	"archis/internal/temporal"
+	"archis/internal/wal"
 	"archis/internal/xmltree"
 )
 
@@ -93,6 +100,9 @@ func main() {
 	}
 	if all || want["upd"] {
 		h.updates()
+	}
+	if all || want["dur"] {
+		h.durability()
 	}
 }
 
@@ -281,6 +291,7 @@ type benchReport struct {
 	WarmRuns        int           `json:"warm_runs,omitempty"`
 	BlockCacheBytes int           `json:"block_cache_bytes,omitempty"`
 	Records         []benchRecord `json:"records"`
+	Durability      []durRecord   `json:"durability,omitempty"`
 }
 
 // benchJSON times the Q1-Q6 suite on the scaled dataset — clustered
@@ -381,6 +392,11 @@ func (h *harness) benchJSON(path string) {
 				}
 			}
 		}
+	}
+	rep.Durability = durabilityExperiments()
+	for _, r := range rep.Durability {
+		fmt.Printf("  durable-ingest %-14s writers=%d  %8.0f ops/s  recover %.2f ms (%d records)\n",
+			r.Mode, r.Writers, r.OpsPerSec, float64(r.RecoverNS)/1e6, r.ReplayedRecords)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	die(err)
@@ -556,4 +572,109 @@ func (h *harness) updates() {
 
 	// Keep output deterministic in field order for the log.
 	_ = sort.Strings
+}
+
+// durRecord is one cell of the durability experiment: an ingest run
+// under one WAL commit policy, then a recovery of the directory it
+// produced.
+type durRecord struct {
+	Mode            string  `json:"mode"` // commit policy
+	Writers         int     `json:"writers"`
+	Ops             int     `json:"ops"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	Fsyncs          int64   `json:"fsyncs"`
+	GroupedCommits  int64   `json:"grouped_commits"`
+	RecoverNS       int64   `json:"recover_ns"`
+	ReplayedRecords int64   `json:"replayed_records"`
+}
+
+// runDurableIngest measures single-row insert throughput through
+// ExecDurable — every insert acknowledged only per the commit policy —
+// then times a full recovery of the directory.
+func runDurableIngest(name string, syncMode wal.SyncMode, writers, ops int) durRecord {
+	dir, err := os.MkdirTemp("", "archis-dur-*")
+	die(err)
+	defer os.RemoveAll(dir)
+	sys, err := core.New(core.Options{
+		Layout:  core.LayoutClustered,
+		WALDir:  dir,
+		WALSync: syncMode,
+	})
+	die(err)
+	die(sys.Register(dataset.EmployeeSpec()))
+	sys.SetClock(temporal.MustParseDate("1995-01-01"))
+
+	perWriter := ops / writers
+	errs := make(chan error, writers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := 500000 + w*perWriter + i
+				_, err := sys.ExecDurable(fmt.Sprintf(
+					"insert into employee values (%d, 'w%d', %d, 'Engineer', 'd01')",
+					id, w, 50000+i))
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		die(err)
+	default:
+	}
+	die(sys.SyncWAL())
+	st := sys.Stats()
+	die(sys.Close())
+
+	rstart := time.Now()
+	rec, err := core.Recover(dir, nil)
+	die(err)
+	recoverTime := time.Since(rstart)
+	replayed := rec.Stats().WALReplayedRecords
+	die(rec.Close())
+
+	done := writers * perWriter
+	return durRecord{
+		Mode:            name,
+		Writers:         writers,
+		Ops:             done,
+		OpsPerSec:       float64(done) / elapsed.Seconds(),
+		Fsyncs:          st.WALFsyncs,
+		GroupedCommits:  st.WALGroupedCommits,
+		RecoverNS:       recoverTime.Nanoseconds(),
+		ReplayedRecords: replayed,
+	}
+}
+
+// durabilityExperiments runs the ingest + recovery matrix: fsync per
+// commit (serial, then concurrent writers sharing fsyncs), the batched
+// window, and no-sync as the upper bound.
+func durabilityExperiments() []durRecord {
+	return []durRecord{
+		runDurableIngest("always", wal.SyncAlways, 1, 400),
+		runDurableIngest("always-group", wal.SyncAlways, 8, 1600),
+		runDurableIngest("batch", wal.SyncBatch, 8, 1600),
+		runDurableIngest("none", wal.SyncNone, 1, 1600),
+	}
+}
+
+func (h *harness) durability() {
+	fmt.Println("== durability: WAL ingest throughput and recovery time ==")
+	fmt.Printf("  %-14s %8s %8s %12s %8s %9s %12s %9s\n",
+		"mode", "writers", "ops", "ops/s", "fsyncs", "grouped", "recover(ms)", "replayed")
+	for _, r := range durabilityExperiments() {
+		fmt.Printf("  %-14s %8d %8d %12.0f %8d %9d %12.2f %9d\n",
+			r.Mode, r.Writers, r.Ops, r.OpsPerSec, r.Fsyncs, r.GroupedCommits,
+			float64(r.RecoverNS)/1e6, r.ReplayedRecords)
+	}
+	fmt.Println()
 }

@@ -6,15 +6,19 @@
 // Usage:
 //
 //	archis [-layout plain|clustered|compressed] [-employees N] [-years Y] [-demo]
+//	archis [-wal DIR] [-sync always|batch|none]   durable mode: log every change
+//	archis recover DIR                            recover a durable system, then shell
+//	archis wal-stats DIR                          recover and print durability counters
 //
 // Commands inside the shell:
 //
 //	xquery <query>     run a temporal XQuery (translated when possible)
-//	sql <statement>    run SQL directly
+//	sql <statement>    run SQL directly (durable mode: acked after fsync)
 //	translate <query>  show the SQL/XML translation only
 //	doc <table>        print the H-document of a table
 //	clock [date]       show or set the archive clock
-//	stats              physical counters and storage
+//	stats              physical counters and storage (and WAL counters)
+//	checkpoint         snapshot a durable system and truncate its log
 //	help, quit
 package main
 
@@ -24,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"archis"
 	"archis/internal/dataset"
@@ -36,10 +41,34 @@ var (
 	demo      = flag.Bool("demo", true, "load the paper's Tables 1-2 micro history")
 	dbPath    = flag.String("db", "", "open an existing system file (and save back on 'save')")
 	workers   = flag.Int("workers", 0, "intra-query scan workers (0 = GOMAXPROCS, 1 = serial)")
+	walDir    = flag.String("wal", "", "run durably: write-ahead log and snapshots in this directory")
+	syncMode  = flag.String("sync", "always", "WAL commit policy: always, batch or none")
 )
 
 func main() {
 	flag.Parse()
+	switch flag.Arg(0) {
+	case "recover":
+		dir := flag.Arg(1)
+		if dir == "" {
+			fmt.Fprintln(os.Stderr, "usage: archis recover DIR")
+			os.Exit(2)
+		}
+		sys := recoverDir(dir)
+		repl(sys)
+		check(sys.Close())
+		return
+	case "wal-stats":
+		dir := flag.Arg(1)
+		if dir == "" {
+			fmt.Fprintln(os.Stderr, "usage: archis wal-stats DIR")
+			os.Exit(2)
+		}
+		sys := recoverDir(dir)
+		printWALStats(sys)
+		check(sys.Close())
+		return
+	}
 	if *dbPath != "" {
 		if _, err := os.Stat(*dbPath); err == nil {
 			sys, err := archis.Open(*dbPath)
@@ -61,7 +90,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unknown layout", *layout)
 		os.Exit(2)
 	}
-	sys, err := archis.New(archis.Options{Layout: lay, Workers: *workers})
+	var sync archis.SyncMode
+	switch *syncMode {
+	case "always":
+		sync = archis.SyncAlways
+	case "batch":
+		sync = archis.SyncBatch
+	case "none":
+		sync = archis.SyncNone
+	default:
+		fmt.Fprintln(os.Stderr, "unknown sync mode", *syncMode)
+		os.Exit(2)
+	}
+	if *walDir != "" {
+		if _, err := os.Stat(*walDir); err == nil {
+			// An existing durable directory is recovered, not reloaded.
+			sys := recoverDir(*walDir)
+			repl(sys)
+			check(sys.Close())
+			return
+		}
+	}
+	sys, err := archis.New(archis.Options{Layout: lay, Workers: *workers,
+		WALDir: *walDir, WALSync: sync})
 	check(err)
 	check(sys.Register(dataset.EmployeeSpec()))
 	check(sys.Register(dataset.DeptSpec()))
@@ -83,7 +134,38 @@ func main() {
 	if lay == archis.LayoutCompressed {
 		check(sys.CompressFrozen())
 	}
+	if sys.Durable() {
+		// The generated history was loaded through the fast path; make
+		// it durable in one fsync before handing over the prompt.
+		check(sys.SyncWAL())
+		fmt.Printf("durable: logging to %s (sync=%s)\n", *walDir, *syncMode)
+	}
 	repl(sys)
+	check(sys.Close())
+}
+
+// recoverDir rebuilds a durable system from its directory and reports
+// what recovery did.
+func recoverDir(dir string) *archis.System {
+	start := time.Now()
+	sys, err := archis.Open(dir)
+	check(err)
+	st := sys.Stats()
+	fmt.Printf("recovered %s in %s: replayed %d records, log at lsn %d (%d segments)\n",
+		dir, time.Since(start).Round(time.Microsecond), st.WALReplayedRecords,
+		st.WALAppendedLSN, st.WALSegments)
+	return sys
+}
+
+func printWALStats(sys *archis.System) {
+	st := sys.Stats()
+	fmt.Printf("appends:          %d\n", st.WALAppends)
+	fmt.Printf("fsyncs:           %d\n", st.WALFsyncs)
+	fmt.Printf("grouped commits:  %d\n", st.WALGroupedCommits)
+	fmt.Printf("replayed records: %d\n", st.WALReplayedRecords)
+	fmt.Printf("segments:         %d\n", st.WALSegments)
+	fmt.Printf("appended lsn:     %d\n", st.WALAppendedLSN)
+	fmt.Printf("durable lsn:      %d\n", st.WALDurableLSN)
 }
 
 func repl(sys *archis.System) {
@@ -106,7 +188,7 @@ func repl(sys *archis.System) {
 		case "quit", "exit":
 			return
 		case "help":
-			fmt.Println("  xquery <q>  | sql <stmt> | translate <q> | doc <table> | clock [date] | stats | save <path> | quit")
+			fmt.Println("  xquery <q>  | sql <stmt> | translate <q> | doc <table> | clock [date] | stats | checkpoint | save <path> | quit")
 		case "save":
 			if rest == "" && *dbPath != "" {
 				rest = *dbPath
@@ -132,7 +214,9 @@ func repl(sys *archis.System) {
 			}
 			fmt.Println(res.Items.Serialize())
 		case "sql":
-			res, err := sys.Exec(rest)
+			// Durable systems acknowledge writes only after their log
+			// records are fsynced.
+			res, err := sys.ExecDurable(rest)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -183,6 +267,15 @@ func repl(sys *archis.System) {
 			fmt.Printf("morsels: %d  rows borrowed: %d  rows copied: %d\n",
 				st.Morsels, st.RowsBorrowed, st.RowsCopied)
 			fmt.Printf("history storage: %d KiB\n", sys.StorageBytes()/1024)
+			if sys.Durable() {
+				printWALStats(sys)
+			}
+		case "checkpoint":
+			if err := sys.Checkpoint(); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("checkpoint written; log truncated")
 		default:
 			fmt.Println("unknown command; type help")
 		}

@@ -10,11 +10,13 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"archis/internal/core"
 	"archis/internal/dataset"
 	"archis/internal/htable"
 	"archis/internal/temporal"
+	"archis/internal/wal"
 	"archis/internal/xmldb"
 )
 
@@ -50,6 +52,17 @@ type Options struct {
 	// BlockCacheBytes is the decoded-block cache budget for compressed
 	// layouts (0 = off); see core.Options.BlockCacheBytes.
 	BlockCacheBytes int
+	// WALDir enables the durable write-ahead op log for the built
+	// system (core.Options.WALDir); the durability and crash-recovery
+	// experiments use it.
+	WALDir string
+	// WALFS overrides the log's file layer (fault-injection tests).
+	WALFS wal.FS
+	// WALSync, WALBatchWindow and WALSegmentBytes are the log's commit
+	// policy, group-commit window and segment roll threshold.
+	WALSync         wal.SyncMode
+	WALBatchWindow  time.Duration
+	WALSegmentBytes int
 }
 
 // Build generates the workload into a fresh ArchIS instance.
@@ -69,6 +82,11 @@ func Build(cfg dataset.Config, opts Options) (*Env, error) {
 		WholeSegmentCompression: opts.WholeSegments,
 		Workers:                 opts.Workers,
 		BlockCacheBytes:         opts.BlockCacheBytes,
+		WALDir:                  opts.WALDir,
+		WALFS:                   opts.WALFS,
+		WALSync:                 opts.WALSync,
+		WALBatchWindow:          opts.WALBatchWindow,
+		WALSegmentBytes:         opts.WALSegmentBytes,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"archis/internal/htable"
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+	"archis/internal/wal"
+	"archis/internal/xmltree"
+)
+
+var empSpec = htable.TableSpec{
+	Name: "emp",
+	Columns: []relstore.Column{
+		relstore.Col("id", relstore.TypeInt),
+		relstore.Col("name", relstore.TypeString),
+		relstore.Col("salary", relstore.TypeInt),
+	},
+	Key: []string{"id"},
+}
+
+func day(s string) temporal.Date { return temporal.MustParseDate(s) }
+
+// queryFingerprint captures everything the tests compare across a
+// crash: the current table, the H-doc and a temporal query.
+func queryFingerprint(t *testing.T, s *System) string {
+	t.Helper()
+	if err := s.FlushLog(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	res, err := s.Exec("SELECT id, name, salary FROM emp ORDER BY id")
+	if err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	out := fmt.Sprintf("%v", res.Rows)
+	doc, err := s.PublishHDoc("emp")
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	out += "\n" + xmltree.String(doc)
+	q, err := s.Query(`for $e in doc("emp.xml")/employees/emp[name="n1"] return $e/salary`)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	return out + fmt.Sprintf("\n%v", q.Items)
+}
+
+func buildDurable(t *testing.T, dir string, fsys wal.FS, capture htable.CaptureMode) *System {
+	t.Helper()
+	s, err := New(Options{Capture: capture, WALDir: dir, WALFS: fsys})
+	if err != nil {
+		t.Fatalf("new durable: %v", err)
+	}
+	if err := s.Register(empSpec); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := s.AliasDoc("emp.xml", "emp"); err != nil {
+		t.Fatalf("alias: %v", err)
+	}
+	return s
+}
+
+func runWorkload(t *testing.T, s *System) {
+	t.Helper()
+	stmts := []string{
+		"INSERT INTO emp VALUES (1, 'n1', 100)",
+		"INSERT INTO emp VALUES (2, 'n2', 200)",
+		"UPDATE emp SET salary = 150 WHERE id = 1",
+		"DELETE FROM emp WHERE id = 2",
+		"INSERT INTO emp VALUES (3, 'n3', 300)",
+		"UPDATE emp SET salary = 175 WHERE id = 1",
+	}
+	clock := day("1995-01-01")
+	for i, stmt := range stmts {
+		s.SetClock(clock.AddDays(30 * i))
+		if _, err := s.ExecDurable(stmt); err != nil {
+			t.Fatalf("stmt %d (%s): %v", i, stmt, err)
+		}
+	}
+}
+
+func TestDurableRecoverEqualsLive(t *testing.T) {
+	for _, capture := range []htable.CaptureMode{htable.CaptureTrigger, htable.CaptureLog} {
+		t.Run(fmt.Sprintf("capture=%d", capture), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "sys")
+			fsys := wal.NewFaultFS()
+			live := buildDurable(t, dir, fsys, capture)
+			runWorkload(t, live)
+			want := queryFingerprint(t, live)
+			if err := live.SyncWAL(); err != nil {
+				t.Fatal(err)
+			}
+
+			rec, err := Recover(dir, fsys.Survivor())
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			defer rec.Close()
+			if got := queryFingerprint(t, rec); got != want {
+				t.Fatalf("recovered state differs\nlive:\n%s\nrecovered:\n%s", want, got)
+			}
+			if rec.Stats().WALReplayedRecords == 0 {
+				t.Fatal("recovery replayed nothing")
+			}
+		})
+	}
+}
+
+func TestCheckpointTruncatesAndRecovers(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sys")
+	fsys := wal.NewFaultFS()
+	s, err := New(Options{WALDir: dir, WALFS: fsys, WALSegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(empSpec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AliasDoc("emp.xml", "emp"); err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, s)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	// More writes after the checkpoint land in the log tail.
+	s.SetClock(day("1996-01-01"))
+	if _, err := s.ExecDurable("INSERT INTO emp VALUES (4, 'n4', 400)"); err != nil {
+		t.Fatal(err)
+	}
+	want := queryFingerprint(t, s)
+
+	rec, err := Recover(dir, fsys.Survivor())
+	if err != nil {
+		t.Fatalf("recover after checkpoint: %v", err)
+	}
+	defer rec.Close()
+	if got := queryFingerprint(t, rec); got != want {
+		t.Fatalf("recovered state differs after checkpoint\nlive:\n%s\nrecovered:\n%s", want, got)
+	}
+	// Only the post-checkpoint records should have replayed.
+	if n := rec.Stats().WALReplayedRecords; n == 0 || n > 3 {
+		t.Fatalf("replayed %d records, want just the post-checkpoint tail", n)
+	}
+}
+
+func TestOpenDispatchesToRecover(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sys")
+	s := buildDurable(t, dir, nil, htable.CaptureTrigger) // real OS files
+	runWorkload(t, s)
+	want := queryFingerprint(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open dir: %v", err)
+	}
+	defer rec.Close()
+	if !rec.Durable() {
+		t.Fatal("recovered system is not durable")
+	}
+	if got := queryFingerprint(t, rec); got != want {
+		t.Fatalf("Open(dir) state differs\nlive:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+func TestNewRefusesExistingDurableDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sys")
+	s := buildDurable(t, dir, nil, htable.CaptureTrigger)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{WALDir: dir}); err == nil {
+		t.Fatal("New on an existing durable dir must fail")
+	}
+}
+
+func TestWriteMetaKeepsTables(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(empSpec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.writeMeta(); err != nil {
+		t.Fatal(err)
+	}
+	before, ok := s.DB.Table(metaTable)
+	if !ok {
+		t.Fatal("no meta table")
+	}
+	// Repeated saves must update in place, not drop+create.
+	if err := s.writeMeta(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := s.DB.Table(metaTable)
+	if before != after {
+		t.Fatal("writeMeta recreated the meta table instead of updating in place")
+	}
+	s.SetClock(day("1999-06-01"))
+	if err := s.writeMeta(); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := readMeta(s.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta["clock"] != "1999-06-01" {
+		t.Fatalf("clock not upserted: %q", meta["clock"])
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -32,22 +34,60 @@ func (s *System) SaveFile(path string) error {
 	return s.DB.SaveFile(path)
 }
 
-func (s *System) writeMeta() error {
-	// Recreate the metadata tables from scratch on every save.
-	for _, t := range []string{metaTable, specsTable, aliasTable} {
-		if _, ok := s.DB.Table(t); ok {
-			if err := s.DB.DropTable(t); err != nil {
-				return err
-			}
-		}
+// ensureMetaTable returns the named metadata table, creating it only
+// the first time. Earlier versions dropped and recreated all three
+// tables on every save, rewriting catalog pages on each checkpoint;
+// now the tables persist and their contents are updated in place.
+func (s *System) ensureMetaTable(name string, cols ...relstore.Column) (*relstore.Table, error) {
+	if t, ok := s.DB.Table(name); ok {
+		return t, nil
 	}
-	meta, err := s.DB.CreateTable(relstore.NewSchema(metaTable,
-		relstore.Col("k", relstore.TypeString), relstore.Col("v", relstore.TypeString)))
-	if err != nil {
+	return s.DB.CreateTable(relstore.NewSchema(name, cols...))
+}
+
+// syncMetaRows makes table's contents equal desired: unchanged tables
+// are left untouched (row order ignored); otherwise the table is
+// truncated and refilled.
+func syncMetaRows(table *relstore.Table, desired []relstore.Row) error {
+	keyOf := func(r relstore.Row) string { return string(relstore.EncodeRow(nil, r, true)) }
+	want := make([]string, len(desired))
+	for i, r := range desired {
+		want[i] = keyOf(r)
+	}
+	sort.Strings(want)
+	var have []string
+	if err := table.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+		have = append(have, keyOf(row))
+		return true
+	}); err != nil {
 		return err
 	}
-	put := func(k, v string) error {
-		_, err := meta.Insert(relstore.Row{relstore.String_(k), relstore.String_(v)})
+	sort.Strings(have)
+	if len(have) == len(want) {
+		same := true
+		for i := range have {
+			if have[i] != want[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return nil
+		}
+	}
+	table.Truncate()
+	for _, r := range desired {
+		if _, err := table.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *System) writeMeta() error {
+	meta, err := s.ensureMetaTable(metaTable,
+		relstore.Col("k", relstore.TypeString), relstore.Col("v", relstore.TypeString))
+	if err != nil {
 		return err
 	}
 	pairs := [][2]string{
@@ -60,21 +100,56 @@ func (s *System) writeMeta() error {
 		{"wholesegments", strconv.FormatBool(s.opts.WholeSegmentCompression)},
 		{"clock", s.Clock().String()},
 	}
+	if s.wal != nil {
+		pairs = append(pairs,
+			[2]string{"wal_lsn", strconv.FormatUint(s.walLSN, 10)},
+			[2]string{"walsync", strconv.Itoa(int(s.opts.WALSync))},
+			[2]string{"walbatchns", strconv.FormatInt(int64(s.opts.WALBatchWindow), 10)},
+			[2]string{"walsegbytes", strconv.Itoa(s.opts.WALSegmentBytes)})
+	}
+	// Upsert key/value pairs in place: only changed values touch pages.
+	existing := map[string]relstore.RID{}
+	current := map[string]string{}
+	if err := meta.Scan(nil, func(rid relstore.RID, row relstore.Row) bool {
+		existing[row[0].Text()] = rid
+		current[row[0].Text()] = row[1].Text()
+		return true
+	}); err != nil {
+		return err
+	}
+	desired := map[string]bool{}
 	for _, p := range pairs {
-		if err := put(p[0], p[1]); err != nil {
-			return err
+		desired[p[0]] = true
+		rid, ok := existing[p[0]]
+		switch {
+		case !ok:
+			if _, err := meta.Insert(relstore.Row{relstore.String_(p[0]), relstore.String_(p[1])}); err != nil {
+				return err
+			}
+		case current[p[0]] != p[1]:
+			if err := meta.Update(rid, relstore.Row{relstore.String_(p[0]), relstore.String_(p[1])}); err != nil {
+				return err
+			}
+		}
+	}
+	for k, rid := range existing {
+		if !desired[k] {
+			if err := meta.Delete(rid); err != nil {
+				return err
+			}
 		}
 	}
 
-	specs, err := s.DB.CreateTable(relstore.NewSchema(specsTable,
+	specs, err := s.ensureMetaTable(specsTable,
 		relstore.Col("tablename", relstore.TypeString),
 		relstore.Col("colname", relstore.TypeString),
 		relstore.Col("coltype", relstore.TypeInt),
 		relstore.Col("iskey", relstore.TypeInt),
-		relstore.Col("pos", relstore.TypeInt)))
+		relstore.Col("pos", relstore.TypeInt))
 	if err != nil {
 		return err
 	}
+	var specRows []relstore.Row
 	for _, name := range s.Archive.Tables() {
 		spec, _ := s.Archive.Spec(name)
 		keySet := map[string]bool{}
@@ -86,41 +161,54 @@ func (s *System) writeMeta() error {
 			if keySet[strings.ToLower(c.Name)] {
 				isKey = 1
 			}
-			if _, err := specs.Insert(relstore.Row{
+			specRows = append(specRows, relstore.Row{
 				relstore.String_(spec.Name), relstore.String_(c.Name),
-				relstore.Int(int64(c.Type)), relstore.Int(isKey), relstore.Int(int64(i))}); err != nil {
-				return err
-			}
+				relstore.Int(int64(c.Type)), relstore.Int(isKey), relstore.Int(int64(i))})
 		}
 	}
+	if err := syncMetaRows(specs, specRows); err != nil {
+		return err
+	}
 
-	aliases, err := s.DB.CreateTable(relstore.NewSchema(aliasTable,
+	aliases, err := s.ensureMetaTable(aliasTable,
 		relstore.Col("alias", relstore.TypeString),
-		relstore.Col("tablename", relstore.TypeString)))
+		relstore.Col("tablename", relstore.TypeString))
 	if err != nil {
 		return err
 	}
+	var aliasRows []relstore.Row
 	for alias, view := range s.catalog {
 		if alias == view.DocName {
 			continue // canonical entry, rebuilt by finishRegister
 		}
-		if _, err := aliases.Insert(relstore.Row{
-			relstore.String_(alias), relstore.String_(view.EntityName)}); err != nil {
-			return err
-		}
+		aliasRows = append(aliasRows, relstore.Row{
+			relstore.String_(alias), relstore.String_(view.EntityName)})
 	}
-	return nil
+	return syncMetaRows(aliases, aliasRows)
 }
 
-// Open reconstructs a System from a file written by SaveFile.
+// Open reconstructs a System from a file written by SaveFile, or — if
+// path is a directory — recovers a durable system from its snapshot
+// plus WAL tail (see Recover).
 func Open(path string) (*System, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return Recover(path, nil)
+	}
 	db, err := relstore.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	s, _, err := openSnapshotDB(db)
+	return s, err
+}
+
+// openSnapshotDB rebuilds a System over an already-loaded snapshot
+// database and returns the metadata pairs for the caller (Recover
+// reads the WAL position from them).
+func openSnapshotDB(db *relstore.Database) (*System, map[string]string, error) {
 	meta, err := readMeta(db)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	opts := Options{}
 	if v, err := strconv.Atoi(meta["layout"]); err == nil {
@@ -142,7 +230,7 @@ func Open(path string) (*System, error) {
 
 	s, err := newWithDB(db, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if clock, err := temporal.ParseDate(meta["clock"]); err == nil {
 		s.SetClock(clock)
@@ -150,11 +238,11 @@ func Open(path string) (*System, error) {
 
 	specs, err := readSpecs(db)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, spec := range specs {
 		if err := s.attach(spec); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -168,10 +256,10 @@ func Open(path string) (*System, error) {
 			return true
 		})
 		if aliasErr != nil {
-			return nil, aliasErr
+			return nil, nil, aliasErr
 		}
 	}
-	return s, nil
+	return s, meta, nil
 }
 
 func readMeta(db *relstore.Database) (map[string]string, error) {

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"archis/internal/blockzip"
 	"archis/internal/htable"
@@ -21,6 +22,7 @@ import (
 	"archis/internal/sqlengine"
 	"archis/internal/temporal"
 	"archis/internal/translator"
+	"archis/internal/wal"
 	"archis/internal/xmltree"
 	"archis/internal/xquery"
 )
@@ -68,6 +70,24 @@ type Options struct {
 	// DropCaches/cold runs still discard it, so cold numbers are
 	// unaffected (DESIGN.md §8.3).
 	BlockCacheBytes int
+	// WALDir enables the durable write-ahead op log: captured ops,
+	// clock ticks and DDL are logged there and snapshots written by
+	// Checkpoint. New requires a fresh directory; Open on the
+	// directory recovers (DESIGN.md §10).
+	WALDir string
+	// WALFS overrides the log's file layer — fault-injection tests;
+	// nil uses the real file system. Snapshots always use the OS.
+	WALFS wal.FS
+	// WALSync is the commit durability policy (wal.SyncAlways zero
+	// default; wal.SyncBatch adds a group-commit coalescing window;
+	// wal.SyncNone defers durability to checkpoint/close).
+	WALSync wal.SyncMode
+	// WALBatchWindow is the SyncBatch coalescing window
+	// (wal.DefaultBatchWindow if zero).
+	WALBatchWindow time.Duration
+	// WALSegmentBytes is the log segment roll threshold
+	// (wal.DefaultSegmentBytes if zero).
+	WALSegmentBytes int
 }
 
 // System is the assembled ArchIS instance.
@@ -89,11 +109,32 @@ type System struct {
 	pubMu    sync.RWMutex
 	pubCache map[string]*xmltree.Node // table → published H-doc
 	dirty    map[string]bool
+
+	// Durability (durable.go). writeMu serializes writers — statement
+	// execution, DDL, clock moves, checkpoints — while their WAL
+	// fsyncs overlap for group commit.
+	writeMu  sync.Mutex
+	wal      *wal.Log
+	walFS    wal.FS
+	walLSN   uint64 // LSN covered by the latest checkpoint snapshot
+	replayed int64  // records replayed by the last recovery
 }
 
-// New builds a System over a fresh in-memory database.
+// New builds a System over a fresh in-memory database. With
+// Options.WALDir set, the system is durable from birth: the directory
+// must be fresh (Open recovers existing ones) and receives an initial
+// checkpoint snapshot immediately.
 func New(opts Options) (*System, error) {
-	return newWithDB(relstore.NewDatabase(), opts)
+	s, err := newWithDB(relstore.NewDatabase(), opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.WALDir != "" {
+		if err := s.initWAL(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 func newWithDB(db *relstore.Database, opts Options) (*System, error) {
@@ -158,7 +199,21 @@ func (s *System) makeStore(db *relstore.Database, schema relstore.Schema) (htabl
 
 // Register archives a table: current table, H-tables, capture trigger,
 // id indexes, and the catalog entry that makes its H-view queryable.
+// On a durable system the registration is logged and made durable
+// before returning.
 func (s *System) Register(spec htable.TableSpec) error {
+	s.writeMu.Lock()
+	err := s.registerInternal(spec)
+	s.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.logDDL(encodeRegisterRecord(spec))
+}
+
+// registerInternal is Register without logging — recovery replays
+// registrations through it.
+func (s *System) registerInternal(spec htable.TableSpec) error {
 	if err := s.Archive.Register(spec); err != nil {
 		return err
 	}
@@ -247,8 +302,18 @@ func (s *System) markDirty(table string) {
 
 // AliasDoc makes the H-view of a table reachable under an extra doc()
 // name (the paper refers to the same view as employees.xml and
-// emp.xml).
+// emp.xml). On a durable system the alias is logged.
 func (s *System) AliasDoc(alias, table string) error {
+	s.writeMu.Lock()
+	err := s.aliasInternal(alias, table)
+	s.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.logDDL(encodeAliasRecord(alias, table))
+}
+
+func (s *System) aliasInternal(alias, table string) error {
 	spec, ok := s.Archive.Spec(table)
 	if !ok {
 		return fmt.Errorf("core: table %s not registered", table)
@@ -261,9 +326,18 @@ func (s *System) AliasDoc(alias, table string) error {
 	return nil
 }
 
-// Clock and SetClock expose the archive clock.
-func (s *System) Clock() temporal.Date     { return s.Archive.Clock() }
-func (s *System) SetClock(d temporal.Date) { s.Archive.SetClock(d) }
+// Clock and SetClock expose the archive clock. On a durable system
+// every effective clock move is logged via the archive's clock sink
+// (not individually fsynced — a tick becomes durable with the next
+// commit or checkpoint, and the log's prefix property keeps recovery
+// consistent either way).
+func (s *System) Clock() temporal.Date { return s.Archive.Clock() }
+
+func (s *System) SetClock(d temporal.Date) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.Archive.SetClock(d)
+}
 
 // Exec runs SQL against the engine (the current database and the
 // H-tables share it).

@@ -246,13 +246,13 @@ func TestPublishCacheInvalidation(t *testing.T) {
 
 func TestFirstKeywordSkipsCommentsAndParens(t *testing.T) {
 	cases := map[string]string{
-		"select 1":                                  "select",
-		"  \t\nSELECT 1":                            "select",
-		"(select 1)":                                "select",
-		"((select 1))":                              "select",
-		"-- note\nselect 1":                         "select",
-		"-- note\n-- more\n  (select 1)":            "select",
-		"/* block */ select 1":                      "select",
+		"select 1":                       "select",
+		"  \t\nSELECT 1":                 "select",
+		"(select 1)":                     "select",
+		"((select 1))":                   "select",
+		"-- note\nselect 1":              "select",
+		"-- note\n-- more\n  (select 1)": "select",
+		"/* block */ select 1":           "select",
 		"/* multi\nline */ ( /* again */ update t)": "update",
 		"-- only a comment":                         "",
 		"/* unterminated":                           "",

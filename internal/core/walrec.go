@@ -1,0 +1,227 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"archis/internal/htable"
+	"archis/internal/relstore"
+	"archis/internal/sqlengine"
+	"archis/internal/temporal"
+)
+
+// WAL record payloads. The wal package frames and checksums opaque
+// bytes; this file defines what ArchIS puts inside a frame: the
+// logical ops the archive captures plus the clock ticks and DDL
+// (Register/AliasDoc) needed to replay a log tail onto a snapshot that
+// predates them.
+
+type recKind byte
+
+const (
+	recOp       recKind = 1 // one captured INSERT/UPDATE/DELETE
+	recClock    recKind = 2 // SetClock
+	recRegister recKind = 3 // Register(spec)
+	recAlias    recKind = 4 // AliasDoc(alias, table)
+)
+
+// walRecord is one decoded WAL payload.
+type walRecord struct {
+	kind  recKind
+	op    htable.Op     // recOp
+	clock temporal.Date // recClock
+	spec  htable.TableSpec
+	alias string // recAlias
+	table string // recAlias target
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(dst, tmp[:binary.PutUvarint(tmp[:], v)]...)
+}
+
+func appendVarint(dst []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(dst, tmp[:binary.PutVarint(tmp[:], v)]...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendOptRow encodes a possibly-absent row (DELETE has no New,
+// INSERT has no Old) as a presence byte plus the relstore row codec.
+func appendOptRow(dst []byte, r relstore.Row) []byte {
+	if r == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return relstore.EncodeRow(dst, r, true)
+}
+
+func encodeOpRecord(op htable.Op) []byte {
+	dst := []byte{byte(recOp), byte(op.Type)}
+	dst = appendVarint(dst, int64(op.At))
+	dst = appendString(dst, op.Table)
+	dst = appendOptRow(dst, op.Old)
+	return appendOptRow(dst, op.New)
+}
+
+func encodeClockRecord(d temporal.Date) []byte {
+	return appendVarint([]byte{byte(recClock)}, int64(d))
+}
+
+func encodeRegisterRecord(spec htable.TableSpec) []byte {
+	dst := []byte{byte(recRegister)}
+	dst = appendString(dst, spec.Name)
+	keySet := map[string]bool{}
+	for _, k := range spec.Key {
+		keySet[strings.ToLower(k)] = true
+	}
+	dst = appendUvarint(dst, uint64(len(spec.Columns)))
+	for _, c := range spec.Columns {
+		dst = appendString(dst, c.Name)
+		dst = appendUvarint(dst, uint64(c.Type))
+		if keySet[strings.ToLower(c.Name)] {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+func encodeAliasRecord(alias, table string) []byte {
+	dst := []byte{byte(recAlias)}
+	dst = appendString(dst, alias)
+	return appendString(dst, table)
+}
+
+type walDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *walDecoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("core: wal record: truncated %s", what)
+	}
+}
+
+func (d *walDecoder) byte_(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) == 0 {
+		d.fail(what)
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *walDecoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *walDecoder) varint(what string) int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *walDecoder) string_(what string) string {
+	n := d.uvarint(what)
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)) < n {
+		d.fail(what)
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *walDecoder) optRow(what string) relstore.Row {
+	if d.byte_(what) == 0 || d.err != nil {
+		return nil
+	}
+	row, _, n, err := relstore.DecodeRow(d.buf)
+	if err != nil {
+		if d.err == nil {
+			d.err = fmt.Errorf("core: wal record: %s: %w", what, err)
+		}
+		return nil
+	}
+	d.buf = d.buf[n:]
+	return row
+}
+
+// decodeWALRecord decodes one frame payload. The payload already
+// passed the wal layer's CRC, so a failure here means a version
+// mismatch or a bug, not media corruption — callers treat it as fatal
+// for replay.
+func decodeWALRecord(payload []byte) (walRecord, error) {
+	d := &walDecoder{buf: payload}
+	rec := walRecord{kind: recKind(d.byte_("kind"))}
+	switch rec.kind {
+	case recOp:
+		rec.op.Type = sqlengine.ChangeType(d.byte_("op type"))
+		rec.op.At = temporal.Date(d.varint("op date"))
+		rec.op.Table = d.string_("op table")
+		rec.op.Old = d.optRow("op old row")
+		rec.op.New = d.optRow("op new row")
+	case recClock:
+		rec.clock = temporal.Date(d.varint("clock"))
+	case recRegister:
+		rec.spec.Name = d.string_("spec name")
+		n := d.uvarint("spec column count")
+		if d.err == nil && n > uint64(len(d.buf)) {
+			// Each column needs at least one byte; reject absurd counts
+			// before allocating.
+			d.fail("spec column count")
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			name := d.string_("spec column name")
+			typ := relstore.Type(d.uvarint("spec column type"))
+			isKey := d.byte_("spec column key flag")
+			rec.spec.Columns = append(rec.spec.Columns, relstore.Col(name, typ))
+			if isKey == 1 {
+				rec.spec.Key = append(rec.spec.Key, name)
+			}
+		}
+	case recAlias:
+		rec.alias = d.string_("alias")
+		rec.table = d.string_("alias table")
+	default:
+		return rec, fmt.Errorf("core: wal record: unknown kind %d", rec.kind)
+	}
+	if d.err != nil {
+		return rec, d.err
+	}
+	if len(d.buf) != 0 {
+		return rec, fmt.Errorf("core: wal record: %d trailing bytes", len(d.buf))
+	}
+	return rec, nil
+}

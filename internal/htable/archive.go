@@ -40,10 +40,15 @@ type archivedTable struct {
 	nextID     int64
 }
 
-type logRec struct {
-	table string
-	ev    sqlengine.TriggerEvent
-	at    temporal.Date
+// Op is one captured current-database change: the logical unit the
+// update log stores and the WAL makes durable. Table is the lowercase
+// table name; At is the archive clock when the change was captured.
+type Op struct {
+	Table string
+	Type  sqlengine.ChangeType
+	Old   relstore.Row
+	New   relstore.Row
+	At    temporal.Date
 }
 
 // Archive manages a current database plus its transaction-time history
@@ -56,7 +61,9 @@ type Archive struct {
 	factory   StoreFactory
 	tables    map[string]*archivedTable
 	relations *relstore.Table
-	log       []logRec
+	log       []Op
+	sink      func(Op) error
+	clockSink func(temporal.Date)
 }
 
 // New creates an archive over en's database.
@@ -93,8 +100,21 @@ func (a *Archive) SetStoreFactory(f StoreFactory) { a.factory = f }
 func (a *Archive) Clock() temporal.Date { return a.Engine.Now }
 
 // SetClock advances the archive clock. Changes applied afterwards are
-// stamped with the new date.
-func (a *Archive) SetClock(d temporal.Date) { a.Engine.Now = d }
+// stamped with the new date. Every effective move is reported to the
+// clock sink (the WAL); a same-value set is a no-op.
+func (a *Archive) SetClock(d temporal.Date) {
+	if a.Engine.Now == d {
+		return
+	}
+	a.Engine.Now = d
+	if a.clockSink != nil {
+		a.clockSink(d)
+	}
+}
+
+// SetClockSink registers fn to observe every effective clock move,
+// through whichever entry point it happens.
+func (a *Archive) SetClockSink(fn func(temporal.Date)) { a.clockSink = fn }
 
 // Mode returns the capture mode.
 func (a *Archive) Mode() CaptureMode { return a.mode }
@@ -171,18 +191,61 @@ func (a *Archive) Register(spec TableSpec) error {
 	}
 	a.tables[key] = at
 
-	a.Engine.AddTrigger(spec.Name, func(ev sqlengine.TriggerEvent) error {
-		if a.mode == CaptureLog {
-			a.log = append(a.log, logRec{table: key, ev: ev, at: a.Clock()})
-			return nil
-		}
-		return a.applyChange(at, ev, a.Clock())
-	})
+	a.Engine.AddTrigger(spec.Name, a.captureTrigger(at))
 	return nil
+}
+
+// SetOpSink registers fn to observe every captured op before it is
+// buffered or applied to the H-tables; an error from the sink aborts
+// the originating statement. The durable WAL hangs off this hook.
+func (a *Archive) SetOpSink(fn func(Op) error) { a.sink = fn }
+
+// captureTrigger builds the row-level capture trigger shared by
+// Register and Attach: hand the op to the sink (durability), then
+// buffer it (log capture) or apply it synchronously (trigger capture).
+func (a *Archive) captureTrigger(at *archivedTable) sqlengine.Trigger {
+	key := strings.ToLower(at.spec.Name)
+	return func(ev sqlengine.TriggerEvent) error {
+		op := Op{Table: key, Type: ev.Type, Old: ev.Old, New: ev.New, At: a.Clock()}
+		if a.sink != nil {
+			if err := a.sink(op); err != nil {
+				return err
+			}
+		}
+		return a.ingest(at, op)
+	}
+}
+
+// ingest routes one captured op according to the capture mode.
+func (a *Archive) ingest(at *archivedTable, op Op) error {
+	if a.mode == CaptureLog {
+		a.log = append(a.log, op)
+		return nil
+	}
+	return a.applyOp(at, op)
+}
+
+// Ingest feeds one op through the capture path as if its trigger had
+// just fired — recovery replays WAL records with it. The op does NOT
+// go to the sink: replay must not re-append to the log being replayed.
+func (a *Archive) Ingest(op Op) error {
+	at, ok := a.tables[strings.ToLower(op.Table)]
+	if !ok {
+		return fmt.Errorf("htable: ingest into unknown table %s", op.Table)
+	}
+	return a.ingest(at, op)
+}
+
+func (a *Archive) applyOp(at *archivedTable, op Op) error {
+	ev := sqlengine.TriggerEvent{Type: op.Type, Table: at.spec.Name, Old: op.Old, New: op.New}
+	return a.applyChange(at, ev, op.At)
 }
 
 // PendingLogRecords reports the size of the unapplied update log.
 func (a *Archive) PendingLogRecords() int { return len(a.log) }
+
+// PendingOps returns the unapplied update log (log-capture mode).
+func (a *Archive) PendingOps() []Op { return a.log }
 
 // FlushLog applies the pending update log to the H-tables (log-capture
 // mode only; a no-op otherwise). Replay runs under each record's
@@ -190,12 +253,14 @@ func (a *Archive) PendingLogRecords() int { return len(a.log) }
 // (e.g. segment-boundary recording) observes the logical time of the
 // change, not the flush time.
 func (a *Archive) FlushLog() error {
+	// The replay-time clock juggling moves Engine.Now directly: these
+	// are not logical clock moves, so they bypass the clock sink.
 	saved := a.Clock()
-	defer a.SetClock(saved)
-	for _, rec := range a.log {
-		at := a.tables[rec.table]
-		a.SetClock(rec.at)
-		if err := a.applyChange(at, rec.ev, rec.at); err != nil {
+	defer func() { a.Engine.Now = saved }()
+	for _, op := range a.log {
+		at := a.tables[op.Table]
+		a.Engine.Now = op.At
+		if err := a.applyOp(at, op); err != nil {
 			return err
 		}
 	}

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"archis/internal/relstore"
-	"archis/internal/sqlengine"
 	"archis/internal/temporal"
 )
 
@@ -96,12 +95,6 @@ func (a *Archive) Attach(spec TableSpec, storeOpen func(db *relstore.Database, s
 	}
 
 	a.tables[key] = at
-	a.Engine.AddTrigger(spec.Name, func(ev sqlengine.TriggerEvent) error {
-		if a.mode == CaptureLog {
-			a.log = append(a.log, logRec{table: key, ev: ev, at: a.Clock()})
-			return nil
-		}
-		return a.applyChange(at, ev, a.Clock())
-	})
+	a.Engine.AddTrigger(spec.Name, a.captureTrigger(at))
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 )
 
 // On-disk format (little endian):
@@ -287,7 +289,10 @@ func readTable(rd *reader, db *Database) error {
 	return rd.err
 }
 
-// SaveFile writes the database to path atomically (via a temp file).
+// SaveFile writes the database to path atomically AND durably: the
+// temp file is fsynced before the rename (so the rename can never
+// expose an empty or torn file after a crash) and the parent directory
+// is fsynced after it (so the rename itself survives).
 func (db *Database) SaveFile(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -299,11 +304,33 @@ func (db *Database) SaveFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory's metadata; some platforms (notably
+// windows) refuse to sync directories, which is ignored.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && runtime.GOOS != "windows" {
+		return err
+	}
+	return nil
 }
 
 // LoadFile reads a database written by SaveFile.

@@ -1,0 +1,315 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrCrashed is returned by every mutating FaultFS operation once an
+// injected crash point has been reached.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// ErrInjected is the failure returned by injected short writes and
+// failed syncs.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS is a deterministic in-memory FS for crash and fault
+// testing. It tracks, per file, which prefix of the bytes has been
+// made durable by Sync, so Survivor can reconstruct exactly what a
+// machine would see after losing power: the synced prefix of every
+// file plus at most TornTailBytes of whatever the OS happened to have
+// pushed down on its own.
+//
+// Fault knobs (all optional, all counted from 1):
+//
+//   - StopAfterSyncs=n: the n-th successful sync (file or directory)
+//     completes, then the process "crashes" — every later mutating
+//     operation fails with ErrCrashed.
+//   - FailSyncAt=n: the n-th sync attempt fails with ErrInjected
+//     without making anything durable (and does not count as a
+//     successful sync).
+//   - ShortWriteAt=n: the n-th Write persists only half its bytes and
+//     returns ErrInjected.
+//   - TornTailBytes: how many unsynced tail bytes per file survive
+//     into Survivor, modelling a partially flushed OS buffer.
+//
+// All methods are safe for concurrent use.
+type FaultFS struct {
+	StopAfterSyncs int
+	FailSyncAt     int
+	ShortWriteAt   int
+	TornTailBytes  int
+
+	mu      sync.Mutex
+	files   map[string]*memFile
+	dirs    map[string]bool
+	syncs   int // successful syncs (file + dir)
+	syncTry int // sync attempts
+	writes  int // write attempts
+	crashed bool
+}
+
+type memFile struct {
+	data   []byte
+	synced int // bytes made durable
+}
+
+// NewFaultFS returns an empty fault-injection file system.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{files: map[string]*memFile{}, dirs: map[string]bool{}}
+}
+
+// SyncCount returns the number of successful syncs so far.
+func (fs *FaultFS) SyncCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.syncs
+}
+
+// Crashed reports whether an injected crash point has been reached.
+func (fs *FaultFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// Corrupt XORs the byte at off in name with xor, modelling silent
+// media corruption. It panics if the file or offset does not exist —
+// corruption tests address real bytes.
+func (fs *FaultFS) Corrupt(name string, off int, xor byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[filepath.Clean(name)]
+	if !ok || off < 0 || off >= len(f.data) {
+		panic(fmt.Sprintf("wal: corrupt %s at %d: no such byte", name, off))
+	}
+	f.data[off] ^= xor
+}
+
+// FileSize returns the current length of name, or -1 if absent.
+func (fs *FaultFS) FileSize(name string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[filepath.Clean(name)]
+	if !ok {
+		return -1
+	}
+	return len(f.data)
+}
+
+// Survivor returns a fresh, fault-free FaultFS holding what would be
+// on disk after a crash right now: every file cut to its synced
+// prefix plus at most TornTailBytes of unsynced tail.
+func (fs *FaultFS) Survivor() *FaultFS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := NewFaultFS()
+	for d := range fs.dirs {
+		out.dirs[d] = true
+	}
+	for name, f := range fs.files {
+		keep := f.synced
+		if torn := len(f.data) - f.synced; torn > 0 {
+			extra := fs.TornTailBytes
+			if extra > torn {
+				extra = torn
+			}
+			keep += extra
+		}
+		out.files[name] = &memFile{
+			data:   append([]byte(nil), f.data[:keep]...),
+			synced: keep,
+		}
+	}
+	return out
+}
+
+func (fs *FaultFS) checkMutateLocked() error {
+	if fs.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// syncLocked runs the shared sync bookkeeping for files and dirs. The
+// caller commits durability only when it returns nil.
+func (fs *FaultFS) syncLocked() error {
+	if fs.crashed {
+		return ErrCrashed
+	}
+	fs.syncTry++
+	if fs.FailSyncAt > 0 && fs.syncTry == fs.FailSyncAt {
+		return ErrInjected
+	}
+	fs.syncs++
+	if fs.StopAfterSyncs > 0 && fs.syncs >= fs.StopAfterSyncs {
+		fs.crashed = true
+	}
+	return nil
+}
+
+// MkdirAll implements FS.
+func (fs *FaultFS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMutateLocked(); err != nil {
+		return err
+	}
+	fs.dirs[filepath.Clean(dir)] = true
+	return nil
+}
+
+// Create implements FS.
+func (fs *FaultFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMutateLocked(); err != nil {
+		return nil, err
+	}
+	name = filepath.Clean(name)
+	fs.files[name] = &memFile{}
+	return &faultFile{fs: fs, name: name}, nil
+}
+
+// OpenAppend implements FS.
+func (fs *FaultFS) OpenAppend(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMutateLocked(); err != nil {
+		return nil, err
+	}
+	name = filepath.Clean(name)
+	if _, ok := fs.files[name]; !ok {
+		fs.files[name] = &memFile{}
+	}
+	return &faultFile{fs: fs, name: name}, nil
+}
+
+// ReadFile implements FS. Reads keep working after a crash so the
+// survivor's contents can be inspected.
+func (fs *FaultFS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[filepath.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("wal: faultfs: %s: no such file", name)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// Truncate implements FS.
+func (fs *FaultFS) Truncate(name string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMutateLocked(); err != nil {
+		return err
+	}
+	f, ok := fs.files[filepath.Clean(name)]
+	if !ok {
+		return fmt.Errorf("wal: faultfs: truncate %s: no such file", name)
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("wal: faultfs: truncate %s to %d: out of range", name, size)
+	}
+	f.data = f.data[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+// Remove implements FS.
+func (fs *FaultFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkMutateLocked(); err != nil {
+		return err
+	}
+	name = filepath.Clean(name)
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("wal: faultfs: remove %s: no such file", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// List implements FS.
+func (fs *FaultFS) List(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir = filepath.Clean(dir)
+	var out []string
+	for name := range fs.files {
+		if filepath.Dir(name) == dir {
+			out = append(out, filepath.Base(name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SyncDir implements FS. Directory metadata in this model is durable
+// at mutation time, but the sync still counts as a crash boundary.
+func (fs *FaultFS) SyncDir(string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.syncLocked()
+}
+
+type faultFile struct {
+	fs     *FaultFS
+	name   string
+	closed bool
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("wal: faultfs: write to closed file %s", f.name)
+	}
+	if err := fs.checkMutateLocked(); err != nil {
+		return 0, err
+	}
+	mf, ok := fs.files[f.name]
+	if !ok {
+		return 0, fmt.Errorf("wal: faultfs: write %s: no such file", f.name)
+	}
+	fs.writes++
+	if fs.ShortWriteAt > 0 && fs.writes == fs.ShortWriteAt {
+		half := len(p) / 2
+		mf.data = append(mf.data, p[:half]...)
+		return half, ErrInjected
+	}
+	mf.data = append(mf.data, p...)
+	return len(p), nil
+}
+
+func (f *faultFile) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("wal: faultfs: sync of closed file %s", f.name)
+	}
+	mf, ok := fs.files[f.name]
+	if !ok {
+		return fmt.Errorf("wal: faultfs: sync %s: no such file", f.name)
+	}
+	if err := fs.syncLocked(); err != nil {
+		return err
+	}
+	mf.synced = len(mf.data)
+	return nil
+}
+
+func (f *faultFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}

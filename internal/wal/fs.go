@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// File is the write side of one log segment. Sync must not return
+// until previously written bytes are durable.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts every file operation the log performs. It exists so the
+// durability logic can be driven against a deterministic in-memory
+// implementation with injected faults (FaultFS) as well as the real
+// operating system (OSFS). All names are full paths; the log keeps its
+// segments inside a single directory.
+type FS interface {
+	// MkdirAll ensures the directory exists.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// OpenAppend opens an existing file (creating it if missing) for
+	// appending.
+	OpenAppend(name string) (File, error)
+	// ReadFile returns the entire content of name.
+	ReadFile(name string) ([]byte, error)
+	// Truncate cuts name down to size bytes.
+	Truncate(name string, size int64) error
+	// Remove deletes name.
+	Remove(name string) error
+	// List returns the base names of the entries in dir. A missing
+	// directory lists as empty.
+	List(dir string) ([]string, error)
+	// SyncDir makes directory metadata (created/renamed/removed
+	// entries) durable.
+	SyncDir(dir string) error
+}
+
+// OSFS is the real file system.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && runtime.GOOS != "windows" {
+		return err
+	}
+	return nil
+}

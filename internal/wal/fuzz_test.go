@@ -1,0 +1,102 @@
+package wal
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// buildSeedLog writes a small real log and returns its first segment's
+// bytes — the fuzz corpus starts from genuine on-disk material.
+func buildSeedLog(t testing.TB, n int, segBytes int) [][]byte {
+	t.Helper()
+	fs := NewFaultFS()
+	l, err := Open("/seed", Options{FS: fs, SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.List("/seed")
+	var out [][]byte
+	for _, name := range names {
+		data, err := fs.ReadFile(filepath.Join("/seed", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the log as the content of its
+// first segment. The contract under test: Open never panics and never
+// errors on content damage (only on I/O failure), and whatever it
+// recovers is a valid record prefix — replayable, contiguous LSNs from
+// 1, every payload intact, and append-ready at the end.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(segMagic))
+	for _, seg := range buildSeedLog(f, 12, 256) {
+		f.Add(seg)
+		// Truncation and bit-flip variants of real segments.
+		f.Add(seg[:len(seg)/2])
+		flip := append([]byte(nil), seg...)
+		flip[len(flip)/3] ^= 0x10
+		f.Add(flip)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs := NewFaultFS()
+		fs.files[filepath.Clean("/w/"+segName(1))] = &memFile{data: append([]byte(nil), data...), synced: len(data)}
+		l, err := Open("/w", Options{FS: fs})
+		if err != nil {
+			t.Fatalf("Open must tolerate arbitrary content, got %v", err)
+		}
+		defer l.Close()
+		// The recovered portion must be a contiguous prefix 1..N whose
+		// payloads replay without error.
+		last := l.AppendedLSN()
+		var seen uint64
+		if err := l.Range(1, func(lsn uint64, p []byte) error {
+			seen++
+			if lsn != seen {
+				t.Fatalf("replay lsn %d, want contiguous %d", lsn, seen)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("replay after recovery: %v", err)
+		}
+		if seen != last {
+			t.Fatalf("replayed %d records but AppendedLSN is %d", seen, last)
+		}
+		// And the log must accept appends exactly at the cut.
+		lsn, err := l.Append([]byte("post-recovery"))
+		if err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if lsn != last+1 {
+			t.Fatalf("append assigned lsn %d, want %d", lsn, last+1)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatalf("commit after recovery: %v", err)
+		}
+		found := false
+		if err := l.Range(lsn, func(got uint64, p []byte) error {
+			if got == lsn && bytes.Equal(p, []byte("post-recovery")) {
+				found = true
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatal("appended record not replayable")
+		}
+	})
+}

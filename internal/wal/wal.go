@@ -1,0 +1,654 @@
+// Package wal is a segmented, append-only, CRC-framed write-ahead log
+// of opaque logical records. It is the durability subsystem of ArchIS:
+// the archive's captured update-log records (the paper's ArchIS-ATLaS
+// change capture, Section 3) are appended here before they mutate the
+// H-tables, so a crash between whole-file snapshots loses nothing that
+// was acknowledged.
+//
+// Records are framed as
+//
+//	u32 payloadLen | u32 crc32c(lsn‖payload) | u64 lsn | payload
+//
+// inside segment files named wal-<firstLSN:016x>.log, each starting
+// with an 8-byte magic and the u64 LSN of its first record. LSNs are
+// assigned densely from 1. A torn or corrupt frame ends the valid
+// prefix: Open truncates the tail back to the last whole record and
+// discards any later segments, so recovery always replays a valid
+// prefix and appending can resume safely.
+//
+// Commit implements group commit: concurrent committers coalesce onto
+// one fsync — the first waiter becomes the leader, syncs the segment,
+// and releases everyone whose records the sync covered. SyncBatch adds
+// a small coalescing window before the leader syncs; SyncNone never
+// syncs on commit (rotation and Close still do).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncMode selects the durability policy of Commit.
+type SyncMode uint8
+
+const (
+	// SyncAlways makes Commit wait until the record is fsynced;
+	// concurrent commits share one fsync (group commit).
+	SyncAlways SyncMode = iota
+	// SyncBatch is SyncAlways with a coalescing window: the fsync
+	// leader waits BatchWindow before syncing so more committers can
+	// ride the same fsync. Higher throughput, same guarantee, higher
+	// commit latency.
+	SyncBatch
+	// SyncNone never fsyncs on Commit: durability is best-effort
+	// until the next rotation, checkpoint or Close.
+	SyncNone
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncBatch:
+		return "batch"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncMode(%d)", uint8(m))
+}
+
+// Options configure a Log.
+type Options struct {
+	// FS is the file layer; nil means the real file system.
+	FS FS
+	// SegmentBytes is the roll threshold (DefaultSegmentBytes if 0).
+	SegmentBytes int
+	// Sync is the Commit durability policy.
+	Sync SyncMode
+	// BatchWindow is the SyncBatch coalescing window
+	// (DefaultBatchWindow if 0).
+	BatchWindow time.Duration
+}
+
+// Defaults.
+const (
+	DefaultSegmentBytes = 4 << 20
+	DefaultBatchWindow  = 2 * time.Millisecond
+	// MaxRecordBytes bounds one payload; larger appends are rejected
+	// and larger framed lengths are treated as corruption.
+	MaxRecordBytes = 1 << 26
+)
+
+const (
+	segMagic     = "AWAL0001"
+	segHeaderLen = len(segMagic) + 8 // magic + firstLSN
+	frameHdrLen  = 4 + 4 + 8         // len + crc + lsn
+	segPrefix    = "wal-"
+	segSuffix    = ".log"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Stats are the log's activity counters.
+type Stats struct {
+	Appends        int64 // records appended
+	Fsyncs         int64 // physical syncs issued (commit, rotation, close)
+	GroupedCommits int64 // commits that rode another committer's fsync
+	Segments       int   // segment files currently on disk
+	AppendedLSN    uint64
+	DurableLSN     uint64
+}
+
+type segmentInfo struct {
+	name  string
+	first uint64
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use.
+type Log struct {
+	dir  string
+	fs   FS
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       File // open tail segment, nil until the first append
+	segSize int64
+	segs    []segmentInfo // sorted by first LSN; last is the tail
+
+	nextLSN uint64 // next LSN to assign
+	written uint64 // highest LSN written to the OS
+	durable uint64 // highest LSN covered by a successful fsync
+	syncing bool   // an fsync is in flight (leader elected)
+	closed  bool
+	err     error // sticky failure: the log refuses writes after one
+
+	appends, fsyncs, grouped int64
+}
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, first, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Open opens (or creates) the log in dir, scanning existing segments,
+// truncating a torn tail back to the last whole record and dropping
+// any segments beyond the first invalidity, so the log is always left
+// append-ready at the end of its valid prefix.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.BatchWindow <= 0 {
+		opts.BatchWindow = DefaultBatchWindow
+	}
+	if err := opts.FS.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, fs: opts.FS, opts: opts, nextLSN: 1}
+	l.cond = sync.NewCond(&l.mu)
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// scan discovers existing segments and establishes the valid prefix.
+func (l *Log) scan() error {
+	names, err := l.fs.List(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: list %s: %w", l.dir, err)
+	}
+	var segs []segmentInfo
+	for _, n := range names {
+		if first, ok := parseSegName(n); ok {
+			segs = append(segs, segmentInfo{name: n, first: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	next := uint64(1)
+	lastSize := int64(0)
+	for i, seg := range segs {
+		data, err := l.fs.ReadFile(filepath.Join(l.dir, seg.name))
+		if err != nil {
+			return fmt.Errorf("wal: read %s: %w", seg.name, err)
+		}
+		// Continuity: a later segment must begin exactly where the
+		// previous one ended; the first kept segment sets the floor
+		// (earlier ones were removed by checkpoints).
+		expect := seg.first
+		if i > 0 {
+			expect = next
+		}
+		last, validLen, ok := scanSegment(data, seg.first)
+		if !ok || seg.first != expect {
+			// Unusable header or an LSN gap: everything from here on
+			// is beyond the valid prefix.
+			return l.dropFrom(segs, i)
+		}
+		l.segs = append(l.segs, seg)
+		next = last + 1
+		l.nextLSN = next
+		l.written = last
+		l.durable = last
+		lastSize = int64(validLen)
+		if validLen < len(data) {
+			// Torn tail: cut back to the last whole record and drop
+			// later segments (they would leave an LSN gap).
+			if err := l.fs.Truncate(filepath.Join(l.dir, seg.name), int64(validLen)); err != nil {
+				return fmt.Errorf("wal: truncate torn tail of %s: %w", seg.name, err)
+			}
+			return l.dropFrom(segs, i+1)
+		}
+	}
+	l.segSize = lastSize
+	return nil
+}
+
+// dropFrom removes segments[i:] — they lie beyond the valid prefix.
+func (l *Log) dropFrom(segs []segmentInfo, i int) error {
+	for _, seg := range segs[i:] {
+		if err := l.fs.Remove(filepath.Join(l.dir, seg.name)); err != nil {
+			return fmt.Errorf("wal: drop invalid segment %s: %w", seg.name, err)
+		}
+	}
+	if i < len(segs) {
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			return err
+		}
+	}
+	if n := len(l.segs); n > 0 {
+		data, err := l.fs.ReadFile(filepath.Join(l.dir, l.segs[n-1].name))
+		if err != nil {
+			return err
+		}
+		l.segSize = int64(len(data))
+	}
+	return nil
+}
+
+// scanSegment validates header and frames, returning the last valid
+// LSN (first-1 when the segment holds no whole record), the byte
+// length of the valid prefix, and whether the header itself is usable.
+func scanSegment(data []byte, wantFirst uint64) (last uint64, validLen int, ok bool) {
+	if len(data) < segHeaderLen || string(data[:len(segMagic)]) != segMagic {
+		return 0, 0, false
+	}
+	first := binary.LittleEndian.Uint64(data[len(segMagic):segHeaderLen])
+	if first != wantFirst {
+		return 0, 0, false
+	}
+	pos := segHeaderLen
+	expect := first
+	for {
+		n, lsn, _, adv, frameOK := readFrame(data[pos:])
+		if !frameOK || lsn != expect {
+			return expect - 1, pos, true
+		}
+		_ = n
+		pos += adv
+		expect++
+	}
+}
+
+// readFrame parses one frame from buf, returning payload length, lsn,
+// payload, total bytes consumed and validity.
+func readFrame(buf []byte) (n int, lsn uint64, payload []byte, adv int, ok bool) {
+	if len(buf) < frameHdrLen {
+		return 0, 0, nil, 0, false
+	}
+	n = int(binary.LittleEndian.Uint32(buf[0:4]))
+	if n < 0 || n > MaxRecordBytes || len(buf) < frameHdrLen+n {
+		return 0, 0, nil, 0, false
+	}
+	crc := binary.LittleEndian.Uint32(buf[4:8])
+	lsn = binary.LittleEndian.Uint64(buf[8:16])
+	payload = buf[frameHdrLen : frameHdrLen+n]
+	if crc32.Checksum(buf[8:16+n], castagnoli) != crc {
+		return 0, 0, nil, 0, false
+	}
+	return n, lsn, payload, frameHdrLen + n, true
+}
+
+// appendFrame encodes one frame into dst.
+func appendFrame(dst []byte, lsn uint64, payload []byte) []byte {
+	var hdr [frameHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], lsn)
+	crc := crc32.Checksum(hdr[8:16], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// Append writes one record and returns its LSN. The record is handed
+// to the OS but not yet durable; call Commit to wait for durability.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return 0, err
+	}
+	if l.f == nil || l.segSize >= int64(l.opts.SegmentBytes) {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.nextLSN
+	frame := appendFrame(make([]byte, 0, frameHdrLen+len(payload)), lsn, payload)
+	if _, err := l.f.Write(frame); err != nil {
+		// A partial frame may now sit at the tail; recovery tolerates
+		// it, but this log instance can no longer guarantee framing.
+		l.err = fmt.Errorf("wal: append lsn %d: %w", lsn, err)
+		return 0, l.err
+	}
+	l.segSize += int64(len(frame))
+	l.nextLSN++
+	l.written = lsn
+	l.appends++
+	return lsn, nil
+}
+
+func (l *Log) usableLocked() error {
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	return l.err
+}
+
+// rotateLocked seals the open segment (fsync + close) and arranges for
+// the next append to start a fresh one. Callers hold l.mu.
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		for l.syncing {
+			l.cond.Wait()
+		}
+		if err := l.err; err != nil {
+			return err
+		}
+		l.fsyncs++
+		if err := l.f.Sync(); err != nil {
+			l.err = fmt.Errorf("wal: seal segment: %w", err)
+			return l.err
+		}
+		l.durable = l.written
+		if err := l.f.Close(); err != nil {
+			l.err = fmt.Errorf("wal: close segment: %w", err)
+			return l.err
+		}
+		l.f = nil
+		l.cond.Broadcast()
+	}
+	name := segName(l.nextLSN)
+	// A reopened log whose tail held no whole record recreates the
+	// same file; drop the stale entry so segs stays duplicate-free.
+	if n := len(l.segs); n > 0 && l.segs[n-1].name == name {
+		l.segs = l.segs[:n-1]
+	}
+	f, err := l.fs.Create(filepath.Join(l.dir, name))
+	if err != nil {
+		l.err = fmt.Errorf("wal: create segment %s: %w", name, err)
+		return l.err
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:], segMagic)
+	binary.LittleEndian.PutUint64(hdr[len(segMagic):], l.nextLSN)
+	if _, err := f.Write(hdr[:]); err != nil {
+		l.err = fmt.Errorf("wal: write segment header: %w", err)
+		return l.err
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		l.err = err
+		return l.err
+	}
+	l.f = f
+	l.segSize = int64(segHeaderLen)
+	l.segs = append(l.segs, segmentInfo{name: name, first: l.nextLSN})
+	return nil
+}
+
+// Rotate seals the open segment so that subsequent appends start a new
+// one. Checkpoints rotate before truncating so the snapshot boundary
+// coincides with a segment boundary.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	if l.f == nil {
+		return nil
+	}
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	l.fsyncs++
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: seal segment: %w", err)
+		return l.err
+	}
+	l.durable = l.written
+	if err := l.f.Close(); err != nil {
+		l.err = fmt.Errorf("wal: close segment: %w", err)
+		return l.err
+	}
+	l.f = nil
+	l.segSize = 0
+	l.cond.Broadcast()
+	return nil
+}
+
+// Commit blocks until the record at lsn is durable under the
+// configured sync policy. Concurrent commits coalesce: one caller
+// leads the fsync, everyone covered by it returns without issuing
+// another.
+func (l *Log) Commit(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn > l.written {
+		return fmt.Errorf("wal: commit of unwritten lsn %d", lsn)
+	}
+	if l.opts.Sync == SyncNone {
+		return l.err
+	}
+	led := false
+	for l.durable < lsn && l.err == nil && !l.closed {
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		// Become the fsync leader for everyone queued so far.
+		l.syncing = true
+		led = true
+		if l.opts.Sync == SyncBatch {
+			w := l.opts.BatchWindow
+			l.mu.Unlock()
+			time.Sleep(w)
+			l.mu.Lock()
+		}
+		target := l.written
+		f := l.f
+		l.fsyncs++
+		l.mu.Unlock()
+		err := f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.err = fmt.Errorf("wal: fsync: %w", err)
+		} else if target > l.durable {
+			l.durable = target
+		}
+		l.cond.Broadcast()
+	}
+	if l.closed && l.durable < lsn && l.err == nil {
+		return fmt.Errorf("wal: log closed before lsn %d became durable", lsn)
+	}
+	if !led && l.err == nil {
+		l.grouped++
+	}
+	return l.err
+}
+
+// Sync fsyncs the open tail segment unconditionally, regardless of the
+// commit policy — SyncNone systems use it to force durability at
+// shutdown or before handing the directory to another process.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.err != nil || l.f == nil || l.durable >= l.written {
+		return l.err
+	}
+	target := l.written
+	f := l.f
+	l.syncing = true
+	l.fsyncs++
+	l.mu.Unlock()
+	err := f.Sync()
+	l.mu.Lock()
+	l.syncing = false
+	if err != nil {
+		l.err = fmt.Errorf("wal: fsync: %w", err)
+	} else if target > l.durable {
+		l.durable = target
+	}
+	l.cond.Broadcast()
+	return l.err
+}
+
+// TruncateThrough removes sealed segments whose every record has LSN
+// <= lsn — the checkpoint already covers them. The open tail segment
+// is never removed.
+func (l *Log) TruncateThrough(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	removed := false
+	kept := l.segs[:0]
+	for i, seg := range l.segs {
+		// A segment's records end where the next segment begins; the
+		// last segment is the (possibly open) tail and always stays.
+		if i+1 < len(l.segs) && l.segs[i+1].first <= lsn+1 {
+			if err := l.fs.Remove(filepath.Join(l.dir, seg.name)); err != nil {
+				return fmt.Errorf("wal: truncate: %w", err)
+			}
+			removed = true
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segs = append([]segmentInfo(nil), kept...)
+	if removed {
+		return l.fs.SyncDir(l.dir)
+	}
+	return nil
+}
+
+// Range replays the payloads of all records with LSN >= from, in
+// order, reading the segment files back. It stops silently at the end
+// of the valid prefix (a torn or corrupt frame), so it never fails on
+// tail damage; fn errors abort the walk.
+func (l *Log) Range(from uint64, fn func(lsn uint64, payload []byte) error) error {
+	l.mu.Lock()
+	segs := append([]segmentInfo(nil), l.segs...)
+	l.mu.Unlock()
+	expect := uint64(0)
+	for _, seg := range segs {
+		data, err := l.fs.ReadFile(filepath.Join(l.dir, seg.name))
+		if err != nil {
+			return fmt.Errorf("wal: range: read %s: %w", seg.name, err)
+		}
+		if len(data) < segHeaderLen || string(data[:len(segMagic)]) != segMagic {
+			return nil
+		}
+		first := binary.LittleEndian.Uint64(data[len(segMagic):segHeaderLen])
+		if first != seg.first || (expect != 0 && first != expect) {
+			return nil
+		}
+		pos := segHeaderLen
+		lsn := first
+		for {
+			_, gotLSN, payload, adv, ok := readFrame(data[pos:])
+			if !ok || gotLSN != lsn {
+				break
+			}
+			if gotLSN >= from {
+				if err := fn(gotLSN, payload); err != nil {
+					return err
+				}
+			}
+			pos += adv
+			lsn++
+		}
+		expect = lsn
+	}
+	return nil
+}
+
+// AppendedLSN returns the highest LSN handed to the OS (0 when empty).
+func (l *Log) AppendedLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.written
+}
+
+// DurableLSN returns the highest LSN covered by a successful fsync.
+func (l *Log) DurableLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// Stats returns a snapshot of the counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Appends:        l.appends,
+		Fsyncs:         l.fsyncs,
+		GroupedCommits: l.grouped,
+		Segments:       len(l.segs),
+		AppendedLSN:    l.written,
+		DurableLSN:     l.durable,
+	}
+}
+
+// Err returns the sticky failure, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close fsyncs and closes the tail segment. Further operations fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	for l.syncing {
+		l.cond.Wait()
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	if l.f == nil {
+		return l.err
+	}
+	f := l.f
+	l.f = nil
+	var err error
+	if l.err == nil {
+		l.fsyncs++
+		if err = f.Sync(); err == nil {
+			l.durable = l.written
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: log is closed")
+	}
+	return err
+}

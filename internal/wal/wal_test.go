@@ -1,0 +1,462 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func payload(i int) []byte { return []byte(fmt.Sprintf("record-%04d", i)) }
+
+func mustAppend(t *testing.T, l *Log, p []byte) uint64 {
+	t.Helper()
+	lsn, err := l.Append(p)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	return lsn
+}
+
+func collect(t *testing.T, l *Log, from uint64) map[uint64]string {
+	t.Helper()
+	out := map[uint64]string{}
+	if err := l.Range(from, func(lsn uint64, p []byte) error {
+		if _, dup := out[lsn]; dup {
+			t.Fatalf("range yielded lsn %d twice", lsn)
+		}
+		out[lsn] = string(p)
+		return nil
+	}); err != nil {
+		t.Fatalf("range: %v", err)
+	}
+	return out
+}
+
+func TestAppendCommitReopen(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open("/w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 1; i <= n; i++ {
+		lsn := mustAppend(t, l, payload(i))
+		if lsn != uint64(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+	}
+	if err := l.Commit(n); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.DurableLSN(); got != n {
+		t.Fatalf("durable = %d, want %d", got, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open("/w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.AppendedLSN(); got != n {
+		t.Fatalf("reopened appended = %d, want %d", got, n)
+	}
+	recs := collect(t, re, 1)
+	if len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+	for i := 1; i <= n; i++ {
+		if recs[uint64(i)] != string(payload(i)) {
+			t.Fatalf("lsn %d: payload %q", i, recs[uint64(i)])
+		}
+	}
+	// Appending after reopen continues the LSN sequence.
+	if lsn := mustAppend(t, re, payload(n+1)); lsn != n+1 {
+		t.Fatalf("post-reopen lsn = %d, want %d", lsn, n+1)
+	}
+}
+
+func TestSegmentRotationAndTruncate(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open("/w", Options{FS: fs, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 1; i <= n; i++ {
+		mustAppend(t, l, payload(i))
+	}
+	if err := l.Commit(n); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", st.Segments)
+	}
+	recs := collect(t, l, 1)
+	if len(recs) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(recs), n)
+	}
+
+	// Truncating through a mid-log LSN removes only fully covered
+	// sealed segments; every record after the cut must survive.
+	cut := uint64(n / 2)
+	if err := l.TruncateThrough(cut); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Stats()
+	if after.Segments >= st.Segments {
+		t.Fatalf("truncate removed nothing: %d -> %d segments", st.Segments, after.Segments)
+	}
+	recs = collect(t, l, cut+1)
+	for i := cut + 1; i <= n; i++ {
+		if recs[i] != string(payload(int(i))) {
+			t.Fatalf("lsn %d lost by truncate", i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen after truncation: first kept segment sets the floor.
+	re, err := Open("/w", Options{FS: fs, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.AppendedLSN(); got != n {
+		t.Fatalf("appended after reopen = %d, want %d", got, n)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open("/w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		mustAppend(t, l, payload(i))
+	}
+	if err := l.Commit(10); err != nil {
+		t.Fatal(err)
+	}
+	// Crash with a half-written 11th record in the OS buffer.
+	fs.TornTailBytes = 9
+	mustAppend(t, l, payload(11))
+	surv := fs.Survivor()
+
+	re, err := Open("/w", Options{FS: surv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.AppendedLSN(); got != 10 {
+		t.Fatalf("appended = %d after torn tail, want 10", got)
+	}
+	recs := collect(t, re, 1)
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d, want 10", len(recs))
+	}
+	// The torn bytes are gone; new appends continue cleanly.
+	if lsn := mustAppend(t, re, payload(11)); lsn != 11 {
+		t.Fatalf("lsn = %d, want 11", lsn)
+	}
+	if err := re.Commit(11); err != nil {
+		t.Fatal(err)
+	}
+	recs = collect(t, re, 1)
+	if recs[11] != string(payload(11)) {
+		t.Fatalf("lsn 11 = %q", recs[11])
+	}
+}
+
+func TestCorruptMidLogCutsPrefix(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open("/w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		mustAppend(t, l, payload(i))
+	}
+	if err := l.Commit(20); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Flip one payload byte somewhere in the middle of the segment.
+	name := filepath.Join("/w", segName(1))
+	fs.Corrupt(name, segHeaderLen+(frameHdrLen+len(payload(1)))*10+frameHdrLen+3, 0x40)
+
+	re, err := Open("/w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.AppendedLSN(); got != 10 {
+		t.Fatalf("appended = %d after mid-log corruption, want 10", got)
+	}
+	recs := collect(t, re, 1)
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d, want the 10-record valid prefix", len(recs))
+	}
+}
+
+func TestCorruptEarlySegmentDropsLaterOnes(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open("/w", Options{FS: fs, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 40; i++ {
+		mustAppend(t, l, payload(i))
+	}
+	if err := l.Commit(40); err != nil {
+		t.Fatal(err)
+	}
+	segs := l.Stats().Segments
+	if segs < 3 {
+		t.Fatalf("want >=3 segments, got %d", segs)
+	}
+	l.Close()
+
+	// Corrupt the first record of the second segment: everything from
+	// there on is beyond the valid prefix.
+	var second segmentInfo
+	names, _ := fs.List("/w")
+	var infos []segmentInfo
+	for _, n := range names {
+		first, ok := parseSegName(n)
+		if !ok {
+			t.Fatalf("bad segment name %s", n)
+		}
+		infos = append(infos, segmentInfo{name: n, first: first})
+	}
+	if len(infos) != segs {
+		t.Fatalf("listed %d segments, stats said %d", len(infos), segs)
+	}
+	second = infos[1]
+	fs.Corrupt(filepath.Join("/w", second.name), segHeaderLen+frameHdrLen+2, 0xff)
+
+	re, err := Open("/w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	want := second.first - 1
+	if got := re.AppendedLSN(); got != want {
+		t.Fatalf("appended = %d, want %d", got, want)
+	}
+	// The corrupted segment survives only as an empty truncated tail;
+	// everything after it is gone.
+	if got := re.Stats().Segments; got > 2 {
+		t.Fatalf("segments = %d after dropping invalid tail, want <= 2", got)
+	}
+	// The log must be append-ready exactly where the prefix ends.
+	if lsn := mustAppend(t, re, payload(int(want)+1)); lsn != want+1 {
+		t.Fatalf("append after drop: lsn = %d, want %d", lsn, want+1)
+	}
+}
+
+func TestGroupCommitCoalesces(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open("/w", Options{FS: fs, Sync: SyncBatch, BatchWindow: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const workers = 8
+	const perWorker = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				lsn, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := l.Commit(lsn); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appends != workers*perWorker {
+		t.Fatalf("appends = %d", st.Appends)
+	}
+	if st.DurableLSN != uint64(workers*perWorker) {
+		t.Fatalf("durable = %d", st.DurableLSN)
+	}
+	// With a batch window, many committers must have shared an fsync.
+	if st.GroupedCommits == 0 {
+		t.Fatalf("no grouped commits across %d concurrent committers (fsyncs=%d)", workers*perWorker, st.Fsyncs)
+	}
+	if st.Fsyncs >= st.Appends {
+		t.Fatalf("fsyncs (%d) not coalesced below appends (%d)", st.Fsyncs, st.Appends)
+	}
+}
+
+func TestSyncNoneNeverFsyncsOnCommit(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open("/w", Options{FS: fs, Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn := mustAppend(t, l, payload(1))
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Fsyncs != 0 {
+		t.Fatalf("SyncNone commit issued %d fsyncs", st.Fsyncs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.SyncCount(); st == 0 {
+		t.Fatal("close did not sync")
+	}
+}
+
+func TestFailedSyncIsSticky(t *testing.T) {
+	fs := NewFaultFS()
+	// Sync attempt 1 is the directory sync when the first segment is
+	// created; attempt 2 is the commit fsync we want to fail.
+	fs.FailSyncAt = 2
+	l, err := Open("/w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn := mustAppend(t, l, payload(1))
+	if err := l.Commit(lsn); err == nil {
+		t.Fatal("commit after failed fsync should error")
+	}
+	if _, err := l.Append(payload(2)); err == nil {
+		t.Fatal("append after failed fsync should be rejected (sticky error)")
+	}
+}
+
+func TestShortWriteRecoversValidPrefix(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open("/w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		mustAppend(t, l, payload(i))
+	}
+	if err := l.Commit(5); err != nil {
+		t.Fatal(err)
+	}
+	// Writes so far: segment header + 5 frames = 6. Tear the 7th.
+	fs.ShortWriteAt = 7
+	if _, err := l.Append(payload(6)); err == nil {
+		t.Fatal("short write should surface as an append error")
+	}
+	// The half-written frame is on "disk"; a reopen (same bytes, no
+	// crash needed) must cut back to record 5.
+	re, err := Open("/w", Options{FS: fs.Survivor()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.AppendedLSN(); got != 5 {
+		t.Fatalf("appended = %d after short write, want 5", got)
+	}
+}
+
+func TestCrashAtEverySyncBoundary(t *testing.T) {
+	// Reference run: count total syncs for a fixed workload.
+	run := func(fs *FaultFS) (acked uint64) {
+		l, err := Open("/w", Options{FS: fs, SegmentBytes: 160})
+		if err != nil {
+			return 0
+		}
+		defer l.Close()
+		for i := 1; i <= 30; i++ {
+			lsn, err := l.Append(payload(i))
+			if err != nil {
+				return acked
+			}
+			if err := l.Commit(lsn); err != nil {
+				return acked
+			}
+			acked = lsn
+		}
+		return acked
+	}
+	ref := NewFaultFS()
+	refAcked := run(ref)
+	if refAcked != 30 {
+		t.Fatalf("reference run acked %d", refAcked)
+	}
+	total := ref.SyncCount()
+	if total < 5 {
+		t.Fatalf("reference run produced only %d syncs", total)
+	}
+	for k := 1; k <= total; k++ {
+		for _, torn := range []int{0, 7} {
+			fs := NewFaultFS()
+			fs.StopAfterSyncs = k
+			fs.TornTailBytes = torn
+			acked := run(fs)
+			re, err := Open("/w", Options{FS: fs.Survivor()})
+			if err != nil {
+				t.Fatalf("k=%d torn=%d: recovery open: %v", k, torn, err)
+			}
+			recovered := re.AppendedLSN()
+			if recovered < acked {
+				t.Fatalf("k=%d torn=%d: lost acked records: recovered %d < acked %d", k, torn, recovered, acked)
+			}
+			recs := collect(t, re, 1)
+			if uint64(len(recs)) != recovered {
+				t.Fatalf("k=%d torn=%d: replayed %d records, appended says %d", k, torn, len(recs), recovered)
+			}
+			for i := uint64(1); i <= recovered; i++ {
+				if recs[i] != string(payload(int(i))) {
+					t.Fatalf("k=%d torn=%d: lsn %d corrupted: %q", k, torn, i, recs[i])
+				}
+			}
+			re.Close()
+		}
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		mustAppend(t, l, payload(i))
+	}
+	if err := l.Commit(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := len(collect(t, re, 1)); got != 10 {
+		t.Fatalf("replayed %d records from disk, want 10", got)
+	}
+}
