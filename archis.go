@@ -115,6 +115,16 @@ func New(opts Options) (*System, error) { return core.New(opts) }
 // write-ahead log tail replayed, tolerating a torn final record.
 func Open(path string) (*System, error) { return core.Open(path) }
 
+// RecoverOptions tune recovery of a durable directory: snapshot
+// metadata supplies the defaults, non-zero fields win (a non-nil Sync
+// changes the WAL commit policy of the reopened system).
+type RecoverOptions = core.RecoverOptions
+
+// Recover is Open for a durable directory with explicit overrides.
+func Recover(dir string, opts RecoverOptions) (*System, error) {
+	return core.RecoverWithOptions(dir, opts)
+}
+
 // SyncMode selects the WAL commit durability policy
 // (Options.WALSync).
 type SyncMode = wal.SyncMode

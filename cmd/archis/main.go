@@ -7,8 +7,12 @@
 //
 //	archis [-layout plain|clustered|compressed] [-employees N] [-years Y] [-demo]
 //	archis [-wal DIR] [-sync always|batch|none]   durable mode: log every change
-//	archis recover DIR                            recover a durable system, then shell
+//	archis [-sync MODE] recover DIR               recover a durable system, then shell
 //	archis wal-stats DIR                          recover and print durability counters
+//
+// Reopening an existing durable directory (-wal or recover) keeps the
+// commit policy recorded in its snapshot unless -sync is passed
+// explicitly, which overrides it from this run on.
 //
 // Commands inside the shell:
 //
@@ -90,18 +94,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unknown layout", *layout)
 		os.Exit(2)
 	}
-	var sync archis.SyncMode
-	switch *syncMode {
-	case "always":
-		sync = archis.SyncAlways
-	case "batch":
-		sync = archis.SyncBatch
-	case "none":
-		sync = archis.SyncNone
-	default:
-		fmt.Fprintln(os.Stderr, "unknown sync mode", *syncMode)
-		os.Exit(2)
-	}
+	sync := parseSyncMode(*syncMode)
 	if *walDir != "" {
 		if _, err := os.Stat(*walDir); err == nil {
 			// An existing durable directory is recovered, not reloaded.
@@ -144,11 +137,43 @@ func main() {
 	check(sys.Close())
 }
 
+func parseSyncMode(s string) archis.SyncMode {
+	switch s {
+	case "always":
+		return archis.SyncAlways
+	case "batch":
+		return archis.SyncBatch
+	case "none":
+		return archis.SyncNone
+	}
+	fmt.Fprintln(os.Stderr, "unknown sync mode", s)
+	os.Exit(2)
+	return 0
+}
+
+// explicitSyncFlag returns the -sync mode only when the flag was
+// passed on the command line, nil otherwise.
+func explicitSyncFlag() *archis.SyncMode {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sync" {
+			set = true
+		}
+	})
+	if !set {
+		return nil
+	}
+	m := parseSyncMode(*syncMode)
+	return &m
+}
+
 // recoverDir rebuilds a durable system from its directory and reports
-// what recovery did.
+// what recovery did. An explicitly passed -sync flag overrides the
+// commit policy recorded in the snapshot; otherwise the recorded
+// policy sticks.
 func recoverDir(dir string) *archis.System {
 	start := time.Now()
-	sys, err := archis.Open(dir)
+	sys, err := archis.Recover(dir, archis.RecoverOptions{Sync: explicitSyncFlag()})
 	check(err)
 	st := sys.Stats()
 	fmt.Printf("recovered %s in %s: replayed %d records, log at lsn %d (%d segments)\n",

@@ -125,15 +125,24 @@ func (s *System) attachWALSink() {
 	})
 }
 
-// logDDL makes a DDL record durable immediately (DDL is rare; there is
-// nothing to group with).
-func (s *System) logDDL(payload []byte) error {
+// appendDDLLocked appends a DDL record while the caller holds writeMu,
+// matching the op-sink guarantee that log order equals apply order: a
+// concurrent ExecDurable against the just-registered table cannot slot
+// its op record ahead of the registration. Returns 0 on a non-durable
+// system.
+func (s *System) appendDDLLocked(payload []byte) (uint64, error) {
 	if s.wal == nil {
-		return nil
+		return 0, nil
 	}
-	lsn, err := s.wal.Append(payload)
-	if err != nil {
-		return err
+	return s.wal.Append(payload)
+}
+
+// commitDDL waits for a DDL record's durability outside writeMu (DDL
+// is rare; there is nothing to group with). lsn 0 means nothing was
+// logged.
+func (s *System) commitDDL(lsn uint64) error {
+	if s.wal == nil || lsn == 0 {
+		return nil
 	}
 	return s.wal.Commit(lsn)
 }
@@ -210,13 +219,42 @@ func (s *System) Close() error {
 	return s.wal.Close()
 }
 
+// RecoverOptions tune Recover beyond its defaults. The zero value
+// recovers with the real file system and the policies recorded in the
+// snapshot metadata.
+type RecoverOptions struct {
+	// FS overrides the log's file layer (fault-injection tests); nil
+	// uses the real file system.
+	FS wal.FS
+	// Sync, when non-nil, overrides the WAL commit policy recorded in
+	// the snapshot metadata, letting a caller (e.g. the archis CLI's
+	// -sync flag) change the durability policy of an existing
+	// directory on reopen. The override is persisted by the next
+	// checkpoint.
+	Sync *wal.SyncMode
+	// BatchWindow, when positive, overrides the recorded SyncBatch
+	// coalescing window.
+	BatchWindow time.Duration
+	// SegmentBytes, when positive, overrides the recorded log segment
+	// roll threshold.
+	SegmentBytes int
+}
+
 // Recover rebuilds a durable system from its directory: load the
 // snapshot, then replay every log record past the snapshot's LSN. A
 // torn final record (the write the crash interrupted) is silently
 // dropped — the log layer replays exactly the valid prefix. fsys
 // overrides the log's file layer (fault-injection tests); nil uses the
-// real file system.
+// real file system. Use RecoverWithOptions to also override the
+// recorded commit policy.
 func Recover(dir string, fsys wal.FS) (*System, error) {
+	return RecoverWithOptions(dir, RecoverOptions{FS: fsys})
+}
+
+// RecoverWithOptions is Recover with explicit overrides: snapshot
+// metadata supplies defaults, non-zero fields in ropts win.
+func RecoverWithOptions(dir string, ropts RecoverOptions) (*System, error) {
+	fsys := ropts.FS
 	if fsys == nil {
 		fsys = wal.OSFS{}
 	}
@@ -237,6 +275,15 @@ func Recover(dir string, fsys wal.FS) (*System, error) {
 	}
 	if v, err := strconv.Atoi(meta["walsegbytes"]); err == nil {
 		s.opts.WALSegmentBytes = v
+	}
+	if ropts.Sync != nil {
+		s.opts.WALSync = *ropts.Sync
+	}
+	if ropts.BatchWindow > 0 {
+		s.opts.WALBatchWindow = ropts.BatchWindow
+	}
+	if ropts.SegmentBytes > 0 {
+		s.opts.WALSegmentBytes = ropts.SegmentBytes
 	}
 	w, err := wal.Open(dir, s.walOptions(fsys))
 	if err != nil {

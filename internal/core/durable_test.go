@@ -147,6 +147,93 @@ func TestCheckpointTruncatesAndRecovers(t *testing.T) {
 	}
 }
 
+// Registering a table while a concurrent writer hammers it must keep
+// log order equal to apply order: the registration record has to land
+// before the table's first op record, or replay fails with an unknown
+// table and the directory is unrecoverable.
+func TestConcurrentRegisterAndWriteRecovers(t *testing.T) {
+	for round := 0; round < 12; round++ {
+		dir := filepath.Join(t.TempDir(), "sys")
+		fsys := wal.NewFaultFS()
+		s, err := New(Options{WALDir: dir, WALFS: fsys})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetClock(day("1995-01-01"))
+		done := make(chan error, 1)
+		go func() { done <- s.Register(empSpec) }()
+		// Spin until an insert lands — the table appears mid-race, so
+		// the first success is as close to the registration as the
+		// scheduler allows.
+		for {
+			if _, err := s.ExecDurable("INSERT INTO emp VALUES (1, 'n1', 100)"); err == nil {
+				break
+			}
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("round %d: register: %v", round, err)
+		}
+		if err := s.SyncWAL(); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recover(dir, fsys.Survivor())
+		if err != nil {
+			t.Fatalf("round %d: recover: %v", round, err)
+		}
+		if _, ok := rec.Archive.Spec("emp"); !ok {
+			t.Fatalf("round %d: recovered system lost the registration", round)
+		}
+		rec.Close()
+		s.Close()
+	}
+}
+
+// Recovery takes the commit policy from the snapshot metadata by
+// default, but an explicit RecoverOptions override must win — and a
+// zero-value option set must not.
+func TestRecoverSyncPolicyOverride(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sys")
+	fsys := wal.NewFaultFS()
+	s := buildDurable(t, dir, fsys, htable.CaptureTrigger) // SyncAlways recorded
+	runWorkload(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default: the recorded SyncAlways policy sticks; commits fsync.
+	rec, err := Recover(dir, fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := rec.WALStats().Fsyncs
+	rec.SetClock(day("1996-01-01"))
+	if _, err := rec.ExecDurable("INSERT INTO emp VALUES (7, 'n7', 700)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.WALStats().Fsyncs; got == before {
+		t.Fatal("recorded SyncAlways policy not honoured: commit issued no fsync")
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Override: SyncNone wins over the recorded policy.
+	none := wal.SyncNone
+	rec2, err := RecoverWithOptions(dir, RecoverOptions{FS: fsys, Sync: &none})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Close()
+	before = rec2.WALStats().Fsyncs
+	rec2.SetClock(day("1996-02-01"))
+	if _, err := rec2.ExecDurable("INSERT INTO emp VALUES (8, 'n8', 800)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec2.WALStats().Fsyncs; got != before {
+		t.Fatalf("SyncNone override ignored: commit issued %d fsyncs", got-before)
+	}
+}
+
 func TestOpenDispatchesToRecover(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "sys")
 	s := buildDurable(t, dir, nil, htable.CaptureTrigger) // real OS files

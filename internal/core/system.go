@@ -200,15 +200,22 @@ func (s *System) makeStore(db *relstore.Database, schema relstore.Schema) (htabl
 // Register archives a table: current table, H-tables, capture trigger,
 // id indexes, and the catalog entry that makes its H-view queryable.
 // On a durable system the registration is logged and made durable
-// before returning.
+// before returning. The log record is appended while writeMu is still
+// held so it precedes any op record a concurrent ExecDurable writes to
+// the new table — log order must match apply order or replay fails;
+// only the fsync wait happens outside the lock.
 func (s *System) Register(spec htable.TableSpec) error {
 	s.writeMu.Lock()
 	err := s.registerInternal(spec)
+	var lsn uint64
+	if err == nil {
+		lsn, err = s.appendDDLLocked(encodeRegisterRecord(spec))
+	}
 	s.writeMu.Unlock()
 	if err != nil {
 		return err
 	}
-	return s.logDDL(encodeRegisterRecord(spec))
+	return s.commitDDL(lsn)
 }
 
 // registerInternal is Register without logging — recovery replays
@@ -302,15 +309,20 @@ func (s *System) markDirty(table string) {
 
 // AliasDoc makes the H-view of a table reachable under an extra doc()
 // name (the paper refers to the same view as employees.xml and
-// emp.xml). On a durable system the alias is logged.
+// emp.xml). On a durable system the alias is logged, appended under
+// writeMu for the same ordering reason as Register.
 func (s *System) AliasDoc(alias, table string) error {
 	s.writeMu.Lock()
 	err := s.aliasInternal(alias, table)
+	var lsn uint64
+	if err == nil {
+		lsn, err = s.appendDDLLocked(encodeAliasRecord(alias, table))
+	}
 	s.writeMu.Unlock()
 	if err != nil {
 		return err
 	}
-	return s.logDDL(encodeAliasRecord(alias, table))
+	return s.commitDDL(lsn)
 }
 
 func (s *System) aliasInternal(alias, table string) error {

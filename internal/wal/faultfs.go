@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -17,11 +18,13 @@ var ErrCrashed = errors.New("wal: simulated crash")
 var ErrInjected = errors.New("wal: injected fault")
 
 // FaultFS is a deterministic in-memory FS for crash and fault
-// testing. It tracks, per file, which prefix of the bytes has been
-// made durable by Sync, so Survivor can reconstruct exactly what a
-// machine would see after losing power: the synced prefix of every
-// file plus at most TornTailBytes of whatever the OS happened to have
-// pushed down on its own.
+// testing. It tracks, per file, the durable image established by the
+// last Sync, so Survivor can reconstruct exactly what a machine would
+// see after losing power: the last-synced bytes of every file plus at
+// most TornTailBytes of whatever the OS happened to have pushed down
+// on its own. Truncate (and Create over an existing file) only changes
+// the live bytes — like a real file system, the shrink is not durable
+// until the file is fsynced again, so a crash can revive the cut tail.
 //
 // Fault knobs (all optional, all counted from 1):
 //
@@ -53,8 +56,8 @@ type FaultFS struct {
 }
 
 type memFile struct {
-	data   []byte
-	synced int // bytes made durable
+	data   []byte // live bytes (what ReadFile sees)
+	stable []byte // durable image as of the last Sync
 }
 
 // NewFaultFS returns an empty fault-injection file system.
@@ -87,6 +90,10 @@ func (fs *FaultFS) Corrupt(name string, off int, xor byte) {
 		panic(fmt.Sprintf("wal: corrupt %s at %d: no such byte", name, off))
 	}
 	f.data[off] ^= xor
+	// Media corruption damages the durable image too.
+	if off < len(f.stable) {
+		f.stable[off] ^= xor
+	}
 }
 
 // FileSize returns the current length of name, or -1 if absent.
@@ -101,8 +108,10 @@ func (fs *FaultFS) FileSize(name string) int {
 }
 
 // Survivor returns a fresh, fault-free FaultFS holding what would be
-// on disk after a crash right now: every file cut to its synced
-// prefix plus at most TornTailBytes of unsynced tail.
+// on disk after a crash right now: every file reverts to its durable
+// image, plus at most TornTailBytes of unsynced tail when the live
+// bytes extend that image. An unsynced Truncate is therefore undone —
+// the cut tail comes back, exactly as a real crash can revive it.
 func (fs *FaultFS) Survivor() *FaultFS {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -111,17 +120,18 @@ func (fs *FaultFS) Survivor() *FaultFS {
 		out.dirs[d] = true
 	}
 	for name, f := range fs.files {
-		keep := f.synced
-		if torn := len(f.data) - f.synced; torn > 0 {
+		keep := f.stable
+		if len(f.data) > len(f.stable) && bytes.Equal(f.data[:len(f.stable)], f.stable) {
 			extra := fs.TornTailBytes
-			if extra > torn {
+			if torn := len(f.data) - len(f.stable); extra > torn {
 				extra = torn
 			}
-			keep += extra
+			keep = f.data[:len(f.stable)+extra]
 		}
+		survived := append([]byte(nil), keep...)
 		out.files[name] = &memFile{
-			data:   append([]byte(nil), f.data[:keep]...),
-			synced: keep,
+			data:   survived,
+			stable: append([]byte(nil), survived...),
 		}
 	}
 	return out
@@ -170,7 +180,14 @@ func (fs *FaultFS) Create(name string) (File, error) {
 		return nil, err
 	}
 	name = filepath.Clean(name)
-	fs.files[name] = &memFile{}
+	mf := &memFile{}
+	if old, ok := fs.files[name]; ok {
+		// O_TRUNC of an existing file is a metadata change like
+		// Truncate: the old durable image survives a crash until the
+		// recreated file is fsynced.
+		mf.stable = old.stable
+	}
+	fs.files[name] = mf
 	return &faultFile{fs: fs, name: name}, nil
 }
 
@@ -214,10 +231,9 @@ func (fs *FaultFS) Truncate(name string, size int64) error {
 	if size < 0 || size > int64(len(f.data)) {
 		return fmt.Errorf("wal: faultfs: truncate %s to %d: out of range", name, size)
 	}
+	// Only the live bytes shrink; the durable image (stable) is
+	// untouched until the next Sync, so a crash revives the tail.
 	f.data = f.data[:size]
-	if f.synced > int(size) {
-		f.synced = int(size)
-	}
 	return nil
 }
 
@@ -303,7 +319,7 @@ func (f *faultFile) Sync() error {
 	if err := fs.syncLocked(); err != nil {
 		return err
 	}
-	mf.synced = len(mf.data)
+	mf.stable = append([]byte(nil), mf.data...)
 	return nil
 }
 

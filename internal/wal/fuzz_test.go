@@ -53,7 +53,10 @@ func FuzzWALReplay(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fs := NewFaultFS()
-		fs.files[filepath.Clean("/w/"+segName(1))] = &memFile{data: append([]byte(nil), data...), synced: len(data)}
+		fs.files[filepath.Clean("/w/"+segName(1))] = &memFile{
+			data:   append([]byte(nil), data...),
+			stable: append([]byte(nil), data...),
+		}
 		l, err := Open("/w", Options{FS: fs})
 		if err != nil {
 			t.Fatalf("Open must tolerate arbitrary content, got %v", err)

@@ -11,10 +11,12 @@
 //
 // inside segment files named wal-<firstLSN:016x>.log, each starting
 // with an 8-byte magic and the u64 LSN of its first record. LSNs are
-// assigned densely from 1. A torn or corrupt frame ends the valid
-// prefix: Open truncates the tail back to the last whole record and
-// discards any later segments, so recovery always replays a valid
-// prefix and appending can resume safely.
+// assigned densely from 1. A torn or corrupt frame ends a segment's
+// valid prefix: Open truncates the tail back to the last whole record,
+// fsyncs the cut, and keeps later segments only when their first LSN
+// continues the valid prefix exactly (segments that would leave an LSN
+// gap are discarded), so recovery always replays a valid prefix and
+// appending can resume safely.
 //
 // Commit implements group commit: concurrent committers coalesce onto
 // one fsync — the first waiter becomes the leader, syncs the segment,
@@ -154,9 +156,9 @@ func parseSegName(name string) (uint64, bool) {
 }
 
 // Open opens (or creates) the log in dir, scanning existing segments,
-// truncating a torn tail back to the last whole record and dropping
-// any segments beyond the first invalidity, so the log is always left
-// append-ready at the end of its valid prefix.
+// durably truncating a torn tail back to the last whole record and
+// dropping any segments beyond the first LSN discontinuity, so the log
+// is always left append-ready at the end of its valid prefix.
 func Open(dir string, opts Options) (*Log, error) {
 	if opts.FS == nil {
 		opts.FS = OSFS{}
@@ -219,16 +221,41 @@ func (l *Log) scan() error {
 		l.durable = last
 		lastSize = int64(validLen)
 		if validLen < len(data) {
-			// Torn tail: cut back to the last whole record and drop
-			// later segments (they would leave an LSN gap).
-			if err := l.fs.Truncate(filepath.Join(l.dir, seg.name), int64(validLen)); err != nil {
+			// Torn tail: cut back to the last whole record and make
+			// the cut durable before any new appends. Without the
+			// fsync a later crash could revive the torn bytes, and
+			// the recovery after that would see the tear again and
+			// mistake durable, acknowledged successor segments for
+			// garbage. Later segments are NOT dropped here: one whose
+			// first LSN continues the valid prefix exactly holds
+			// records acked after an earlier torn-tail recovery and
+			// must survive; the continuity check above drops real
+			// gaps.
+			path := filepath.Join(l.dir, seg.name)
+			if err := l.fs.Truncate(path, int64(validLen)); err != nil {
 				return fmt.Errorf("wal: truncate torn tail of %s: %w", seg.name, err)
 			}
-			return l.dropFrom(segs, i+1)
+			if err := l.syncSegment(path); err != nil {
+				return fmt.Errorf("wal: sync truncated tail of %s: %w", seg.name, err)
+			}
 		}
 	}
 	l.segSize = lastSize
 	return nil
+}
+
+// syncSegment fsyncs one segment file by path. Truncations must reach
+// disk before appends resume, or a crash could revive the cut bytes.
+func (l *Log) syncSegment(path string) error {
+	f, err := l.fs.OpenAppend(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // dropFrom removes segments[i:] — they lie beyond the valid prefix.
@@ -444,9 +471,11 @@ func (l *Log) Commit(lsn uint64) error {
 	if l.opts.Sync == SyncNone {
 		return l.err
 	}
-	led := false
+	led := false  // issued an fsync of its own
+	rode := false // waited on another committer's in-flight fsync
 	for l.durable < lsn && l.err == nil && !l.closed {
 		if l.syncing {
+			rode = true
 			l.cond.Wait()
 			continue
 		}
@@ -476,7 +505,11 @@ func (l *Log) Commit(lsn uint64) error {
 	if l.closed && l.durable < lsn && l.err == nil {
 		return fmt.Errorf("wal: log closed before lsn %d became durable", lsn)
 	}
-	if !led && l.err == nil {
+	// Count as grouped only commits that actually shared someone
+	// else's fsync — not ones whose LSN was already durable at entry
+	// (after a rotation or an earlier leader's sync), where no fsync
+	// was saved.
+	if !led && rode && l.err == nil {
 		l.grouped++
 	}
 	return l.err
@@ -524,12 +557,15 @@ func (l *Log) TruncateThrough(lsn uint64) error {
 		return fmt.Errorf("wal: log is closed")
 	}
 	removed := false
-	kept := l.segs[:0]
+	kept := make([]segmentInfo, 0, len(l.segs))
 	for i, seg := range l.segs {
 		// A segment's records end where the next segment begins; the
 		// last segment is the (possibly open) tail and always stays.
 		if i+1 < len(l.segs) && l.segs[i+1].first <= lsn+1 {
 			if err := l.fs.Remove(filepath.Join(l.dir, seg.name)); err != nil {
+				// Keep segs consistent with disk: the removals that
+				// succeeded are gone, this one and the rest remain.
+				l.segs = append(kept, l.segs[i:]...)
 				return fmt.Errorf("wal: truncate: %w", err)
 			}
 			removed = true
@@ -537,7 +573,7 @@ func (l *Log) TruncateThrough(lsn uint64) error {
 		}
 		kept = append(kept, seg)
 	}
-	l.segs = append([]segmentInfo(nil), kept...)
+	l.segs = kept
 	if removed {
 		return l.fs.SyncDir(l.dir)
 	}

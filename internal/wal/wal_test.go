@@ -174,6 +174,143 @@ func TestTornTailTruncatedOnOpen(t *testing.T) {
 	}
 }
 
+// TestTornTailDoubleCrashKeepsAckedSegments is the double-crash
+// regression: crash 1 leaves a torn tail in segment A; recovery
+// truncates it and acked records then go into a fresh segment B. If
+// the truncation of A is not fsynced, crash 2 can revive A's torn
+// bytes — and a recovery that drops everything after a tear would then
+// delete B, losing records that were durable and acknowledged.
+func TestTornTailDoubleCrashKeepsAckedSegments(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open("/w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		mustAppend(t, l, payload(i))
+	}
+	if err := l.Commit(10); err != nil {
+		t.Fatal(err)
+	}
+	// Crash 1: a half-written 11th record survives in the OS buffer.
+	fs.TornTailBytes = 9
+	mustAppend(t, l, payload(11))
+	surv := fs.Survivor()
+	surv.TornTailBytes = 9 // the next crash also leaves torn bytes
+
+	// First recovery truncates the torn tail; new acked records land
+	// in a fresh segment starting at LSN 11.
+	re, err := Open("/w", Options{FS: surv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 11; i <= 20; i++ {
+		mustAppend(t, re, payload(i))
+	}
+	if err := re.Commit(20); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash 2 without closing; records 11..20 were fsynced and acked.
+	re2, err := Open("/w", Options{FS: surv.Survivor()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if got := re2.AppendedLSN(); got != 20 {
+		t.Fatalf("appended = %d after double crash, want 20", got)
+	}
+	recs := collect(t, re2, 1)
+	for i := uint64(1); i <= 20; i++ {
+		if recs[i] != string(payload(int(i))) {
+			t.Fatalf("lsn %d lost or corrupted after double crash: %q", i, recs[i])
+		}
+	}
+}
+
+// A commit whose LSN is already durable at entry (after a rotation or
+// an explicit Sync) shares nothing; it must not count as grouped.
+func TestCommitAlreadyDurableNotGrouped(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open("/w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 5; i++ {
+		lsn := mustAppend(t, l, payload(i))
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lsn := mustAppend(t, l, payload(6))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); err != nil { // already durable
+		t.Fatal(err)
+	}
+	if g := l.Stats().GroupedCommits; g != 0 {
+		t.Fatalf("serial workload counted %d grouped commits, want 0", g)
+	}
+}
+
+// removeFailFS fails the n-th Remove, modelling a checkpoint that dies
+// halfway through deleting covered segments.
+type removeFailFS struct {
+	*FaultFS
+	failAt  int
+	removes int
+}
+
+func (fs *removeFailFS) Remove(name string) error {
+	fs.removes++
+	if fs.removes == fs.failAt {
+		return ErrInjected
+	}
+	return fs.FaultFS.Remove(name)
+}
+
+func TestTruncateThroughPartialFailureStaysConsistent(t *testing.T) {
+	fs := &removeFailFS{FaultFS: NewFaultFS(), failAt: 2}
+	l, err := Open("/w", Options{FS: fs, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 40
+	for i := 1; i <= n; i++ {
+		mustAppend(t, l, payload(i))
+	}
+	if err := l.Commit(n); err != nil {
+		t.Fatal(err)
+	}
+	if segs := l.Stats().Segments; segs < 4 {
+		t.Fatalf("want >=4 segments, got %d", segs)
+	}
+	// The second Remove fails: one segment is gone, the rest remain.
+	if err := l.TruncateThrough(n - 5); err == nil {
+		t.Fatal("TruncateThrough should surface the injected Remove failure")
+	}
+	// The in-memory segment list must match disk: replay reads every
+	// listed segment, so a stale entry would error on the deleted file.
+	recs := collect(t, l, 1)
+	for lsn := range recs {
+		if recs[lsn] != string(payload(int(lsn))) {
+			t.Fatalf("lsn %d corrupted after failed truncate: %q", lsn, recs[lsn])
+		}
+	}
+	st := l.Stats()
+	names, _ := fs.List("/w")
+	if len(names) != st.Segments {
+		t.Fatalf("segment list out of sync with disk: stats say %d, disk has %d", st.Segments, len(names))
+	}
+	// The surviving suffix is still contiguous up to the tail.
+	if _, ok := recs[uint64(n)]; !ok {
+		t.Fatalf("tail record %d lost by failed truncate", n)
+	}
+}
+
 func TestCorruptMidLogCutsPrefix(t *testing.T) {
 	fs := NewFaultFS()
 	l, err := Open("/w", Options{FS: fs})
