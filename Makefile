@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race parallel-stress bench-smoke crash-matrix fuzz-smoke verify lint bench bench-parallel bench-json
+.PHONY: build vet test race parallel-stress bench-smoke trace-smoke crash-matrix fuzz-smoke verify lint bench bench-parallel bench-json
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,16 @@ parallel-stress:
 # compile and run (allocation regressions show up here first).
 bench-smoke:
 	$(GO) test -bench='Scan(Copy|Borrow)' -benchtime=1x -run '^$$' ./internal/relstore/
+
+# Observability smoke: run the Q1-Q6 suite under the execution tracer
+# on the clustered and compressed layouts; the bench re-parses every
+# emitted JSON trace and exits non-zero on a malformed or empty tree.
+# The nil-tracer overhead benchmark rides along (1 iteration: must
+# compile and run; the <2% budget is asserted numerically in
+# internal/obs tests).
+trace-smoke:
+	$(GO) run ./cmd/archis-bench -employees 120 -years 4 -trace > /dev/null
+	$(GO) test -bench='NilSpan' -benchtime=1x -run '^$$' ./internal/obs/
 
 # Durability stress: kill the durable system at every fsync boundary
 # (with and without torn tail bytes) and require every survivor to

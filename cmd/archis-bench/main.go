@@ -31,6 +31,8 @@ import (
 	"archis/internal/core"
 	"archis/internal/dataset"
 	"archis/internal/htable"
+	"archis/internal/obs"
+	"archis/internal/relstore"
 	"archis/internal/segment"
 	"archis/internal/temporal"
 	"archis/internal/wal"
@@ -48,6 +50,7 @@ var (
 	rounds    = flag.Int("rounds", 8, "suite repetitions per -parallel batch")
 	jsonOut   = flag.String("json", "", "time the Q1-Q6 suite at Workers=1 and Workers=-workers on the scaled dataset and write JSON records to this path")
 	warm      = flag.Int("warm", 0, "also time N warm runs per query (caches kept between runs) in -json mode; 0 = cold only")
+	traceRun  = flag.Bool("trace", false, "run the Q1-Q6 suite traced on the clustered and compressed layouts, print each execution trace as JSON and fail on malformed traces")
 )
 
 // benchBlockCacheBytes is the decoded-block cache budget used for the
@@ -66,6 +69,10 @@ func main() {
 	h := &harness{}
 	fmt.Printf("ArchIS evaluation harness — %d employees, %d years (S=1)\n\n", *employees, *years)
 
+	if *traceRun {
+		h.traceSuite()
+		return
+	}
 	if *jsonOut != "" {
 		h.benchJSON(*jsonOut)
 		return
@@ -257,6 +264,67 @@ func (h *harness) parallelSuite() {
 	fmt.Println()
 }
 
+// traceSuite runs the Q1-Q6 suite under the execution tracer on the
+// clustered and compressed layouts and prints one JSON trace per
+// query. Each trace is re-parsed and structurally checked before
+// printing, so `make trace-smoke` fails when the tracer emits a
+// malformed or empty tree.
+func (h *harness) traceSuite() {
+	checked := 0
+	for _, lay := range []struct {
+		name string
+		env  *bench.Env
+	}{
+		{"clustered", h.getClustered()},
+		{"compressed", h.getCompressed()},
+	} {
+		e := lay.env
+		e.Cold()
+		for _, q := range bench.AllQueries {
+			sql := e.SQL(q)
+			tr := obs.NewTracer("query")
+			res, err := e.Sys.Engine.ExecTraced(sql, tr.Root())
+			die(err)
+			tr.Root().SetAttr("layout", lay.name)
+			tr.Root().AddRows(0, int64(len(res.Rows)))
+			qt := tr.Finish(sql)
+			data := qt.JSON()
+			die(validateTrace(data))
+			fmt.Printf("-- %s Q%d --\n%s\n", lay.name, q, data)
+			checked++
+		}
+	}
+	fmt.Printf("validated %d traces\n", checked)
+}
+
+// validateTrace asserts a trace JSON document is well-formed: it must
+// parse back, carry the query, and hold a root span with a name and at
+// least one child (every suite query at least parses and scans).
+func validateTrace(data []byte) error {
+	var doc struct {
+		Query string `json:"query"`
+		Root  *struct {
+			Name     string            `json:"name"`
+			DurNS    int64             `json:"dur_ns"`
+			Children []json.RawMessage `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace does not parse: %w", err)
+	}
+	switch {
+	case doc.Query == "":
+		return fmt.Errorf("trace lacks its query text")
+	case doc.Root == nil || doc.Root.Name == "":
+		return fmt.Errorf("trace lacks a named root span")
+	case doc.Root.DurNS < 0:
+		return fmt.Errorf("trace root has negative duration %d", doc.Root.DurNS)
+	case len(doc.Root.Children) == 0:
+		return fmt.Errorf("trace root has no child spans")
+	}
+	return nil
+}
+
 // benchRecord is one (layout, workers, mode, query) timing cell of a
 // -json run.
 type benchRecord struct {
@@ -267,6 +335,16 @@ type benchRecord struct {
 	MeanNS  int64  `json:"mean_ns"`
 	MinNS   int64  `json:"min_ns"`
 	Rows    int    `json:"rows"`
+
+	// Decoded-block cache activity across the timed runs of this cell,
+	// measured as per-iteration counter deltas (Stats.Sub), so warm
+	// series report the hit rate of their own runs — the counters are
+	// cumulative for the process and used to leak earlier cells'
+	// activity into later ratios. Zero on layouts without a block
+	// cache.
+	BlockCacheHits   int64   `json:"block_cache_hits,omitempty"`
+	BlockCacheMisses int64   `json:"block_cache_misses,omitempty"`
+	BlockCacheRate   float64 `json:"block_cache_hit_rate,omitempty"`
 }
 
 // hostInfo makes single-core caveats machine-readable in committed
@@ -338,14 +416,17 @@ func (h *harness) benchJSON(path string) {
 		{"compressed", bench.Options{Layout: core.LayoutCompressed, Compress: true, Workers: 1,
 			BlockCacheBytes: benchBlockCacheBytes}},
 	}
-	measure := func(e *bench.Env, q bench.QueryID, n int, cold bool) (time.Duration, time.Duration, int) {
+	measure := func(e *bench.Env, q bench.QueryID, n int, cold bool) (time.Duration, time.Duration, int, relstore.Stats) {
 		e.Cold() // untimed warm-up absorbs lazy initialization (and, warm mode, fills caches)
 		res, err := e.Run(q)
 		die(err)
 		var total, min time.Duration
+		var cacheDelta relstore.Stats
+		prev := e.Sys.DB.Stats()
 		for i := 0; i < n; i++ {
 			if cold {
 				e.Cold()
+				prev = e.Sys.DB.Stats()
 			}
 			start := time.Now()
 			_, err := e.Run(q)
@@ -355,8 +436,16 @@ func (h *harness) benchJSON(path string) {
 			if i == 0 || d < min {
 				min = d
 			}
+			// Per-iteration delta: re-snapshot each pass so the cell's
+			// numbers cover exactly its own timed runs, never the
+			// process-cumulative counters.
+			cur := e.Sys.DB.Stats()
+			it := cur.Sub(prev)
+			prev = cur
+			cacheDelta.BlockCacheHits += it.BlockCacheHits
+			cacheDelta.BlockCacheMisses += it.BlockCacheMisses
 		}
-		return total / time.Duration(n), min, res.Rows
+		return total / time.Duration(n), min, res.Rows, cacheDelta
 	}
 	for _, lay := range layouts {
 		e, err := bench.Build(cfgS, lay.opts)
@@ -377,18 +466,26 @@ func (h *harness) benchJSON(path string) {
 					}{"warm", *warm, false})
 				}
 				for _, m := range modes {
-					mean, min, rows := measure(e, q, m.n, m.cold)
-					rep.Records = append(rep.Records, benchRecord{
-						Query:   fmt.Sprintf("Q%d", q),
-						Path:    lay.name,
-						Workers: lvl,
-						Mode:    m.name,
-						MeanNS:  mean.Nanoseconds(),
-						MinNS:   min.Nanoseconds(),
-						Rows:    rows,
-					})
-					fmt.Printf("  %-10s Q%-2d workers=%-2d %-4s  mean %s ms  min %s ms  rows %d\n",
-						lay.name, q, lvl, m.name, strings.TrimSpace(ms(mean)), strings.TrimSpace(ms(min)), rows)
+					mean, min, rows, cache := measure(e, q, m.n, m.cold)
+					rec := benchRecord{
+						Query:            fmt.Sprintf("Q%d", q),
+						Path:             lay.name,
+						Workers:          lvl,
+						Mode:             m.name,
+						MeanNS:           mean.Nanoseconds(),
+						MinNS:            min.Nanoseconds(),
+						Rows:             rows,
+						BlockCacheHits:   cache.BlockCacheHits,
+						BlockCacheMisses: cache.BlockCacheMisses,
+					}
+					cacheNote := ""
+					if lookups := cache.BlockCacheHits + cache.BlockCacheMisses; lookups > 0 {
+						rec.BlockCacheRate = float64(cache.BlockCacheHits) / float64(lookups)
+						cacheNote = fmt.Sprintf("  blkcache %.0f%%", rec.BlockCacheRate*100)
+					}
+					rep.Records = append(rep.Records, rec)
+					fmt.Printf("  %-10s Q%-2d workers=%-2d %-4s  mean %s ms  min %s ms  rows %d%s\n",
+						lay.name, q, lvl, m.name, strings.TrimSpace(ms(mean)), strings.TrimSpace(ms(min)), rows, cacheNote)
 				}
 			}
 		}

@@ -22,8 +22,13 @@
 //	doc <table>        print the H-document of a table
 //	clock [date]       show or set the archive clock
 //	stats              physical counters and storage (and WAL counters)
+//	metrics            JSON dump of every counter, gauge and histogram
 //	checkpoint         snapshot a durable system and truncate its log
 //	help, quit
+//
+// With -trace, every xquery also prints its execution trace tree; -slow
+// DURATION logs queries at least that slow to stderr. SQL EXPLAIN
+// [ANALYZE] SELECT ... works through the sql command.
 package main
 
 import (
@@ -47,6 +52,8 @@ var (
 	workers   = flag.Int("workers", 0, "intra-query scan workers (0 = GOMAXPROCS, 1 = serial)")
 	walDir    = flag.String("wal", "", "run durably: write-ahead log and snapshots in this directory")
 	syncMode  = flag.String("sync", "always", "WAL commit policy: always, batch or none")
+	traceOn   = flag.Bool("trace", false, "print the execution trace tree after every xquery")
+	slowQ     = flag.Duration("slow", 0, "log queries at least this slow to stderr (0 = off)")
 )
 
 func main() {
@@ -105,7 +112,9 @@ func main() {
 		}
 	}
 	sys, err := archis.New(archis.Options{Layout: lay, Workers: *workers,
-		WALDir: *walDir, WALSync: sync})
+		WALDir: *walDir, WALSync: sync,
+		SlowQueryThreshold: *slowQ,
+		SlowQueryLog:       func(rec string) { fmt.Fprintln(os.Stderr, rec) }})
 	check(err)
 	check(sys.Register(dataset.EmployeeSpec()))
 	check(sys.Register(dataset.DeptSpec()))
@@ -213,7 +222,7 @@ func repl(sys *archis.System) {
 		case "quit", "exit":
 			return
 		case "help":
-			fmt.Println("  xquery <q>  | sql <stmt> | translate <q> | doc <table> | clock [date] | stats | checkpoint | save <path> | quit")
+			fmt.Println("  xquery <q>  | sql <stmt> | translate <q> | doc <table> | clock [date] | stats | metrics | checkpoint | save <path> | quit")
 		case "save":
 			if rest == "" && *dbPath != "" {
 				rest = *dbPath
@@ -228,6 +237,20 @@ func repl(sys *archis.System) {
 			}
 			fmt.Println("saved to", rest)
 		case "xquery":
+			if *traceOn {
+				res, trace, err := sys.QueryTraced(rest)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Printf("[path: %s]\n", res.Path)
+				if res.SQL != "" {
+					fmt.Println("sql:", res.SQL)
+				}
+				fmt.Println(res.Items.Serialize())
+				fmt.Print(trace.Tree())
+				continue
+			}
 			res, err := sys.Query(rest)
 			if err != nil {
 				fmt.Println("error:", err)
@@ -295,6 +318,9 @@ func repl(sys *archis.System) {
 			if sys.Durable() {
 				printWALStats(sys)
 			}
+		case "metrics":
+			os.Stdout.Write(sys.MetricsJSON())
+			fmt.Println()
 		case "checkpoint":
 			if err := sys.Checkpoint(); err != nil {
 				fmt.Println("error:", err)

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"archis/internal/core"
+	"archis/internal/obs"
+	"archis/internal/sqlengine"
+)
+
+// buildExplainEnv pins everything the plans depend on: the seeded
+// small workload, MinSegmentRows=160 (buildAll's setting) and two
+// intra-query workers, so EXPLAIN output is byte-stable across
+// machines.
+func buildExplainEnv(t *testing.T, opts Options) *Env {
+	t.Helper()
+	opts.Workers = 2
+	opts.MinSegmentRows = 160
+	e, err := Build(smallCfg(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func explain(t *testing.T, e *Env, sql string) string {
+	t.Helper()
+	res, err := e.Sys.Exec("EXPLAIN " + sql)
+	if err != nil {
+		t.Fatalf("EXPLAIN %s: %v", sql, err)
+	}
+	var b strings.Builder
+	for _, row := range res.Rows {
+		b.WriteString(row[0].Text())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestExplainGolden locks the static plans of the Table 3 suite (plus
+// the self-join formulation of Q6) on the clustered layout, and
+// checks the compressed layout plans are identical — compression is a
+// storage-level change, invisible to the planner.
+func TestExplainGolden(t *testing.T) {
+	e := buildExplainEnv(t, Options{Layout: core.LayoutClustered})
+	golden := map[QueryID]string{
+		Q1: `select
+  morsel-fanout workers=2
+    scan S (virtual) bounds=4 filter=4 conjuncts
+  project cols=1
+`,
+		Q2: `select
+  morsel-fanout workers=2
+    scan S (virtual) bounds=3 filter=3 conjuncts
+  agg-merge
+  project cols=1
+`,
+		Q3: `select
+  morsel-fanout workers=2
+    scan S (virtual) bounds=1 filter=1 conjuncts
+  project cols=3 order-by=1
+`,
+		Q4: `select
+  morsel-fanout workers=2
+    scan S (virtual)
+  agg-merge
+  project cols=1
+`,
+		Q5: `select
+  morsel-fanout workers=2
+    scan S (virtual) bounds=3 filter=4 conjuncts
+  agg-merge
+  project cols=1
+`,
+		Q6: `select
+  morsel-fanout workers=2
+    scan S (virtual) bounds=3 filter=3 conjuncts
+  agg-merge
+  project cols=1
+`,
+	}
+	for _, q := range AllQueries {
+		if got := explain(t, e, e.SQL(q)); got != golden[q] {
+			t.Errorf("Q%d plan drifted:\n--- got ---\n%s--- want ---\n%s", q, got, golden[q])
+		}
+	}
+	joinGolden := `select
+  hash join keys=1
+    build: scan S2 (virtual)
+    probe: scan S1 (virtual) bounds=1 filter=1 conjuncts (streamed)
+  filter residual=2 conjuncts
+  project cols=1
+`
+	if got := explain(t, e, e.JoinSQL()); got != joinGolden {
+		t.Errorf("join plan drifted:\n--- got ---\n%s--- want ---\n%s", got, joinGolden)
+	}
+
+	c := buildExplainEnv(t, Options{Layout: core.LayoutCompressed, Compress: true})
+	for _, q := range AllQueries {
+		if cp, kp := explain(t, c, c.SQL(q)), golden[q]; cp != kp {
+			t.Errorf("Q%d: compressed plan differs from clustered:\n%s\nvs\n%s", q, cp, kp)
+		}
+	}
+}
+
+// maskTimings replaces span durations with [T] so golden EXPLAIN
+// ANALYZE output asserts structure and cardinalities, never clocks.
+var timingRE = regexp.MustCompile(`\[[0-9.]+(µs|ms|s)\]`)
+
+func maskTimings(s string) string { return timingRE.ReplaceAllString(s, "[T]") }
+
+// TestExplainAnalyzeJoinGolden runs EXPLAIN ANALYZE on the Table 3
+// join query and asserts the executed plan tree node by node:
+// operator order, per-node input/output cardinalities and attributes,
+// with timings masked.
+func TestExplainAnalyzeJoinGolden(t *testing.T) {
+	e := buildExplainEnv(t, Options{Layout: core.LayoutClustered})
+	res, err := e.Sys.Exec("EXPLAIN ANALYZE " + e.JoinSQL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, row := range res.Rows {
+		b.WriteString(row[0].Text())
+		b.WriteByte('\n')
+	}
+	got := maskTimings(b.String())
+	want := `query  [T] rows=1
+  join:hash-build  [T] rows=0 rows_in=506 table=S2 buckets=103
+  join:hash-probe  [T] rows=908 rows_in=143 table=S1 workers=2 morsels=3
+  filter  [T] rows=261 rows_in=908
+  aggregate  [T] rows=1 rows_in=261
+  project  [T] rows=1 rows_in=1 grouped=true
+`
+	if got != want {
+		t.Errorf("EXPLAIN ANALYZE drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainAnalyzeSuite smoke-checks EXPLAIN ANALYZE over the whole
+// suite on the clustered layout: every tree must carry the root
+// cardinality and at least one timed operator node.
+func TestExplainAnalyzeSuite(t *testing.T) {
+	e := buildExplainEnv(t, Options{Layout: core.LayoutClustered})
+	for _, q := range AllQueries {
+		res, err := e.Sys.Exec("EXPLAIN ANALYZE " + e.SQL(q))
+		if err != nil {
+			t.Fatalf("Q%d: %v", q, err)
+		}
+		if len(res.Rows) < 2 {
+			t.Fatalf("Q%d: analyze tree has %d lines, want root + operators", q, len(res.Rows))
+		}
+		root := res.Rows[0][0].Text()
+		if !strings.HasPrefix(root, "query  [") || !strings.Contains(root, "rows=") {
+			t.Errorf("Q%d: root line %q lacks timing or cardinality", q, root)
+		}
+		if masked := maskTimings(root); !strings.Contains(masked, "[T]") {
+			t.Errorf("Q%d: timing mask failed on %q", q, root)
+		}
+	}
+}
+
+// TestTraceDifferential runs the suite traced and untraced on all
+// three layouts and requires identical answers — instrumentation must
+// observe execution, never alter it. CI runs this under -race, so
+// concurrent span updates from morsel workers get checked too.
+func TestTraceDifferential(t *testing.T) {
+	for _, lay := range []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{Layout: core.LayoutPlain}},
+		{"clustered", Options{Layout: core.LayoutClustered}},
+		{"compressed", Options{Layout: core.LayoutCompressed, Compress: true}},
+	} {
+		e := buildExplainEnv(t, lay.opts)
+		for _, q := range AllQueries {
+			plain, err := e.Run(q)
+			if err != nil {
+				t.Fatalf("%s Q%d untraced: %v", lay.name, q, err)
+			}
+			tr := obs.NewTracer("query")
+			res, err := e.Sys.Engine.ExecTraced(e.SQL(q), tr.Root())
+			if err != nil {
+				t.Fatalf("%s Q%d traced: %v", lay.name, q, err)
+			}
+			traced := resultOf(res)
+			if traced != plain {
+				t.Errorf("%s Q%d: traced answer %+v differs from untraced %+v",
+					lay.name, q, traced, plain)
+			}
+			if qt := tr.Finish(e.SQL(q)); qt.Find("scan") == nil && qt.Find("morsel-fanout") == nil {
+				t.Errorf("%s Q%d: trace has neither scan nor morsel-fanout span:\n%s",
+					lay.name, q, qt.Tree())
+			}
+		}
+	}
+}
+
+// resultOf mirrors Env.Run's Result extraction for a raw engine
+// result.
+func resultOf(res *sqlengine.Result) Result {
+	out := Result{Rows: len(res.Rows)}
+	if len(res.Rows) == 1 && len(res.Rows[0]) == 1 {
+		out.Value = res.Rows[0][0].Text()
+	}
+	return out
+}

@@ -41,9 +41,10 @@ type Stats struct {
 }
 
 // Stats returns the system's counters, including the WAL's when one is
-// configured.
+// configured. Every field is assembled from atomic loads, so Stats is
+// safe to call concurrently with writers (see TestStatsRace).
 func (s *System) Stats() Stats {
-	st := Stats{Stats: s.DB.Stats(), WALReplayedRecords: s.replayed}
+	st := Stats{Stats: s.DB.Stats(), WALReplayedRecords: s.replayed.Load()}
 	if s.wal != nil {
 		ws := s.wal.Stats()
 		st.WALAppends = ws.Appends
@@ -74,6 +75,7 @@ func (s *System) walOptions(fsys wal.FS) wal.Options {
 		SegmentBytes: s.opts.WALSegmentBytes,
 		Sync:         s.opts.WALSync,
 		BatchWindow:  s.opts.WALBatchWindow,
+		Metrics:      s.metrics,
 	}
 }
 
@@ -312,7 +314,7 @@ func RecoverWithOptions(dir string, ropts RecoverOptions) (*System, error) {
 	s.wal = w
 	s.walFS = fsys
 	s.walLSN = snapLSN
-	s.replayed = replayed
+	s.replayed.Store(replayed)
 	s.attachWALSink()
 	return s, nil
 }

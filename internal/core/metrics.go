@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"archis/internal/obs"
+)
+
+// Observability surfaces (DESIGN.md §11). The registry is callback
+// based: the storage and WAL counters below already exist as atomics
+// in their own packages, so a snapshot reads them in place — there is
+// no second accounting path to drift from the first.
+
+// Metrics returns the system's metrics registry (never nil). The WAL
+// latency histograms (wal.append_ns, wal.fsync_ns, wal.commit_ns) land
+// here too — walOptions passes the registry to the log.
+func (s *System) Metrics() *obs.Registry { return s.metrics }
+
+// MetricsSnapshot returns a point-in-time snapshot of every counter,
+// gauge and histogram.
+func (s *System) MetricsSnapshot() obs.Snapshot { return s.metrics.Snapshot() }
+
+// MetricsJSON renders the snapshot as indented JSON — the expvar-style
+// dump served by the CLIs.
+func (s *System) MetricsJSON() []byte { return s.MetricsSnapshot().JSON() }
+
+// registerMetrics wires the pre-existing atomic counters into the
+// registry. WAL callbacks guard on s.wal themselves (via WALStats), so
+// registration happens once at construction regardless of durability.
+func (s *System) registerMetrics() {
+	r := s.metrics
+	r.CounterFunc("relstore.block_reads", func() int64 { return s.DB.Stats().BlockReads })
+	r.CounterFunc("relstore.bytes_read", func() int64 { return s.DB.Stats().BytesRead })
+	r.CounterFunc("relstore.cache_hits", func() int64 { return s.DB.Stats().CacheHits })
+	r.CounterFunc("relstore.pages_skipped", func() int64 { return s.DB.Stats().PagesSkipped })
+	r.CounterFunc("relstore.morsels", func() int64 { return s.DB.Stats().Morsels })
+	r.CounterFunc("relstore.rows_borrowed", func() int64 { return s.DB.Stats().RowsBorrowed })
+	r.CounterFunc("relstore.rows_copied", func() int64 { return s.DB.Stats().RowsCopied })
+	r.CounterFunc("relstore.block_cache_hits", func() int64 { return s.DB.Stats().BlockCacheHits })
+	r.CounterFunc("relstore.block_cache_misses", func() int64 { return s.DB.Stats().BlockCacheMisses })
+	r.GaugeFunc("relstore.block_cache_bytes", func() int64 { return s.DB.Stats().BlockCacheBytes })
+	r.CounterFunc("relstore.join_rows_borrowed", func() int64 { return s.DB.Stats().JoinRowsBorrowed })
+	r.CounterFunc("relstore.join_rows_copied", func() int64 { return s.DB.Stats().JoinRowsCopied })
+
+	r.CounterFunc("wal.appends", func() int64 { return s.WALStats().Appends })
+	r.CounterFunc("wal.fsyncs", func() int64 { return s.WALStats().Fsyncs })
+	r.CounterFunc("wal.grouped_commits", func() int64 { return s.WALStats().GroupedCommits })
+	r.GaugeFunc("wal.segments", func() int64 { return int64(s.WALStats().Segments) })
+	r.GaugeFunc("wal.appended_lsn", func() int64 { return int64(s.WALStats().AppendedLSN) })
+	r.GaugeFunc("wal.durable_lsn", func() int64 { return int64(s.WALStats().DurableLSN) })
+	r.CounterFunc("core.wal_replayed_records", func() int64 { return s.replayed.Load() })
+}
+
+// observeQuery records one finished query: its latency in the path's
+// histogram and, past the configured threshold, one structured line in
+// the slow-query log.
+func (s *System) observeQuery(h *obs.Histogram, path, query string, d time.Duration, rows int, err error) {
+	h.Observe(d)
+	if s.opts.SlowQueryThreshold <= 0 || d < s.opts.SlowQueryThreshold || s.opts.SlowQueryLog == nil {
+		return
+	}
+	s.opts.SlowQueryLog(slowQueryRecord(path, query, d, rows, err))
+}
+
+// slowQueryRecord formats one slow-query log line: space-separated
+// key=value fields with the query last, quoted, newlines collapsed and
+// truncated so a pathological statement cannot flood the log.
+func slowQueryRecord(path, query string, d time.Duration, rows int, err error) string {
+	const maxQuery = 200
+	q := strings.Join(strings.Fields(query), " ")
+	if len(q) > maxQuery {
+		q = q[:maxQuery] + "..."
+	}
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	return fmt.Sprintf("slow_query path=%s dur=%s rows=%d status=%s query=%q",
+		path, obs.FormatDuration(d), rows, status, q)
+}

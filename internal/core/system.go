@@ -17,6 +17,7 @@ import (
 
 	"archis/internal/blockzip"
 	"archis/internal/htable"
+	"archis/internal/obs"
 	"archis/internal/relstore"
 	"archis/internal/segment"
 	"archis/internal/sqlengine"
@@ -88,6 +89,12 @@ type Options struct {
 	// WALSegmentBytes is the log segment roll threshold
 	// (wal.DefaultSegmentBytes if zero).
 	WALSegmentBytes int
+	// SlowQueryThreshold, when positive, logs every query (Exec, Query,
+	// QueryXML entry points) that takes at least this long as one
+	// structured line through SlowQueryLog (DESIGN.md §11).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query records; nil discards them.
+	SlowQueryLog func(record string)
 }
 
 // System is the assembled ArchIS instance.
@@ -110,14 +117,22 @@ type System struct {
 	pubCache map[string]*xmltree.Node // table → published H-doc
 	dirty    map[string]bool
 
+	// Observability (metrics.go, DESIGN.md §11): the registry surfaces
+	// the storage and WAL counters plus the per-path query-latency
+	// histograms below. Always non-nil.
+	metrics *obs.Registry
+	qhSQL   *obs.Histogram // query.sql_ns: direct SQL through Exec
+	qhTrans *obs.Histogram // query.sqlxml_ns: translated XQuery
+	qhXML   *obs.Histogram // query.xml_ns: XQuery on published H-docs
+
 	// Durability (durable.go). writeMu serializes writers — statement
 	// execution, DDL, clock moves, checkpoints — while their WAL
 	// fsyncs overlap for group commit.
 	writeMu  sync.Mutex
 	wal      *wal.Log
 	walFS    wal.FS
-	walLSN   uint64 // LSN covered by the latest checkpoint snapshot
-	replayed int64  // records replayed by the last recovery
+	walLSN   uint64       // LSN covered by the latest checkpoint snapshot
+	replayed atomic.Int64 // records replayed by the last recovery
 }
 
 // New builds a System over a fresh in-memory database. With
@@ -160,6 +175,11 @@ func newWithDB(db *relstore.Database, opts Options) (*System, error) {
 		dirty:      map[string]bool{},
 	}
 	s.translator = &translator.Translator{Catalog: s.catalog}
+	s.metrics = obs.NewRegistry()
+	s.qhSQL = s.metrics.Histogram("query.sql_ns")
+	s.qhTrans = s.metrics.Histogram("query.sqlxml_ns")
+	s.qhXML = s.metrics.Histogram("query.xml_ns")
+	s.registerMetrics()
 	a.SetStoreFactory(s.makeStore)
 	return s, nil
 }
@@ -352,8 +372,18 @@ func (s *System) SetClock(d temporal.Date) {
 }
 
 // Exec runs SQL against the engine (the current database and the
-// H-tables share it).
-func (s *System) Exec(sql string) (*sqlengine.Result, error) { return s.Engine.Exec(sql) }
+// H-tables share it). Latency lands in the query.sql_ns histogram and
+// the slow-query log when a threshold is configured.
+func (s *System) Exec(sql string) (*sqlengine.Result, error) {
+	start := time.Now()
+	res, err := s.Engine.Exec(sql)
+	rows := 0
+	if res != nil {
+		rows = len(res.Rows)
+	}
+	s.observeQuery(s.qhSQL, "sql", sql, time.Since(start), rows, err)
+	return res, err
+}
 
 // Translate shows the SQL/XML a temporal query maps to.
 func (s *System) Translate(query string) (string, error) {
@@ -380,18 +410,53 @@ type QueryResult struct {
 // H-documents otherwise (the paper's bypass for restructuring and
 // quantified queries).
 func (s *System) Query(query string) (*QueryResult, error) {
-	sql, err := s.translator.Translate(query)
-	if err == nil {
-		res, err := s.Engine.Exec(sql)
+	return s.queryTraced(query, nil)
+}
+
+// QueryTraced is Query under a fresh tracer: the returned QueryTrace
+// holds the full span tree — translation, per-operator SQL execution
+// or XQuery evaluation — plus the query's storage-counter deltas as
+// attributes on the root span. The deltas come from global counters,
+// so concurrent queries bleed into each other's attribution; trace
+// serially when exact per-query numbers matter.
+func (s *System) QueryTraced(query string) (*QueryResult, *obs.QueryTrace, error) {
+	tr := obs.NewTracer("query")
+	root := tr.Root()
+	prev := s.DB.Stats()
+	res, err := s.queryTraced(query, root)
+	d := s.DB.Stats().Sub(prev)
+	root.SetInt("block_reads", d.BlockReads)
+	root.SetInt("bytes_read", d.BytesRead)
+	root.SetInt("cache_hits", d.CacheHits)
+	root.SetInt("pages_skipped", d.PagesSkipped)
+	root.SetInt("block_cache_hits", d.BlockCacheHits)
+	root.SetInt("block_cache_misses", d.BlockCacheMisses)
+	if res != nil {
+		root.SetAttr("path", string(res.Path))
+		root.AddRows(0, int64(len(res.Items)))
+	}
+	return res, tr.Finish(query), err
+}
+
+// queryTraced is the shared body of Query and QueryTraced; sp may be
+// nil (untraced).
+func (s *System) queryTraced(query string, sp *obs.Span) (*QueryResult, error) {
+	start := time.Now()
+	sql, terr := s.translator.TranslateTraced(query, sp)
+	if terr == nil {
+		res, err := s.Engine.ExecTraced(sql, sp)
 		if err != nil {
 			return nil, fmt.Errorf("core: translated query failed: %w\nsql: %s", err, sql)
 		}
-		return &QueryResult{Items: rowsToSeq(res), Path: PathSQL, SQL: sql}, nil
+		qr := &QueryResult{Items: rowsToSeq(res), Path: PathSQL, SQL: sql}
+		s.observeQuery(s.qhTrans, "sql/xml", query, time.Since(start), len(qr.Items), nil)
+		return qr, nil
 	}
-	if !errors.Is(err, translator.ErrUnsupported) {
-		return nil, err
+	if !errors.Is(terr, translator.ErrUnsupported) {
+		return nil, terr
 	}
-	seq, err := s.QueryXML(query)
+	seq, err := s.queryXMLTraced(query, sp)
+	s.observeQuery(s.qhXML, "xml", query, time.Since(start), len(seq), err)
 	if err != nil {
 		return nil, err
 	}
@@ -446,7 +511,7 @@ func (s *System) RunParallel(queries []string, workers int) []ParallelResult {
 func (s *System) runReadOnly(q string) ParallelResult {
 	pr := ParallelResult{Query: q}
 	switch kw := firstKeyword(q); kw {
-	case "select":
+	case "select", "explain":
 		res, err := s.Engine.Exec(q)
 		if err != nil {
 			pr.Err = err
@@ -499,8 +564,13 @@ func firstKeyword(q string) string {
 
 // QueryXML evaluates a query directly over the published H-documents.
 func (s *System) QueryXML(query string) (xquery.Seq, error) {
+	return s.queryXMLTraced(query, nil)
+}
+
+func (s *System) queryXMLTraced(query string, sp *obs.Span) (xquery.Seq, error) {
 	ev := xquery.NewEvaluator(s.resolveDoc)
 	ev.Now = s.Clock()
+	ev.Trace = sp
 	return ev.Eval(query)
 }
 

@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 on nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value. Nil-safe.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Load returns the current value (0 on nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of a Histogram: bucket i
+// counts observations whose nanosecond value has bit length i, i.e.
+// values in [2^(i-1), 2^i). 63 buckets cover every positive int64
+// duration — sub-microsecond fsyncs up to multi-hour stalls — with no
+// configuration and no locking.
+const histBuckets = 63
+
+// Histogram is a fixed-bucket, lock-free latency histogram. Observe is
+// one atomic add per call and safe from any number of goroutines;
+// Snapshot is wait-free and may be slightly torn (counts and sum are
+// read independently), which is acceptable for monitoring output.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds (monotonic high-water mark)
+}
+
+func bucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration. Nil-safe (the disabled path is one
+// pointer check).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: Count
+// observations with duration < UpperNS (and >= the previous bucket's
+// bound).
+type HistogramBucket struct {
+	UpperNS int64 `json:"upper_ns"`
+	Count   int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	SumNS   int64             `json:"sum_ns"`
+	MaxNS   int64             `json:"max_ns"`
+	MeanNS  int64             `json:"mean_ns"`
+	P50NS   int64             `json:"p50_ns"`
+	P99NS   int64             `json:"p99_ns"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram. Quantiles are bucket-upper-bound
+// estimates (within 2× of the true value by construction).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), SumNS: h.sum.Load(), MaxNS: h.max.Load()}
+	if s.Count > 0 {
+		s.MeanNS = s.SumNS / s.Count
+	}
+	var cum int64
+	p50, p99 := (s.Count+1)/2, (s.Count*99+99)/100
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		upper := int64(1) << uint(i)
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperNS: upper, Count: n})
+		prev := cum
+		cum += n
+		if prev < p50 && cum >= p50 {
+			s.P50NS = upper
+		}
+		if prev < p99 && cum >= p99 {
+			s.P99NS = upper
+		}
+	}
+	return s
+}
+
+// Registry is a named collection of metrics. Counters and gauges may
+// be registered as callbacks (Func variants) so existing atomic
+// counters — relstore.Stats, wal.Stats — surface in the same snapshot
+// without double accounting; histograms are owned by the registry.
+// All methods are nil-safe so an unconfigured subsystem costs nothing.
+type Registry struct {
+	mu     sync.Mutex
+	funcs  map[string]func() int64
+	gauges map[string]func() int64
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		funcs:  map[string]func() int64{},
+		gauges: map[string]func() int64{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// CounterFunc registers a monotonic counter read through fn.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers an instantaneous value read through fn.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil on a nil registry, and the nil histogram swallows
+// observations — subsystems need no configuration check.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is one consistent-path view of every registered metric.
+// (Individual callbacks read atomics, so the snapshot is per-metric
+// atomic, not globally transactional — the standard monitoring
+// contract.)
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric in the registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, fn := range funcs {
+		s.Counters[k] = fn()
+	}
+	for k, fn := range gauges {
+		s.Gauges[k] = fn()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.Snapshot()
+	}
+	return s
+}
+
+// JSON renders the snapshot as an expvar-style indented JSON document
+// with deterministic key order (maps marshal sorted in encoding/json).
+func (s Snapshot) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil { // unreachable
+		return []byte("{}")
+	}
+	return b
+}
+
+// Names lists every registered metric name, sorted — test and
+// discovery helper.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for k := range r.funcs {
+		out = append(out, k)
+	}
+	for k := range r.gauges {
+		out = append(out, k)
+	}
+	for k := range r.hists {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

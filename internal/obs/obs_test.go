@@ -1,0 +1,390 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer("query")
+	root := tr.Root()
+	root.SetAttr("sql", "SELECT 1")
+	scan := root.Child("scan")
+	scan.SetAttr("table", "emp")
+	scan.AddRows(100, 40)
+	scan.End()
+	join := root.Child("join:hash")
+	join.AddRows(40, 12)
+	join.End()
+	qt := tr.Finish("q1")
+
+	if qt.Query != "q1" {
+		t.Fatalf("query = %q", qt.Query)
+	}
+	if got := qt.Find("scan"); got == nil || got.RowsIn != 100 || got.RowsOut != 40 {
+		t.Fatalf("scan node = %+v", got)
+	}
+	if got := qt.Find("scan").Attr("table"); got != "emp" {
+		t.Fatalf("table attr = %q", got)
+	}
+	if qt.Find("join:hash") == nil || qt.Find("missing") != nil {
+		t.Fatal("find mismatch")
+	}
+	if len(qt.Root.Children) != 2 {
+		t.Fatalf("children = %d", len(qt.Root.Children))
+	}
+
+	tree := qt.Tree()
+	if !strings.Contains(tree, "scan") || !strings.Contains(tree, "rows=40") || !strings.Contains(tree, "table=emp") {
+		t.Fatalf("tree output:\n%s", tree)
+	}
+
+	var back QueryTrace
+	if err := json.Unmarshal(qt.JSON(), &back); err != nil {
+		t.Fatalf("trace JSON round-trip: %v", err)
+	}
+	if back.Root.Name != "query" {
+		t.Fatalf("round-trip root = %q", back.Root.Name)
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatal("nil.Child must return nil")
+	}
+	s.End()
+	s.SetAttr("k", "v")
+	s.SetInt("n", 1)
+	s.AddRows(1, 2)
+	var tr *Tracer
+	if tr.Root() != nil {
+		t.Fatal("nil tracer root must be nil")
+	}
+	if tr.Finish("q") != nil {
+		t.Fatal("nil tracer finish must be nil")
+	}
+}
+
+// The disabled-tracing contract: every hook on a nil span or histogram
+// is one pointer check and zero allocations.
+func TestNilPathZeroAlloc(t *testing.T) {
+	var s *Span
+	var h *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		c := s.Child("scan")
+		c.AddRows(1, 1)
+		c.SetInt("k", 2)
+		c.End()
+		h.Observe(time.Microsecond)
+	}); n != 0 {
+		t.Fatalf("nil-path allocs = %v, want 0", n)
+	}
+}
+
+func TestSpanConcurrent(t *testing.T) {
+	tr := NewTracer("q")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c := root.Child("morsel")
+				c.AddRows(1, 1)
+				c.End()
+				root.AddRows(0, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	qt := tr.Finish("")
+	if len(qt.Root.Children) != 800 {
+		t.Fatalf("children = %d, want 800", len(qt.Root.Children))
+	}
+	if qt.Root.RowsOut != 800 {
+		t.Fatalf("rows out = %d, want 800", qt.Root.RowsOut)
+	}
+}
+
+func TestUnclosedSpanRendered(t *testing.T) {
+	tr := NewTracer("q")
+	tr.Root().Child("open") // never ended
+	qt := tr.Finish("")
+	n := qt.Find("open")
+	if n == nil || n.DurNS < 0 {
+		t.Fatalf("unclosed span node = %+v", n)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Microsecond) // 1000ns → bucket upper 1024
+	}
+	h.Observe(time.Second)
+	s := h.Snapshot()
+	if s.Count != 101 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.MaxNS != time.Second.Nanoseconds() {
+		t.Fatalf("max = %d", s.MaxNS)
+	}
+	if s.P50NS != 1024 {
+		t.Fatalf("p50 = %d, want 1024", s.P50NS)
+	}
+	if s.P99NS != 1024 {
+		t.Fatalf("p99 = %d, want 1024", s.P99NS)
+	}
+	if s.MeanNS <= 0 {
+		t.Fatalf("mean = %d", s.MeanNS)
+	}
+	if len(s.Buckets) != 2 {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped to 0
+	h.Observe(time.Duration(1<<62 + 1<<61))
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Buckets[0].UpperNS != 1 || s.Buckets[0].Count != 2 {
+		t.Fatalf("zero bucket = %+v", s.Buckets[0])
+	}
+	var empty *Histogram
+	empty.Observe(time.Second)
+	if empty.Snapshot().Count != 0 {
+		t.Fatal("nil histogram must be empty")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(k+1) * time.Microsecond)
+				_ = h.Snapshot()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	var n int64 = 7
+	r.CounterFunc("relstore.block_reads", func() int64 { return n })
+	r.GaugeFunc("relstore.block_cache_bytes", func() int64 { return 42 })
+	r.Histogram("wal.fsync_ns").Observe(3 * time.Millisecond)
+	if h1, h2 := r.Histogram("wal.fsync_ns"), r.Histogram("wal.fsync_ns"); h1 != h2 {
+		t.Fatal("Histogram must return the same instance per name")
+	}
+
+	s := r.Snapshot()
+	if s.Counters["relstore.block_reads"] != 7 {
+		t.Fatalf("counter = %d", s.Counters["relstore.block_reads"])
+	}
+	if s.Gauges["relstore.block_cache_bytes"] != 42 {
+		t.Fatalf("gauge = %d", s.Gauges["relstore.block_cache_bytes"])
+	}
+	if s.Histograms["wal.fsync_ns"].Count != 1 {
+		t.Fatalf("hist = %+v", s.Histograms["wal.fsync_ns"])
+	}
+
+	var back Snapshot
+	if err := json.Unmarshal(s.JSON(), &back); err != nil {
+		t.Fatalf("snapshot JSON: %v", err)
+	}
+	if back.Counters["relstore.block_reads"] != 7 {
+		t.Fatal("JSON round-trip lost counter")
+	}
+
+	want := []string{"relstore.block_cache_bytes", "relstore.block_reads", "wal.fsync_ns"}
+	got := r.Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.CounterFunc("x", func() int64 { return 1 })
+	r.GaugeFunc("y", func() int64 { return 1 })
+	r.Histogram("z").Observe(time.Second)
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot = %+v", s)
+	}
+	if r.Names() != nil {
+		t.Fatal("nil registry names must be nil")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Histogram("h").Observe(time.Microsecond)
+				r.CounterFunc("c", func() int64 { return 1 })
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Snapshot().Histograms["h"].Count; got != 1600 {
+		t.Fatalf("count = %d, want 1600", got)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{1500 * time.Nanosecond, "1.5µs"},
+		{2500 * time.Microsecond, "2.50ms"},
+		{1200 * time.Millisecond, "1.200s"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Fatalf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// The overhead benchmarks below model a BenchmarkScanBorrow-class hot
+// loop: per-scan span bookkeeping (one Child/AddRows/End around the
+// loop — the granularity the engine instruments at; span methods are
+// never called per row) over 20k rows of per-row arithmetic. The
+// acceptance budget is <2% added latency with tracing disabled.
+
+var benchSink int64
+
+func scanLoopRows() []int64 {
+	rows := make([]int64, 20000)
+	for i := range rows {
+		rows[i] = int64(i * 7)
+	}
+	return rows
+}
+
+func BenchmarkScanLoopBare(b *testing.B) {
+	rows := scanLoopRows()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		for _, v := range rows {
+			sum += v
+		}
+		benchSink = sum
+	}
+}
+
+func BenchmarkScanLoopNilSpan(b *testing.B) {
+	rows := scanLoopRows()
+	var sp *Span // disabled tracing: every call is a nil check
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sp.Child("scan")
+		var sum int64
+		for _, v := range rows {
+			sum += v
+		}
+		s.AddRows(0, int64(len(rows)))
+		s.End()
+		benchSink = sum
+	}
+}
+
+// TestNilTracerOverhead measures the two loops with testing.Benchmark
+// and fails when the disabled-tracer loop costs noticeably more than
+// the bare loop. The pass bound is deliberately looser than the 2%
+// budget — shared CI machines jitter more than that — but it still
+// catches a nil path that grew an allocation, a lock, or a time.Now
+// call. The measured ratio is logged for the record.
+func TestNilTracerOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison; skipped in -short")
+	}
+	rows := scanLoopRows()
+	bareIter := func() {
+		var sum int64
+		for _, v := range rows {
+			sum += v
+		}
+		benchSink = sum
+	}
+	var sp *Span
+	nilIter := func() {
+		s := sp.Child("scan")
+		var sum int64
+		for _, v := range rows {
+			sum += v
+		}
+		s.AddRows(0, int64(len(rows)))
+		s.End()
+		benchSink = sum
+	}
+	// Interleaved best-of-batches: the two loops alternate inside the
+	// same time window so CPU frequency drift hits both, and scheduling
+	// noise only ever slows a batch down, so each side's minimum is its
+	// stable cost estimate.
+	const batch, warmup, measured = 200, 2, 20
+	timeBatch := func(f func()) time.Duration {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			f()
+		}
+		return time.Since(start)
+	}
+	var bareBest, nilBest time.Duration
+	for r := 0; r < warmup+measured; r++ {
+		db, dn := timeBatch(bareIter), timeBatch(nilIter)
+		if r < warmup {
+			continue
+		}
+		if bareBest == 0 || db < bareBest {
+			bareBest = db
+		}
+		if nilBest == 0 || dn < nilBest {
+			nilBest = dn
+		}
+	}
+	if n := testing.AllocsPerRun(100, nilIter); n != 0 {
+		t.Fatalf("nil-span scan loop allocates: %v allocs/op", n)
+	}
+	ratio := float64(nilBest) / float64(bareBest)
+	t.Logf("bare %v/batch, nil-span %v/batch, overhead %+.2f%%",
+		bareBest, nilBest, (ratio-1)*100)
+	if ratio > 1.25 {
+		t.Fatalf("nil-tracer overhead %.2fx exceeds the backstop bound 1.25x", ratio)
+	}
+}

@@ -29,6 +29,27 @@ type Stats struct {
 	JoinRowsCopied   int64
 }
 
+// Sub returns the counter deltas s−prev. BlockCacheBytes is a gauge,
+// not a counter, so the current value is kept rather than differenced.
+// This is how per-query and per-benchmark-iteration storage activity
+// is attributed without touching the scan hot path.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		BlockReads:       s.BlockReads - prev.BlockReads,
+		BytesRead:        s.BytesRead - prev.BytesRead,
+		CacheHits:        s.CacheHits - prev.CacheHits,
+		PagesSkipped:     s.PagesSkipped - prev.PagesSkipped,
+		Morsels:          s.Morsels - prev.Morsels,
+		RowsBorrowed:     s.RowsBorrowed - prev.RowsBorrowed,
+		RowsCopied:       s.RowsCopied - prev.RowsCopied,
+		BlockCacheHits:   s.BlockCacheHits - prev.BlockCacheHits,
+		BlockCacheMisses: s.BlockCacheMisses - prev.BlockCacheMisses,
+		BlockCacheBytes:  s.BlockCacheBytes,
+		JoinRowsBorrowed: s.JoinRowsBorrowed - prev.JoinRowsBorrowed,
+		JoinRowsCopied:   s.JoinRowsCopied - prev.JoinRowsCopied,
+	}
+}
+
 // Database is a catalog of tables and indexes plus a shared page
 // cache.
 //

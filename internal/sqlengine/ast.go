@@ -90,6 +90,14 @@ type CreateIndexStmt struct {
 // DropTableStmt is DROP TABLE t.
 type DropTableStmt struct{ Name string }
 
+// ExplainStmt is EXPLAIN [ANALYZE] <select>. Plain EXPLAIN renders the
+// static access plan; ANALYZE executes the query under a tracer and
+// renders the span tree with per-node timings and cardinalities.
+type ExplainStmt struct {
+	Analyze bool
+	Inner   *SelectStmt
+}
+
 func (*SelectStmt) stmt()      {}
 func (*InsertStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
@@ -97,6 +105,7 @@ func (*DeleteStmt) stmt()      {}
 func (*CreateTableStmt) stmt() {}
 func (*CreateIndexStmt) stmt() {}
 func (*DropTableStmt) stmt()   {}
+func (*ExplainStmt) stmt()     {}
 
 // Expr is any scalar expression.
 type Expr interface{ expr() }

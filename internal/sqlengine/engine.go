@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"archis/internal/obs"
 	"archis/internal/relstore"
 	"archis/internal/temporal"
 )
@@ -144,11 +145,20 @@ type Result struct {
 
 // Exec parses and executes one SQL statement.
 func (en *Engine) Exec(sql string) (*Result, error) {
+	return en.ExecTraced(sql, nil)
+}
+
+// ExecTraced is Exec with execution-stage spans recorded as children
+// of sp. A nil sp disables tracing at the cost of one pointer check
+// per hook (the DESIGN.md §11 contract).
+func (en *Engine) ExecTraced(sql string, sp *obs.Span) (*Result, error) {
+	ps := sp.Child("parse")
 	stmt, err := Parse(sql)
+	ps.End()
 	if err != nil {
 		return nil, err
 	}
-	return en.ExecStmt(stmt)
+	return en.ExecStmtTraced(stmt, sp)
 }
 
 // MustExec is Exec for statements that must succeed (setup code).
@@ -162,9 +172,17 @@ func (en *Engine) MustExec(sql string) *Result {
 
 // ExecStmt executes a parsed statement.
 func (en *Engine) ExecStmt(stmt Statement) (*Result, error) {
+	return en.ExecStmtTraced(stmt, nil)
+}
+
+// ExecStmtTraced executes a parsed statement with tracing under sp
+// (nil disables).
+func (en *Engine) ExecStmtTraced(stmt Statement, sp *obs.Span) (*Result, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
-		return en.execSelect(s)
+		return en.execSelect(s, sp)
+	case *ExplainStmt:
+		return en.execExplain(s)
 	case *InsertStmt:
 		return en.execInsert(s)
 	case *UpdateStmt:

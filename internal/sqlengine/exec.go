@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"archis/internal/obs"
 	"archis/internal/relstore"
 	"archis/internal/temporal"
 )
@@ -443,7 +444,7 @@ func appendKey(dst []byte, vals []relstore.Value) []byte {
 	return dst
 }
 
-func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
+func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span) (*Result, error) {
 	if len(stmt.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires FROM")
 	}
@@ -494,7 +495,7 @@ func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
 	// Single-table statements with no usable point index fan out over
 	// morsels when the engine is configured for parallel scans.
 	if len(sources) == 1 {
-		if res, handled, err := en.execSingleParallel(stmt, sources[0], conjuncts, sources); handled {
+		if res, handled, err := en.execSingleParallel(stmt, sources[0], conjuncts, sources, sp); handled {
 			return res, err
 		}
 	}
@@ -514,6 +515,17 @@ func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
 	var err error
 	scanned := false
 
+	// scanFirst runs the serial scan of the leading source under a
+	// "scan" span.
+	scanFirst := func() error {
+		ss := sp.Child("scan")
+		ss.SetAttr("table", first.alias)
+		rows, err = en.scanOne(first, firstConjuncts, sources)
+		ss.AddRows(0, int64(len(rows)))
+		ss.End()
+		return err
+	}
+
 	for _, s := range sources[1:] {
 		joins, rest := en.equiJoinConds(pendingMulti, layout, joinedAliases, s, sources)
 		pendingMulti = rest
@@ -523,7 +535,7 @@ func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
 		if !scanned {
 			scanned = true
 			if len(joins) > 0 && !(s.base != nil && s.base.IndexOn(joins[0].newPos) != nil) {
-				rows, err = en.hashJoinFirst(first, firstConjuncts, s, joins, singles, sources)
+				rows, err = en.hashJoinFirst(first, firstConjuncts, s, joins, singles, sources, sp)
 				if err != nil {
 					return nil, err
 				}
@@ -531,19 +543,28 @@ func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
 				joinedAliases[strings.ToLower(s.alias)] = true
 				continue
 			}
-			if rows, err = en.scanOne(first, firstConjuncts, sources); err != nil {
+			if err := scanFirst(); err != nil {
 				return nil, err
 			}
 		}
+		in := int64(len(rows))
 		switch {
 		case len(joins) > 0 && s.base != nil && len(rows) <= indexJoinThreshold && s.base.IndexOn(joins[0].newPos) != nil:
 			// Index nested-loop join on the first equi key; remaining
 			// keys and single-table predicates filter after the probe.
+			js := sp.Child("join:index")
+			js.SetAttr("table", s.alias)
 			rows, err = en.indexJoin(rows, s, joins, singles, sources, newLayout)
+			js.AddRows(in, int64(len(rows)))
+			js.End()
 		case len(joins) > 0:
-			rows, err = en.hashJoin(rows, s, joins, singles, sources)
+			rows, err = en.hashJoin(rows, s, joins, singles, sources, sp)
 		default:
+			js := sp.Child("join:nested-loop")
+			js.SetAttr("table", s.alias)
 			rows, err = en.nestedLoopJoin(rows, s, singles, sources)
+			js.AddRows(in, int64(len(rows)))
+			js.End()
 		}
 		if err != nil {
 			return nil, err
@@ -552,13 +573,15 @@ func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
 		joinedAliases[strings.ToLower(s.alias)] = true
 	}
 	if !scanned {
-		if rows, err = en.scanOne(first, firstConjuncts, sources); err != nil {
+		if err := scanFirst(); err != nil {
 			return nil, err
 		}
 	}
 
 	// Residual predicates.
 	if len(pendingMulti) > 0 {
+		fs := sp.Child("filter")
+		fs.AddRows(int64(len(rows)), 0)
 		var pred Expr = pendingMulti[0]
 		for _, c := range pendingMulti[1:] {
 			pred = &BinaryExpr{Op: "AND", L: pred, R: c}
@@ -578,9 +601,11 @@ func (en *Engine) execSelect(stmt *SelectStmt) (*Result, error) {
 			}
 		}
 		rows = kept
+		fs.AddRows(0, int64(len(rows)))
+		fs.End()
 	}
 
-	return en.project(stmt, rows, layout, sources)
+	return en.project(stmt, rows, layout, sources, sp)
 }
 
 func (en *Engine) indexJoin(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source, newLayout *rowLayout) ([]relstore.Row, error) {
@@ -735,10 +760,11 @@ func (en *Engine) isGrouped(stmt *SelectStmt) bool {
 	return stmt.Having != nil && en.hasAggregate(stmt.Having)
 }
 
-func (en *Engine) project(stmt *SelectStmt, rows []relstore.Row, layout *rowLayout, sources []*source) (*Result, error) {
+func (en *Engine) project(stmt *SelectStmt, rows []relstore.Row, layout *rowLayout, sources []*source, sp *obs.Span) (*Result, error) {
 	if en.isGrouped(stmt) {
-		return en.projectGrouped(stmt, rows, layout)
+		return en.projectGrouped(stmt, rows, layout, sp)
 	}
+	ps := sp.Child("project")
 
 	// Expand stars.
 	var cols []string
@@ -830,6 +856,8 @@ func (en *Engine) project(stmt *SelectStmt, rows []relstore.Row, layout *rowLayo
 			break
 		}
 	}
+	ps.AddRows(int64(len(rows)), int64(len(res.Rows)))
+	ps.End()
 	return res, nil
 }
 
@@ -1084,7 +1112,9 @@ func (a *groupAcc) merge(b *groupAcc) error {
 
 // finalizeGroups renders accumulated groups through HAVING, the
 // output expressions, ORDER BY and LIMIT.
-func (en *Engine) finalizeGroups(p *groupPlan, acc *groupAcc) (*Result, error) {
+func (en *Engine) finalizeGroups(p *groupPlan, acc *groupAcc, sp *obs.Span) (*Result, error) {
+	ps := sp.Child("project")
+	ps.SetAttr("grouped", "true")
 	stmt := p.stmt
 	groups, order := acc.groups, acc.order
 	// Aggregate query with no GROUP BY over zero rows still yields one
@@ -1187,21 +1217,26 @@ func (en *Engine) finalizeGroups(p *groupPlan, acc *groupAcc) (*Result, error) {
 			break
 		}
 	}
+	ps.AddRows(int64(len(order)), int64(len(res.Rows)))
+	ps.End()
 	return res, nil
 }
 
-func (en *Engine) projectGrouped(stmt *SelectStmt, rows []relstore.Row, layout *rowLayout) (*Result, error) {
+func (en *Engine) projectGrouped(stmt *SelectStmt, rows []relstore.Row, layout *rowLayout, sp *obs.Span) (*Result, error) {
 	p, err := en.compileGrouping(stmt, layout)
 	if err != nil {
 		return nil, err
 	}
+	as := sp.Child("aggregate")
 	acc := p.newAcc()
 	for _, r := range rows {
 		if err := acc.add(r); err != nil {
 			return nil, err
 		}
 	}
-	return en.finalizeGroups(p, acc)
+	as.AddRows(int64(len(rows)), int64(len(acc.order)))
+	as.End()
+	return en.finalizeGroups(p, acc, sp)
 }
 
 // rewriteAggs replaces aggregate calls with references to their slots

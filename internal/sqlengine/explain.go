@@ -1,0 +1,226 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+
+	"archis/internal/obs"
+	"archis/internal/relstore"
+)
+
+// EXPLAIN [ANALYZE] rendering. Plain EXPLAIN walks the same planner
+// decisions execSelect makes — index selection, zone-bound pushdown,
+// morsel eligibility, join strategy — without executing, so it is
+// deterministic and cheap. EXPLAIN ANALYZE executes the statement
+// under a fresh tracer and renders the finished span tree, so every
+// node carries measured timings and cardinalities.
+
+func (en *Engine) execExplain(st *ExplainStmt) (*Result, error) {
+	if st.Analyze {
+		tr := obs.NewTracer("query")
+		res, err := en.execSelect(st.Inner, tr.Root())
+		if err != nil {
+			return nil, err
+		}
+		tr.Root().AddRows(0, int64(len(res.Rows)))
+		return planResult(tr.Finish("").Tree()), nil
+	}
+	lines, err := en.explainSelect(st.Inner)
+	if err != nil {
+		return nil, err
+	}
+	return planResult(strings.Join(lines, "\n")), nil
+}
+
+// planResult wraps rendered plan text as a one-column result set.
+func planResult(text string) *Result {
+	res := &Result{Columns: []string{"plan"}}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		res.Rows = append(res.Rows, relstore.Row{relstore.String_(line)})
+	}
+	return res
+}
+
+// explainSelect renders the static access plan, mirroring the
+// decision order of execSelect. Cardinality-dependent runtime choices
+// (index vs hash join under indexJoinThreshold outer rows) are shown
+// as the rule the executor applies.
+func (en *Engine) explainSelect(stmt *SelectStmt) ([]string, error) {
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("sql: SELECT requires FROM")
+	}
+	sources := make([]*source, len(stmt.From))
+	seen := map[string]bool{}
+	for i, ref := range stmt.From {
+		s, err := en.resolveSource(ref)
+		if err != nil {
+			return nil, err
+		}
+		key := strings.ToLower(ref.Alias)
+		if seen[key] {
+			return nil, fmt.Errorf("sql: duplicate alias %s", ref.Alias)
+		}
+		seen[key] = true
+		sources[i] = s
+	}
+
+	var conjuncts []Expr
+	if stmt.Where != nil {
+		conjuncts = splitAnd(stmt.Where, nil)
+	}
+	perAlias := map[string][]Expr{}
+	var multi []Expr
+	for _, c := range conjuncts {
+		aliases := map[string]bool{}
+		if err := exprAliases(c, sources, aliases); err != nil {
+			return nil, err
+		}
+		switch len(aliases) {
+		case 0, 1:
+			target := ""
+			for a := range aliases {
+				target = a
+			}
+			if target == "" {
+				multi = append(multi, c)
+			} else {
+				perAlias[target] = append(perAlias[target], c)
+			}
+		default:
+			multi = append(multi, c)
+		}
+	}
+
+	var lines []string
+	add := func(depth int, format string, args ...any) {
+		lines = append(lines, strings.Repeat("  ", depth)+fmt.Sprintf(format, args...))
+	}
+
+	describeScan := func(s *source, cs []Expr) (string, error) {
+		p, err := en.planScan(s, cs, sources)
+		if err != nil {
+			return "", err
+		}
+		kind := "table"
+		if s.base == nil {
+			kind = "virtual"
+		}
+		d := fmt.Sprintf("scan %s (%s)", s.alias, kind)
+		if p.eqIndex != nil {
+			d = fmt.Sprintf("index scan %s (index %s)", s.alias, p.eqIndex.Name)
+		}
+		if len(p.bounds) > 0 {
+			d += fmt.Sprintf(" bounds=%d", len(p.bounds))
+		}
+		if p.filter != nil {
+			d += fmt.Sprintf(" filter=%d conjuncts", len(cs))
+		}
+		return d, nil
+	}
+
+	add(0, "select")
+
+	if len(sources) == 1 {
+		s := sources[0]
+		d, err := describeScan(s, conjuncts)
+		if err != nil {
+			return nil, err
+		}
+		parallel := false
+		if workers := en.scanWorkers(); workers > 1 && !strings.HasPrefix(d, "index scan") {
+			if _, ok := s.morselSource(); ok {
+				if en.isGrouped(stmt) {
+					p, err := en.compileGrouping(stmt, layoutFor(s.alias, s.schema))
+					if err != nil {
+						return nil, err
+					}
+					parallel = p.mergeable()
+				} else {
+					parallel = true
+				}
+			}
+		}
+		if parallel {
+			add(1, "morsel-fanout workers=%d", en.scanWorkers())
+			add(2, "%s", d)
+			if en.isGrouped(stmt) {
+				add(1, "agg-merge")
+			}
+		} else {
+			add(1, "%s", d)
+		}
+		explainProject(stmt, add)
+		return lines, nil
+	}
+
+	// Multi-source: describe the fold order of execSelect.
+	first := sources[0]
+	layout := layoutFor(first.alias, first.schema)
+	joinedAliases := map[string]bool{strings.ToLower(first.alias): true}
+	pendingMulti := multi
+	scanned := false
+	for _, s := range sources[1:] {
+		joins, rest := en.equiJoinConds(pendingMulti, layout, joinedAliases, s, sources)
+		pendingMulti = rest
+		singles := perAlias[strings.ToLower(s.alias)]
+		innerIndexed := s.base != nil && len(joins) > 0 && s.base.IndexOn(joins[0].newPos) != nil
+		if !scanned {
+			scanned = true
+			fd, err := describeScan(first, perAlias[strings.ToLower(first.alias)])
+			if err != nil {
+				return nil, err
+			}
+			if len(joins) > 0 && !innerIndexed {
+				// Fused first fold: scan streams into the probe
+				// (hashJoinFirst), exactly like execSelect's continue.
+				id, err := describeScan(s, singles)
+				if err != nil {
+					return nil, err
+				}
+				add(1, "hash join keys=%d", len(joins))
+				add(2, "build: %s", id)
+				add(2, "probe: %s (streamed)", fd)
+				layout = layout.concat(layoutFor(s.alias, s.schema))
+				joinedAliases[strings.ToLower(s.alias)] = true
+				continue
+			}
+			add(1, "%s", fd)
+		}
+		switch {
+		case len(joins) > 0 && innerIndexed:
+			add(1, "join %s keys=%d: index join (index %s) if outer rows <= %d, else hash join",
+				s.alias, len(joins), s.base.IndexOn(joins[0].newPos).Name, indexJoinThreshold)
+		case len(joins) > 0:
+			add(1, "hash join %s keys=%d", s.alias, len(joins))
+		default:
+			add(1, "nested-loop join %s", s.alias)
+		}
+		layout = layout.concat(layoutFor(s.alias, s.schema))
+		joinedAliases[strings.ToLower(s.alias)] = true
+	}
+	if len(pendingMulti) > 0 {
+		add(1, "filter residual=%d conjuncts", len(pendingMulti))
+	}
+	explainProject(stmt, add)
+	return lines, nil
+}
+
+func explainProject(stmt *SelectStmt, add func(int, string, ...any)) {
+	d := fmt.Sprintf("project cols=%d", len(stmt.Select))
+	if len(stmt.GroupBy) > 0 {
+		d += fmt.Sprintf(" group-by=%d", len(stmt.GroupBy))
+	}
+	if stmt.Having != nil {
+		d += " having"
+	}
+	if stmt.Distinct {
+		d += " distinct"
+	}
+	if len(stmt.OrderBy) > 0 {
+		d += fmt.Sprintf(" order-by=%d", len(stmt.OrderBy))
+	}
+	if stmt.Limit >= 0 {
+		d += fmt.Sprintf(" limit=%d", stmt.Limit)
+	}
+	add(1, "%s", d)
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"archis/internal/obs"
 	"archis/internal/relstore"
 )
 
@@ -80,12 +81,18 @@ func (jt *joinTable) probe(o relstore.Row, joins []equiJoin, sc *probeScratch, o
 }
 
 // hashJoin folds source s into already-materialized outer rows.
-func (en *Engine) hashJoin(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source) ([]relstore.Row, error) {
+func (en *Engine) hashJoin(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source, sp *obs.Span) ([]relstore.Row, error) {
+	bs := sp.Child("join:hash-build")
+	bs.SetAttr("table", s.alias)
 	inner, err := en.scanOne(s, singles, sources)
 	if err != nil {
 		return nil, err
 	}
 	jt := buildJoinTable(inner, joins)
+	bs.AddRows(int64(len(inner)), 0)
+	bs.SetInt("buckets", int64(len(jt.buckets)))
+	bs.End()
+	ps := sp.Child("join:hash-probe")
 	sc := newProbeScratch(joins)
 	var out []relstore.Row
 	var probed int64
@@ -97,6 +104,8 @@ func (en *Engine) hashJoin(outer []relstore.Row, s *source, joins []equiJoin, si
 		}
 	}
 	en.DB.AddJoinRows(probed, int64(len(out)))
+	ps.AddRows(probed, int64(len(out)))
+	ps.End()
 	return out, nil
 }
 
@@ -106,12 +115,17 @@ func (en *Engine) hashJoin(outer []relstore.Row, s *source, joins []equiJoin, si
 // when the outer scan is morsel-eligible the probe fans out over the
 // scan worker pool. Only called when the inner side has no index on
 // the leading key, so the plan choice matches the serial executor's.
-func (en *Engine) hashJoinFirst(outer *source, conjuncts []Expr, s *source, joins []equiJoin, singles []Expr, sources []*source) ([]relstore.Row, error) {
+func (en *Engine) hashJoinFirst(outer *source, conjuncts []Expr, s *source, joins []equiJoin, singles []Expr, sources []*source, sp *obs.Span) ([]relstore.Row, error) {
+	bs := sp.Child("join:hash-build")
+	bs.SetAttr("table", s.alias)
 	inner, err := en.scanOne(s, singles, sources)
 	if err != nil {
 		return nil, err
 	}
 	jt := buildJoinTable(inner, joins)
+	bs.AddRows(int64(len(inner)), 0)
+	bs.SetInt("buckets", int64(len(jt.buckets)))
+	bs.End()
 	plan, err := en.planScan(outer, conjuncts, sources)
 	if err != nil {
 		return nil, err
@@ -124,11 +138,19 @@ func (en *Engine) hashJoinFirst(outer *source, conjuncts []Expr, s *source, join
 				return nil, err
 			}
 			if len(morsels) > 1 {
-				return en.probeMorsels(morsels, plan, jt, joins, workers)
+				ps := sp.Child("join:hash-probe")
+				ps.SetAttr("table", outer.alias)
+				ps.SetInt("workers", int64(workers))
+				ps.SetInt("morsels", int64(len(morsels)))
+				out, err := en.probeMorsels(morsels, plan, jt, joins, workers, ps)
+				ps.End()
+				return out, err
 			}
 		}
 	}
 
+	ps := sp.Child("join:hash-probe")
+	ps.SetAttr("table", outer.alias)
 	sc := newProbeScratch(joins)
 	var out []relstore.Row
 	var probed int64
@@ -144,6 +166,8 @@ func (en *Engine) hashJoinFirst(outer *source, conjuncts []Expr, s *source, join
 		return nil, err
 	}
 	en.DB.AddJoinRows(probed, int64(len(out)))
+	ps.AddRows(probed, int64(len(out)))
+	ps.End()
 	return out, nil
 }
 
@@ -152,7 +176,7 @@ func (en *Engine) hashJoinFirst(outer *source, conjuncts []Expr, s *source, join
 // morsels, and per-morsel outputs concatenated in morsel order
 // reproduce the serial output order exactly (the same argument as
 // execSingleParallel).
-func (en *Engine) probeMorsels(morsels []relstore.MorselFunc, plan *scanPlan, jt *joinTable, joins []equiJoin, workers int) ([]relstore.Row, error) {
+func (en *Engine) probeMorsels(morsels []relstore.MorselFunc, plan *scanPlan, jt *joinTable, joins []equiJoin, workers int, sp *obs.Span) ([]relstore.Row, error) {
 	outs := make([][]relstore.Row, len(morsels))
 	errs := make([]error, len(morsels))
 	var probed atomic.Int64
@@ -220,5 +244,6 @@ func (en *Engine) probeMorsels(morsels []relstore.MorselFunc, plan *scanPlan, jt
 		out = append(out, o...)
 	}
 	en.DB.AddJoinRows(probed.Load(), int64(total))
+	sp.AddRows(probed.Load(), int64(total))
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"archis/internal/obs"
 	"archis/internal/relstore"
 )
 
@@ -24,7 +25,7 @@ import (
 
 // execSingleParallel attempts the parallel path for a single-source
 // SELECT. handled=false means the caller should run the serial plan.
-func (en *Engine) execSingleParallel(stmt *SelectStmt, s *source, conjuncts []Expr, sources []*source) (*Result, bool, error) {
+func (en *Engine) execSingleParallel(stmt *SelectStmt, s *source, conjuncts []Expr, sources []*source, sp *obs.Span) (*Result, bool, error) {
 	workers := en.scanWorkers()
 	if workers <= 1 {
 		return nil, false, nil
@@ -58,6 +59,10 @@ func (en *Engine) execSingleParallel(stmt *SelectStmt, s *source, conjuncts []Ex
 		return nil, true, err
 	}
 
+	fanout := sp.Child("morsel-fanout")
+	fanout.SetAttr("table", s.alias)
+	fanout.SetInt("morsels", int64(len(morsels)))
+
 	// Per-morsel partials, merged in morsel order after the pool
 	// drains. Each worker owns whole morsels, so no row-level
 	// synchronization is needed; rows are borrowed (zero-copy) because
@@ -70,6 +75,7 @@ func (en *Engine) execSingleParallel(stmt *SelectStmt, s *source, conjuncts []Ex
 	if workers > len(morsels) {
 		workers = len(morsels)
 	}
+	fanout.SetInt("workers", int64(workers))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -89,6 +95,7 @@ func (en *Engine) execSingleParallel(stmt *SelectStmt, s *source, conjuncts []Ex
 		}()
 	}
 	wg.Wait()
+	fanout.End()
 	// Report the error of the earliest morsel, matching what a serial
 	// scan would have hit first.
 	for _, err := range errs {
@@ -98,6 +105,7 @@ func (en *Engine) execSingleParallel(stmt *SelectStmt, s *source, conjuncts []Ex
 	}
 
 	if gplan != nil {
+		mg := sp.Child("agg-merge")
 		acc := gplan.newAcc()
 		for _, a := range accs {
 			if a == nil {
@@ -107,7 +115,10 @@ func (en *Engine) execSingleParallel(stmt *SelectStmt, s *source, conjuncts []Ex
 				return nil, true, err
 			}
 		}
-		res, err := en.finalizeGroups(gplan, acc)
+		mg.SetInt("partials", int64(len(accs)))
+		mg.AddRows(0, int64(len(acc.order)))
+		mg.End()
+		res, err := en.finalizeGroups(gplan, acc, sp)
 		return res, true, err
 	}
 
@@ -115,11 +126,12 @@ func (en *Engine) execSingleParallel(stmt *SelectStmt, s *source, conjuncts []Ex
 	for _, rs := range rowss {
 		n += len(rs)
 	}
+	fanout.AddRows(0, int64(n))
 	rows := make([]relstore.Row, 0, n)
 	for _, rs := range rowss {
 		rows = append(rows, rs...)
 	}
-	res, err := en.project(stmt, rows, layout, sources)
+	res, err := en.project(stmt, rows, layout, sources, sp)
 	return res, true, err
 }
 

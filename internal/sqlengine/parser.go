@@ -118,8 +118,30 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseCreate()
 	case p.isKeyword("drop"):
 		return p.parseDrop()
+	case p.isKeyword("explain"):
+		return p.parseExplain()
 	}
 	return nil, p.errorf("expected statement, got %q", p.peek().text)
+}
+
+func (p *parser) parseExplain() (*ExplainStmt, error) {
+	if err := p.expectKeyword("explain"); err != nil {
+		return nil, err
+	}
+	st := &ExplainStmt{}
+	if p.isKeyword("analyze") {
+		p.next()
+		st.Analyze = true
+	}
+	if !p.isKeyword("select") {
+		return nil, p.errorf("EXPLAIN supports SELECT statements, got %q", p.peek().text)
+	}
+	inner, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	st.Inner = inner
+	return st, nil
 }
 
 func (p *parser) parseSelect() (*SelectStmt, error) {

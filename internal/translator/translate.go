@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"archis/internal/obs"
 	"archis/internal/temporal"
 	"archis/internal/xquery"
 )
@@ -27,11 +28,23 @@ type Translator struct {
 
 // Translate parses and translates one query.
 func (tr *Translator) Translate(query string) (string, error) {
+	return tr.TranslateTraced(query, nil)
+}
+
+// TranslateTraced is Translate with a "translate" span recorded under
+// sp, capturing the emitted SQL as an attribute. Nil sp disables.
+func (tr *Translator) TranslateTraced(query string, sp *obs.Span) (string, error) {
+	ts := sp.Child("translate")
+	defer ts.End()
 	e, err := xquery.Parse(query)
 	if err != nil {
 		return "", err
 	}
-	return tr.TranslateExpr(e)
+	sql, err := tr.TranslateExpr(e)
+	if err == nil {
+		ts.SetAttr("sql", sql)
+	}
+	return sql, err
 }
 
 // TranslateExpr translates a parsed query.

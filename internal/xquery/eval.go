@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"archis/internal/obs"
 	"archis/internal/temporal"
 	"archis/internal/xmltree"
 )
@@ -19,8 +20,16 @@ type Evaluator struct {
 	// instantiating the internal "now" encoding (Section 4.3).
 	Now temporal.Date
 
+	// Trace, when set, receives xquery:parse / xquery:eval /
+	// xquery:userfunc child spans. Nil disables tracing (one pointer
+	// check per hook). Evaluators are single-query, not concurrent.
+	Trace *obs.Span
+
 	funcs     map[string]builtinFunc
 	userDepth int
+	evalSpan  *obs.Span
+	ufCalls   int64
+	ufTraced  int
 }
 
 // NewEvaluator returns an evaluator with the standard and temporal
@@ -54,7 +63,9 @@ func (e *env) child() *env {
 // Eval parses and evaluates a query, including any `declare function`
 // prolog.
 func (ev *Evaluator) Eval(src string) (Seq, error) {
+	ps := ev.Trace.Child("xquery:parse")
 	q, err := ParseQuery(src)
+	ps.End()
 	if err != nil {
 		return nil, err
 	}
@@ -63,6 +74,9 @@ func (ev *Evaluator) Eval(src string) (Seq, error) {
 
 // EvalQuery evaluates a parsed query with its prolog functions bound.
 func (ev *Evaluator) EvalQuery(q *Query) (Seq, error) {
+	es := ev.Trace.Child("xquery:eval")
+	ev.evalSpan = es
+	ev.ufCalls, ev.ufTraced = 0, 0
 	en := &env{vars: map[string]Seq{}, userFuncs: map[string]*FuncDecl{}}
 	for _, fd := range q.Funcs {
 		if _, dup := en.userFuncs[fd.Name]; dup {
@@ -70,7 +84,14 @@ func (ev *Evaluator) EvalQuery(q *Query) (Seq, error) {
 		}
 		en.userFuncs[fd.Name] = fd
 	}
-	return ev.eval(q.Body, en)
+	out, err := ev.eval(q.Body, en)
+	if ev.ufCalls > 0 {
+		es.SetInt("userfunc_calls", ev.ufCalls)
+	}
+	es.AddRows(0, int64(len(out)))
+	es.End()
+	ev.evalSpan = nil
+	return out, err
 }
 
 // EvalExpr evaluates a parsed expression with no initial bindings.

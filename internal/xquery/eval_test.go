@@ -212,6 +212,28 @@ func TestRtendAndExternalNow(t *testing.T) {
 	}
 }
 
+// Regression: rtend/externalnow must substitute the forever sentinel
+// only in tend attributes. A decoy attribute (or a corrupt tstart)
+// holding "9999-12-31" used to be rewritten as well.
+func TestRtendLeavesNonTendAttributesAlone(t *testing.T) {
+	ev := newTestEvaluator(t)
+	q := `rtend(<v note="9999-12-31" tstart="9999-12-31" tend="9999-12-31">x</v>)`
+	got := evalOK(t, ev, q).Serialize()
+	if !strings.Contains(got, `note="9999-12-31"`) {
+		t.Errorf("rtend rewrote the decoy note attribute: %q", got)
+	}
+	if !strings.Contains(got, `tstart="9999-12-31"`) {
+		t.Errorf("rtend rewrote the corrupt tstart attribute: %q", got)
+	}
+	if strings.Contains(got, `tend="9999-12-31"`) {
+		t.Errorf("rtend left the open tend in place: %q", got)
+	}
+	got = evalOK(t, ev, `externalnow(<v note="9999-12-31" tend="9999-12-31">x</v>)`).Serialize()
+	if !strings.Contains(got, `note="9999-12-31"`) || !strings.Contains(got, `tend="now"`) {
+		t.Errorf("externalnow decoy handling: %q", got)
+	}
+}
+
 func TestParseErrorsXQ(t *testing.T) {
 	bad := []string{
 		``,

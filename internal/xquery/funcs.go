@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"archis/internal/obs"
 	"archis/internal/temporal"
 	"archis/internal/xmltree"
 )
@@ -38,6 +39,11 @@ func (ev *Evaluator) evalFuncCall(x *FuncCall, en *env) (Seq, error) {
 // maxUserFuncDepth bounds recursive user-defined functions.
 const maxUserFuncDepth = 4096
 
+// maxUserFuncSpans caps per-call userfunc spans so a user function
+// invoked per row cannot blow up the trace tree; the total call count
+// is always recorded on the xquery:eval span.
+const maxUserFuncSpans = 16
+
 func (ev *Evaluator) callUserFunc(fd *FuncDecl, x *FuncCall, en *env) (Seq, error) {
 	if len(x.Args) != len(fd.Params) {
 		return nil, fmt.Errorf("xquery: %s() expects %d arguments, got %d",
@@ -48,6 +54,16 @@ func (ev *Evaluator) callUserFunc(fd *FuncDecl, x *FuncCall, en *env) (Seq, erro
 	if ev.userDepth > maxUserFuncDepth {
 		return nil, fmt.Errorf("xquery: %s(): recursion too deep", fd.Name)
 	}
+	var us *obs.Span
+	if ev.evalSpan != nil && ev.userDepth == 1 {
+		ev.ufCalls++
+		if ev.ufTraced < maxUserFuncSpans {
+			ev.ufTraced++
+			us = ev.evalSpan.Child("xquery:userfunc")
+			us.SetAttr("name", fd.Name)
+		}
+	}
+	defer us.End()
 	// Function bodies see only their parameters (and the prolog), not
 	// the caller's variables or context item.
 	callee := &env{vars: make(map[string]Seq, len(fd.Params)), userFuncs: en.userFuncs}
@@ -666,7 +682,9 @@ func extremumKey(ev *Evaluator, it Item) Item {
 }
 
 // replaceForeverFunc builds rtend/externalnow: deep-copy the node and
-// substitute every "9999-12-31" attribute value.
+// substitute "9999-12-31" where it encodes an open interval end —
+// i.e. only in tend attributes. Non-temporal attributes (or a corrupt
+// tstart) that happen to hold the forever sentinel are left alone.
 func replaceForeverFunc(name string, repl func(*Evaluator) string) builtinFunc {
 	forever := temporal.Forever.String()
 	return func(ev *Evaluator, _ *env, args []Seq) (Seq, error) {
@@ -688,7 +706,7 @@ func replaceForeverFunc(name string, repl func(*Evaluator) string) builtinFunc {
 			var walk func(n *xmltree.Node)
 			walk = func(n *xmltree.Node) {
 				for i := range n.Attrs {
-					if n.Attrs[i].Value == forever {
+					if n.Attrs[i].Name == "tend" && n.Attrs[i].Value == forever {
 						n.Attrs[i].Value = sub
 					}
 				}
