@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race parallel-stress bench-smoke trace-smoke crash-matrix fuzz-smoke verify lint bench bench-parallel bench-json
+.PHONY: build vet test race parallel-stress bench-smoke trace-smoke planner-smoke crash-matrix fuzz-smoke verify lint bench bench-parallel bench-json
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,14 @@ bench-smoke:
 trace-smoke:
 	$(GO) run ./cmd/archis-bench -employees 120 -years 4 -trace > /dev/null
 	$(GO) test -bench='NilSpan' -benchtime=1x -run '^$$' ./internal/obs/
+
+# Planner smoke: the adversarial-selectivity benchmark (fails unless
+# the cost model scans at 50% selectivity, probes when selective, and
+# the chosen scan beats the forced index probe), plus the EXPLAIN
+# golden suite and every planner decision/differential test.
+planner-smoke:
+	$(GO) run ./cmd/archis-bench -adversarial /tmp/archis-planner-adversarial.json
+	$(GO) test -count=1 -run 'TestExplain|TestPlanner|TestIndexProbe' ./internal/bench/ ./internal/sqlengine/
 
 # Durability stress: kill the durable system at every fsync boundary
 # (with and without torn tail bytes) and require every survivor to

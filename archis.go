@@ -65,6 +65,15 @@ const (
 	LayoutCompressed = core.LayoutCompressed
 )
 
+// PlannerMode toggles cost-based query planning (DESIGN.md §12).
+type PlannerMode = core.PlannerMode
+
+// Planner modes.
+const (
+	PlannerOn  = core.PlannerOn
+	PlannerOff = core.PlannerOff
+)
+
 // Capture modes.
 const (
 	CaptureTrigger = htable.CaptureTrigger

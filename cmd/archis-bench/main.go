@@ -51,7 +51,18 @@ var (
 	jsonOut   = flag.String("json", "", "time the Q1-Q6 suite at Workers=1 and Workers=-workers on the scaled dataset and write JSON records to this path")
 	warm      = flag.Int("warm", 0, "also time N warm runs per query (caches kept between runs) in -json mode; 0 = cold only")
 	traceRun  = flag.Bool("trace", false, "run the Q1-Q6 suite traced on the clustered and compressed layouts, print each execution trace as JSON and fail on malformed traces")
+	plannerOn = flag.Bool("planner", true, "cost-based planning (false = legacy fixed access heuristics)")
+	advOut    = flag.String("adversarial", "", "run the adversarial-selectivity planner benchmark and write JSON records to this path")
+	advRows   = flag.Int("advrows", 120000, "table size for the -adversarial benchmark")
 )
+
+// plannerMode maps the -planner flag onto the engine option.
+func plannerMode() core.PlannerMode {
+	if *plannerOn {
+		return core.PlannerOn
+	}
+	return core.PlannerOff
+}
 
 // benchBlockCacheBytes is the decoded-block cache budget used for the
 // compressed layout in -json runs. Cold records are unaffected: Cold()
@@ -71,6 +82,10 @@ func main() {
 
 	if *traceRun {
 		h.traceSuite()
+		return
+	}
+	if *advOut != "" {
+		h.adversarial(*advOut)
 		return
 	}
 	if *jsonOut != "" {
@@ -136,7 +151,7 @@ func die(err error) {
 
 func (h *harness) getPlain() *bench.Env {
 	if h.plain == nil {
-		e, err := bench.Build(cfg1(), bench.Options{Layout: core.LayoutPlain})
+		e, err := bench.Build(cfg1(), bench.Options{Layout: core.LayoutPlain, Planner: plannerMode()})
 		die(err)
 		h.plain = e
 	}
@@ -145,7 +160,7 @@ func (h *harness) getPlain() *bench.Env {
 
 func (h *harness) getClustered() *bench.Env {
 	if h.clustered == nil {
-		e, err := bench.Build(cfg1(), bench.Options{Layout: core.LayoutClustered})
+		e, err := bench.Build(cfg1(), bench.Options{Layout: core.LayoutClustered, Planner: plannerMode()})
 		die(err)
 		h.clustered = e
 	}
@@ -154,7 +169,8 @@ func (h *harness) getClustered() *bench.Env {
 
 func (h *harness) getCompressed() *bench.Env {
 	if h.compressed == nil {
-		e, err := bench.Build(cfg1(), bench.Options{Layout: core.LayoutCompressed, Compress: true})
+		e, err := bench.Build(cfg1(), bench.Options{Layout: core.LayoutCompressed, Compress: true,
+			Planner: plannerMode()})
 		die(err)
 		h.compressed = e
 	}
@@ -331,7 +347,8 @@ type benchRecord struct {
 	Query   string `json:"query"`
 	Path    string `json:"path"` // physical layout the query ran on
 	Workers int    `json:"workers"`
-	Mode    string `json:"mode"` // "cold" (caches dropped per run) or "warm"
+	Mode    string `json:"mode"`             // "cold" (caches dropped per run) or "warm"
+	Access  string `json:"access,omitempty"` // planner access path ("scan" or "index")
 	MeanNS  int64  `json:"mean_ns"`
 	MinNS   int64  `json:"min_ns"`
 	Rows    int    `json:"rows"`
@@ -412,9 +429,9 @@ func (h *harness) benchJSON(path string) {
 		name string
 		opts bench.Options
 	}{
-		{"clustered", bench.Options{Layout: core.LayoutClustered, Workers: 1}},
+		{"clustered", bench.Options{Layout: core.LayoutClustered, Workers: 1, Planner: plannerMode()}},
 		{"compressed", bench.Options{Layout: core.LayoutCompressed, Compress: true, Workers: 1,
-			BlockCacheBytes: benchBlockCacheBytes}},
+			Planner: plannerMode(), BlockCacheBytes: benchBlockCacheBytes}},
 	}
 	measure := func(e *bench.Env, q bench.QueryID, n int, cold bool) (time.Duration, time.Duration, int, relstore.Stats) {
 		e.Cold() // untimed warm-up absorbs lazy initialization (and, warm mode, fills caches)
@@ -465,6 +482,8 @@ func (h *harness) benchJSON(path string) {
 						cold bool
 					}{"warm", *warm, false})
 				}
+				access, err := bench.AccessPath(e.Sys.Engine, e.SQL(q))
+				die(err)
 				for _, m := range modes {
 					mean, min, rows, cache := measure(e, q, m.n, m.cold)
 					rec := benchRecord{
@@ -472,6 +491,7 @@ func (h *harness) benchJSON(path string) {
 						Path:             lay.name,
 						Workers:          lvl,
 						Mode:             m.name,
+						Access:           access,
 						MeanNS:           mean.Nanoseconds(),
 						MinNS:            min.Nanoseconds(),
 						Rows:             rows,
@@ -499,6 +519,79 @@ func (h *harness) benchJSON(path string) {
 	die(err)
 	die(os.WriteFile(path, append(data, '\n'), 0o644))
 	fmt.Printf("wrote %d records to %s\n", len(rep.Records), path)
+}
+
+// plannerReport is the -adversarial output document: the planner's
+// access-path decisions and timings on the adversarial-selectivity
+// workload, planner on vs off.
+type plannerReport struct {
+	Timestamp string                `json:"timestamp"`
+	Host      hostInfo              `json:"host"`
+	TableRows int                   `json:"table_rows"`
+	Runs      int                   `json:"runs"`
+	Records   []bench.PlannerRecord `json:"records"`
+}
+
+// adversarial runs the adversarial-selectivity planner benchmark and
+// fails unless the cost model makes the right calls: scan at 50%
+// selectivity (and faster than the forced index probe), index probe
+// when the predicate is selective.
+func (h *harness) adversarial(path string) {
+	// Min-of-pairs needs enough interleaved samples to find a quiet
+	// window on a shared machine; 20 pairs is ~1s of query time.
+	pairs := *runs
+	if pairs < 20 {
+		pairs = 20
+	}
+	fmt.Printf("== adversarial selectivity: planner vs forced index, %d rows, %d interleaved pairs ==\n",
+		*advRows, pairs)
+	recs, err := bench.PlannerAdversarial(*advRows, pairs)
+	die(err)
+	cell := map[string]bench.PlannerRecord{}
+	for _, r := range recs {
+		key := r.Case + "/off"
+		if r.Planner {
+			key = r.Case + "/on"
+		}
+		cell[key] = r
+		fmt.Printf("  %-14s planner=%-5v access=%-5s  mean %8.2f ms  min %8.2f ms  rows %d\n",
+			r.Case, r.Planner, r.Access, float64(r.MeanNS)/1e6, float64(r.MinNS)/1e6, r.Rows)
+	}
+	on, off := cell["permissive-eq/on"], cell["permissive-eq/off"]
+	if on.Access != "scan" {
+		die(fmt.Errorf("planner chose %q for the permissive predicate, want scan", on.Access))
+	}
+	if off.Access != "index" {
+		die(fmt.Errorf("legacy heuristic chose %q for the permissive predicate, want index", off.Access))
+	}
+	if sel := cell["selective-eq/on"]; sel.Access != "index" {
+		die(fmt.Errorf("planner chose %q for the selective predicate, want index", sel.Access))
+	}
+	// Compare min latencies: the noise floor of a shared CI machine
+	// lands on means, while min approximates the true cost of each path.
+	if on.MinNS >= off.MinNS {
+		die(fmt.Errorf("planner scan (min %.2f ms) did not beat the forced index probe (min %.2f ms)",
+			float64(on.MinNS)/1e6, float64(off.MinNS)/1e6))
+	}
+	fmt.Printf("  planner scan beats forced index probe by %.2fx on the permissive predicate (min latency)\n",
+		float64(off.MinNS)/float64(on.MinNS))
+	rep := plannerReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Host: hostInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		TableRows: *advRows,
+		Runs:      *runs,
+		Records:   recs,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	die(err)
+	die(os.WriteFile(path, append(data, '\n'), 0o644))
+	fmt.Printf("wrote %d records to %s\n", len(recs), path)
 }
 
 func (h *harness) translationCost() {

@@ -52,6 +52,7 @@ var (
 	workers   = flag.Int("workers", 0, "intra-query scan workers (0 = GOMAXPROCS, 1 = serial)")
 	walDir    = flag.String("wal", "", "run durably: write-ahead log and snapshots in this directory")
 	syncMode  = flag.String("sync", "always", "WAL commit policy: always, batch or none")
+	plannerOn = flag.Bool("planner", true, "cost-based query planning (false = legacy fixed access heuristics)")
 	traceOn   = flag.Bool("trace", false, "print the execution trace tree after every xquery")
 	slowQ     = flag.Duration("slow", 0, "log queries at least this slow to stderr (0 = off)")
 )
@@ -111,8 +112,13 @@ func main() {
 			return
 		}
 	}
+	planner := archis.PlannerOn
+	if !*plannerOn {
+		planner = archis.PlannerOff
+	}
 	sys, err := archis.New(archis.Options{Layout: lay, Workers: *workers,
-		WALDir: *walDir, WALSync: sync,
+		Planner: planner,
+		WALDir:  *walDir, WALSync: sync,
 		SlowQueryThreshold: *slowQ,
 		SlowQueryLog:       func(rec string) { fmt.Fprintln(os.Stderr, rec) }})
 	check(err)

@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// Go-benchmark form of the adversarial permissive predicate, for
+// profiling the two access paths head to head (`-bench Adversarial`).
+// The planner-on run scans; planner-off forces the index probe the
+// legacy heuristic always chose.
+
+const advBenchRows = 120000
+
+func BenchmarkAdversarialScan(b *testing.B) {
+	en, err := BuildAdversarialEngine(advBenchRows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	en.Planner = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.MustExec(`select count(*), sum(v) from adv where flag = 1`)
+	}
+}
+
+func BenchmarkAdversarialProbe(b *testing.B) {
+	en, err := BuildAdversarialEngine(advBenchRows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	en.Planner = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.MustExec(`select count(*), sum(v) from adv where flag = 1`)
+	}
+}

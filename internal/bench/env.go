@@ -49,6 +49,9 @@ type Options struct {
 	// Workers is the intra-query scan parallelism (0 = GOMAXPROCS,
 	// 1 = serial); see core.Options.Workers.
 	Workers int
+	// Planner toggles cost-based planning (zero value = on); see
+	// core.Options.Planner.
+	Planner core.PlannerMode
 	// BlockCacheBytes is the decoded-block cache budget for compressed
 	// layouts (0 = off); see core.Options.BlockCacheBytes.
 	BlockCacheBytes int
@@ -81,6 +84,7 @@ func Build(cfg dataset.Config, opts Options) (*Env, error) {
 		MinSegmentRows:          opts.MinSegmentRows,
 		WholeSegmentCompression: opts.WholeSegments,
 		Workers:                 opts.Workers,
+		Planner:                 opts.Planner,
 		BlockCacheBytes:         opts.BlockCacheBytes,
 		WALDir:                  opts.WALDir,
 		WALFS:                   opts.WALFS,

@@ -41,42 +41,43 @@ func explain(t *testing.T, e *Env, sql string) string {
 
 // TestExplainGolden locks the static plans of the Table 3 suite (plus
 // the self-join formulation of Q6) on the clustered layout, and
-// checks the compressed layout plans are identical — compression is a
-// storage-level change, invisible to the planner.
+// checks the compressed layout plans match in shape — compression is
+// a storage-level change that may shift cardinality estimates but
+// never the chosen access path or operators.
 func TestExplainGolden(t *testing.T) {
 	e := buildExplainEnv(t, Options{Layout: core.LayoutClustered})
 	golden := map[QueryID]string{
 		Q1: `select
   morsel-fanout workers=2
-    scan S (virtual) bounds=4 filter=4 conjuncts
+    scan S (virtual) bounds=4 filter=4 conjuncts est=1
   project cols=1
 `,
 		Q2: `select
   morsel-fanout workers=2
-    scan S (virtual) bounds=3 filter=3 conjuncts
+    scan S (virtual) bounds=3 filter=3 conjuncts est=4
   agg-merge
   project cols=1
 `,
 		Q3: `select
   morsel-fanout workers=2
-    scan S (virtual) bounds=1 filter=1 conjuncts
+    scan S (virtual) bounds=1 filter=1 conjuncts est=74
   project cols=3 order-by=1
 `,
 		Q4: `select
   morsel-fanout workers=2
-    scan S (virtual)
+    scan S (virtual) est=743
   agg-merge
   project cols=1
 `,
 		Q5: `select
   morsel-fanout workers=2
-    scan S (virtual) bounds=3 filter=4 conjuncts
+    scan S (virtual) bounds=3 filter=4 conjuncts est=10
   agg-merge
   project cols=1
 `,
 		Q6: `select
   morsel-fanout workers=2
-    scan S (virtual) bounds=3 filter=3 conjuncts
+    scan S (virtual) bounds=3 filter=3 conjuncts est=14
   agg-merge
   project cols=1
 `,
@@ -86,10 +87,12 @@ func TestExplainGolden(t *testing.T) {
 			t.Errorf("Q%d plan drifted:\n--- got ---\n%s--- want ---\n%s", q, got, golden[q])
 		}
 	}
+	// The planner drives the self-join from the smaller estimated side
+	// (S1, segment-restricted) and builds the hash table on it —
+	// build=outer asserts the build-side choice deterministically.
 	joinGolden := `select
-  hash join keys=1
-    build: scan S2 (virtual)
-    probe: scan S1 (virtual) bounds=1 filter=1 conjuncts (streamed)
+  scan S1 (virtual) bounds=1 filter=1 conjuncts est=157
+  hash join S2 keys=1 build=outer est outer=157 inner=743 out=1576
   filter residual=2 conjuncts
   project cols=1
 `
@@ -97,13 +100,22 @@ func TestExplainGolden(t *testing.T) {
 		t.Errorf("join plan drifted:\n--- got ---\n%s--- want ---\n%s", got, joinGolden)
 	}
 
+	// Compressed plans must match clustered plans in shape and access
+	// path; only the cardinality estimates may differ (block-granular
+	// statistics vs page-granular ones).
 	c := buildExplainEnv(t, Options{Layout: core.LayoutCompressed, Compress: true})
 	for _, q := range AllQueries {
-		if cp, kp := explain(t, c, c.SQL(q)), golden[q]; cp != kp {
+		if cp, kp := maskEst(explain(t, c, c.SQL(q))), maskEst(golden[q]); cp != kp {
 			t.Errorf("Q%d: compressed plan differs from clustered:\n%s\nvs\n%s", q, cp, kp)
 		}
 	}
 }
+
+// maskEst strips cardinality estimates so cross-layout plan
+// comparisons assert shape and access path, not statistics.
+var estRE = regexp.MustCompile(`est[ =][^\n]*`)
+
+func maskEst(s string) string { return estRE.ReplaceAllString(s, "est […]") }
 
 // maskTimings replaces span durations with [T] so golden EXPLAIN
 // ANALYZE output asserts structure and cardinalities, never clocks.
@@ -128,8 +140,9 @@ func TestExplainAnalyzeJoinGolden(t *testing.T) {
 	}
 	got := maskTimings(b.String())
 	want := `query  [T] rows=1
-  join:hash-build  [T] rows=0 rows_in=506 table=S2 buckets=103
-  join:hash-probe  [T] rows=908 rows_in=143 table=S1 workers=2 morsels=3
+  scan  [T] rows=143 table=S1 access=scan est_rows=157
+  join:hash-build  [T] rows=0 rows_in=143 table=S2 side=outer est_outer=157 est_inner=743 est_out=1576 buckets=72
+  join:hash-probe  [T] rows=908 rows_in=506 table=S2
   filter  [T] rows=261 rows_in=908
   aggregate  [T] rows=1 rows_in=261
   project  [T] rows=1 rows_in=1 grouped=true

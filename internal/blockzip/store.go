@@ -33,6 +33,10 @@ type CompressedStore struct {
 	blockSize  int
 	whole      bool // ablation: one stream per segment instead of blocks
 
+	// compRows counts rows moved into blocks, giving the planner's
+	// EstimateScan an observed rows-per-block average.
+	compRows int64
+
 	// Decompressions counts block decompressions (the CPU side of the
 	// paper's I/O-vs-CPU trade). Scans update it atomically; use
 	// DecompressionCount to read it while scans may be in flight.
@@ -190,6 +194,7 @@ func (cs *CompressedStore) compressSegment(sg segment.SegmentInterval) error {
 		return err
 	}
 	cs.compressed[sg.SegNo] = true
+	cs.compRows += int64(len(recs))
 	return nil
 }
 
@@ -227,6 +232,54 @@ func (cs *CompressedStore) ScanHistory(fn func(id int64, value relstore.Value, s
 
 // Schema returns the segmented attribute schema.
 func (cs *CompressedStore) Schema() relstore.Schema { return cs.Seg.Table().Schema() }
+
+// defaultRowsPerBlock is the assumed block population when the store
+// has no observed average (e.g. blocks restored from a snapshot).
+const defaultRowsPerBlock = 32
+
+// EstimateScan implements the sqlengine planner's ScanEstimator:
+// uncompressed rows come from the clustered store's zone-map estimate
+// and compressed rows from the block count of the segment ranges
+// intersecting the pushed-down segno bounds, scaled by the observed
+// rows-per-block average. No block is decompressed.
+func (cs *CompressedStore) EstimateScan(bounds []relstore.ZoneBound) relstore.ScanEstimate {
+	est := cs.Seg.EstimateScan(bounds)
+	segLo, segHi := int64(1), cs.Seg.LiveSegment()
+	for _, zb := range bounds {
+		switch {
+		case zb.Col == 0 && zb.Op == "=":
+			segLo, segHi = zb.Bound, zb.Bound
+		case zb.Col == 0 && zb.Op == ">=" && zb.Bound > segLo:
+			segLo = zb.Bound
+		case zb.Col == 0 && zb.Op == "<=" && zb.Bound < segHi:
+			segHi = zb.Bound
+		}
+	}
+	perBlock := int64(defaultRowsPerBlock)
+	totalBlocks := int64(cs.blob.LiveRows())
+	if totalBlocks > 0 && cs.compRows > 0 {
+		perBlock = (cs.compRows + totalBlocks - 1) / totalBlocks
+	}
+	ranges, err := cs.ranges(segLo, segHi)
+	if err != nil {
+		return est
+	}
+	var blocks, totalInRanges int64
+	for _, rg := range ranges {
+		blocks += rg.endBlock - rg.startBlock + 1
+	}
+	allRanges, err := cs.ranges(1, cs.Seg.LiveSegment())
+	if err == nil {
+		for _, rg := range allRanges {
+			totalInRanges += rg.endBlock - rg.startBlock + 1
+		}
+	}
+	est.Rows += int(blocks * perBlock)
+	est.Pages += int(blocks)
+	est.TotalRows += int(totalInRanges * perBlock)
+	est.TotalPages += int(totalInRanges)
+	return est
+}
 
 // Scan implements sqlengine.VirtualTable with the same logical-version
 // semantics as segment.Store.Scan: uncompressed rows (the live segment

@@ -44,6 +44,19 @@ const (
 	LayoutCompressed
 )
 
+// PlannerMode toggles cost-based query planning (DESIGN.md §12).
+type PlannerMode uint8
+
+const (
+	// PlannerOn is the default: cost-based access-path selection,
+	// hash-join build-side choice and greedy join ordering.
+	PlannerOn PlannerMode = iota
+	// PlannerOff forces the legacy fixed heuristics (always prefer an
+	// eq-index probe, build hash joins on the inner side, fold joins
+	// in FROM order) — kept for differential testing.
+	PlannerOff
+)
+
 // Options configure a System.
 type Options struct {
 	// Capture selects trigger-based (ArchIS-DB2) or log-based
@@ -66,6 +79,10 @@ type Options struct {
 	// scan/aggregate SELECTs (0 = GOMAXPROCS, 1 = serial). See
 	// sqlengine.Engine.Workers.
 	Workers int
+	// Planner toggles cost-based access-path and join planning (the
+	// PlannerOn zero value enables it; PlannerOff forces the legacy
+	// heuristics). See sqlengine.Engine.Planner.
+	Planner PlannerMode
 	// BlockCacheBytes is the byte budget of the decoded-block cache for
 	// BlockZIP reads (0 = off). Only meaningful with LayoutCompressed;
 	// DropCaches/cold runs still discard it, so cold numbers are
@@ -158,6 +175,7 @@ func newWithDB(db *relstore.Database, opts Options) (*System, error) {
 	}
 	en := sqlengine.New(db)
 	en.Workers = opts.Workers
+	en.Planner = opts.Planner == PlannerOn
 	db.SetBlockCacheBytes(opts.BlockCacheBytes)
 	a, err := htable.New(en, opts.Capture)
 	if err != nil {

@@ -1,0 +1,55 @@
+package relstore
+
+// Planner-facing scan statistics (DESIGN.md §12). EstimateScan walks
+// only page headers — zone maps and live-row counters — so an
+// estimate costs O(pages) with no page decode or cache traffic, cheap
+// enough to run once per table reference at plan time.
+
+// ScanEstimate summarizes the cost-relevant size of a bounded scan.
+type ScanEstimate struct {
+	// Rows is the number of live rows a scan with the given zone
+	// bounds will touch (rows on non-pruned pages plus builder rows;
+	// an upper bound on the rows surviving the predicate).
+	Rows int
+	// Pages is the number of sealed pages the scan will read after
+	// zone pruning (the builder, when populated, counts as one).
+	Pages int
+	// TotalRows and TotalPages describe the whole table, bounds
+	// ignored.
+	TotalRows  int
+	TotalPages int
+}
+
+// EstimateScan predicts the footprint of Scan/ScanBorrow under the
+// given zone bounds using per-page zone maps and live counters only.
+// Follows the reader rules: safe concurrently with other readers,
+// not with a writer.
+func (t *Table) EstimateScan(bounds []ZoneBound) ScanEstimate {
+	est := ScanEstimate{TotalRows: t.liveRows, TotalPages: t.PageCount()}
+	for _, p := range t.pages {
+		skip := false
+		for _, zb := range bounds {
+			if p.zoneExcludes(zb.Col, zb.Op, zb.Bound) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		est.Pages++
+		est.Rows += p.live
+	}
+	// Builder rows have no zone maps yet and are always visited.
+	builderLive := 0
+	for _, lv := range t.bLive {
+		if lv {
+			builderLive++
+		}
+	}
+	if len(t.bRows) > 0 {
+		est.Pages++
+		est.Rows += builderLive
+	}
+	return est
+}

@@ -124,6 +124,31 @@ func (t *Table) Get(rid RID) (Row, bool, error) {
 	return copyRow(rows[rid.Slot]), live[rid.Slot], nil
 }
 
+// GetBorrow is Get on the zero-copy path: the returned row may alias
+// shared page-cache or builder storage, so it follows the ScanBorrow
+// contract — never mutate the row or its cells, retain it at most for
+// the duration of the enclosing statement. Index probes use it so a
+// point read allocates nothing beyond the page decode.
+func (t *Table) GetBorrow(rid RID) (Row, bool, error) {
+	if int(rid.Page) == len(t.pages) {
+		if int(rid.Slot) >= len(t.bRows) {
+			return nil, false, fmt.Errorf("relstore: %s: bad rid %v", t.Name(), rid)
+		}
+		return t.bRows[rid.Slot], t.bLive[rid.Slot], nil
+	}
+	if int(rid.Page) > len(t.pages) {
+		return nil, false, fmt.Errorf("relstore: %s: bad rid %v", t.Name(), rid)
+	}
+	rows, live, err := t.readPage(int(rid.Page))
+	if err != nil {
+		return nil, false, err
+	}
+	if int(rid.Slot) >= len(rows) {
+		return nil, false, fmt.Errorf("relstore: %s: bad rid %v", t.Name(), rid)
+	}
+	return rows[rid.Slot], live[rid.Slot], nil
+}
+
 // copyRow shallow-copies a row so callers can overwrite cells without
 // reaching into shared page-cache storage. Values are immutable by
 // convention, so copying the cell slice is enough.

@@ -427,6 +427,34 @@ func (s *Store) SegmentsFor(lo, hi temporal.Date) ([]int64, error) {
 // Schema implements sqlengine.VirtualTable.
 func (s *Store) Schema() relstore.Schema { return s.table.Schema() }
 
+// EstimateScan implements the sqlengine planner's ScanEstimator: the
+// pushed-down segment range is rewritten into zone bounds exactly as
+// Scan does, then the base table's zone-map estimate answers. Costs
+// O(pages), no page decode.
+func (s *Store) EstimateScan(bounds []relstore.ZoneBound) relstore.ScanEstimate {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo, hi := int64(1), s.liveSeg
+	for _, zb := range bounds {
+		switch {
+		case zb.Col == 0 && zb.Op == "=":
+			lo, hi = zb.Bound, zb.Bound
+		case zb.Col == 0 && zb.Op == ">=" && zb.Bound > lo:
+			lo = zb.Bound
+		case zb.Col == 0 && zb.Op == "<=" && zb.Bound < hi:
+			hi = zb.Bound
+		}
+	}
+	segBounds := bounds
+	if lo > 1 || hi < s.liveSeg {
+		segBounds = append([]relstore.ZoneBound{
+			{Col: 0, Op: ">=", Bound: lo},
+			{Col: 0, Op: "<=", Bound: hi},
+		}, bounds...)
+	}
+	return s.table.EstimateScan(segBounds)
+}
+
 // Scan implements sqlengine.VirtualTable with logical-version
 // semantics: segments are scanned newest-first and redundant copies of
 // a version (same id and tstart, carried across archive operations)
@@ -463,11 +491,13 @@ func (s *Store) Scan(bounds []relstore.ZoneBound, fn func(relstore.Row) bool) er
 	}
 
 	// Index fast path for single-object queries (the Q1/Q3 shape).
+	// Rows are borrowed (VirtualTable contract), so the probe loop
+	// allocates nothing per row.
 	if idEq != nil {
 		if ix := s.table.IndexOn(1); ix != nil {
 			var rows []relstore.Row
 			for _, rid := range ix.Lookup([]relstore.Value{relstore.Int(*idEq)}) {
-				row, live, err := s.table.Get(rid)
+				row, live, err := s.table.GetBorrow(rid)
 				if err != nil {
 					return err
 				}

@@ -74,6 +74,13 @@ type Engine struct {
 	// paths fan out.
 	Workers int
 
+	// Planner enables cost-based access-path and join planning
+	// (DESIGN.md §12; New sets it). False falls back to the legacy
+	// fixed heuristics — always prefer an eq-index probe, build hash
+	// joins on the inner side, fold joins in FROM order — kept for
+	// planner-on/off differential testing.
+	Planner bool
+
 	scalarFuncs map[string]ScalarFunc
 	aggFuncs    map[string]AggFunc
 	virtual     map[string]VirtualTable
@@ -96,6 +103,7 @@ func (en *Engine) scanWorkers() int {
 func New(db *relstore.Database) *Engine {
 	en := &Engine{
 		DB:          db,
+		Planner:     true,
 		Now:         temporal.FromTime(time.Now()),
 		scalarFuncs: map[string]ScalarFunc{},
 		aggFuncs:    map[string]AggFunc{},
@@ -429,7 +437,7 @@ func (en *Engine) findTargets(tbl *relstore.Table, alias string, whereExpr Expr,
 			if op == "=" {
 				if ix := tbl.IndexOn(col); ix != nil {
 					for _, rid := range ix.Lookup([]relstore.Value{zv}) {
-						row, live, err := tbl.Get(rid)
+						row, live, err := tbl.GetBorrow(rid)
 						if err != nil {
 							return nil, err
 						}

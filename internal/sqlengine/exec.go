@@ -224,22 +224,31 @@ func (en *Engine) colConstConjunct(e Expr, s *source, sources []*source) (col in
 }
 
 // scanPlan is the compiled single-table access plan: pushed-down zone
-// bounds, an optional equality-index probe, and the residual filter.
+// bounds, an optional equality-index probe, the residual filter, and
+// (planner on) the cardinality estimates behind the choice.
 type scanPlan struct {
 	bounds  []relstore.ZoneBound
 	eqVal   relstore.Value
 	eqIndex *relstore.Index
 	filter  evalFunc
+	est     planEstimate
 }
 
 // planScan builds the access plan for one source: index selection,
-// zone-bound pushdown, residual filter compilation.
+// zone-bound pushdown, residual filter compilation. With the planner
+// on, the eq-index probe is taken only when the cost model prefers it
+// over the bounded scan and the most selective candidate wins; with
+// the planner off, the first eq conjunct with an index wins
+// unconditionally (the legacy heuristic).
 func (en *Engine) planScan(s *source, conjuncts []Expr, sources []*source) (*scanPlan, error) {
 	layout := layoutFor(s.alias, s.schema)
 	p := &scanPlan{}
+	var cands []eqCandidate
+	var conj conjunctStats
 	for _, c := range conjuncts {
 		col, op, v, ok := en.colConstConjunct(c, s, sources)
 		if !ok {
+			conj.opaque++
 			continue
 		}
 		// Zone bound for INT/DATE columns.
@@ -255,14 +264,28 @@ func (en *Engine) planScan(s *source, conjuncts []Expr, sources []*source) (*sca
 			p.bounds = append(p.bounds, relstore.ZoneBound{Col: col, Op: op, Bound: zv.I})
 		}
 		// Index equality candidate.
-		if op == "=" && s.base != nil && p.eqIndex == nil {
-			if ix := s.base.IndexOn(col); ix != nil {
-				cv, err := coerce(zv, ct)
-				if err == nil {
-					p.eqVal, p.eqIndex = cv, ix
+		if op == "=" {
+			added := false
+			if s.base != nil {
+				if ix := s.base.IndexOn(col); ix != nil {
+					cv, err := coerce(zv, ct)
+					if err == nil {
+						cands = append(cands, eqCandidate{col: col, val: cv, ix: ix})
+						added = true
+					}
 				}
 			}
+			if !added {
+				conj.eqUnindexed++
+			}
+		} else {
+			conj.ranges++
 		}
+	}
+	if en.Planner {
+		en.chooseAccess(s, p, cands, conj)
+	} else if len(cands) > 0 {
+		p.eqVal, p.eqIndex = cands[0].val, cands[0].ix
 	}
 
 	// Compile the full residual predicate (reapplying pushed bounds is
@@ -314,8 +337,11 @@ func (en *Engine) runScanPlan(s *source, p *scanPlan, emit func(relstore.Row) (b
 	}
 
 	if p.eqIndex != nil {
+		// Probed rows ride the zero-copy path like scans do: GetBorrow
+		// hands out rows aliasing immutable page-cache storage, so the
+		// probe loop allocates nothing per row.
 		for _, rid := range p.eqIndex.Lookup([]relstore.Value{p.eqVal}) {
-			row, live, err := s.base.Get(rid)
+			row, live, err := s.base.GetBorrow(rid)
 			if err != nil {
 				return err
 			}
@@ -500,13 +526,28 @@ func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span) (*Result, error) {
 		}
 	}
 
+	// Plan the fold order. With the planner on, sources are reordered
+	// greedily by estimated cardinality and each fold gets a static,
+	// estimate-driven strategy; with it off, FROM order and the legacy
+	// runtime heuristics apply.
+	ordered := sources
+	var jplan *joinPlan
+	if en.Planner && len(sources) > 1 {
+		var err error
+		if jplan, err = en.planJoins(sources, perAlias, multi); err != nil {
+			return nil, err
+		}
+		ordered = make([]*source, len(sources))
+		for i, idx := range jplan.order {
+			ordered[i] = sources[idx]
+		}
+	}
+
 	// Scan the first source, then fold in the rest. When the first fold
-	// is certainly a hash join — equi keys exist and the inner side has
-	// no index on the leading key, so the index-join plan is off the
-	// table regardless of outer cardinality — the initial scan is fused
-	// into the probe (hashJoinFirst), which streams the outer side and
-	// can fan it out over morsels.
-	first := sources[0]
+	// is a build-on-inner hash join, the initial scan is fused into the
+	// probe (hashJoinFirst), which streams the outer side and can fan
+	// it out over morsels.
+	first := ordered[0]
 	firstConjuncts := perAlias[strings.ToLower(first.alias)]
 	layout := layoutFor(first.alias, first.schema)
 	joinedAliases := map[string]bool{strings.ToLower(first.alias): true}
@@ -520,22 +561,46 @@ func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span) (*Result, error) {
 	scanFirst := func() error {
 		ss := sp.Child("scan")
 		ss.SetAttr("table", first.alias)
-		rows, err = en.scanOne(first, firstConjuncts, sources)
+		var plan *scanPlan
+		if plan, err = en.planScan(first, firstConjuncts, sources); err != nil {
+			ss.End()
+			return err
+		}
+		if plan.est.Planned {
+			ss.SetAttr("access", plan.est.Access)
+			ss.SetInt("est_rows", int64(plan.est.OutRows))
+		}
+		err = en.runScanPlan(first, plan, func(row relstore.Row) (bool, error) {
+			rows = append(rows, row)
+			return true, nil
+		})
 		ss.AddRows(0, int64(len(rows)))
 		ss.End()
 		return err
 	}
 
-	for _, s := range sources[1:] {
+	for fi, s := range ordered[1:] {
 		joins, rest := en.equiJoinConds(pendingMulti, layout, joinedAliases, s, sources)
 		pendingMulti = rest
 		newLayout := layout.concat(layoutFor(s.alias, s.schema))
 
 		singles := perAlias[strings.ToLower(s.alias)]
+		var fp *foldPlan
+		if jplan != nil {
+			fp = &jplan.folds[fi]
+		}
 		if !scanned {
 			scanned = true
-			if len(joins) > 0 && !(s.base != nil && s.base.IndexOn(joins[0].newPos) != nil) {
-				rows, err = en.hashJoinFirst(first, firstConjuncts, s, joins, singles, sources, sp)
+			fuse := len(joins) > 0
+			if fp != nil {
+				fuse = fuse && fp.strategy == stratHashBuildInner
+			} else {
+				// Legacy rule: fuse only when the index-join plan is
+				// off the table regardless of outer cardinality.
+				fuse = fuse && !(s.base != nil && s.base.IndexOn(joins[0].newPos) != nil)
+			}
+			if fuse {
+				rows, err = en.hashJoinFirst(first, firstConjuncts, s, joins, singles, sources, fp, sp)
 				if err != nil {
 					return nil, err
 				}
@@ -548,8 +613,19 @@ func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span) (*Result, error) {
 			}
 		}
 		in := int64(len(rows))
+		strat := stratNested
 		switch {
+		case fp != nil:
+			strat = fp.strategy
 		case len(joins) > 0 && s.base != nil && len(rows) <= indexJoinThreshold && s.base.IndexOn(joins[0].newPos) != nil:
+			// Legacy rule: index nested-loop join on the first equi key
+			// below the fixed outer-row threshold.
+			strat = stratIndex
+		case len(joins) > 0:
+			strat = stratHashBuildInner
+		}
+		switch strat {
+		case stratIndex:
 			// Index nested-loop join on the first equi key; remaining
 			// keys and single-table predicates filter after the probe.
 			js := sp.Child("join:index")
@@ -557,8 +633,10 @@ func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span) (*Result, error) {
 			rows, err = en.indexJoin(rows, s, joins, singles, sources, newLayout)
 			js.AddRows(in, int64(len(rows)))
 			js.End()
-		case len(joins) > 0:
-			rows, err = en.hashJoin(rows, s, joins, singles, sources, sp)
+		case stratHashBuildInner:
+			rows, err = en.hashJoin(rows, s, joins, singles, sources, fp, sp)
+		case stratHashBuildOuter:
+			rows, err = en.hashJoinBuildOuter(rows, s, joins, singles, sources, fp, sp)
 		default:
 			js := sp.Child("join:nested-loop")
 			js.SetAttr("table", s.alias)
@@ -633,7 +711,7 @@ func (en *Engine) indexJoin(outer []relstore.Row, s *source, joins []equiJoin, s
 			continue
 		}
 		for _, rid := range ix.Lookup([]relstore.Value{pv}) {
-			row, live, err := s.base.Get(rid)
+			row, live, err := s.base.GetBorrow(rid)
 			if err != nil {
 				return nil, err
 			}
@@ -772,13 +850,21 @@ func (en *Engine) project(stmt *SelectStmt, rows []relstore.Row, layout *rowLayo
 	var orderFns []evalFunc
 	for _, it := range stmt.Select {
 		if it.Star {
-			for i, c := range layout.cols {
-				if it.Qual != "" && !strings.EqualFold(c.qual, it.Qual) {
+			// Expand in FROM order (sources), not physical layout
+			// order: join reordering permutes the layout, but SELECT *
+			// must keep the declared column order either way.
+			for _, src := range sources {
+				if it.Qual != "" && !strings.EqualFold(src.alias, it.Qual) {
 					continue
 				}
-				pos := i
-				cols = append(cols, c.name)
-				evals = append(evals, func(row relstore.Row) (relstore.Value, error) { return row[pos], nil })
+				for _, col := range src.schema.Columns {
+					pos, err := layout.resolve(src.alias, col.Name)
+					if err != nil {
+						return nil, err
+					}
+					cols = append(cols, col.Name)
+					evals = append(evals, func(row relstore.Row) (relstore.Value, error) { return row[pos], nil })
+				}
 			}
 			continue
 		}

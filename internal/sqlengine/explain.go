@@ -115,6 +115,9 @@ func (en *Engine) explainSelect(stmt *SelectStmt) ([]string, error) {
 		if p.filter != nil {
 			d += fmt.Sprintf(" filter=%d conjuncts", len(cs))
 		}
+		if p.est.Planned {
+			d += fmt.Sprintf(" est=%d", p.est.OutRows)
+		}
 		return d, nil
 	}
 
@@ -153,31 +156,61 @@ func (en *Engine) explainSelect(stmt *SelectStmt) ([]string, error) {
 		return lines, nil
 	}
 
-	// Multi-source: describe the fold order of execSelect.
-	first := sources[0]
+	// Multi-source: describe the fold order of execSelect. With the
+	// planner on, the folds follow planJoins (greedy reordering plus
+	// static build-side/strategy choices); with it off, FROM order and
+	// the legacy runtime rules are rendered.
+	ordered := sources
+	var jplan *joinPlan
+	if en.Planner {
+		var err error
+		if jplan, err = en.planJoins(sources, perAlias, multi); err != nil {
+			return nil, err
+		}
+		ordered = make([]*source, len(sources))
+		for i, idx := range jplan.order {
+			ordered[i] = sources[idx]
+		}
+	}
+	first := ordered[0]
 	layout := layoutFor(first.alias, first.schema)
 	joinedAliases := map[string]bool{strings.ToLower(first.alias): true}
 	pendingMulti := multi
 	scanned := false
-	for _, s := range sources[1:] {
+	for fi, s := range ordered[1:] {
 		joins, rest := en.equiJoinConds(pendingMulti, layout, joinedAliases, s, sources)
 		pendingMulti = rest
 		singles := perAlias[strings.ToLower(s.alias)]
 		innerIndexed := s.base != nil && len(joins) > 0 && s.base.IndexOn(joins[0].newPos) != nil
+		var fp *foldPlan
+		if jplan != nil {
+			fp = &jplan.folds[fi]
+		}
 		if !scanned {
 			scanned = true
 			fd, err := describeScan(first, perAlias[strings.ToLower(first.alias)])
 			if err != nil {
 				return nil, err
 			}
-			if len(joins) > 0 && !innerIndexed {
+			fuse := len(joins) > 0
+			if fp != nil {
+				fuse = fuse && fp.strategy == stratHashBuildInner
+			} else {
+				fuse = fuse && !innerIndexed
+			}
+			if fuse {
 				// Fused first fold: scan streams into the probe
 				// (hashJoinFirst), exactly like execSelect's continue.
 				id, err := describeScan(s, singles)
 				if err != nil {
 					return nil, err
 				}
-				add(1, "hash join keys=%d", len(joins))
+				if fp != nil {
+					add(1, "hash join keys=%d build=%s est outer=%d inner=%d out=%d",
+						len(joins), s.alias, fp.estOuter, fp.estInner, fp.estOut)
+				} else {
+					add(1, "hash join keys=%d", len(joins))
+				}
 				add(2, "build: %s", id)
 				add(2, "probe: %s (streamed)", fd)
 				layout = layout.concat(layoutFor(s.alias, s.schema))
@@ -187,6 +220,20 @@ func (en *Engine) explainSelect(stmt *SelectStmt) ([]string, error) {
 			add(1, "%s", fd)
 		}
 		switch {
+		case fp != nil:
+			switch fp.strategy {
+			case stratIndex:
+				add(1, "index join %s keys=%d (index %s) est outer=%d out=%d",
+					s.alias, len(joins), fp.index.Name, fp.estOuter, fp.estOut)
+			case stratHashBuildInner:
+				add(1, "hash join %s keys=%d build=%s est outer=%d inner=%d out=%d",
+					s.alias, len(joins), s.alias, fp.estOuter, fp.estInner, fp.estOut)
+			case stratHashBuildOuter:
+				add(1, "hash join %s keys=%d build=outer est outer=%d inner=%d out=%d",
+					s.alias, len(joins), fp.estOuter, fp.estInner, fp.estOut)
+			default:
+				add(1, "nested-loop join %s est out=%d", s.alias, fp.estOut)
+			}
 		case len(joins) > 0 && innerIndexed:
 			add(1, "join %s keys=%d: index join (index %s) if outer rows <= %d, else hash join",
 				s.alias, len(joins), s.base.IndexOn(joins[0].newPos).Name, indexJoinThreshold)

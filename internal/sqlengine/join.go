@@ -80,10 +80,25 @@ func (jt *joinTable) probe(o relstore.Row, joins []equiJoin, sc *probeScratch, o
 	return out, true
 }
 
-// hashJoin folds source s into already-materialized outer rows.
-func (en *Engine) hashJoin(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source, sp *obs.Span) ([]relstore.Row, error) {
+// setFoldEst annotates a join span with the planner's estimates.
+func setFoldEst(sp *obs.Span, fp *foldPlan) {
+	if sp == nil || fp == nil {
+		return
+	}
+	sp.SetInt("est_outer", int64(fp.estOuter))
+	sp.SetInt("est_inner", int64(fp.estInner))
+	sp.SetInt("est_out", int64(fp.estOut))
+}
+
+// hashJoin folds source s into already-materialized outer rows,
+// building on the inner side (the planner picks this variant when the
+// inner input is the smaller estimate; hashJoinBuildOuter is its
+// mirror).
+func (en *Engine) hashJoin(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source, fp *foldPlan, sp *obs.Span) ([]relstore.Row, error) {
 	bs := sp.Child("join:hash-build")
 	bs.SetAttr("table", s.alias)
+	bs.SetAttr("side", "inner")
+	setFoldEst(bs, fp)
 	inner, err := en.scanOne(s, singles, sources)
 	if err != nil {
 		return nil, err
@@ -113,11 +128,14 @@ func (en *Engine) hashJoin(outer []relstore.Row, s *source, joins []equiJoin, si
 // probe side of its first hash join: outer rows stream from the
 // borrow scan straight into the probe with no intermediate []Row, and
 // when the outer scan is morsel-eligible the probe fans out over the
-// scan worker pool. Only called when the inner side has no index on
-// the leading key, so the plan choice matches the serial executor's.
-func (en *Engine) hashJoinFirst(outer *source, conjuncts []Expr, s *source, joins []equiJoin, singles []Expr, sources []*source, sp *obs.Span) ([]relstore.Row, error) {
+// scan worker pool. Called when the fold is a build-on-inner hash
+// join: planner-off, when the inner side has no index on the leading
+// key; planner-on, when the cost model picked the inner build side.
+func (en *Engine) hashJoinFirst(outer *source, conjuncts []Expr, s *source, joins []equiJoin, singles []Expr, sources []*source, fp *foldPlan, sp *obs.Span) ([]relstore.Row, error) {
 	bs := sp.Child("join:hash-build")
 	bs.SetAttr("table", s.alias)
+	bs.SetAttr("side", "inner")
+	setFoldEst(bs, fp)
 	inner, err := en.scanOne(s, singles, sources)
 	if err != nil {
 		return nil, err
@@ -245,5 +263,85 @@ func (en *Engine) probeMorsels(morsels []relstore.MorselFunc, plan *scanPlan, jt
 	}
 	en.DB.AddJoinRows(probed.Load(), int64(total))
 	sp.AddRows(probed.Load(), int64(total))
+	return out, nil
+}
+
+// hashJoinBuildOuter is hashJoin with the build side flipped: the
+// planner picks it when the already-materialized outer input is the
+// smaller estimate, so the hash table is built over the outer rows
+// and the inner scan streams through it — fixing the old executor's
+// fixed-build-side misplan (a 17-row outer no longer pays for hashing
+// a million-row inner). Matching inner rows are bucketed per outer
+// row and emitted outer-major afterwards, so the output order is
+// byte-identical to the build-inner executor's.
+func (en *Engine) hashJoinBuildOuter(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source, fp *foldPlan, sp *obs.Span) ([]relstore.Row, error) {
+	bs := sp.Child("join:hash-build")
+	bs.SetAttr("table", s.alias)
+	bs.SetAttr("side", "outer")
+	setFoldEst(bs, fp)
+	// Build: outer row positions keyed by encoded join key. Rows with
+	// a NULL key component can never match, so they are left out.
+	idx := make(map[string][]int, len(outer))
+	var enc []byte
+	key := make([]relstore.Value, len(joins))
+	for i, o := range outer {
+		null := false
+		for k, j := range joins {
+			key[k] = o[j.boundPos]
+			if key[k].IsNull() {
+				null = true
+				break
+			}
+		}
+		if null {
+			continue
+		}
+		enc = appendKey(enc[:0], key)
+		idx[string(enc)] = append(idx[string(enc)], i)
+	}
+	bs.AddRows(int64(len(outer)), 0)
+	bs.SetInt("buckets", int64(len(idx)))
+	bs.End()
+
+	plan, err := en.planScan(s, singles, sources)
+	if err != nil {
+		return nil, err
+	}
+	ps := sp.Child("join:hash-probe")
+	ps.SetAttr("table", s.alias)
+	// matches[i] collects the inner rows joining outer row i; inner
+	// rows are borrowed, which is safe to retain for the statement.
+	matches := make([][]relstore.Row, len(outer))
+	var probed, combined int64
+	err = en.runScanPlan(s, plan, func(row relstore.Row) (bool, error) {
+		for k, j := range joins {
+			key[k] = row[j.newPos]
+			if key[k].IsNull() {
+				return true, nil
+			}
+		}
+		probed++
+		enc = appendKey(enc[:0], key)
+		for _, oi := range idx[string(enc)] {
+			matches[oi] = append(matches[oi], row)
+			combined++
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]relstore.Row, 0, combined)
+	for i, o := range outer {
+		for _, m := range matches[i] {
+			c := make(relstore.Row, 0, len(o)+len(m))
+			c = append(c, o...)
+			c = append(c, m...)
+			out = append(out, c)
+		}
+	}
+	en.DB.AddJoinRows(probed, int64(len(out)))
+	ps.AddRows(probed, int64(len(out)))
+	ps.End()
 	return out, nil
 }

@@ -62,6 +62,10 @@ func (en *Engine) execSingleParallel(stmt *SelectStmt, s *source, conjuncts []Ex
 	fanout := sp.Child("morsel-fanout")
 	fanout.SetAttr("table", s.alias)
 	fanout.SetInt("morsels", int64(len(morsels)))
+	if plan.est.Planned {
+		fanout.SetAttr("access", plan.est.Access)
+		fanout.SetInt("est_rows", int64(plan.est.OutRows))
+	}
 
 	// Per-morsel partials, merged in morsel order after the pool
 	// drains. Each worker owns whole morsels, so no row-level
