@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race parallel-stress bench-smoke trace-smoke planner-smoke crash-matrix fuzz-smoke verify lint bench bench-parallel bench-json
+.PHONY: build vet test race parallel-stress bench-smoke trace-smoke planner-smoke crash-matrix fuzz-smoke columnar-smoke verify lint bench bench-parallel bench-json
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,16 @@ planner-smoke:
 	$(GO) run ./cmd/archis-bench -adversarial /tmp/archis-planner-adversarial.json
 	$(GO) test -count=1 -run 'TestExplain|TestPlanner|TestIndexProbe' ./internal/bench/ ./internal/sqlengine/
 
+# Columnar smoke: the columnar-vs-rowblob gate at scale 32 (the 10x
+# dataset): cold Q2/Q4/Q6 on the compressed layout must run vectorized,
+# beat the legacy row-in-blob encoding by >= 2x min latency over
+# interleaved pairs, return identical answers, and take no more disk.
+# JSON evidence lands in /tmp. The columnar codec/differential tests
+# ride along.
+columnar-smoke:
+	$(GO) run ./cmd/archis-bench -scale 32 -columnargate /tmp/archis-columnar-gate.json
+	$(GO) test -count=1 -run 'Columnar' ./internal/blockzip/ ./internal/bench/ ./internal/relstore/
+
 # Durability stress: kill the durable system at every fsync boundary
 # (with and without torn tail bytes) and require every survivor to
 # recover to an acknowledged-consistent state, under the race detector.
@@ -58,6 +68,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/xquery/
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/sqlengine/
 	$(GO) test -run '^$$' -fuzz FuzzDecompress -fuzztime 5s ./internal/blockzip/
+	$(GO) test -run '^$$' -fuzz FuzzColumnarRoundTrip -fuzztime 10s ./internal/blockzip/
 
 # Tier-1 verification: everything must compile, pass vet, and pass the
 # full test suite under the race detector (the concurrency layer is

@@ -74,6 +74,16 @@ const (
 	PlannerOff = core.PlannerOff
 )
 
+// ColumnarMode toggles columnar frozen blocks and vectorized
+// execution on the compressed layout (DESIGN.md §13).
+type ColumnarMode = core.ColumnarMode
+
+// Columnar modes.
+const (
+	ColumnarOn  = core.ColumnarOn
+	ColumnarOff = core.ColumnarOff
+)
+
 // Capture modes.
 const (
 	CaptureTrigger = htable.CaptureTrigger

@@ -54,6 +54,9 @@ var (
 	plannerOn = flag.Bool("planner", true, "cost-based planning (false = legacy fixed access heuristics)")
 	advOut    = flag.String("adversarial", "", "run the adversarial-selectivity planner benchmark and write JSON records to this path")
 	advRows   = flag.Int("advrows", 120000, "table size for the -adversarial benchmark")
+	columnar  = flag.Bool("columnar", true, "columnar frozen blocks + vectorized execution on the compressed layout (false = legacy row-in-blob)")
+	colGate   = flag.String("columnargate", "", "run the columnar-vs-rowblob gate (cold Q2/Q4/Q6 on the scaled compressed layout), write JSON records to this path and fail unless columnar wins >= the -colmin factor with no storage regression")
+	colMin    = flag.Float64("colmin", 2.0, "minimum columnar/rowblob min-latency speedup the -columnargate asserts")
 )
 
 // plannerMode maps the -planner flag onto the engine option.
@@ -62,6 +65,23 @@ func plannerMode() core.PlannerMode {
 		return core.PlannerOn
 	}
 	return core.PlannerOff
+}
+
+// columnarMode maps the -columnar flag onto the storage/engine option.
+func columnarMode() core.ColumnarMode {
+	if *columnar {
+		return core.ColumnarOn
+	}
+	return core.ColumnarOff
+}
+
+// encoding names the frozen-block encoding a compressed-layout cell
+// ran with, for -json records.
+func encoding() string {
+	if *columnar {
+		return "columnar"
+	}
+	return "rowblob"
 }
 
 // benchBlockCacheBytes is the decoded-block cache budget used for the
@@ -86,6 +106,10 @@ func main() {
 	}
 	if *advOut != "" {
 		h.adversarial(*advOut)
+		return
+	}
+	if *colGate != "" {
+		h.columnarGate(*colGate)
 		return
 	}
 	if *jsonOut != "" {
@@ -346,9 +370,13 @@ func validateTrace(data []byte) error {
 type benchRecord struct {
 	Query   string `json:"query"`
 	Path    string `json:"path"` // physical layout the query ran on
-	Workers int    `json:"workers"`
-	Mode    string `json:"mode"`             // "cold" (caches dropped per run) or "warm"
-	Access  string `json:"access,omitempty"` // planner access path ("scan" or "index")
+	// Encoding is the frozen-block encoding on the compressed layout
+	// ("columnar" or "rowblob", per the -columnar flag); empty on
+	// layouts without BlockZIP blocks.
+	Encoding string `json:"encoding,omitempty"`
+	Workers  int    `json:"workers"`
+	Mode     string `json:"mode"`             // "cold" (caches dropped per run) or "warm"
+	Access   string `json:"access,omitempty"` // planner access path ("scan", "colscan" or "index")
 	MeanNS  int64  `json:"mean_ns"`
 	MinNS   int64  `json:"min_ns"`
 	Rows    int    `json:"rows"`
@@ -426,12 +454,13 @@ func (h *harness) benchJSON(path string) {
 		levels = append(levels, w)
 	}
 	layouts := []struct {
-		name string
-		opts bench.Options
+		name     string
+		encoding string
+		opts     bench.Options
 	}{
-		{"clustered", bench.Options{Layout: core.LayoutClustered, Workers: 1, Planner: plannerMode()}},
-		{"compressed", bench.Options{Layout: core.LayoutCompressed, Compress: true, Workers: 1,
-			Planner: plannerMode(), BlockCacheBytes: benchBlockCacheBytes}},
+		{"clustered", "", bench.Options{Layout: core.LayoutClustered, Workers: 1, Planner: plannerMode()}},
+		{"compressed", encoding(), bench.Options{Layout: core.LayoutCompressed, Compress: true, Workers: 1,
+			Planner: plannerMode(), Columnar: columnarMode(), BlockCacheBytes: benchBlockCacheBytes}},
 	}
 	measure := func(e *bench.Env, q bench.QueryID, n int, cold bool) (time.Duration, time.Duration, int, relstore.Stats) {
 		e.Cold() // untimed warm-up absorbs lazy initialization (and, warm mode, fills caches)
@@ -489,6 +518,7 @@ func (h *harness) benchJSON(path string) {
 					rec := benchRecord{
 						Query:            fmt.Sprintf("Q%d", q),
 						Path:             lay.name,
+						Encoding:         lay.encoding,
 						Workers:          lvl,
 						Mode:             m.name,
 						Access:           access,
@@ -586,6 +616,91 @@ func (h *harness) adversarial(path string) {
 		},
 		TableRows: *advRows,
 		Runs:      *runs,
+		Records:   recs,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	die(err)
+	die(os.WriteFile(path, append(data, '\n'), 0o644))
+	fmt.Printf("wrote %d records to %s\n", len(recs), path)
+}
+
+// columnarReport is the -columnargate output document: cold scan-query
+// timings on the compressed layout, columnar encoding vs legacy
+// row-in-blob, on the scaled dataset.
+type columnarReport struct {
+	Timestamp string                 `json:"timestamp"`
+	Host      hostInfo               `json:"host"`
+	Employees int                    `json:"employees"`
+	Years     int                    `json:"years"`
+	Scale     int                    `json:"scale"`
+	Pairs     int                    `json:"pairs"`
+	MinFactor float64                `json:"min_factor"`
+	Records   []bench.ColumnarRecord `json:"records"`
+}
+
+// columnarGate builds the scaled compressed dataset twice — columnar
+// frozen blocks vs legacy row blobs — and times the scan-heavy queries
+// (Q2 snapshot-avg, Q4 full count, Q6 UDA join) cold in interleaved
+// pairs. It fails unless every query's columnar min latency beats the
+// row-blob one by the -colmin factor, the answers agree, and the
+// columnar footprint is no larger.
+func (h *harness) columnarGate(path string) {
+	pairs := *runs
+	if pairs < 7 {
+		pairs = 7
+	}
+	cfgS := cfg1().Scaled(*scale)
+	fmt.Printf("== columnar gate: S=%d (%d employees, %d years), cold Q2/Q4/Q6, %d interleaved pairs ==\n",
+		*scale, cfgS.Employees, cfgS.Years, pairs)
+	on, off, err := bench.BuildColumnarPair(cfgS, bench.Options{Workers: 1, Planner: plannerMode()})
+	die(err)
+	fmt.Printf("  storage: columnar %d bytes, rowblob %d bytes (%.3fx)\n",
+		on.Sys.StorageBytes(), off.Sys.StorageBytes(),
+		float64(on.Sys.StorageBytes())/float64(off.Sys.StorageBytes()))
+	queries := []bench.QueryID{bench.Q2, bench.Q4, bench.Q6}
+	recs, err := bench.ColumnarCompare(on, off, queries, pairs)
+	die(err)
+	cell := map[string]bench.ColumnarRecord{}
+	for _, r := range recs {
+		cell[r.Query+"/"+r.Encoding] = r
+		fmt.Printf("  %-3s %-8s access=%-8s  mean %8.2f ms  min %8.2f ms  rows %-7d batches %d\n",
+			r.Query, r.Encoding, r.Access, float64(r.MeanNS)/1e6, float64(r.MinNS)/1e6, r.Rows, r.ColBatches)
+	}
+	for _, q := range queries {
+		name := fmt.Sprintf("Q%d", q)
+		col, blob := cell[name+"/columnar"], cell[name+"/rowblob"]
+		if col.Access != "colscan" {
+			die(fmt.Errorf("%s did not run vectorized (access=%q, want colscan)", name, col.Access))
+		}
+		if col.ColBatches == 0 {
+			die(fmt.Errorf("%s consumed no column batches on the columnar side", name))
+		}
+		// Min over interleaved pairs approximates each path's true cost
+		// on a shared machine (same argument as the planner gate).
+		speedup := float64(blob.MinNS) / float64(col.MinNS)
+		if speedup < *colMin {
+			die(fmt.Errorf("%s columnar speedup %.2fx below the %.1fx gate (columnar min %.2f ms, rowblob min %.2f ms)",
+				name, speedup, *colMin, float64(col.MinNS)/1e6, float64(blob.MinNS)/1e6))
+		}
+		fmt.Printf("  %s: columnar beats rowblob by %.2fx (min latency)\n", name, speedup)
+	}
+	if onB, offB := on.Sys.StorageBytes(), off.Sys.StorageBytes(); onB > offB {
+		die(fmt.Errorf("columnar storage regressed: %d bytes vs %d row-blob bytes", onB, offB))
+	}
+	rep := columnarReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Host: hostInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Employees: cfgS.Employees,
+		Years:     cfgS.Years,
+		Scale:     *scale,
+		Pairs:     pairs,
+		MinFactor: *colMin,
 		Records:   recs,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -84,6 +84,9 @@ func AccessPath(en *sqlengine.Engine, query string) (string, error) {
 		if strings.Contains(line, "index scan") || strings.Contains(line, "index join") {
 			return "index", nil
 		}
+		if strings.Contains(line, "access=colscan") {
+			return "colscan", nil
+		}
 	}
 	return "scan", nil
 }

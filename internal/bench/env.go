@@ -52,6 +52,9 @@ type Options struct {
 	// Planner toggles cost-based planning (zero value = on); see
 	// core.Options.Planner.
 	Planner core.PlannerMode
+	// Columnar toggles columnar frozen blocks + vectorized execution
+	// (zero value = on); see core.Options.Columnar.
+	Columnar core.ColumnarMode
 	// BlockCacheBytes is the decoded-block cache budget for compressed
 	// layouts (0 = off); see core.Options.BlockCacheBytes.
 	BlockCacheBytes int
@@ -85,6 +88,7 @@ func Build(cfg dataset.Config, opts Options) (*Env, error) {
 		WholeSegmentCompression: opts.WholeSegments,
 		Workers:                 opts.Workers,
 		Planner:                 opts.Planner,
+		Columnar:                opts.Columnar,
 		BlockCacheBytes:         opts.BlockCacheBytes,
 		WALDir:                  opts.WALDir,
 		WALFS:                   opts.WALFS,

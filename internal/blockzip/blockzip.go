@@ -35,16 +35,40 @@ func frame(dst []byte, rec []byte) []byte {
 	return append(dst, rec...)
 }
 
+// deflater couples one reusable zlib writer with its output buffer, so
+// a pooled compression allocates neither. The writer's deflate state
+// (sliding window, hash chains, Huffman scratch) is by far the largest
+// allocation on the write path — the mirror image of inflaterPool on
+// the read path.
+type deflater struct {
+	buf bytes.Buffer
+	zw  *zlib.Writer
+}
+
+// deflaterPool recycles deflaters across blocks: Compress and
+// CompressFrozen call deflate once per fitting iteration, so a fresh
+// zlib.NewWriter per call dominated write-path allocations.
+var deflaterPool = sync.Pool{New: func() any { return new(deflater) }}
+
+// deflate compresses raw into a fresh buffer using a pooled deflater.
+// The returned slice is owned by the caller (copied out of the pooled
+// buffer, which is tiny next to the writer state being reused).
 func deflate(raw []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	zw := zlib.NewWriter(&buf)
-	if _, err := zw.Write(raw); err != nil {
+	d := deflaterPool.Get().(*deflater)
+	defer deflaterPool.Put(d)
+	d.buf.Reset()
+	if d.zw == nil {
+		d.zw = zlib.NewWriter(&d.buf)
+	} else {
+		d.zw.Reset(&d.buf)
+	}
+	if _, err := d.zw.Write(raw); err != nil {
 		return nil, err
 	}
-	if err := zw.Close(); err != nil {
+	if err := d.zw.Close(); err != nil {
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	return append([]byte(nil), d.buf.Bytes()...), nil
 }
 
 // Compress packs records into blocks of at most blockSize compressed
@@ -181,6 +205,14 @@ var inflaterPool = sync.Pool{New: func() any { return new(inflater) }}
 // inflate decompresses one zlib stream into a fresh buffer using a
 // pooled inflater. The returned buffer is owned by the caller.
 func inflate(data []byte) ([]byte, error) {
+	return inflateInto(nil, data)
+}
+
+// inflateInto is inflate with a caller-supplied destination buffer:
+// the stream is decompressed into dst's capacity (growing as needed)
+// so a caller decoding many blocks can reuse one buffer. dst's length
+// is ignored; the decompressed bytes are returned from offset 0.
+func inflateInto(dst []byte, data []byte) ([]byte, error) {
 	inf := inflaterPool.Get().(*inflater)
 	defer func() {
 		inf.br.Reset(nil) // drop the reference to data before pooling
@@ -199,7 +231,10 @@ func inflate(data []byte) ([]byte, error) {
 	// Read into a growing buffer by hand: io.ReadAll's internal
 	// append pattern is fine, but starting from the compressed size
 	// avoids most of the doubling steps.
-	raw := make([]byte, 0, 4*len(data))
+	raw := dst[:0]
+	if cap(raw) < 4*len(data) {
+		raw = make([]byte, 0, 4*len(data))
+	}
 	for {
 		if len(raw) == cap(raw) {
 			raw = append(raw, 0)[:len(raw)]

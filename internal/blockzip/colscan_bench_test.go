@@ -1,0 +1,93 @@
+package blockzip
+
+import (
+	"testing"
+
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+)
+
+// Cold per-block decode cost, columnar vs legacy row blobs, on the
+// attr-table shape (segno, id, value, tstart, tend) the temporal
+// queries scan. Each op decodes every block of a ~4096-row history;
+// divide allocs/op by benchScanRows for allocs/row. The columnar path
+// reuses one ColBatch and decodes only the needed columns; the legacy
+// path mirrors blockRows' cold branch (inflate + one arena per block).
+const benchScanRows = 4096
+
+func benchScanData(b *testing.B) []relstore.Row {
+	b.Helper()
+	day := temporal.MustParseDate("1985-01-01")
+	rows := make([]relstore.Row, benchScanRows)
+	for i := range rows {
+		end := relstore.DateV(day.AddDays(i%900 + 30))
+		if i%3 == 0 {
+			end = relstore.DateV(temporal.Forever)
+		}
+		rows[i] = relstore.Row{
+			relstore.Int(int64(i/1024 + 1)),
+			relstore.Int(int64(100000 + i%1024)),
+			relstore.Int(int64(30000 + (i*7919)%40000)),
+			relstore.DateV(day.AddDays(i % 900)),
+			end,
+		}
+	}
+	return rows
+}
+
+func BenchmarkColdScanColumnar(b *testing.B) {
+	rows := benchScanData(b)
+	blocks, err := CompressColumnar(rows, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	needed := []bool{true, true, true, true, true}
+	var batch relstore.ColBatch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, blk := range blocks {
+			if err := DecodeColumnarBatch(blk.Data, needed, &batch); err != nil {
+				b.Fatal(err)
+			}
+			n += batch.N
+		}
+		if n != benchScanRows {
+			b.Fatalf("decoded %d rows, want %d", n, benchScanRows)
+		}
+	}
+}
+
+func BenchmarkColdScanRowBlob(b *testing.B) {
+	rows := benchScanData(b)
+	recs := make([][]byte, len(rows))
+	for i, r := range rows {
+		recs[i] = relstore.EncodeRow(nil, r, true)
+	}
+	blocks, err := Compress(recs, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, blk := range blocks {
+			encs, err := Decompress(blk.Data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			arena := make([]relstore.Value, 0, 4*len(encs))
+			for _, enc := range encs {
+				if arena, _, _, err = relstore.DecodeRowInto(arena, enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			n += len(arena) / 5
+		}
+		if n != benchScanRows {
+			b.Fatalf("decoded %d rows, want %d", n, benchScanRows)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package blockzip
+
+import (
+	"sync/atomic"
+
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+)
+
+// Batch-granular scanning: the columnar sibling of ScanMorsels. The
+// engine's vectorized executor (sqlengine's BatchSource) asks for the
+// columns it needs; each batch morsel streams column batches with this
+// store's segno-range / staleness / id filter already applied through
+// the selection vector. Concatenating the selected rows of every batch
+// in morsel order reproduces exactly the serial Scan row sequence, the
+// same determinism contract ScanMorsels gives the row executor.
+
+// batchRows is the target batch size for row-backed batches (the live
+// segment and legacy row-blob blocks). Columnar blocks emit one batch
+// per block, whatever its row count.
+const batchRows = 1024
+
+// ScanBatches implements the engine's batch source: uncompressed
+// morsels first (live segment plus not-yet-compressed frozen rows),
+// adapted row-to-batch, then one batch morsel per compressed segment
+// range, newest segment first. needed marks the columns the consumer
+// reads (nil = all); the store adds the columns its own filter needs,
+// and columnar blocks decode only that union.
+func (cs *CompressedStore) ScanBatches(bounds []relstore.ZoneBound, needed []bool) ([]relstore.BatchFunc, error) {
+	segLo, segHi := int64(1), cs.Seg.LiveSegment()
+	var idEq *int64
+	for _, zb := range bounds {
+		switch {
+		case zb.Col == 0 && zb.Op == "=":
+			segLo, segHi = zb.Bound, zb.Bound
+		case zb.Col == 0 && zb.Op == ">=" && zb.Bound > segLo:
+			segLo = zb.Bound
+		case zb.Col == 0 && zb.Op == "<=" && zb.Bound < segHi:
+			segHi = zb.Bound
+		case zb.Col == 1 && zb.Op == "=":
+			v := zb.Bound
+			idEq = &v
+		}
+	}
+	ncols := len(cs.Schema().Columns)
+
+	// The store filter reads segno (col 0) and tend (col 4), plus id
+	// (col 1) under an id-equality bound; widen the decode set so those
+	// vectors are always present.
+	storeNeeded := needed
+	if needed != nil {
+		storeNeeded = make([]bool, ncols)
+		copy(storeNeeded, needed)
+		storeNeeded[0] = true
+		storeNeeded[4] = true
+		if idEq != nil {
+			storeNeeded[1] = true
+		}
+	}
+
+	// Same filter rule as Scan/ScanMorsels, expressed over vectors.
+	// Like the row filter, it reads the raw I payloads (row[0].I etc.),
+	// so decoded NULLs behave identically on both paths.
+	forever := int64(temporal.Forever)
+	sel := func(b *relstore.ColBatch, dst []int32) []int32 {
+		segv, idv, tendv := &b.Cols[0], &b.Cols[1], &b.Cols[4]
+		dst = dst[:0]
+		for i := 0; i < b.N; i++ {
+			sg := vecI(segv, i)
+			if sg < segLo || sg > segHi {
+				continue
+			}
+			if sg < segHi && vecI(tendv, i) == forever {
+				continue
+			}
+			if idEq != nil && vecI(idv, i) != *idEq {
+				continue
+			}
+			dst = append(dst, int32(i))
+		}
+		return dst
+	}
+
+	segMorsels, err := cs.Seg.ScanMorsels(bounds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]relstore.BatchFunc, 0, len(segMorsels)+8)
+	for _, m := range segMorsels {
+		m := m
+		out = append(out, func(fn func(*relstore.ColBatch) bool) (bool, error) {
+			return cs.rowMorselBatches(m, ncols, storeNeeded, segLo, segHi, idEq, fn)
+		})
+	}
+
+	ranges, err := cs.ranges(segLo, segHi)
+	if err != nil {
+		return nil, err
+	}
+	for _, rg := range ranges {
+		rg := rg
+		out = append(out, func(fn func(*relstore.ColBatch) bool) (bool, error) {
+			return cs.rangeBatches(rg, idEq, storeNeeded, ncols, sel, fn)
+		})
+	}
+	return out, nil
+}
+
+// vecI reads the raw int payload of row i, mirroring the row filter's
+// direct .I access: Int/Date/Bool carry it in the I vector, everything
+// else (NULL included) reconstructs the Value and takes its I field.
+func vecI(v *relstore.ColVec, i int) int64 {
+	if !v.Present {
+		return 0
+	}
+	switch v.KindAt(i) {
+	case relstore.TypeInt, relstore.TypeDate, relstore.TypeBool:
+		return v.I[i]
+	default:
+		return v.ValueAt(i).I
+	}
+}
+
+// rowMorselBatches adapts one row morsel (the uncompressed side) into
+// batches: rows passing the store filter accumulate and flush as
+// row-backed batches of up to batchRows. Borrowed rows stay valid for
+// the whole read (storage is immutable during a query) and the batch
+// copies their Values out at flush.
+func (cs *CompressedStore) rowMorselBatches(m relstore.MorselFunc, ncols int, storeNeeded []bool,
+	segLo, segHi int64, idEq *int64, fn func(*relstore.ColBatch) bool) (bool, error) {
+	var batch relstore.ColBatch
+	buf := make([]relstore.Row, 0, batchRows)
+	stopped := false
+	flush := func() bool {
+		if len(buf) == 0 {
+			return true
+		}
+		batch.SetFromRows(buf, ncols, storeNeeded)
+		cs.db.CountColBatch(int64(len(buf)))
+		ok := fn(&batch)
+		buf = buf[:0]
+		return ok
+	}
+	_, err := m(true, func(row relstore.Row) bool {
+		if row[0].I < segLo || row[0].I > segHi {
+			return true
+		}
+		if row[0].I < segHi && row[4].Date().IsForever() {
+			return true
+		}
+		if idEq != nil && row[1].I != *idEq {
+			return true
+		}
+		buf = append(buf, row)
+		if len(buf) >= batchRows {
+			if !flush() {
+				stopped = true
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return stopped, err
+	}
+	if !stopped && !flush() {
+		stopped = true
+	}
+	return stopped, nil
+}
+
+// rangeBatches streams one compressed segment range block by block:
+// columnar blocks decode the needed columns straight into a reused
+// batch (one batch per block); legacy row-blob blocks and block-cache
+// hits go through the decoded-row form and a row-backed batch.
+func (cs *CompressedStore) rangeBatches(rg srange, idEq *int64, storeNeeded []bool, ncols int,
+	sel func(*relstore.ColBatch, []int32) []int32, fn func(*relstore.ColBatch) bool) (bool, error) {
+	blobBounds := []relstore.ZoneBound{
+		{Col: 0, Op: ">=", Bound: rg.startBlock},
+		{Col: 0, Op: "<=", Bound: rg.endBlock},
+	}
+	if idEq != nil {
+		target := sid(rg.segno, *idEq)
+		blobBounds = append(blobBounds,
+			relstore.ZoneBound{Col: 1, Op: "<=", Bound: target},
+			relstore.ZoneBound{Col: 2, Op: ">=", Bound: target})
+	}
+	var batch relstore.ColBatch
+	var selBuf []int32
+	stopped := false
+	var blockErr error
+	err := cs.blob.ScanBorrow(blobBounds, func(_ relstore.RID, row relstore.Row) bool {
+		blockNo := row[0].I
+		if blockNo < rg.startBlock || blockNo > rg.endBlock {
+			return true
+		}
+		if idEq != nil {
+			target := sid(rg.segno, *idEq)
+			if row[1].I > target || row[2].I < target {
+				return true
+			}
+		}
+		blob := row[3].B
+		if rows, ok := cs.db.BlockCacheGet(cs.blob, blockNo); ok {
+			batch.SetFromRows(rows, ncols, storeNeeded)
+		} else if IsColumnarBlock(blob) && !cs.db.BlockCacheEnabled() {
+			// Cache off (the cold default): decode only the needed
+			// columns straight into the batch — the vectorized fast path.
+			if derr := DecodeColumnarBatch(blob, storeNeeded, &batch); derr != nil {
+				blockErr = derr
+				return false
+			}
+			atomic.AddInt64(&cs.Decompressions, 1)
+		} else {
+			// Cache on, or a legacy row blob: decode through blockRows so
+			// the decoded rows land in the cache and warm queries hit.
+			rows, derr := cs.blockRows(blockNo, blob)
+			if derr != nil {
+				blockErr = derr
+				return false
+			}
+			batch.SetFromRows(rows, ncols, storeNeeded)
+		}
+		selBuf = sel(&batch, selBuf)
+		if len(selBuf) == 0 {
+			return true
+		}
+		batch.Sel = selBuf
+		cs.db.CountColBatch(int64(len(selBuf)))
+		if !fn(&batch) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if err == nil {
+		err = blockErr
+	}
+	return stopped, err
+}

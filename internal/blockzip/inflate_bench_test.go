@@ -36,6 +36,51 @@ func BenchmarkInflatePooled(b *testing.B) {
 	}
 }
 
+// benchRaw is an uncompressed payload sized like one block's worth of
+// records, for the deflate benchmarks.
+func benchRaw(b *testing.B) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&buf, "record-%04d payload payload payload", i)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkDeflatePooled is the shipping write path: one pooled
+// deflater (writer state Reset between blocks). Compare allocs/op with
+// BenchmarkDeflateNewWriter — the pool removes the per-block deflate
+// state (sliding window, hash chains, Huffman scratch), which dwarfs
+// the copied-out output slice.
+func BenchmarkDeflatePooled(b *testing.B) {
+	raw := benchRaw(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := deflate(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeflateNewWriter is the pre-pool baseline: a fresh
+// zlib.NewWriter per block.
+func BenchmarkDeflateNewWriter(b *testing.B) {
+	raw := benchRaw(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		zw := zlib.NewWriter(&buf)
+		if _, err := zw.Write(raw); err != nil {
+			b.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkInflateNewReader is the pre-pool baseline: a fresh
 // zlib.NewReader and io.ReadAll per block.
 func BenchmarkInflateNewReader(b *testing.B) {

@@ -29,12 +29,16 @@ func OpenCompressedStore(db *relstore.Database, seg *segment.Store, opts Options
 		blob:       blob,
 		segrange:   segrange,
 		compressed: map[int64]bool{},
+		colSegs:    map[int64]bool{},
 		nextBlock:  1,
 		blockSize:  opts.BlockSize,
 		whole:      opts.WholeSegments,
+		columnar:   opts.Columnar && !opts.WholeSegments,
 	}
+	var firstBlocks []int64
 	err := segrange.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
 		cs.compressed[row[0].I] = true
+		firstBlocks = append(firstBlocks, row[1].I)
 		if row[2].I >= cs.nextBlock {
 			cs.nextBlock = row[2].I + 1
 		}
@@ -42,6 +46,28 @@ func OpenCompressedStore(db *relstore.Database, seg *segment.Store, opts Options
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Rebuild the columnar-segment map by probing each range's first
+	// block: a segment's blocks share one encoding, and the magic byte
+	// distinguishes the formats without any decompression. This is what
+	// lets old row-blob archives open unchanged under a columnar-writing
+	// store (and vice versa).
+	for _, bn := range firstBlocks {
+		err := cs.blob.ScanBorrow(
+			[]relstore.ZoneBound{{Col: 0, Op: "=", Bound: bn}},
+			func(_ relstore.RID, row relstore.Row) bool {
+				if row[0].I != bn {
+					return true
+				}
+				if IsColumnarBlock(row[3].B) {
+					segno := row[1].I >> 32 // startsid encodes (segno, id)
+					cs.colSegs[segno] = true
+				}
+				return false
+			})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return cs, nil
 }

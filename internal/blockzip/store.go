@@ -32,6 +32,13 @@ type CompressedStore struct {
 	nextBlock  int64
 	blockSize  int
 	whole      bool // ablation: one stream per segment instead of blocks
+	columnar   bool // write new blocks in the columnar (v2) encoding
+
+	// colSegs marks segments whose blocks are columnar-encoded, so
+	// EstimateScan can report columnar stats per range without reading
+	// any blob. Populated on compression and, for reopened stores, by
+	// probing each range's first block (see OpenCompressedStore).
+	colSegs map[int64]bool
 
 	// compRows counts rows moved into blocks, giving the planner's
 	// EstimateScan an observed rows-per-block average.
@@ -57,6 +64,10 @@ func SegRangeTableName(attrTable string) string { return attrTable + "_segrange"
 type Options struct {
 	BlockSize     int  // DefaultBlockSize if zero
 	WholeSegments bool // compress each segment as one stream (ablation)
+	// Columnar writes newly frozen segments in the columnar block
+	// encoding (format v2). Off restores the legacy row-blob encoding
+	// bit for bit. Reads always accept both formats, per block.
+	Columnar bool
 }
 
 // NewCompressedStore creates the blob and segrange tables for seg.
@@ -88,9 +99,11 @@ func NewCompressedStore(db *relstore.Database, seg *segment.Store, opts Options)
 		blob:       blob,
 		segrange:   segrange,
 		compressed: map[int64]bool{},
+		colSegs:    map[int64]bool{},
 		nextBlock:  1,
 		blockSize:  opts.BlockSize,
 		whole:      opts.WholeSegments,
+		columnar:   opts.Columnar && !opts.WholeSegments,
 	}, nil
 }
 
@@ -151,13 +164,31 @@ func (cs *CompressedStore) compressSegment(sg segment.SegmentInterval) error {
 		encoded[i] = r.enc
 	}
 	var blocks []Block
-	if cs.whole {
+	switch {
+	case cs.whole:
 		b, err := CompressWhole(encoded)
 		if err != nil {
 			return err
 		}
 		blocks = []Block{b}
-	} else {
+	case cs.columnar:
+		// Re-encode per attribute: the sorted rows decompose into
+		// delta-friendly columns. The encoded blobs were built from
+		// borrowed rows, so decode them back rather than retaining
+		// aliases into scan storage.
+		rows := make([]relstore.Row, len(recs))
+		for i, r := range recs {
+			row, _, _, derr := relstore.DecodeRow(r.enc)
+			if derr != nil {
+				return derr
+			}
+			rows[i] = row
+		}
+		if blocks, err = CompressColumnar(rows, cs.blockSize); err != nil {
+			return err
+		}
+		cs.colSegs[sg.SegNo] = true
+	default:
 		if blocks, err = Compress(encoded, cs.blockSize); err != nil {
 			return err
 		}
@@ -264,9 +295,12 @@ func (cs *CompressedStore) EstimateScan(bounds []relstore.ZoneBound) relstore.Sc
 	if err != nil {
 		return est
 	}
-	var blocks, totalInRanges int64
+	var blocks, colBlocks, totalInRanges int64
 	for _, rg := range ranges {
 		blocks += rg.endBlock - rg.startBlock + 1
+		if cs.colSegs[rg.segno] {
+			colBlocks += rg.endBlock - rg.startBlock + 1
+		}
 	}
 	allRanges, err := cs.ranges(1, cs.Seg.LiveSegment())
 	if err == nil {
@@ -276,6 +310,7 @@ func (cs *CompressedStore) EstimateScan(bounds []relstore.ZoneBound) relstore.Sc
 	}
 	est.Rows += int(blocks * perBlock)
 	est.Pages += int(blocks)
+	est.ColumnarBlocks += int(colBlocks)
 	est.TotalRows += int(totalInRanges * perBlock)
 	est.TotalPages += int(totalInRanges)
 	return est
@@ -389,6 +424,19 @@ const valueBytes = 64
 // invalidation beyond DropCaches.
 func (cs *CompressedStore) blockRows(blockNo int64, blob []byte) ([]relstore.Row, error) {
 	if rows, ok := cs.db.BlockCacheGet(cs.blob, blockNo); ok {
+		return rows, nil
+	}
+	if IsColumnarBlock(blob) {
+		rows, payload, err := DecodeColumnarRows(blob)
+		if err != nil {
+			return nil, err
+		}
+		atomic.AddInt64(&cs.Decompressions, 1)
+		arenaCells := 0
+		if len(rows) > 0 {
+			arenaCells = len(rows) * len(rows[0])
+		}
+		cs.db.BlockCachePut(cs.blob, blockNo, rows, payload+valueBytes*arenaCells)
 		return rows, nil
 	}
 	recs, err := Decompress(blob)

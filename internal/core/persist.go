@@ -352,6 +352,7 @@ func (s *System) attach(spec htable.TableSpec) error {
 			cs, err := blockzip.OpenCompressedStore(db, seg, blockzip.Options{
 				BlockSize:     s.opts.BlockSize,
 				WholeSegments: s.opts.WholeSegmentCompression,
+				Columnar:      s.opts.Columnar == ColumnarOn,
 			})
 			if err != nil {
 				return nil, err

@@ -57,6 +57,20 @@ const (
 	PlannerOff
 )
 
+// ColumnarMode toggles columnar frozen-segment encoding and the
+// vectorized batch executor (DESIGN.md §13).
+type ColumnarMode uint8
+
+const (
+	// ColumnarOn is the default: frozen blocks are written in the
+	// columnar format and single-table scans over compressed storage
+	// run batch-at-a-time. Reads accept both block formats either way.
+	ColumnarOn ColumnarMode = iota
+	// ColumnarOff restores the legacy row-in-blob writes bit for bit
+	// and the row-at-a-time executor — kept for differential testing.
+	ColumnarOff
+)
+
 // Options configure a System.
 type Options struct {
 	// Capture selects trigger-based (ArchIS-DB2) or log-based
@@ -83,6 +97,13 @@ type Options struct {
 	// PlannerOn zero value enables it; PlannerOff forces the legacy
 	// heuristics). See sqlengine.Engine.Planner.
 	Planner PlannerMode
+	// Columnar toggles columnar frozen-block encoding plus vectorized
+	// batch execution (the ColumnarOn zero value enables it;
+	// ColumnarOff restores legacy row-in-blob writes and the
+	// row-at-a-time executor). Only meaningful with LayoutCompressed;
+	// stores read both block formats regardless, so archives written
+	// under either setting reopen under the other.
+	Columnar ColumnarMode
 	// BlockCacheBytes is the byte budget of the decoded-block cache for
 	// BlockZIP reads (0 = off). Only meaningful with LayoutCompressed;
 	// DropCaches/cold runs still discard it, so cold numbers are
@@ -176,6 +197,7 @@ func newWithDB(db *relstore.Database, opts Options) (*System, error) {
 	en := sqlengine.New(db)
 	en.Workers = opts.Workers
 	en.Planner = opts.Planner == PlannerOn
+	en.Columnar = opts.Columnar == ColumnarOn
 	db.SetBlockCacheBytes(opts.BlockCacheBytes)
 	a, err := htable.New(en, opts.Capture)
 	if err != nil {
@@ -224,6 +246,7 @@ func (s *System) makeStore(db *relstore.Database, schema relstore.Schema) (htabl
 		cs, err := blockzip.NewCompressedStore(db, seg, blockzip.Options{
 			BlockSize:     s.opts.BlockSize,
 			WholeSegments: s.opts.WholeSegmentCompression,
+			Columnar:      s.opts.Columnar == ColumnarOn,
 		})
 		if err != nil {
 			return nil, err

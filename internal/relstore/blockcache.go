@@ -191,6 +191,12 @@ func (db *Database) BlockCacheBytes() int { return db.blockCache.Load().bytesUse
 // CachedBlocks reports how many decoded blocks are currently cached.
 func (db *Database) CachedBlocks() int { return db.blockCache.Load().entryCount() }
 
+// BlockCacheEnabled reports whether a decoded-block cache budget is
+// configured. Columnar scans consult it to decide between decoding
+// straight into column batches (cache off — nothing to warm) and
+// decoding through the cached row form so warm queries keep hitting.
+func (db *Database) BlockCacheEnabled() bool { return db.blockCache.Load().total != 0 }
+
 // BlockCacheGet looks up the decoded rows of block blockNo of the
 // given store table. The returned rows are shared and immutable
 // (borrow contract). Hit/miss counters are updated.

@@ -27,6 +27,11 @@ type Stats struct {
 	// vs combined output rows materialized.
 	JoinRowsBorrowed int64
 	JoinRowsCopied   int64
+
+	// Vectorized scan accounting: column batches emitted by columnar
+	// stores and the selected rows they carried.
+	ColBatches   int64
+	ColBatchRows int64
 }
 
 // Sub returns the counter deltas s−prev. BlockCacheBytes is a gauge,
@@ -47,6 +52,8 @@ func (s Stats) Sub(prev Stats) Stats {
 		BlockCacheBytes:  s.BlockCacheBytes,
 		JoinRowsBorrowed: s.JoinRowsBorrowed - prev.JoinRowsBorrowed,
 		JoinRowsCopied:   s.JoinRowsCopied - prev.JoinRowsCopied,
+		ColBatches:       s.ColBatches - prev.ColBatches,
+		ColBatchRows:     s.ColBatchRows - prev.ColBatchRows,
 	}
 }
 
@@ -83,6 +90,8 @@ type Database struct {
 		blockCacheMisses atomic.Int64
 		joinRowsBorrowed atomic.Int64
 		joinRowsCopied   atomic.Int64
+		colBatches       atomic.Int64
+		colBatchRows     atomic.Int64
 	}
 }
 
@@ -121,6 +130,8 @@ func (db *Database) Stats() Stats {
 		BlockCacheBytes:  int64(db.BlockCacheBytes()),
 		JoinRowsBorrowed: db.stats.joinRowsBorrowed.Load(),
 		JoinRowsCopied:   db.stats.joinRowsCopied.Load(),
+		ColBatches:       db.stats.colBatches.Load(),
+		ColBatchRows:     db.stats.colBatchRows.Load(),
 	}
 }
 
@@ -137,6 +148,8 @@ func (db *Database) ResetStats() {
 	db.stats.blockCacheMisses.Store(0)
 	db.stats.joinRowsBorrowed.Store(0)
 	db.stats.joinRowsCopied.Store(0)
+	db.stats.colBatches.Store(0)
+	db.stats.colBatchRows.Store(0)
 }
 
 // AddJoinRows feeds the join executor's row accounting: borrowed
@@ -149,6 +162,13 @@ func (db *Database) AddJoinRows(borrowed, copied int64) {
 	if copied != 0 {
 		db.stats.joinRowsCopied.Add(copied)
 	}
+}
+
+// CountColBatch feeds the vectorized-scan accounting: one column
+// batch emitted with n selected rows.
+func (db *Database) CountColBatch(n int64) {
+	db.stats.colBatches.Add(1)
+	db.stats.colBatchRows.Add(n)
 }
 
 // DropCaches empties the page cache and the decoded-block cache — the

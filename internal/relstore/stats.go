@@ -18,6 +18,12 @@ type ScanEstimate struct {
 	// ignored.
 	TotalRows  int
 	TotalPages int
+	// ColumnarBlocks counts the compressed blocks inside the bounds
+	// that are stored in the columnar (format v2) encoding and can be
+	// decoded straight into column batches. Plain tables and row-blob
+	// blocks report 0; stores that cannot attribute encodings report
+	// the blocks they know to be columnar.
+	ColumnarBlocks int
 }
 
 // EstimateScan predicts the footprint of Scan/ScanBorrow under the

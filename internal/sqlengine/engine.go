@@ -81,6 +81,13 @@ type Engine struct {
 	// planner-on/off differential testing.
 	Planner bool
 
+	// Columnar enables the vectorized single-table path over storage
+	// that streams column batches (DESIGN.md §13; New sets it). False
+	// falls back to the row-at-a-time executor on the same storage —
+	// kept for columnar-on/off differential testing; results are
+	// identical either way.
+	Columnar bool
+
 	scalarFuncs map[string]ScalarFunc
 	aggFuncs    map[string]AggFunc
 	virtual     map[string]VirtualTable
@@ -104,6 +111,7 @@ func New(db *relstore.Database) *Engine {
 	en := &Engine{
 		DB:          db,
 		Planner:     true,
+		Columnar:    true,
 		Now:         temporal.FromTime(time.Now()),
 		scalarFuncs: map[string]ScalarFunc{},
 		aggFuncs:    map[string]AggFunc{},

@@ -518,9 +518,14 @@ func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span) (*Result, error) {
 		}
 	}
 
-	// Single-table statements with no usable point index fan out over
-	// morsels when the engine is configured for parallel scans.
+	// Single-table statements with no usable point index take the
+	// vectorized path when the storage streams column batches, else
+	// fan out over row morsels when the engine is configured for
+	// parallel scans.
 	if len(sources) == 1 {
+		if res, handled, err := en.execSingleBatch(stmt, sources[0], conjuncts, sources, sp); handled {
+			return res, err
+		}
 		if res, handled, err := en.execSingleParallel(stmt, sources[0], conjuncts, sources, sp); handled {
 			return res, err
 		}

@@ -129,6 +129,35 @@ func (en *Engine) explainSelect(stmt *SelectStmt) ([]string, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Vectorized path first, mirroring execSelect's decision order:
+		// columnar mode on, batch-streaming storage, no index probe.
+		if en.Columnar && s.base == nil && !strings.HasPrefix(d, "index scan") {
+			if _, ok := s.virtual.(BatchSource); ok {
+				d += " access=colscan"
+				workers := en.scanWorkers()
+				grouped := en.isGrouped(stmt)
+				if grouped {
+					p, err := en.compileGrouping(stmt, layoutFor(s.alias, s.schema))
+					if err != nil {
+						return nil, err
+					}
+					if !p.mergeable() {
+						workers = 1
+					}
+				}
+				if workers > 1 {
+					add(1, "morsel-fanout workers=%d", workers)
+					add(2, "%s", d)
+					if grouped {
+						add(1, "agg-merge")
+					}
+				} else {
+					add(1, "%s", d)
+				}
+				explainProject(stmt, add)
+				return lines, nil
+			}
+		}
 		parallel := false
 		if workers := en.scanWorkers(); workers > 1 && !strings.HasPrefix(d, "index scan") {
 			if _, ok := s.morselSource(); ok {
