@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race parallel-stress bench-smoke trace-smoke planner-smoke crash-matrix fuzz-smoke columnar-smoke verify lint bench bench-parallel bench-json
+.PHONY: build vet test race parallel-stress bench-smoke trace-smoke planner-smoke crash-matrix fuzz-smoke columnar-smoke mvcc-smoke verify lint bench bench-parallel bench-json
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,19 @@ planner-smoke:
 columnar-smoke:
 	$(GO) run ./cmd/archis-bench -scale 32 -columnargate /tmp/archis-columnar-gate.json
 	$(GO) test -count=1 -run 'Columnar' ./internal/blockzip/ ./internal/bench/ ./internal/relstore/
+
+# MVCC smoke: the mixed workload (concurrent ingest + Q1-Q6 readers +
+# background compaction) must complete with zero reader errors and a
+# running compactor on both layouts (the bench exits non-zero
+# otherwise), and the snapshot-consistency differential — every
+# pinned-reader and ReadAsOf answer equal to the serial answer at its
+# LSN, all layouts, serial and morsel-parallel, columnar on and off —
+# plus the maintenance early-exit and concurrent-crash tests run under
+# the race detector.
+mvcc-smoke:
+	$(GO) run ./cmd/archis-bench -mixed -mixeddur 1s -employees 200 -years 6 -json /tmp/archis-mvcc-mixed.json
+	$(GO) test -race -count=1 -run 'TestSnapshotConsistencyDifferential|TestCrashUnderConcurrentReaders' ./internal/bench/
+	$(GO) test -race -count=1 -run 'TestCompactEarlyExit|TestCompressFrozenEarlyExit|TestReadAsOfRejects' ./internal/core/
 
 # Durability stress: kill the durable system at every fsync boundary
 # (with and without torn tail bytes) and require every survivor to

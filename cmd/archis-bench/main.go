@@ -112,6 +112,10 @@ func main() {
 		h.columnarGate(*colGate)
 		return
 	}
+	if *mixedRun {
+		h.mixedWorkload(*jsonOut)
+		return
+	}
 	if *jsonOut != "" {
 		h.benchJSON(*jsonOut)
 		return

@@ -1,0 +1,150 @@
+// The -mixed experiment: MVCC snapshot reads under write traffic.
+// Each layout runs three phases on one shared environment — a
+// read-only baseline, concurrent ingest, and concurrent ingest with a
+// background compactor — and reports per-query latency percentiles,
+// writer throughput, and the snapshot-version churn (epochs published,
+// versions reclaimed). Reader errors are fatal: under snapshot
+// isolation a reader must never observe a torn write or fail because a
+// writer was mid-statement.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"archis/internal/bench"
+	"archis/internal/core"
+)
+
+var (
+	mixedRun = flag.Bool("mixed", false, "run the mixed-workload MVCC experiment (readers vs concurrent ingest and background compaction) on the clustered and compressed layouts; -json writes the report")
+	mixedDur = flag.Duration("mixeddur", 2*time.Second, "duration of each -mixed phase")
+	mixedRdr = flag.Int("mixedreaders", 4, "reader goroutines per -mixed phase")
+	mixedExc = flag.Bool("mixedexclusive", false, "emulate the pre-MVCC exclusive-writer rule: every statement runs under one mutex (produces the 'before' side of the before/after pair)")
+)
+
+// mixedRecord is one (layout, phase) cell of the -mixed report.
+type mixedRecord struct {
+	Layout string `json:"layout"`
+	Phase  string `json:"phase"` // readonly | ingest | ingest+compact
+	bench.MixedResult
+	// Snapshot-version churn over the phase (Stats deltas): versions
+	// published and retired copies reclaimed while readers ran.
+	SnapshotEpochs    int64 `json:"snapshot_epochs"`
+	ReclaimedVersions int64 `json:"reclaimed_versions"`
+}
+
+// mixedReport is the top-level -mixed -json document.
+type mixedReport struct {
+	Timestamp string        `json:"timestamp"`
+	Host      hostInfo      `json:"host"`
+	Employees int           `json:"employees"`
+	Years     int           `json:"years"`
+	Readers   int           `json:"readers"`
+	PhaseNS   int64         `json:"phase_ns"`
+	Records   []mixedRecord `json:"records"`
+}
+
+func (h *harness) mixedWorkload(path string) {
+	mode := "mvcc snapshot reads"
+	if *mixedExc {
+		mode = "exclusive-writer emulation"
+	}
+	fmt.Printf("== mixed workload (%s): %d readers, %s per phase ==\n", mode, *mixedRdr, *mixedDur)
+	rep := mixedReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Host: hostInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Employees: *employees,
+		Years:     *years,
+		Readers:   *mixedRdr,
+		PhaseNS:   int64(*mixedDur),
+	}
+
+	layouts := []struct {
+		name string
+		opts bench.Options
+	}{
+		// Workers=1: each reader runs its query serially so inter-query
+		// concurrency comes only from the reader pool — fanning every
+		// query across GOMAXPROCS morsel workers on top of N readers
+		// oversubscribes the host and the scheduler noise drowns the
+		// writer-interference signal this experiment isolates.
+		{"clustered", bench.Options{Layout: core.LayoutClustered, Workers: 1, Planner: plannerMode()}},
+		{"compressed", bench.Options{Layout: core.LayoutCompressed, Compress: true, Workers: 1,
+			Planner: plannerMode(), Columnar: columnarMode(), BlockCacheBytes: benchBlockCacheBytes}},
+	}
+	phases := []struct {
+		name string
+		opts bench.MixedOptions
+	}{
+		{"readonly", bench.MixedOptions{}},
+		{"ingest", bench.MixedOptions{Ingest: true}},
+		{"ingest+compact", bench.MixedOptions{Ingest: true, Compact: true}},
+	}
+
+	for _, lay := range layouts {
+		e, err := bench.Build(cfg1(), lay.opts)
+		die(err)
+		baseline := map[string]bench.MixedQueryStats{}
+		for _, ph := range phases {
+			opts := ph.opts
+			opts.Duration = *mixedDur
+			opts.Readers = *mixedRdr
+			opts.Exclusive = *mixedExc
+			before := e.Sys.DB.Stats()
+			res, err := e.RunMixed(opts)
+			die(err)
+			after := e.Sys.DB.Stats()
+			if res.ReaderErrors > 0 {
+				die(fmt.Errorf("%s/%s: %d reader errors under snapshot isolation", lay.name, ph.name, res.ReaderErrors))
+			}
+			if opts.Compact && res.Compactions == 0 {
+				die(fmt.Errorf("%s/%s: background compactor never archived a segment", lay.name, ph.name))
+			}
+			delta := after.Sub(before)
+			rep.Records = append(rep.Records, mixedRecord{
+				Layout:            lay.name,
+				Phase:             ph.name,
+				MixedResult:       res,
+				SnapshotEpochs:    delta.Epoch,
+				ReclaimedVersions: delta.ReclaimedVersions,
+			})
+			if ph.name == "readonly" {
+				for _, qs := range res.Queries {
+					baseline[qs.Query] = qs
+				}
+			}
+			fmt.Printf("  %-10s %-15s  readers %d ops (%d err)  writer %6.0f ops/s  compact %d  epochs %d  reclaimed %d\n",
+				lay.name, ph.name, res.ReaderOps, res.ReaderErrors, res.WriterOpsPerSec,
+				res.Compactions, delta.Epoch, delta.ReclaimedVersions)
+			for _, qs := range res.Queries {
+				ratio := ""
+				if b, ok := baseline[qs.Query]; ok && ph.name != "readonly" && b.P99NS > 0 {
+					ratio = fmt.Sprintf("  p99 vs baseline %.2fx", float64(qs.P99NS)/float64(b.P99NS))
+				}
+				fmt.Printf("    %-3s  p50 %s ms  p99 %s ms  min %s ms  n=%d%s\n",
+					qs.Query, strings.TrimSpace(ms(time.Duration(qs.P50NS))),
+					strings.TrimSpace(ms(time.Duration(qs.P99NS))),
+					strings.TrimSpace(ms(time.Duration(qs.MinNS))), qs.Ops, ratio)
+			}
+		}
+	}
+
+	if path != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		die(err)
+		die(os.WriteFile(path, append(data, '\n'), 0o644))
+		fmt.Printf("wrote %d records to %s\n", len(rep.Records), path)
+	}
+}

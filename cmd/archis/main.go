@@ -139,9 +139,11 @@ func main() {
 		fmt.Printf("generating %d employees over %d years...\n", cfg.Employees, cfg.Years)
 		st, err := dataset.Generate(sys.Archive, cfg)
 		check(err)
+		sys.Publish()
 		fmt.Printf("loaded: %d inserts, %d updates, %d deletes\n", st.Inserts, st.Updates, st.Deletes)
 	case *demo:
 		check(dataset.LoadMicro(sys.Archive))
+		sys.Publish()
 		fmt.Println("loaded the paper's Tables 1-2 micro history (employees Bob, Alice, Carol; depts d01-d03)")
 	}
 	if lay == archis.LayoutCompressed {

@@ -40,6 +40,7 @@ func main() {
 	cfg.Seed = *seed
 	st, err := dataset.Generate(sys.Archive, cfg)
 	check(err)
+	sys.Publish()
 
 	fmt.Printf("generated %d inserts, %d updates, %d deletes over %d years (last day %s)\n",
 		st.Inserts, st.Updates, st.Deletes, cfg.Years, st.LastDay)

@@ -37,6 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sys.Publish()
 	fmt.Printf("history: %d inserts, %d updates, %d deletes\n\n", st.Inserts, st.Updates, st.Deletes)
 
 	seg, _ := sys.SegmentStore("employee_salary")

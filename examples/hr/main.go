@@ -92,6 +92,7 @@ func main() {
 	if err := dataset.LoadMicro(sys.Archive); err != nil {
 		log.Fatal(err)
 	}
+	sys.Publish()
 
 	fmt.Println("ArchIS HR example — the paper's Tables 1-2 history, queries 1-8")
 	fmt.Println()

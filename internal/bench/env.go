@@ -110,6 +110,10 @@ func Build(cfg dataset.Config, opts Options) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The generator writes through the archive directly, below the
+	// system's statement paths — publish once so snapshot readers see
+	// the loaded history.
+	sys.Publish()
 	if sys.Archive.Mode() == htable.CaptureLog {
 		if err := sys.FlushLog(); err != nil {
 			return nil, err

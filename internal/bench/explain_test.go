@@ -139,7 +139,7 @@ func TestExplainAnalyzeJoinGolden(t *testing.T) {
 		b.WriteByte('\n')
 	}
 	got := maskTimings(b.String())
-	want := `query  [T] rows=1
+	want := `query  [T] rows=1 snapshot_lsn=0
   scan  [T] rows=143 table=S1 access=scan est_rows=157
   join:hash-build  [T] rows=0 rows_in=143 table=S2 side=outer est_outer=157 est_inner=743 est_out=1576 buckets=72
   join:hash-probe  [T] rows=908 rows_in=506 table=S2

@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mixed workload: N reader goroutines cycle the Table 3 suite while a
+// writer applies salary updates through the statement path and (optionally)
+// a background compactor archives live segments and compresses frozen
+// ones. Under MVCC snapshot reads no reader ever blocks on the writer;
+// this harness measures what that costs — per-query latency percentiles
+// under traffic versus a read-only baseline — and counts reader errors
+// (which must be zero).
+
+// MixedOptions configures one RunMixed phase.
+type MixedOptions struct {
+	Duration time.Duration // wall-clock length of the measured phase
+	Readers  int           // reader goroutines (default 4)
+	Ingest   bool          // run the concurrent writer
+	Compact  bool          // run the background compactor (implies work for it: needs Ingest)
+	Queries  []QueryID     // default AllQueries
+	// Exclusive emulates the pre-MVCC exclusive-writer rule: every
+	// statement — read or write — runs under one harness-level mutex, so
+	// readers stall behind the writer exactly as they would without
+	// snapshot isolation. The "before" side of the before/after pair.
+	Exclusive bool
+}
+
+// MixedQueryStats is one query's latency distribution over a phase.
+type MixedQueryStats struct {
+	Query string `json:"query"`
+	Ops   int    `json:"ops"`
+	MinNS int64  `json:"min_ns"`
+	P50NS int64  `json:"p50_ns"`
+	P99NS int64  `json:"p99_ns"`
+	MaxNS int64  `json:"max_ns"`
+}
+
+// MixedResult is the outcome of one RunMixed phase.
+type MixedResult struct {
+	Ingest          bool              `json:"ingest"`
+	Compact         bool              `json:"compact"`
+	Exclusive       bool              `json:"exclusive,omitempty"`
+	Readers         int               `json:"readers"`
+	DurationNS      int64             `json:"duration_ns"`
+	ReaderOps       int               `json:"reader_ops"`
+	ReaderErrors    int               `json:"reader_errors"`
+	WriterOps       int               `json:"writer_ops"`
+	WriterOpsPerSec float64           `json:"writer_ops_per_sec"`
+	Compactions     int               `json:"compactions"`
+	Compressions    int               `json:"compressions"`
+	Queries         []MixedQueryStats `json:"queries"`
+}
+
+// Stats returns the distribution for one query ("" when absent).
+func (r MixedResult) Stats(q QueryID) (MixedQueryStats, bool) {
+	name := fmt.Sprintf("Q%d", q)
+	for _, s := range r.Queries {
+		if s.Query == name {
+			return s, true
+		}
+	}
+	return MixedQueryStats{}, false
+}
+
+// RunMixed runs one mixed-workload phase on the environment and returns
+// aggregate statistics. The first reader error is returned (the phase
+// still runs to completion so the caller sees the full error count).
+func (e *Env) RunMixed(opts MixedOptions) (MixedResult, error) {
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	if opts.Readers <= 0 {
+		opts.Readers = 4
+	}
+	queries := opts.Queries
+	if len(queries) == 0 {
+		queries = AllQueries
+	}
+
+	// Pre-render the SQL once: segment restrictions computed at phase
+	// start stay sound under concurrent archiving (frozen segments keep
+	// a copy of every version that was live at freeze time), and the
+	// readers then measure pure execution.
+	sqls := make([]string, len(queries))
+	for i, q := range queries {
+		sqls[i] = e.SQL(q)
+	}
+	ids, err := e.liveIDs(256)
+	if err != nil {
+		return MixedResult{}, err
+	}
+	if opts.Ingest && len(ids) == 0 {
+		return MixedResult{}, fmt.Errorf("bench: mixed workload needs live employees")
+	}
+
+	// Exclusive mode routes every statement through one mutex; under
+	// MVCC the gate closure is free.
+	var gate sync.Mutex
+	locked := func(f func() error) error {
+		if opts.Exclusive {
+			gate.Lock()
+			defer gate.Unlock()
+		}
+		return f()
+	}
+
+	var (
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+		writerOps atomic.Int64
+		compacts  atomic.Int64
+		squeezes  atomic.Int64
+		errCount  atomic.Int64
+		firstErr  atomic.Value
+	)
+	recordErr := func(err error) {
+		errCount.Add(1)
+		firstErr.CompareAndSwap(nil, err)
+	}
+
+	// Latency samples, one slice per (reader, query) so goroutines never
+	// share an append target.
+	samples := make([][][]int64, opts.Readers)
+	for r := range samples {
+		samples[r] = make([][]int64, len(queries))
+	}
+
+	if opts.Ingest {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Advance the clock one day per pass over the id set so
+				// every update creates a new version.
+				if i%len(ids) == 0 {
+					e.Sys.SetClock(e.Sys.Clock().AddDays(1))
+				}
+				id := ids[i%len(ids)]
+				err := locked(func() error {
+					_, err := e.Sys.Exec(fmt.Sprintf(
+						`update employee set salary = salary + 1 where id = %d`, id))
+					return err
+				})
+				if err != nil {
+					recordErr(fmt.Errorf("writer: %w", err))
+					return
+				}
+				writerOps.Add(1)
+				i++
+			}
+		}()
+	}
+	if opts.Compact {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, compressed := e.Sys.CompressedStore("employee_salary")
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+				var n int
+				err := locked(func() error {
+					var err error
+					n, err = e.Sys.Compact()
+					return err
+				})
+				if err != nil {
+					recordErr(fmt.Errorf("compactor: %w", err))
+					return
+				}
+				if n > 0 {
+					compacts.Add(int64(n))
+				}
+				if compressed {
+					if err := locked(e.Sys.CompressFrozen); err != nil {
+						recordErr(fmt.Errorf("compressor: %w", err))
+						return
+					}
+					squeezes.Add(1)
+				}
+			}
+		}()
+	}
+
+	for r := 0; r < opts.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				qi := i % len(queries)
+				t0 := time.Now()
+				err := locked(func() error {
+					_, err := e.Sys.Exec(sqls[qi])
+					return err
+				})
+				d := time.Since(t0)
+				if err != nil {
+					recordErr(fmt.Errorf("reader %d Q%d: %w", r, queries[qi], err))
+					continue
+				}
+				samples[r][qi] = append(samples[r][qi], int64(d))
+			}
+		}(r)
+	}
+
+	t0 := time.Now()
+	time.Sleep(opts.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := MixedResult{
+		Ingest:       opts.Ingest,
+		Compact:      opts.Compact,
+		Exclusive:    opts.Exclusive,
+		Readers:      opts.Readers,
+		DurationNS:   int64(elapsed),
+		ReaderErrors: int(errCount.Load()),
+		WriterOps:    int(writerOps.Load()),
+		Compactions:  int(compacts.Load()),
+		Compressions: int(squeezes.Load()),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.WriterOpsPerSec = float64(res.WriterOps) / sec
+	}
+	for qi, q := range queries {
+		var all []int64
+		for r := range samples {
+			all = append(all, samples[r][qi]...)
+		}
+		res.ReaderOps += len(all)
+		res.Queries = append(res.Queries, distill(fmt.Sprintf("Q%d", q), all))
+	}
+	if err, _ := firstErr.Load().(error); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// distill reduces a latency sample set to its percentiles.
+func distill(name string, ns []int64) MixedQueryStats {
+	st := MixedQueryStats{Query: name, Ops: len(ns)}
+	if len(ns) == 0 {
+		return st
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	st.MinNS = ns[0]
+	st.MaxNS = ns[len(ns)-1]
+	st.P50NS = ns[len(ns)/2]
+	st.P99NS = ns[len(ns)*99/100]
+	return st
+}

@@ -210,7 +210,7 @@ func (cs *CompressedStore) rangeBatches(rg srange, idEq *int64, storeNeeded []bo
 				blockErr = derr
 				return false
 			}
-			atomic.AddInt64(&cs.Decompressions, 1)
+			atomic.AddInt64(cs.decompCounter(), 1)
 		} else {
 			// Cache on, or a legacy row blob: decode through blockRows so
 			// the decoded rows land in the cache and warm queries hit.

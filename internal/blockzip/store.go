@@ -3,10 +3,12 @@ package blockzip
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"archis/internal/relstore"
 	"archis/internal/segment"
+	"archis/internal/sqlengine"
 	"archis/internal/temporal"
 )
 
@@ -34,6 +36,12 @@ type CompressedStore struct {
 	whole      bool // ablation: one stream per segment instead of blocks
 	columnar   bool // write new blocks in the columnar (v2) encoding
 
+	// mu guards colSegs and compRows: the compression writer mutates
+	// them while concurrent readers consult them (EstimateScan on the
+	// live store, BindSnapshot taking its copies). compressed and
+	// nextBlock are writer-private and need no lock.
+	mu sync.RWMutex
+
 	// colSegs marks segments whose blocks are columnar-encoded, so
 	// EstimateScan can report columnar stats per range without reading
 	// any blob. Populated on compression and, for reopened stores, by
@@ -44,6 +52,11 @@ type CompressedStore struct {
 	// EstimateScan an observed rows-per-block average.
 	compRows int64
 
+	// parent is set on snapshot-bound read views (BindSnapshot): the
+	// live store whose Decompressions counter absorbs this view's
+	// decompression work.
+	parent *CompressedStore
+
 	// Decompressions counts block decompressions (the CPU side of the
 	// paper's I/O-vs-CPU trade). Scans update it atomically; use
 	// DecompressionCount to read it while scans may be in flight.
@@ -53,7 +66,51 @@ type CompressedStore struct {
 // DecompressionCount reads the decompression counter; safe to call
 // concurrently with scans.
 func (cs *CompressedStore) DecompressionCount() int64 {
-	return atomic.LoadInt64(&cs.Decompressions)
+	return atomic.LoadInt64(cs.decompCounter())
+}
+
+// decompCounter resolves the decompression counter scans should bump:
+// snapshot-bound views account against their live parent.
+func (cs *CompressedStore) decompCounter() *int64 {
+	if cs.parent != nil {
+		return &cs.parent.Decompressions
+	}
+	return &cs.Decompressions
+}
+
+// BindSnapshot implements sqlengine.SnapshotBinder: the returned view
+// reads the snapshot's frozen blob/segrange/base tables through a
+// snapshot-bound segment store, with private copies of the fields the
+// compression writer mutates. The decoded-block cache keys by table
+// identity and block number — both stable across versions — so views
+// share it with the live store.
+func (cs *CompressedStore) BindSnapshot(sn *relstore.Snapshot) sqlengine.VirtualTable {
+	seg, okS := cs.Seg.BindSnapshot(sn).(*segment.Store)
+	blob, okB := sn.Table(cs.blob.Name())
+	segrange, okR := sn.Table(cs.segrange.Name())
+	if !okS || !okB || !okR {
+		// Tables created after the pinned version; serve the live view.
+		return cs
+	}
+	cs.mu.RLock()
+	colSegs := make(map[int64]bool, len(cs.colSegs))
+	for k, v := range cs.colSegs {
+		colSegs[k] = v
+	}
+	compRows := cs.compRows
+	cs.mu.RUnlock()
+	return &CompressedStore{
+		Seg:       seg,
+		db:        cs.db,
+		blob:      blob,
+		segrange:  segrange,
+		colSegs:   colSegs,
+		compRows:  compRows,
+		blockSize: cs.blockSize,
+		whole:     cs.whole,
+		columnar:  cs.columnar,
+		parent:    cs,
+	}
 }
 
 // BlobTableName and SegRangeTableName name the side tables.
@@ -109,6 +166,24 @@ func NewCompressedStore(db *relstore.Database, seg *segment.Store, opts Options)
 
 // sid gives the (segno, id) clustering key used for block ranges.
 func sid(segno, id int64) int64 { return segno<<32 | (id & 0xffffffff) }
+
+// PendingFrozen counts frozen segments not yet compressed — the probe
+// core.CompressFrozen uses to early-exit without entering the write
+// path. Like CompressFrozen itself it must run from the writer (the
+// compressed set is writer-private).
+func (cs *CompressedStore) PendingFrozen() (int, error) {
+	segs, err := cs.Seg.Segments()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, sg := range segs {
+		if !cs.compressed[sg.SegNo] {
+			n++
+		}
+	}
+	return n, nil
+}
 
 // CompressFrozen compresses every frozen segment that has not been
 // compressed yet, removing its rows from the base table.
@@ -187,7 +262,9 @@ func (cs *CompressedStore) compressSegment(sg segment.SegmentInterval) error {
 		if blocks, err = CompressColumnar(rows, cs.blockSize); err != nil {
 			return err
 		}
+		cs.mu.Lock()
 		cs.colSegs[sg.SegNo] = true
+		cs.mu.Unlock()
 	default:
 		if blocks, err = Compress(encoded, cs.blockSize); err != nil {
 			return err
@@ -225,7 +302,9 @@ func (cs *CompressedStore) compressSegment(sg segment.SegmentInterval) error {
 		return err
 	}
 	cs.compressed[sg.SegNo] = true
+	cs.mu.Lock()
 	cs.compRows += int64(len(recs))
+	cs.mu.Unlock()
 	return nil
 }
 
@@ -286,13 +365,16 @@ func (cs *CompressedStore) EstimateScan(bounds []relstore.ZoneBound) relstore.Sc
 			segHi = zb.Bound
 		}
 	}
+	cs.mu.RLock()
+	compRows := cs.compRows
 	perBlock := int64(defaultRowsPerBlock)
 	totalBlocks := int64(cs.blob.LiveRows())
-	if totalBlocks > 0 && cs.compRows > 0 {
-		perBlock = (cs.compRows + totalBlocks - 1) / totalBlocks
+	if totalBlocks > 0 && compRows > 0 {
+		perBlock = (compRows + totalBlocks - 1) / totalBlocks
 	}
 	ranges, err := cs.ranges(segLo, segHi)
 	if err != nil {
+		cs.mu.RUnlock()
 		return est
 	}
 	var blocks, colBlocks, totalInRanges int64
@@ -302,6 +384,7 @@ func (cs *CompressedStore) EstimateScan(bounds []relstore.ZoneBound) relstore.Sc
 			colBlocks += rg.endBlock - rg.startBlock + 1
 		}
 	}
+	cs.mu.RUnlock()
 	allRanges, err := cs.ranges(1, cs.Seg.LiveSegment())
 	if err == nil {
 		for _, rg := range allRanges {
@@ -431,7 +514,7 @@ func (cs *CompressedStore) blockRows(blockNo int64, blob []byte) ([]relstore.Row
 		if err != nil {
 			return nil, err
 		}
-		atomic.AddInt64(&cs.Decompressions, 1)
+		atomic.AddInt64(cs.decompCounter(), 1)
 		arenaCells := 0
 		if len(rows) > 0 {
 			arenaCells = len(rows) * len(rows[0])
@@ -443,7 +526,7 @@ func (cs *CompressedStore) blockRows(blockNo int64, blob []byte) ([]relstore.Row
 	if err != nil {
 		return nil, err
 	}
-	atomic.AddInt64(&cs.Decompressions, 1)
+	atomic.AddInt64(cs.decompCounter(), 1)
 	// One Value arena per block: rows are immutable subslices of it, so
 	// decode pays one backing allocation per block rather than one per
 	// row (mirrors page.decodeRows). The decoded Values own their

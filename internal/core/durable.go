@@ -161,6 +161,13 @@ func (s *System) ExecDurable(sql string) (*sqlengine.Result, error) {
 	s.writeMu.Lock()
 	res, err := s.Engine.Exec(sql)
 	lsn := s.wal.AppendedLSN()
+	// Publish before releasing the lock, stamped with the statement's
+	// final WAL position: the version becomes visible to lock-free
+	// readers exactly once, whole, and ReadAsOf(lsn) later resolves to
+	// it. Visibility precedes durability (the Commit below) — an acked
+	// statement is always durable, an unacked one may be visible, which
+	// the crash matrix pins as "acked-or-later prefix".
+	s.DB.Publish(lsn)
 	s.writeMu.Unlock()
 	if err != nil {
 		return nil, err
@@ -210,7 +217,13 @@ func (s *System) checkpointLocked() error {
 	if err := s.SaveFile(filepath.Join(s.opts.WALDir, SnapshotFile)); err != nil {
 		return err
 	}
-	return s.wal.TruncateThrough(lsn)
+	if err := s.wal.TruncateThrough(lsn); err != nil {
+		return err
+	}
+	// Flushed log-capture ops and metadata upserts become reader-visible
+	// with the checkpoint.
+	s.publishLocked()
+	return nil
 }
 
 // Close syncs and closes the WAL (a no-op for non-durable systems).
@@ -302,6 +315,10 @@ func RecoverWithOptions(dir string, ropts RecoverOptions) (*System, error) {
 		if err := s.replay(rec); err != nil {
 			return fmt.Errorf("core: recover %s: replay lsn %d: %w", dir, lsn, err)
 		}
+		// Publish per replayed record: the retained-version ring then
+		// holds the most recent checkpointed LSNs, so ReadAsOf works
+		// immediately after recovery for any of them.
+		s.DB.Publish(lsn)
 		replayed++
 		return nil
 	})

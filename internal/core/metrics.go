@@ -43,6 +43,9 @@ func (s *System) registerMetrics() {
 	r.GaugeFunc("relstore.block_cache_bytes", func() int64 { return s.DB.Stats().BlockCacheBytes })
 	r.CounterFunc("relstore.join_rows_borrowed", func() int64 { return s.DB.Stats().JoinRowsBorrowed })
 	r.CounterFunc("relstore.join_rows_copied", func() int64 { return s.DB.Stats().JoinRowsCopied })
+	r.GaugeFunc("relstore.snapshot_epoch", func() int64 { return s.DB.Stats().Epoch })
+	r.GaugeFunc("relstore.pinned_readers", func() int64 { return s.DB.Stats().PinnedReaders })
+	r.CounterFunc("relstore.reclaimed_versions", func() int64 { return s.DB.Stats().ReclaimedVersions })
 
 	r.CounterFunc("wal.appends", func() int64 { return s.WALStats().Appends })
 	r.CounterFunc("wal.fsyncs", func() int64 { return s.WALStats().Fsyncs })

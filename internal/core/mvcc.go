@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"archis/internal/obs"
+	"archis/internal/sqlengine"
+	"archis/internal/translator"
+)
+
+// MVCC snapshot publication (DESIGN.md §14). The system disables the
+// storage layer's publish-on-demand mode and publishes explicitly from
+// every write path while writeMu is still held: statement execution
+// (Exec, ExecDurable), DDL (Register), log flushes, checkpoints,
+// archive compaction and frozen-segment compression. Each published
+// version is stamped with the WAL LSN that covers it, so readers pin a
+// version without taking any lock and ReadAsOf maps an LSN back to the
+// exact state that was durable at that point.
+
+// publishLocked publishes the database's unpublished changes stamped
+// with the WAL position that covers them (0 on a non-durable system —
+// versions still supersede each other by epoch). Caller holds writeMu.
+func (s *System) publishLocked() {
+	var lsn uint64
+	if s.wal != nil {
+		lsn = s.wal.AppendedLSN()
+	}
+	s.DB.Publish(lsn)
+}
+
+// Publish makes writes that bypassed the System's statement paths
+// visible to snapshot readers. Loaders that write through the archive
+// directly (dataset generators, bulk imports) call it once after the
+// load; the System's own write paths publish on their own.
+func (s *System) Publish() {
+	s.writeMu.Lock()
+	s.publishLocked()
+	s.writeMu.Unlock()
+}
+
+// ReadAsOf runs one read-only SQL statement against the newest
+// retained version whose publish LSN is at or below lsn — the
+// point-in-time query primitive. It errors when lsn predates the
+// retention horizon (the storage layer keeps a bounded ring of
+// versions) and rejects statements that are not SELECT or EXPLAIN.
+func (s *System) ReadAsOf(lsn uint64, sql string) (*sqlengine.Result, error) {
+	switch firstKeyword(sql) {
+	case "select", "explain":
+	default:
+		return nil, fmt.Errorf("core: ReadAsOf is read-only; got %q", firstKeyword(sql))
+	}
+	sn, err := s.DB.SnapshotAt(lsn)
+	if err != nil {
+		return nil, err
+	}
+	defer sn.Release()
+	return s.Engine.ExecTracedAt(sql, nil, sn)
+}
+
+// ReadAsOfTraced is ReadAsOf under a caller-supplied span (EXPLAIN
+// ANALYZE-style tooling); sp may be nil.
+func (s *System) ReadAsOfTraced(lsn uint64, sql string, sp *obs.Span) (*sqlengine.Result, error) {
+	switch firstKeyword(sql) {
+	case "select", "explain":
+	default:
+		return nil, fmt.Errorf("core: ReadAsOf is read-only; got %q", firstKeyword(sql))
+	}
+	sn, err := s.DB.SnapshotAt(lsn)
+	if err != nil {
+		return nil, err
+	}
+	defer sn.Release()
+	return s.Engine.ExecTracedAt(sql, sp, sn)
+}
+
+// Compact archives every clustered attribute table's live segment that
+// has rows, publishing one new version when any work was done. Stores
+// with an empty live segment are skipped without entering the write
+// path at all, so a Compact on a quiescent system leaves the snapshot
+// epoch untouched. Returns how many stores were archived. Runs as an
+// online background writer: concurrent readers keep their pinned
+// versions throughout.
+func (s *System) Compact() (int, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	n := 0
+	for _, st := range s.segStores {
+		if st.ArchivableRows() == 0 {
+			continue
+		}
+		if err := st.ArchiveNow(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if n > 0 {
+		s.publishLocked()
+	}
+	return n, nil
+}
+
+// lockedCatalog is the translator catalog behind a read-write lock:
+// queries resolve doc() names concurrently with Register/AliasDoc
+// installing new views, which under MVCC no longer excludes readers.
+type lockedCatalog struct {
+	mu sync.RWMutex
+	m  translator.MapCatalog
+}
+
+func newLockedCatalog() *lockedCatalog {
+	return &lockedCatalog{m: translator.MapCatalog{}}
+}
+
+// ViewByDoc implements translator.Catalog.
+func (c *lockedCatalog) ViewByDoc(doc string) (*translator.ViewInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m.ViewByDoc(doc)
+}
+
+func (c *lockedCatalog) get(name string) (*translator.ViewInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.m[name]
+	return v, ok
+}
+
+func (c *lockedCatalog) set(name string, v *translator.ViewInfo) {
+	c.mu.Lock()
+	c.m[name] = v
+	c.mu.Unlock()
+}
+
+// items returns a point-in-time copy for iteration (writeMeta).
+func (c *lockedCatalog) items() translator.MapCatalog {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(translator.MapCatalog, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}

@@ -177,7 +177,7 @@ func (s *System) writeMeta() error {
 		return err
 	}
 	var aliasRows []relstore.Row
-	for alias, view := range s.catalog {
+	for alias, view := range s.catalog.items() {
 		if alias == view.DocName {
 			continue // canonical entry, rebuilt by finishRegister
 		}
@@ -339,7 +339,7 @@ func (s *System) attach(spec htable.TableSpec) error {
 			seg, err := segment.OpenStore(db, schema.Name, segment.Config{
 				Umin:           s.opts.Umin,
 				MinSegmentRows: s.opts.MinSegmentRows,
-				Clock:          func() temporal.Date { return s.Engine.Now },
+				Clock:          func() temporal.Date { return s.Engine.Now() },
 			})
 			if err != nil {
 				return nil, err

@@ -142,7 +142,7 @@ type System struct {
 	Archive *htable.Archive
 
 	opts       Options
-	catalog    translator.MapCatalog
+	catalog    *lockedCatalog
 	translator *translator.Translator
 
 	segStores  map[string]*segment.Store            // attr table → store
@@ -208,7 +208,7 @@ func newWithDB(db *relstore.Database, opts Options) (*System, error) {
 		Engine:     en,
 		Archive:    a,
 		opts:       opts,
-		catalog:    translator.MapCatalog{},
+		catalog:    newLockedCatalog(),
 		segStores:  map[string]*segment.Store{},
 		compStores: map[string]*blockzip.CompressedStore{},
 		pubCache:   map[string]*xmltree.Node{},
@@ -221,6 +221,10 @@ func newWithDB(db *relstore.Database, opts Options) (*System, error) {
 	s.qhXML = s.metrics.Histogram("query.xml_ns")
 	s.registerMetrics()
 	a.SetStoreFactory(s.makeStore)
+	// The System publishes explicitly from its write paths (mvcc.go),
+	// so readers never take the storage layer's publish lock.
+	db.SetAutoPublish(false)
+	db.Publish(0)
 	return s, nil
 }
 
@@ -232,7 +236,7 @@ func (s *System) makeStore(db *relstore.Database, schema relstore.Schema) (htabl
 		seg, err := segment.NewStore(db, schema, segment.Config{
 			Umin:           s.opts.Umin,
 			MinSegmentRows: s.opts.MinSegmentRows,
-			Clock:          func() temporal.Date { return s.Engine.Now },
+			Clock:          func() temporal.Date { return s.Engine.Now() },
 		})
 		if err != nil {
 			return nil, err
@@ -271,6 +275,11 @@ func (s *System) Register(spec htable.TableSpec) error {
 	var lsn uint64
 	if err == nil {
 		lsn, err = s.appendDDLLocked(encodeRegisterRecord(spec))
+	}
+	if err == nil {
+		// The new tables must be in the published version before any
+		// reader can be told about them.
+		s.publishLocked()
 	}
 	s.writeMu.Unlock()
 	if err != nil {
@@ -350,7 +359,7 @@ func (s *System) finishRegister(spec htable.TableSpec) error {
 			return min, max, true
 		}
 	}
-	s.catalog[spec.DocName()] = view
+	s.catalog.set(spec.DocName(), view)
 	s.markDirty(spec.Name)
 
 	// Invalidate the published H-doc on every change.
@@ -391,11 +400,11 @@ func (s *System) aliasInternal(alias, table string) error {
 	if !ok {
 		return fmt.Errorf("core: table %s not registered", table)
 	}
-	v, ok := s.catalog[spec.DocName()]
+	v, ok := s.catalog.get(spec.DocName())
 	if !ok {
 		return fmt.Errorf("core: no view for %s", table)
 	}
-	s.catalog[alias] = v
+	s.catalog.set(alias, v)
 	return nil
 }
 
@@ -413,11 +422,29 @@ func (s *System) SetClock(d temporal.Date) {
 }
 
 // Exec runs SQL against the engine (the current database and the
-// H-tables share it). Latency lands in the query.sql_ns histogram and
-// the slow-query log when a threshold is configured.
+// H-tables share it). SELECT and EXPLAIN run lock-free on a pinned
+// snapshot of the latest published version — they never block on and
+// are never blocked by a writer. Everything else takes the write lock
+// and publishes a new version on completion. Latency lands in the
+// query.sql_ns histogram and the slow-query log when a threshold is
+// configured.
 func (s *System) Exec(sql string) (*sqlengine.Result, error) {
 	start := time.Now()
-	res, err := s.Engine.Exec(sql)
+	var res *sqlengine.Result
+	var err error
+	switch firstKeyword(sql) {
+	case "select", "explain":
+		// The engine pins the current published version per statement.
+		res, err = s.Engine.Exec(sql)
+	default:
+		s.writeMu.Lock()
+		res, err = s.Engine.Exec(sql)
+		// Publish even on error: a failed statement may have applied
+		// partial effects (no rollback below this layer), and live
+		// reads always saw them — snapshot reads must converge too.
+		s.publishLocked()
+		s.writeMu.Unlock()
+	}
 	rows := 0
 	if res != nil {
 		rows = len(res.Rows)
@@ -483,9 +510,18 @@ func (s *System) QueryTraced(query string) (*QueryResult, *obs.QueryTrace, error
 // nil (untraced).
 func (s *System) queryTraced(query string, sp *obs.Span) (*QueryResult, error) {
 	start := time.Now()
+	// One snapshot pinned across translate + execute, so the executed
+	// SQL reads exactly the version the query started on. Translation
+	// itself consults the live segment directories (ViewInfo.SegmentsFor
+	// under the store lock); segments are append-only and their
+	// boundaries immutable once frozen, so the live-computed segno
+	// window only widens relative to the pinned version's — the rewrite
+	// stays sound, never excluding a visible row.
+	sn := s.DB.Snapshot()
+	defer sn.Release()
 	sql, terr := s.translator.TranslateTraced(query, sp)
 	if terr == nil {
-		res, err := s.Engine.ExecTraced(sql, sp)
+		res, err := s.Engine.ExecTracedAt(sql, sp, sn)
 		if err != nil {
 			return nil, fmt.Errorf("core: translated query failed: %w\nsql: %s", err, sql)
 		}
@@ -616,7 +652,7 @@ func (s *System) queryXMLTraced(query string, sp *obs.Span) (xquery.Seq, error) 
 }
 
 func (s *System) resolveDoc(name string) (*xmltree.Node, error) {
-	view, ok := s.catalog[name]
+	view, ok := s.catalog.get(name)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown document %q", name)
 	}
@@ -631,10 +667,13 @@ func (s *System) resolveDoc(name string) (*xmltree.Node, error) {
 	if doc != nil {
 		return doc, nil
 	}
-	// Publish outside the lock: PublishHDoc only reads the H-tables, so
-	// concurrent first-queries for the same document at worst duplicate
-	// work, never corrupt state.
+	// Publishing scans the live H-tables, which must not race a
+	// concurrent writer, so a stale-cache miss briefly joins the writer
+	// queue. Cached-document hits above stay lock-free — the XML bypass
+	// path's common case under mixed load.
+	s.writeMu.Lock()
 	doc, err := s.Archive.PublishHDoc(table)
+	s.writeMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -650,19 +689,46 @@ func (s *System) PublishHDoc(table string) (*xmltree.Node, error) {
 	return s.Archive.PublishHDoc(table)
 }
 
-// FlushLog applies pending log-captured changes (log mode only).
-func (s *System) FlushLog() error { return s.Archive.FlushLog() }
+// FlushLog applies pending log-captured changes (log mode only) and
+// publishes the result as a new version.
+func (s *System) FlushLog() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if err := s.Archive.FlushLog(); err != nil {
+		return err
+	}
+	s.publishLocked()
+	return nil
+}
 
 // CompressFrozen compresses all frozen segments (LayoutCompressed
-// only).
+// only), publishing one new version when any segment was compressed.
+// Stores with nothing pending are probed without entering the write
+// path, so a call on a fully-compressed system leaves the snapshot
+// epoch untouched. Runs as an online background writer: concurrent
+// readers keep serving their pinned versions throughout.
 func (s *System) CompressFrozen() error {
 	if s.opts.Layout != LayoutCompressed {
 		return fmt.Errorf("core: compression requires LayoutCompressed")
 	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	did := false
 	for _, cs := range s.compStores {
+		n, err := cs.PendingFrozen()
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			continue
+		}
 		if err := cs.CompressFrozen(); err != nil {
 			return err
 		}
+		did = true
+	}
+	if did {
+		s.publishLocked()
 	}
 	return nil
 }

@@ -28,6 +28,9 @@ func newLoadedSystem(t *testing.T, opts Options) *System {
 	if err := dataset.LoadMicro(s.Archive); err != nil {
 		t.Fatal(err)
 	}
+	// The micro history is loaded through the archive directly, below
+	// the statement paths — publish so snapshot readers see it.
+	s.Publish()
 	return s
 }
 

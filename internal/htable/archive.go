@@ -97,16 +97,16 @@ func New(en *sqlengine.Engine, mode CaptureMode) (*Archive, error) {
 func (a *Archive) SetStoreFactory(f StoreFactory) { a.factory = f }
 
 // Clock returns the archive's current timestamp (day granularity).
-func (a *Archive) Clock() temporal.Date { return a.Engine.Now }
+func (a *Archive) Clock() temporal.Date { return a.Engine.Now() }
 
 // SetClock advances the archive clock. Changes applied afterwards are
 // stamped with the new date. Every effective move is reported to the
 // clock sink (the WAL); a same-value set is a no-op.
 func (a *Archive) SetClock(d temporal.Date) {
-	if a.Engine.Now == d {
+	if a.Engine.Now() == d {
 		return
 	}
-	a.Engine.Now = d
+	a.Engine.SetNow(d)
 	if a.clockSink != nil {
 		a.clockSink(d)
 	}
@@ -253,13 +253,13 @@ func (a *Archive) PendingOps() []Op { return a.log }
 // (e.g. segment-boundary recording) observes the logical time of the
 // change, not the flush time.
 func (a *Archive) FlushLog() error {
-	// The replay-time clock juggling moves Engine.Now directly: these
-	// are not logical clock moves, so they bypass the clock sink.
+	// The replay-time clock juggling moves the engine clock directly:
+	// these are not logical clock moves, so they bypass the clock sink.
 	saved := a.Clock()
-	defer func() { a.Engine.Now = saved }()
+	defer func() { a.Engine.SetNow(saved) }()
 	for _, op := range a.log {
 		at := a.tables[op.Table]
-		a.Engine.Now = op.At
+		a.Engine.SetNow(op.At)
 		if err := a.applyOp(at, op); err != nil {
 			return err
 		}

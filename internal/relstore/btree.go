@@ -6,6 +6,16 @@ import "sort"
 // Value keys with RID postings lists at the leaves. Deletion is lazy
 // (keys with empty postings are removed from the leaf but the tree is
 // not rebalanced), which is fine for ArchIS' append-mostly workload.
+//
+// Trees are copy-on-write so published snapshots (version.go) can keep
+// scanning a frozen root while the live writer mutates: every node is
+// stamped with the cowGen it was created in, and a mutation clones any
+// node from an older generation along its path before touching it.
+// Postings lists only ever grow in place (appends past a frozen length
+// are invisible to snapshot readers); removal copies the list first.
+// There is no leaf sibling chain — range scans descend recursively —
+// because a chained leaf would let a writer splice nodes a frozen
+// reader is walking.
 
 const btreeOrder = 64 // max keys per node
 
@@ -33,11 +43,11 @@ func CompareKeys(a, b []Value) int {
 }
 
 type btreeNode struct {
+	gen      uint64 // cowGen the node was created in; older nodes are immutable
 	leaf     bool
 	keys     [][]Value
 	children []*btreeNode // internal nodes
 	postings [][]RID      // leaf nodes, parallel to keys
-	next     *btreeNode   // leaf chain
 }
 
 type btree struct {
@@ -50,29 +60,51 @@ func newBTree() *btree {
 	return &btree{root: &btreeNode{leaf: true}, height: 1}
 }
 
+// mutableNode returns n if it already belongs to the current
+// generation, otherwise a clone that does. Outer slices are copied;
+// inner key/postings arrays stay shared (keys are immutable, postings
+// follow the grow-in-place / copy-on-remove rule above).
+func mutableNode(n *btreeNode, gen uint64) *btreeNode {
+	if n.gen == gen {
+		return n
+	}
+	m := &btreeNode{gen: gen, leaf: n.leaf, keys: append([][]Value(nil), n.keys...)}
+	if n.leaf {
+		m.postings = append([][]RID(nil), n.postings...)
+	} else {
+		m.children = append([]*btreeNode(nil), n.children...)
+	}
+	return m
+}
+
 // search returns the index of the first key >= k in node keys.
 func (n *btreeNode) search(k []Value) int {
 	return sort.Search(len(n.keys), func(i int) bool { return CompareKeys(n.keys[i], k) >= 0 })
 }
 
-func (t *btree) insert(key []Value, rid RID) {
-	newChild, splitKey := t.insertInto(t.root, key, rid)
+func (t *btree) insert(key []Value, rid RID, gen uint64) {
+	root := mutableNode(t.root, gen)
+	t.root = root
+	newChild, splitKey := t.insertInto(root, key, rid, gen)
 	if newChild != nil {
-		root := &btreeNode{
+		t.root = &btreeNode{
+			gen:      gen,
 			keys:     [][]Value{splitKey},
-			children: []*btreeNode{t.root, newChild},
+			children: []*btreeNode{root, newChild},
 		}
-		t.root = root
 		t.height++
 	}
 }
 
-// insertInto inserts into the subtree; on split it returns the new
-// right sibling and its separator key.
-func (t *btree) insertInto(n *btreeNode, key []Value, rid RID) (*btreeNode, []Value) {
+// insertInto inserts into the subtree rooted at n, which the caller has
+// already made mutable for gen; on split it returns the new right
+// sibling and its separator key.
+func (t *btree) insertInto(n *btreeNode, key []Value, rid RID, gen uint64) (*btreeNode, []Value) {
 	if n.leaf {
 		i := n.search(key)
 		if i < len(n.keys) && CompareKeys(n.keys[i], key) == 0 {
+			// Appending never disturbs a frozen reader: it writes past
+			// every previously captured length (or reallocates).
 			n.postings[i] = append(n.postings[i], rid)
 			return nil, nil
 		}
@@ -88,24 +120,25 @@ func (t *btree) insertInto(n *btreeNode, key []Value, rid RID) (*btreeNode, []Va
 		}
 		mid := len(n.keys) / 2
 		right := &btreeNode{
+			gen:      gen,
 			leaf:     true,
 			keys:     append([][]Value(nil), n.keys[mid:]...),
 			postings: append([][]RID(nil), n.postings[mid:]...),
-			next:     n.next,
 		}
 		n.keys = n.keys[:mid]
 		n.postings = n.postings[:mid]
-		n.next = right
 		return right, right.keys[0]
 	}
 
 	// Internal: child i holds keys < keys[i]; descend into the child
-	// whose range contains key.
+	// whose range contains key, cloning it into this generation first.
 	i := n.search(key)
 	if i < len(n.keys) && CompareKeys(n.keys[i], key) == 0 {
 		i++
 	}
-	newChild, splitKey := t.insertInto(n.children[i], key, rid)
+	child := mutableNode(n.children[i], gen)
+	n.children[i] = child
+	newChild, splitKey := t.insertInto(child, key, rid, gen)
 	if newChild == nil {
 		return nil, nil
 	}
@@ -121,6 +154,7 @@ func (t *btree) insertInto(n *btreeNode, key []Value, rid RID) (*btreeNode, []Va
 	mid := len(n.keys) / 2
 	upKey := n.keys[mid]
 	right := &btreeNode{
+		gen:      gen,
 		keys:     append([][]Value(nil), n.keys[mid+1:]...),
 		children: append([]*btreeNode(nil), n.children[mid+1:]...),
 	}
@@ -129,39 +163,41 @@ func (t *btree) insertInto(n *btreeNode, key []Value, rid RID) (*btreeNode, []Va
 	return right, upKey
 }
 
-// leafFor descends to the leaf that would contain key.
-func (t *btree) leafFor(key []Value) *btreeNode {
-	n := t.root
+// delete removes rid from key's postings; empty postings drop the key.
+func (t *btree) delete(key []Value, rid RID, gen uint64) {
+	n := mutableNode(t.root, gen)
+	t.root = n
 	for !n.leaf {
 		i := n.search(key)
 		if i < len(n.keys) && CompareKeys(n.keys[i], key) == 0 {
 			i++
 		}
-		n = n.children[i]
+		c := mutableNode(n.children[i], gen)
+		n.children[i] = c
+		n = c
 	}
-	return n
-}
-
-// delete removes rid from key's postings; empty postings drop the key.
-func (t *btree) delete(key []Value, rid RID) {
-	n := t.leafFor(key)
 	i := n.search(key)
 	if i >= len(n.keys) || CompareKeys(n.keys[i], key) != 0 {
 		return
 	}
+	// Removal shifts elements, so it must run on a private copy: the
+	// postings array may be shared with a frozen version of this leaf.
 	ps := n.postings[i]
-	for j, p := range ps {
-		if p == rid {
-			ps = append(ps[:j], ps[j+1:]...)
-			break
+	nps := make([]RID, 0, len(ps))
+	removed := false
+	for _, p := range ps {
+		if !removed && p == rid {
+			removed = true
+			continue
 		}
+		nps = append(nps, p)
 	}
-	if len(ps) == 0 {
+	if len(nps) == 0 {
 		n.keys = append(n.keys[:i], n.keys[i+1:]...)
 		n.postings = append(n.postings[:i], n.postings[i+1:]...)
 		t.nkeys--
 	} else {
-		n.postings[i] = ps
+		n.postings[i] = nps
 	}
 }
 
@@ -169,29 +205,42 @@ func (t *btree) delete(key []Value, rid RID) {
 // nil for open). With prefix semantics: a partial lo/hi key matches on
 // its prefix length. fn returns false to stop.
 func (t *btree) scanRange(lo, hi []Value, fn func(key []Value, rids []RID) bool) {
-	var n *btreeNode
-	if lo == nil {
-		n = t.root
-		for !n.leaf {
-			n = n.children[0]
-		}
-	} else {
-		n = t.leafFor(lo)
-	}
-	for n != nil {
+	t.walkRange(t.root, lo, hi, fn)
+}
+
+// walkRange is the recursive in-order range visit; it reports false to
+// abort the whole scan (everything after the abort point is > hi).
+func (t *btree) walkRange(n *btreeNode, lo, hi []Value, fn func(key []Value, rids []RID) bool) bool {
+	if n.leaf {
 		for i, k := range n.keys {
 			if lo != nil && comparePrefix(k, lo) < 0 {
 				continue
 			}
 			if hi != nil && comparePrefix(k, hi) > 0 {
-				return
+				return false
 			}
 			if !fn(k, n.postings[i]) {
-				return
+				return false
 			}
 		}
-		n = n.next
+		return true
 	}
+	// Child i holds keys < keys[i]: children whose separator is < lo
+	// hold only keys < lo and are skipped; once a separator exceeds hi,
+	// every later subtree is out of range.
+	start := 0
+	if lo != nil {
+		start = n.search(lo)
+	}
+	for i := start; i < len(n.children); i++ {
+		if hi != nil && i > 0 && comparePrefix(n.keys[i-1], hi) > 0 {
+			return false
+		}
+		if !t.walkRange(n.children[i], lo, hi, fn) {
+			return false
+		}
+	}
+	return true
 }
 
 // comparePrefix compares k against bound on bound's length only, so a
@@ -229,8 +278,13 @@ func (ix *Index) keyOf(r Row) []Value {
 	return k
 }
 
-func (ix *Index) insertRow(r Row, rid RID) { ix.tree.insert(ix.keyOf(r), rid) }
-func (ix *Index) deleteRow(r Row, rid RID) { ix.tree.delete(ix.keyOf(r), rid) }
+func (ix *Index) insertRow(r Row, rid RID) {
+	ix.tree.insert(ix.keyOf(r), rid, ix.Table.db.cowGen.Load())
+}
+
+func (ix *Index) deleteRow(r Row, rid RID) {
+	ix.tree.delete(ix.keyOf(r), rid, ix.Table.db.cowGen.Load())
+}
 
 // Lookup returns the RIDs of rows whose key columns equal key (key may
 // be a prefix of the index columns).

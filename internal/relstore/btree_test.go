@@ -9,7 +9,7 @@ import (
 func TestBTreeInsertLookup(t *testing.T) {
 	tr := newBTree()
 	for i := 0; i < 1000; i++ {
-		tr.insert([]Value{Int(int64(i % 100)), Int(int64(i))}, RID{Page: int32(i), Slot: 0})
+		tr.insert([]Value{Int(int64(i % 100)), Int(int64(i))}, RID{Page: int32(i), Slot: 0}, 0)
 	}
 	if tr.nkeys != 1000 {
 		t.Fatalf("nkeys = %d", tr.nkeys)
@@ -28,8 +28,8 @@ func TestBTreeInsertLookup(t *testing.T) {
 func TestBTreeDuplicatePostings(t *testing.T) {
 	tr := newBTree()
 	key := []Value{String_("Bob")}
-	tr.insert(key, RID{1, 1})
-	tr.insert(key, RID{2, 2})
+	tr.insert(key, RID{1, 1}, 0)
+	tr.insert(key, RID{2, 2}, 0)
 	if tr.nkeys != 1 {
 		t.Fatalf("nkeys = %d", tr.nkeys)
 	}
@@ -41,7 +41,7 @@ func TestBTreeDuplicatePostings(t *testing.T) {
 	if len(got) != 2 {
 		t.Fatalf("postings = %v", got)
 	}
-	tr.delete(key, RID{1, 1})
+	tr.delete(key, RID{1, 1}, 0)
 	got = nil
 	tr.scanRange(key, key, func(_ []Value, rids []RID) bool {
 		got = append(got, rids...)
@@ -50,7 +50,7 @@ func TestBTreeDuplicatePostings(t *testing.T) {
 	if len(got) != 1 || got[0] != (RID{2, 2}) {
 		t.Fatalf("postings after delete = %v", got)
 	}
-	tr.delete(key, RID{2, 2})
+	tr.delete(key, RID{2, 2}, 0)
 	if tr.nkeys != 0 {
 		t.Errorf("nkeys after full delete = %d", tr.nkeys)
 	}
@@ -60,7 +60,7 @@ func TestBTreeRangeScanOrdered(t *testing.T) {
 	tr := newBTree()
 	perm := rand.New(rand.NewSource(1)).Perm(5000)
 	for _, v := range perm {
-		tr.insert([]Value{Int(int64(v))}, RID{Page: int32(v)})
+		tr.insert([]Value{Int(int64(v))}, RID{Page: int32(v)}, 0)
 	}
 	var got []int64
 	tr.scanRange([]Value{Int(1000)}, []Value{Int(2000)}, func(k []Value, _ []RID) bool {
@@ -81,7 +81,7 @@ func TestBTreeRangeScanOrdered(t *testing.T) {
 func TestBTreeOpenRange(t *testing.T) {
 	tr := newBTree()
 	for i := 0; i < 300; i++ {
-		tr.insert([]Value{Int(int64(i))}, RID{})
+		tr.insert([]Value{Int(int64(i))}, RID{}, 0)
 	}
 	count := 0
 	tr.scanRange(nil, nil, func([]Value, []RID) bool { count++; return true })
@@ -103,7 +103,7 @@ func TestBTreeOpenRange(t *testing.T) {
 func TestBTreeEarlyStop(t *testing.T) {
 	tr := newBTree()
 	for i := 0; i < 300; i++ {
-		tr.insert([]Value{Int(int64(i))}, RID{})
+		tr.insert([]Value{Int(int64(i))}, RID{}, 0)
 	}
 	count := 0
 	tr.scanRange(nil, nil, func([]Value, []RID) bool { count++; return count < 7 })
@@ -125,12 +125,12 @@ func TestBTreeModelProperty(t *testing.T) {
 		ks := render(k)
 		rid := RID{Page: int32(r.Intn(100)), Slot: int32(r.Intn(100))}
 		if r.Intn(3) > 0 {
-			tr.insert(k, rid)
+			tr.insert(k, rid, 0)
 			model[ks] = append(model[ks], rid)
 			keys[ks] = k
 		} else if len(model[ks]) > 0 {
 			victim := model[ks][0]
-			tr.delete(k, victim)
+			tr.delete(k, victim, 0)
 			model[ks] = model[ks][1:]
 			if len(model[ks]) == 0 {
 				delete(model, ks)

@@ -22,8 +22,7 @@ const maxCacheShards = 32
 const minShardPages = 32
 
 type cacheKey struct {
-	table  uint64 // Table.id; ids are never reused
-	pageNo int
+	pageID uint64 // page.id; ids are never reused
 }
 
 type cacheEntry struct {
@@ -71,7 +70,7 @@ func newPageCache(totalPages int) *pageCache {
 }
 
 func (pc *pageCache) shard(k cacheKey) *cacheShard {
-	h := k.table*0x9E3779B97F4A7C15 + uint64(k.pageNo)*0xBF58476D1CE4E5B9
+	h := k.pageID * 0x9E3779B97F4A7C15
 	h ^= h >> 29
 	return &pc.shards[h&pc.mask]
 }

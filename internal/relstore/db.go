@@ -32,6 +32,13 @@ type Stats struct {
 	// stores and the selected rows they carried.
 	ColBatches   int64
 	ColBatchRows int64
+
+	// MVCC snapshot publication (version.go): published versions so
+	// far, reader handles currently pinned (a gauge), and superseded
+	// versions trimmed from the retained ring.
+	Epoch             int64
+	PinnedReaders     int64
+	ReclaimedVersions int64
 }
 
 // Sub returns the counter deltas s−prev. BlockCacheBytes is a gauge,
@@ -54,23 +61,45 @@ func (s Stats) Sub(prev Stats) Stats {
 		JoinRowsCopied:   s.JoinRowsCopied - prev.JoinRowsCopied,
 		ColBatches:       s.ColBatches - prev.ColBatches,
 		ColBatchRows:     s.ColBatchRows - prev.ColBatchRows,
+		Epoch:            s.Epoch - prev.Epoch,
+		PinnedReaders:    s.PinnedReaders, // gauge
+		ReclaimedVersions: s.ReclaimedVersions - prev.ReclaimedVersions,
 	}
 }
 
 // Database is a catalog of tables and indexes plus a shared page
 // cache.
 //
-// Concurrency model: any number of goroutines may read concurrently
-// (Table lookups, Get, Scan, index lookups, Stats). Writes — DML on
-// tables, DDL, Compact, Truncate, SetCacheCapacity — require exclusive
-// access: no reader or other writer may run at the same time. The page
-// cache and the stats counters are internally synchronized so that the
-// read paths are race-free on their own.
+// Concurrency model (MVCC, version.go): writers are serialized among
+// themselves (one writer at a time), but readers never block on them.
+// A reader pins an immutable published version via Snapshot() /
+// SnapshotAt() and scans its frozen tables; the writer mutates the
+// live tables copy-on-write and makes the result visible atomically
+// with Publish(lsn). Reads against live tables (DML target lookup,
+// legacy callers) still require the old writers-exclusive discipline.
+// The page cache and the stats counters are internally synchronized.
 type Database struct {
 	mu          sync.RWMutex // guards tables, names, nextTableID
 	tables      map[string]*Table
 	names       []string // insertion order, for deterministic listings
 	nextTableID uint64
+
+	// Snapshot publication state. publishMu serializes Publish and the
+	// retained ring; current is the latest published version (nil until
+	// first publish); cowGen is the copy-on-write generation bumped at
+	// each publish — a writer privatizes a shared slice or B+tree node
+	// on first mutation per generation. anyDirty is the publish fast
+	// path: set by every write, cleared when a version is published.
+	publishMu  sync.Mutex
+	current    atomic.Pointer[dbSnapshot]
+	retained   []*dbSnapshot // guarded by publishMu; recent versions for SnapshotAt
+	cowGen     atomic.Uint64
+	anyDirty   atomic.Bool
+	autoPub    atomic.Bool
+	epoch      atomic.Uint64
+	pinned     atomic.Int64
+	reclaimed  atomic.Int64
+	nextPageID atomic.Uint64 // page identities for the page cache
 
 	cache    atomic.Pointer[pageCache]
 	cacheCap atomic.Int64 // configured capacity, for DropCaches rebuilds
@@ -105,6 +134,7 @@ func NewDatabase() *Database {
 	db.cacheCap.Store(DefaultCachePages)
 	db.cache.Store(newPageCache(DefaultCachePages))
 	db.blockCache.Store(newBlockCache(0)) // off by default; see SetBlockCacheBytes
+	db.autoPub.Store(true)                // legacy callers publish on demand at read time
 	return db
 }
 
@@ -132,6 +162,9 @@ func (db *Database) Stats() Stats {
 		JoinRowsCopied:   db.stats.joinRowsCopied.Load(),
 		ColBatches:       db.stats.colBatches.Load(),
 		ColBatchRows:     db.stats.colBatchRows.Load(),
+		Epoch:            int64(db.epoch.Load()),
+		PinnedReaders:    db.pinned.Load(),
+		ReclaimedVersions: db.reclaimed.Load(),
 	}
 }
 
@@ -201,6 +234,8 @@ func (db *Database) CreateTable(s Schema) (*Table, error) {
 	}
 	db.tables[key] = t
 	db.names = append(db.names, s.Name)
+	t.dirty = true
+	db.anyDirty.Store(true)
 	return t, nil
 }
 
@@ -275,6 +310,7 @@ func (db *Database) CreateIndex(name, table string, columns ...string) (*Index, 
 		return nil, err
 	}
 	t.indexes = append(t.indexes, ix)
+	t.markDirty()
 	return ix, nil
 }
 
@@ -313,18 +349,25 @@ func (db *Database) TotalBytes() int {
 	return n
 }
 
-func (db *Database) cacheGet(t *Table, pageNo int) ([]Row, []bool, bool) {
-	rows, live, ok := db.cache.Load().get(cacheKey{t.id, pageNo})
+func (db *Database) cacheGet(p *page) ([]Row, []bool, bool) {
+	rows, live, ok := db.cache.Load().get(cacheKey{p.id})
 	if ok {
 		db.stats.cacheHits.Add(1)
 	}
 	return rows, live, ok
 }
 
-func (db *Database) cachePut(t *Table, pageNo int, rows []Row, live []bool) {
-	db.cache.Load().put(cacheKey{t.id, pageNo}, rows, live)
+func (db *Database) cachePut(p *page, rows []Row, live []bool) {
+	db.cache.Load().put(cacheKey{p.id}, rows, live)
 }
 
-func (db *Database) cacheInvalidate(t *Table, pageNo int) {
-	db.cache.Load().invalidate(cacheKey{t.id, pageNo})
+func (db *Database) cacheInvalidate(p *page) {
+	db.cache.Load().invalidate(cacheKey{p.id})
+}
+
+// stampPage assigns a fresh database-global identity to a newly built
+// page (the page-cache key; see page.id).
+func (db *Database) stampPage(p *page) *page {
+	p.id = db.nextPageID.Add(1)
+	return p
 }

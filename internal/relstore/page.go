@@ -29,7 +29,14 @@ type zoneEntry struct {
 
 // page is one storage block: the encoded row bytes plus slot directory
 // and zone maps. Pages are immutable on disk; mutation re-encodes.
+//
+// id is the page's identity for the page cache: database-global, never
+// reused. Snapshot versions of a table can keep referencing a page
+// after the live table replaces it at the same position (rewritePage,
+// Compact), so cache entries must be keyed by page identity, not by
+// (table, position).
 type page struct {
+	id      uint64
 	buf     []byte      // encoded rows, concatenated
 	offsets []int32     // slot -> offset into buf (entry per row, incl. dead)
 	live    int         // count of live rows

@@ -230,7 +230,7 @@ func readTable(rd *reader, db *Database) error {
 			pg.zones[z].min = rd.i64()
 			pg.zones[z].max = rd.i64()
 		}
-		t.pages = append(t.pages, pg)
+		t.pages = append(t.pages, db.stampPage(pg))
 		t.liveRows += pg.live
 	}
 	nrows := rd.u32()

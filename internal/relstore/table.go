@@ -24,6 +24,52 @@ type Table struct {
 	liveRows int
 
 	indexes []*Index
+
+	// MVCC state (version.go). frozen marks an immutable snapshot copy
+	// — writes to it are a layering bug. dirty marks live tables with
+	// unpublished changes. pagesGen/builderGen record the cowGen at
+	// which the pages / builder slice backing arrays were last
+	// privatized: published snapshots alias those arrays up to their
+	// captured length, so in-place element writes must copy first
+	// (appends beyond the captured length are safe as-is).
+	frozen     bool
+	dirty      bool
+	pagesGen   uint64
+	builderGen uint64
+}
+
+// markDirty flags unpublished changes; the next Publish freezes the
+// table. Writers are serialized, so plain fields suffice.
+func (t *Table) markDirty() {
+	t.dirty = true
+	t.db.anyDirty.Store(true)
+}
+
+// ownPages privatizes the pages slice for in-place element writes in
+// the current copy-on-write generation.
+func (t *Table) ownPages() {
+	if gen := t.db.cowGen.Load(); t.pagesGen != gen {
+		t.pages = append([]*page(nil), t.pages...)
+		t.pagesGen = gen
+	}
+}
+
+// ownBuilder privatizes the builder slices for in-place element writes
+// in the current copy-on-write generation.
+func (t *Table) ownBuilder() {
+	if gen := t.db.cowGen.Load(); t.builderGen != gen {
+		t.bRows = append([]Row(nil), t.bRows...)
+		t.bLive = append([]bool(nil), t.bLive...)
+		t.builderGen = gen
+	}
+}
+
+// errFrozen guards the write paths against snapshot copies.
+func (t *Table) errFrozen() error {
+	if t.frozen {
+		return fmt.Errorf("relstore: %s: write to frozen snapshot table", t.Name())
+	}
+	return nil
 }
 
 // Schema returns the table schema.
@@ -67,9 +113,13 @@ func (t *Table) ByteSize() int {
 
 // Insert appends a row and returns its RID.
 func (t *Table) Insert(r Row) (RID, error) {
+	if err := t.errFrozen(); err != nil {
+		return RID{}, err
+	}
 	if err := t.schema.Validate(r); err != nil {
 		return RID{}, err
 	}
+	t.markDirty()
 	sz := len(EncodeRow(nil, r, true))
 	if t.bSize > 0 && t.bSize+sz > PageSize {
 		t.sealBuilder()
@@ -93,8 +143,10 @@ func (t *Table) sealBuilder() {
 	if len(t.bRows) == 0 {
 		return
 	}
-	p := buildPage(t.bRows, t.bLive, t.zoneCols, len(t.schema.Columns))
+	p := t.db.stampPage(buildPage(t.bRows, t.bLive, t.zoneCols, len(t.schema.Columns)))
 	t.pages = append(t.pages, p)
+	// The builder arrays may be aliased by a published snapshot; they
+	// are dropped, never reused, so the snapshot's view stays intact.
 	t.bRows, t.bLive, t.bSize = nil, nil, 0
 }
 
@@ -161,6 +213,9 @@ func copyRow(r Row) Row {
 
 // Update replaces the row at rid.
 func (t *Table) Update(rid RID, r Row) error {
+	if err := t.errFrozen(); err != nil {
+		return err
+	}
 	if err := t.schema.Validate(r); err != nil {
 		return err
 	}
@@ -171,7 +226,9 @@ func (t *Table) Update(rid RID, r Row) error {
 	if !wasLive {
 		return fmt.Errorf("relstore: %s: update of dead row %v", t.Name(), rid)
 	}
+	t.markDirty()
 	if int(rid.Page) == len(t.pages) {
+		t.ownBuilder()
 		t.bRows[rid.Slot] = r.Clone()
 		// Builder size drifts from reality on update; recompute lazily
 		// by re-measuring the whole builder only when it could overflow.
@@ -203,6 +260,9 @@ func (t *Table) Update(rid RID, r Row) error {
 
 // Delete tombstones the row at rid.
 func (t *Table) Delete(rid RID) error {
+	if err := t.errFrozen(); err != nil {
+		return err
+	}
 	old, wasLive, err := t.Get(rid)
 	if err != nil {
 		return err
@@ -210,7 +270,9 @@ func (t *Table) Delete(rid RID) error {
 	if !wasLive {
 		return nil
 	}
+	t.markDirty()
 	if int(rid.Page) == len(t.pages) {
+		t.ownBuilder()
 		t.bLive[rid.Slot] = false
 	} else {
 		if err := t.rewritePage(int(rid.Page), func(rows []Row, live []bool) {
@@ -240,8 +302,12 @@ func (t *Table) rewritePage(pageNo int, mutate func(rows []Row, live []bool)) er
 	newRows := append([]Row(nil), rows...)
 	newLive := append([]bool(nil), live...)
 	mutate(newRows, newLive)
-	t.pages[pageNo] = buildPage(newRows, newLive, t.zoneCols, len(t.schema.Columns))
-	t.db.cachePut(t, pageNo, newRows, newLive)
+	np := t.db.stampPage(buildPage(newRows, newLive, t.zoneCols, len(t.schema.Columns)))
+	t.ownPages()
+	t.pages[pageNo] = np
+	// The replaced page keeps its own cache entry (snapshot readers may
+	// still be scanning it); the new page gets a fresh one.
+	t.db.cachePut(np, newRows, newLive)
 	return nil
 }
 
@@ -250,17 +316,17 @@ func (t *Table) rewritePage(pageNo int, mutate func(rows []Row, live []bool)) er
 // slices are shared with the cache and treated as immutable; public
 // entry points (Get, Scan) copy rows before handing them out.
 func (t *Table) readPage(pageNo int) ([]Row, []bool, error) {
-	if rows, live, ok := t.db.cacheGet(t, pageNo); ok {
+	p := t.pages[pageNo]
+	if rows, live, ok := t.db.cacheGet(p); ok {
 		return rows, live, nil
 	}
-	p := t.pages[pageNo]
 	rows, live, err := p.decodeRows()
 	if err != nil {
 		return nil, nil, err
 	}
 	t.db.stats.blockReads.Add(1)
 	t.db.stats.bytesRead.Add(int64(p.byteSize()))
-	t.db.cachePut(t, pageNo, rows, live)
+	t.db.cachePut(p, rows, live)
 	return rows, live, nil
 }
 
@@ -367,10 +433,16 @@ func (t *Table) Compact() error {
 	return nil
 }
 
-// Truncate drops all rows and reindexes to empty.
+// Truncate drops all rows and reindexes to empty. Pages referenced by
+// published snapshots stay decodable — truncation only drops the live
+// table's references and evicts their cache entries early.
 func (t *Table) Truncate() {
-	for pn := range t.pages {
-		t.db.cacheInvalidate(t, pn)
+	if t.frozen {
+		panic("relstore: truncate of frozen snapshot table")
+	}
+	t.markDirty()
+	for _, p := range t.pages {
+		t.db.cacheInvalidate(p)
 	}
 	t.pages = nil
 	t.bRows, t.bLive, t.bSize = nil, nil, 0

@@ -18,6 +18,7 @@ import (
 
 	"archis/internal/htable"
 	"archis/internal/relstore"
+	"archis/internal/sqlengine"
 	"archis/internal/temporal"
 )
 
@@ -123,6 +124,17 @@ func (s *Store) Archives() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.archives
+}
+
+// ArchivableRows reports how many dead (closed) rows the live segment
+// holds — the rows an archive operation would move out of the live
+// path. 0 means the live segment is all current versions (usefulness
+// 1.0) and archiving would only churn carried copies: the early-exit
+// probe core.Compact uses to skip the write path entirely.
+func (s *Store) ArchivableRows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nall - s.nlive
 }
 
 // Usefulness returns the live segment's current U = Nlive/Nall.
@@ -630,6 +642,31 @@ func (s *Store) ScanMorsels(bounds []relstore.ZoneBound) ([]relstore.MorselFunc,
 		}
 	}
 	return out, nil
+}
+
+// BindSnapshot implements sqlengine.SnapshotBinder: it returns a
+// read-only view of this store over a pinned relstore snapshot. The
+// view scans the snapshot's frozen copies of the attribute table and
+// segment directory; the live-segment metadata is re-derived from the
+// frozen directory (archiveNow keeps directory and live counter in
+// lockstep inside one critical section, so the derivation is exact for
+// any published version). Reader methods never consult the live map,
+// which stays nil in the view.
+func (s *Store) BindSnapshot(sn *relstore.Snapshot) sqlengine.VirtualTable {
+	t, okT := sn.Table(s.table.Name())
+	dir, okD := sn.Table(s.dir.Name())
+	if !okT || !okD {
+		// Tables created after the pinned version; the caller's query
+		// would fail either way, so serve the live view.
+		return s
+	}
+	b := &Store{table: t, dir: dir, cfg: s.cfg, liveSeg: 1}
+	if segs, err := b.segments(); err == nil && len(segs) > 0 {
+		last := segs[len(segs)-1]
+		b.liveSeg = last.SegNo + 1
+		b.liveStart = last.End.AddDays(1)
+	}
+	return b
 }
 
 // SegmentCount returns frozen segments + the live one.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"archis/internal/obs"
@@ -63,9 +65,11 @@ type Trigger func(ev TriggerEvent) error
 type Engine struct {
 	DB *relstore.Database
 
-	// Now is the engine clock at day granularity — the value of
+	// now is the engine clock at day granularity — the value of
 	// CURRENT_DATE and the instantiation of "now" (Section 4.3).
-	Now temporal.Date
+	// Atomic because snapshot readers evaluate CURRENT_DATE/TSPAN/RTEND
+	// while a writer (log replay, ingest) moves the clock.
+	now atomic.Int64
 
 	// Workers caps intra-query morsel parallelism for single-table
 	// scan+filter / scan+aggregate SELECTs. 0 means GOMAXPROCS; 1
@@ -90,9 +94,16 @@ type Engine struct {
 
 	scalarFuncs map[string]ScalarFunc
 	aggFuncs    map[string]AggFunc
+	virtMu      sync.RWMutex
 	virtual     map[string]VirtualTable
 	triggers    map[string][]Trigger
 }
+
+// Now returns the engine clock (CURRENT_DATE).
+func (en *Engine) Now() temporal.Date { return temporal.Date(en.now.Load()) }
+
+// SetNow moves the engine clock.
+func (en *Engine) SetNow(d temporal.Date) { en.now.Store(int64(d)) }
 
 // scanWorkers resolves the configured Workers value to an effective
 // worker count.
@@ -112,24 +123,37 @@ func New(db *relstore.Database) *Engine {
 		DB:          db,
 		Planner:     true,
 		Columnar:    true,
-		Now:         temporal.FromTime(time.Now()),
 		scalarFuncs: map[string]ScalarFunc{},
 		aggFuncs:    map[string]AggFunc{},
 		virtual:     map[string]VirtualTable{},
 		triggers:    map[string][]Trigger{},
 	}
+	en.SetNow(temporal.FromTime(time.Now()))
 	en.registerBuiltins()
 	return en
 }
 
 // RegisterVirtual exposes a virtual table under the given name.
 func (en *Engine) RegisterVirtual(name string, vt VirtualTable) {
+	en.virtMu.Lock()
 	en.virtual[strings.ToLower(name)] = vt
+	en.virtMu.Unlock()
 }
 
 // UnregisterVirtual removes a virtual table.
 func (en *Engine) UnregisterVirtual(name string) {
+	en.virtMu.Lock()
 	delete(en.virtual, strings.ToLower(name))
+	en.virtMu.Unlock()
+}
+
+// lookupVirtual resolves a registered virtual table under the read
+// lock (registration happens on the writer while readers plan).
+func (en *Engine) lookupVirtual(name string) (VirtualTable, bool) {
+	en.virtMu.RLock()
+	vt, ok := en.virtual[strings.ToLower(name)]
+	en.virtMu.RUnlock()
+	return vt, ok
 }
 
 // AddTrigger attaches a row-level after-trigger to a table.
@@ -194,11 +218,48 @@ func (en *Engine) ExecStmt(stmt Statement) (*Result, error) {
 // ExecStmtTraced executes a parsed statement with tracing under sp
 // (nil disables).
 func (en *Engine) ExecStmtTraced(stmt Statement, sp *obs.Span) (*Result, error) {
+	return en.ExecStmtTracedAt(stmt, sp, nil)
+}
+
+// ExecTracedAt is ExecTraced pinned to an externally supplied snapshot
+// (nil pins the current version per statement). Callers that translate
+// and execute under one consistent view — core's query path, ReadAsOf —
+// pass the snapshot they already hold; it is not released here.
+func (en *Engine) ExecTracedAt(sql string, sp *obs.Span, sn *relstore.Snapshot) (*Result, error) {
+	ps := sp.Child("parse")
+	stmt, err := Parse(sql)
+	ps.End()
+	if err != nil {
+		return nil, err
+	}
+	return en.ExecStmtTracedAt(stmt, sp, sn)
+}
+
+// snapshotFor resolves the snapshot a read statement runs under: the
+// caller-supplied one (kept alive by the caller) or a freshly pinned
+// current version released when the statement finishes.
+func (en *Engine) snapshotFor(sn *relstore.Snapshot) (*relstore.Snapshot, func()) {
+	if sn != nil {
+		return sn, func() {}
+	}
+	own := en.DB.Snapshot()
+	return own, own.Release
+}
+
+// ExecStmtTracedAt executes a parsed statement with tracing under sp;
+// SELECT and EXPLAIN run against sn (or a freshly pinned snapshot when
+// sn is nil), so they never block on — or observe a torn write from —
+// a concurrent writer. DML and DDL always target the live tables.
+func (en *Engine) ExecStmtTracedAt(stmt Statement, sp *obs.Span, sn *relstore.Snapshot) (*Result, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
-		return en.execSelect(s, sp)
+		sn, release := en.snapshotFor(sn)
+		defer release()
+		return en.execSelect(s, sp, sn)
 	case *ExplainStmt:
-		return en.execExplain(s)
+		sn, release := en.snapshotFor(sn)
+		defer release()
+		return en.execExplain(s, sn)
 	case *InsertStmt:
 		return en.execInsert(s)
 	case *UpdateStmt:

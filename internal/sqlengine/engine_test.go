@@ -13,7 +13,7 @@ import (
 func newHRDB(t *testing.T) *Engine {
 	t.Helper()
 	en := New(relstore.NewDatabase())
-	en.Now = temporal.MustParseDate("1997-01-01")
+	en.SetNow(temporal.MustParseDate("1997-01-01"))
 	for _, ddl := range []string{
 		`create table employee_id (id INT, tstart DATE, tend DATE)`,
 		`create table employee_name (id INT, name VARCHAR, tstart DATE, tend DATE)`,

@@ -52,9 +52,32 @@ func (s *source) morselSource() (relstore.MorselSource, bool) {
 	return ms, ok
 }
 
-func (en *Engine) resolveSource(ref TableRef) (*source, error) {
-	if vt, ok := en.virtual[strings.ToLower(ref.Table)]; ok {
+// SnapshotBinder is implemented by virtual tables that can rebind
+// themselves onto a pinned relstore snapshot (segment and BlockZIP
+// stores). resolveSource uses it so a SELECT sees one consistent
+// version of the backing tables AND the store's own metadata.
+type SnapshotBinder interface {
+	BindSnapshot(sn *relstore.Snapshot) VirtualTable
+}
+
+// resolveSource binds a FROM reference to storage. With a snapshot the
+// read runs against the pinned version: base tables come from the
+// snapshot (frozen copies), and virtual tables that implement
+// SnapshotBinder are rebound onto it. A nil snapshot (DML target
+// resolution, legacy callers) reads the live tables.
+func (en *Engine) resolveSource(ref TableRef, sn *relstore.Snapshot) (*source, error) {
+	if vt, ok := en.lookupVirtual(ref.Table); ok {
+		if sn != nil {
+			if sb, ok := vt.(SnapshotBinder); ok {
+				vt = sb.BindSnapshot(sn)
+			}
+		}
 		return &source{alias: ref.Alias, schema: vt.Schema(), virtual: vt}, nil
+	}
+	if sn != nil {
+		if tbl, ok := sn.Table(ref.Table); ok {
+			return &source{alias: ref.Alias, schema: tbl.Schema(), base: tbl}, nil
+		}
 	}
 	tbl, err := en.DB.MustTable(ref.Table)
 	if err != nil {
@@ -470,14 +493,17 @@ func appendKey(dst []byte, vals []relstore.Value) []byte {
 	return dst
 }
 
-func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span) (*Result, error) {
+func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span, sn *relstore.Snapshot) (*Result, error) {
 	if len(stmt.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires FROM")
+	}
+	if sn != nil {
+		sp.SetInt("snapshot_lsn", int64(sn.LSN()))
 	}
 	sources := make([]*source, len(stmt.From))
 	seen := map[string]bool{}
 	for i, ref := range stmt.From {
-		s, err := en.resolveSource(ref)
+		s, err := en.resolveSource(ref, sn)
 		if err != nil {
 			return nil, err
 		}

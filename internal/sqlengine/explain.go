@@ -15,17 +15,17 @@ import (
 // under a fresh tracer and renders the finished span tree, so every
 // node carries measured timings and cardinalities.
 
-func (en *Engine) execExplain(st *ExplainStmt) (*Result, error) {
+func (en *Engine) execExplain(st *ExplainStmt, sn *relstore.Snapshot) (*Result, error) {
 	if st.Analyze {
 		tr := obs.NewTracer("query")
-		res, err := en.execSelect(st.Inner, tr.Root())
+		res, err := en.execSelect(st.Inner, tr.Root(), sn)
 		if err != nil {
 			return nil, err
 		}
 		tr.Root().AddRows(0, int64(len(res.Rows)))
 		return planResult(tr.Finish("").Tree()), nil
 	}
-	lines, err := en.explainSelect(st.Inner)
+	lines, err := en.explainSelect(st.Inner, sn)
 	if err != nil {
 		return nil, err
 	}
@@ -45,14 +45,14 @@ func planResult(text string) *Result {
 // decision order of execSelect. Cardinality-dependent runtime choices
 // (index vs hash join under indexJoinThreshold outer rows) are shown
 // as the rule the executor applies.
-func (en *Engine) explainSelect(stmt *SelectStmt) ([]string, error) {
+func (en *Engine) explainSelect(stmt *SelectStmt, sn *relstore.Snapshot) ([]string, error) {
 	if len(stmt.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires FROM")
 	}
 	sources := make([]*source, len(stmt.From))
 	seen := map[string]bool{}
 	for i, ref := range stmt.From {
-		s, err := en.resolveSource(ref)
+		s, err := en.resolveSource(ref, sn)
 		if err != nil {
 			return nil, err
 		}

@@ -189,7 +189,7 @@ func (en *Engine) registerBuiltins() {
 		if err := wantArgs("CURRENT_DATE", a, 0); err != nil {
 			return relstore.Null, err
 		}
-		return relstore.DateV(e.Now), nil
+		return relstore.DateV(e.Now()), nil
 	})
 
 	// --- temporal predicates (paper Section 5.4) ---
@@ -232,7 +232,7 @@ func (en *Engine) registerBuiltins() {
 		if err != nil {
 			return relstore.Null, err
 		}
-		return relstore.Int(int64(iv.Days(e.Now))), nil
+		return relstore.Int(int64(iv.Days(e.Now()))), nil
 	})
 
 	// RTEND(te) → te, with the internal end-of-time replaced by
@@ -246,7 +246,7 @@ func (en *Engine) registerBuiltins() {
 			return relstore.Null, err
 		}
 		if d.IsForever() {
-			d = e.Now
+			d = e.Now()
 		}
 		return relstore.DateV(d), nil
 	})
