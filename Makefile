@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race parallel-stress bench-smoke trace-smoke planner-smoke crash-matrix fuzz-smoke columnar-smoke mvcc-smoke verify lint bench bench-parallel bench-json
+.PHONY: build vet test race parallel-stress bench-smoke trace-smoke planner-smoke crash-matrix fuzz-smoke columnar-smoke mvcc-smoke serve-smoke verify lint bench bench-parallel bench-json
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,17 @@ mvcc-smoke:
 	$(GO) run ./cmd/archis-bench -mixed -mixeddur 1s -employees 200 -years 6 -json /tmp/archis-mvcc-mixed.json
 	$(GO) test -race -count=1 -run 'TestSnapshotConsistencyDifferential|TestCrashUnderConcurrentReaders' ./internal/bench/
 	$(GO) test -race -count=1 -run 'TestCompactEarlyExit|TestCompressFrozenEarlyExit|TestReadAsOfRejects' ./internal/core/
+
+# Served-path smoke: the network front end over a live system. The
+# -serve bench measures the handler span against a bare in-process
+# loop on warm Q1 and the client round trip under concurrent load;
+# the replication differential (follower byte-equals primary on all
+# three layouts under live ingest), the fault-injection suite, and
+# the server admission/timeout tests ride along under -race.
+serve-smoke:
+	$(GO) run ./cmd/archis-bench -serve -employees 120 -years 2 -serveclients 4 -servereqs 50 -json /tmp/archis-serve.json
+	$(GO) test -race -count=1 ./internal/server/ ./internal/repl/
+	$(GO) test -race -count=1 -run 'TestRecoverAsOf|TestApplyReplicated' ./internal/core/
 
 # Durability stress: kill the durable system at every fsync boundary
 # (with and without torn tail bytes) and require every survivor to

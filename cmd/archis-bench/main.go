@@ -116,6 +116,10 @@ func main() {
 		h.mixedWorkload(*jsonOut)
 		return
 	}
+	if *serveRun {
+		h.serveBench(*jsonOut)
+		return
+	}
 	if *jsonOut != "" {
 		h.benchJSON(*jsonOut)
 		return

@@ -1,0 +1,223 @@
+// The -serve experiment: what the network front end costs over the
+// in-process engine. N client goroutines hammer /query with the warm
+// Q1 point lookup over keep-alive connections; the report carries the
+// client-observed round-trip percentiles, the admission-queue wait,
+// and the served-vs-in-process overhead row — the server-side handler
+// mean (admission slot held, context wired, result rendered) against
+// a bare Sys.Exec loop on the same warm query.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"archis/internal/bench"
+	"archis/internal/core"
+	"archis/internal/server"
+)
+
+var (
+	serveRun     = flag.Bool("serve", false, "benchmark the HTTP served path against in-process execution on warm Q1; -json writes the report")
+	serveClients = flag.Int("serveclients", 8, "client goroutines for -serve")
+	serveReqs    = flag.Int("servereqs", 300, "requests per client in -serve")
+)
+
+// serveReport is the top-level -serve -json document.
+type serveReport struct {
+	Timestamp         string   `json:"timestamp"`
+	Host              hostInfo `json:"host"`
+	Employees         int      `json:"employees"`
+	Years             int      `json:"years"`
+	Clients           int      `json:"clients"`
+	RequestsPerClient int      `json:"requests_per_client"`
+	Query             string   `json:"query"`
+
+	// The overhead row: in-process mean vs the server-side handler
+	// mean for the same warm Q1, both measured serially (single
+	// client) so the row isolates the serving code path — routing,
+	// cancellation wiring, result shaping — from load effects. The
+	// handler span excludes the HTTP transport, which is reported
+	// separately as RTT under the full client fleet.
+	InprocMeanNS  int64   `json:"inproc_mean_ns"`
+	HandlerMeanNS int64   `json:"handler_mean_ns"`
+	OverheadFrac  float64 `json:"overhead_frac"`
+
+	// Client-observed round trip over loopback keep-alive connections.
+	RTTMeanNS int64 `json:"rtt_mean_ns"`
+	RTTP50NS  int64 `json:"rtt_p50_ns"`
+	RTTP99NS  int64 `json:"rtt_p99_ns"`
+
+	// Admission pressure during the run.
+	QueueWaitP50NS int64 `json:"queue_wait_p50_ns,omitempty"`
+	QueueWaitP99NS int64 `json:"queue_wait_p99_ns,omitempty"`
+	Rejected       int64 `json:"rejected"`
+}
+
+func (h *harness) serveBench(path string) {
+	fmt.Printf("== served path: warm Q1, %d clients x %d requests ==\n", *serveClients, *serveReqs)
+	e := h.getClustered()
+	sql := e.SQL(bench.Q1)
+
+	// Warm the caches, then the in-process baseline.
+	for i := 0; i < 32; i++ {
+		if _, err := e.Sys.Exec(sql); err != nil {
+			die(err)
+		}
+	}
+	const calibRuns = 2000
+	start := time.Now()
+	for i := 0; i < calibRuns; i++ {
+		if _, err := e.Sys.Exec(sql); err != nil {
+			die(err)
+		}
+	}
+	inprocMean := time.Since(start).Nanoseconds() / calibRuns
+
+	// The served side: a real Server over the same system, loopback
+	// HTTP, keep-alive client shared by all goroutines.
+	srv := server.New(e.Sys, nil, server.Config{MaxInFlight: runtime.GOMAXPROCS(0)})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *serveClients}}
+	body, err := json.Marshal(map[string]string{"sql": sql})
+	die(err)
+
+	// Drain one request per client first so connection setup is not
+	// billed to the measured runs.
+	oneShot := func() error {
+		resp, err := client.Post(hs.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("served Q1: status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	for i := 0; i < *serveClients; i++ {
+		die(oneShot())
+	}
+
+	// Calibration: drive the handler directly (no sockets), serially,
+	// so the handler span isolates what the serving code path adds —
+	// routing, admission, cancellation wiring, result shaping — from
+	// the network stack, whose cost shows up honestly in the RTT
+	// percentiles below.
+	handler := srv.Handler()
+	handlerBase := e.Sys.Metrics().Histogram("server.query_ns").Snapshot()
+	for i := 0; i < calibRuns; i++ {
+		r := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		handler.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			die(fmt.Errorf("calibration Q1: status %d: %s", w.Code, w.Body.String()))
+		}
+	}
+	calib := e.Sys.Metrics().Histogram("server.query_ns").Snapshot()
+	handlerMean := int64(0)
+	if n := calib.Count - handlerBase.Count; n > 0 {
+		handlerMean = (calib.SumNS - handlerBase.SumNS) / n
+	}
+
+	// Load phase: N concurrent clients, client-observed round trips.
+	lat := make([][]int64, *serveClients)
+	var wg sync.WaitGroup
+	errs := make(chan error, *serveClients)
+	for c := 0; c < *serveClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			mine := make([]int64, 0, *serveReqs)
+			for i := 0; i < *serveReqs; i++ {
+				t0 := time.Now()
+				if err := oneShot(); err != nil {
+					errs <- err
+					return
+				}
+				mine = append(mine, time.Since(t0).Nanoseconds())
+			}
+			lat[c] = mine
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		die(err)
+	}
+
+	var all []int64
+	for _, m := range lat {
+		all = append(all, m...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var sum int64
+	for _, v := range all {
+		sum += v
+	}
+	pct := func(p float64) int64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+
+	qwait := e.Sys.Metrics().Histogram("server.queue_wait_ns").Snapshot()
+
+	rep := serveReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Host: hostInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Employees:         *employees,
+		Years:             *years,
+		Clients:           *serveClients,
+		RequestsPerClient: *serveReqs,
+		Query:             sql,
+		InprocMeanNS:      inprocMean,
+		HandlerMeanNS:     handlerMean,
+		RTTMeanNS:         sum / int64(len(all)),
+		RTTP50NS:          pct(0.50),
+		RTTP99NS:          pct(0.99),
+		QueueWaitP50NS:    qwait.P50NS,
+		QueueWaitP99NS:    qwait.P99NS,
+		Rejected:          serveRejected(e.Sys),
+	}
+	if inprocMean > 0 {
+		rep.OverheadFrac = float64(handlerMean)/float64(inprocMean) - 1
+	}
+
+	fmt.Printf("  in-process mean  %s ms\n", ms(time.Duration(inprocMean)))
+	fmt.Printf("  handler mean     %s ms  (overhead %+.1f%%)\n", ms(time.Duration(handlerMean)), rep.OverheadFrac*100)
+	fmt.Printf("  rtt p50/p99/mean %s / %s / %s ms\n",
+		ms(time.Duration(rep.RTTP50NS)), ms(time.Duration(rep.RTTP99NS)), ms(time.Duration(rep.RTTMeanNS)))
+	fmt.Printf("  queue wait p50/p99 %s / %s ms  rejected %d\n",
+		ms(time.Duration(rep.QueueWaitP50NS)), ms(time.Duration(rep.QueueWaitP99NS)), rep.Rejected)
+
+	if path != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		die(err)
+		die(os.WriteFile(path, append(data, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// serveRejected reads the server.rejected counter back from the
+// metrics snapshot (the counter itself lives inside the Server).
+func serveRejected(sys *core.System) int64 {
+	return sys.MetricsSnapshot().Counters["server.rejected"]
+}

@@ -1,0 +1,184 @@
+// archis-serve runs an ArchIS system behind the HTTP/JSON front end
+// (internal/server), as a durable primary that also ships its WAL to
+// followers, or — with -follow — as a read-only follower replaying a
+// primary's log.
+//
+// Usage:
+//
+//	archis-serve -dir DIR [-addr :8080] [-layout L] [-sync M] [-demo]
+//	archis-serve -dir DIR -follow http://primary:8080 [-addr :8081]
+//
+// A fresh -dir starts a new durable system (registering the employee
+// and dept schemas; -demo also loads the paper's micro history); an
+// existing one is recovered. A follower bootstraps from the primary's
+// snapshot into -dir and keeps applying shipped records until killed;
+// it serves every read-only endpoint and rejects DML with 403.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"archis/internal/core"
+	"archis/internal/dataset"
+	"archis/internal/repl"
+	"archis/internal/server"
+	"archis/internal/wal"
+)
+
+var (
+	addr      = flag.String("addr", ":8080", "listen address")
+	dir       = flag.String("dir", "", "durable directory (WAL + snapshots); required")
+	layout    = flag.String("layout", "clustered", "layout for a fresh primary: plain, clustered or compressed")
+	syncMode  = flag.String("sync", "always", "WAL commit policy: always, batch or none")
+	demo      = flag.Bool("demo", false, "load the paper's micro history into a fresh primary")
+	follow    = flag.String("follow", "", "run as a follower of this primary base URL")
+	inflight  = flag.Int("inflight", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
+	queueLen  = flag.Int("queue", 0, "max queued requests beyond inflight (0 = 4x inflight)")
+	queueWait = flag.Duration("queue-wait", time.Second, "max time a request waits for a slot")
+	timeout   = flag.Duration("timeout", 0, "default per-query timeout (0 = unbounded)")
+	slowQ     = flag.Duration("slow", 0, "log served queries at least this slow to stderr (0 = off)")
+)
+
+func main() {
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "archis-serve: -dir is required")
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := server.Config{
+		MaxInFlight:    *inflight,
+		MaxQueue:       *queueLen,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *timeout,
+	}
+	mux := http.NewServeMux()
+	var sys *core.System
+	var fol *repl.Follower
+
+	if *follow != "" {
+		var err error
+		fol, err = repl.Bootstrap(*follow, *dir, repl.FollowerOptions{
+			Recover: core.RecoverOptions{Sync: syncFlag()},
+		})
+		check(err)
+		sys = fol.Sys
+		go func() {
+			if err := fol.Run(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "archis-serve: replication stopped:", err)
+			}
+		}()
+		fmt.Printf("following %s from lsn %d\n", *follow, sys.AppliedLSN())
+	} else {
+		sys = openPrimary()
+		p, err := repl.NewPrimary(sys)
+		check(err)
+		p.Attach(mux)
+	}
+	if *slowQ > 0 {
+		sys.SetSlowQueryLog(*slowQ, func(rec string) { fmt.Fprintln(os.Stderr, rec) })
+	}
+	server.New(sys, fol, cfg).Attach(mux)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(sctx)
+	}()
+	role := "primary"
+	if fol != nil {
+		role = "follower"
+	}
+	fmt.Printf("archis-serve: %s on %s (dir %s)\n", role, *addr, *dir)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		check(err)
+	}
+	check(sys.Close())
+}
+
+// openPrimary recovers an existing durable directory or starts a
+// fresh one with the employee/dept schemas registered.
+func openPrimary() *core.System {
+	if _, err := os.Stat(filepath.Join(*dir, core.SnapshotFile)); err == nil {
+		start := time.Now()
+		sys, err := core.RecoverWithOptions(*dir, core.RecoverOptions{Sync: syncFlag()})
+		check(err)
+		st := sys.Stats()
+		fmt.Printf("recovered %s in %s: replayed %d records, log at lsn %d\n",
+			*dir, time.Since(start).Round(time.Microsecond), st.WALReplayedRecords, st.WALAppendedLSN)
+		return sys
+	}
+	var lay core.Layout
+	switch *layout {
+	case "plain":
+		lay = core.LayoutPlain
+	case "clustered":
+		lay = core.LayoutClustered
+	case "compressed":
+		lay = core.LayoutCompressed
+	default:
+		fmt.Fprintln(os.Stderr, "archis-serve: unknown layout", *layout)
+		os.Exit(2)
+	}
+	sys, err := core.New(core.Options{Layout: lay, WALDir: *dir, WALSync: parseSync(*syncMode)})
+	check(err)
+	check(sys.Register(dataset.EmployeeSpec()))
+	check(sys.Register(dataset.DeptSpec()))
+	check(sys.AliasDoc("emp.xml", "employee"))
+	if *demo {
+		check(dataset.LoadMicro(sys.Archive))
+		sys.Publish()
+		check(sys.SyncWAL())
+		fmt.Println("loaded the paper's Tables 1-2 micro history")
+	}
+	return sys
+}
+
+func parseSync(s string) wal.SyncMode {
+	switch s {
+	case "always":
+		return wal.SyncAlways
+	case "batch":
+		return wal.SyncBatch
+	case "none":
+		return wal.SyncNone
+	}
+	fmt.Fprintln(os.Stderr, "archis-serve: unknown sync mode", s)
+	os.Exit(2)
+	return 0
+}
+
+// syncFlag returns the -sync mode only when passed explicitly, so
+// recovery otherwise keeps the policy recorded in the snapshot.
+func syncFlag() *wal.SyncMode {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sync" {
+			set = true
+		}
+	})
+	if !set {
+		return nil
+	}
+	m := parseSync(*syncMode)
+	return &m
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "archis-serve:", err)
+		os.Exit(1)
+	}
+}

@@ -56,6 +56,7 @@ var (
 	columnar  = flag.Bool("columnar", true, "columnar frozen blocks + vectorized execution on the compressed layout (false = legacy row-in-blob)")
 	traceOn   = flag.Bool("trace", false, "print the execution trace tree after every xquery")
 	slowQ     = flag.Duration("slow", 0, "log queries at least this slow to stderr (0 = off)")
+	asOfLSN   = flag.Uint64("as-of-lsn", 0, "recover: stop replay at this LSN (read-only point-in-time system)")
 )
 
 func main() {
@@ -195,12 +196,15 @@ func explicitSyncFlag() *archis.SyncMode {
 // policy sticks.
 func recoverDir(dir string) *archis.System {
 	start := time.Now()
-	sys, err := archis.Recover(dir, archis.RecoverOptions{Sync: explicitSyncFlag()})
+	sys, err := archis.Recover(dir, archis.RecoverOptions{Sync: explicitSyncFlag(), MaxLSN: *asOfLSN})
 	check(err)
 	st := sys.Stats()
 	fmt.Printf("recovered %s in %s: replayed %d records, log at lsn %d (%d segments)\n",
 		dir, time.Since(start).Round(time.Microsecond), st.WALReplayedRecords,
 		st.WALAppendedLSN, st.WALSegments)
+	if reason := sys.ReadOnlyReason(); reason != "" {
+		fmt.Printf("read-only: %s\n", reason)
+	}
 	return sys
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -155,11 +157,26 @@ func (s *System) commitDDL(lsn uint64) error {
 // (writers require exclusive engine access) but their final fsyncs
 // overlap, so concurrent committers coalesce into shared fsyncs.
 func (s *System) ExecDurable(sql string) (*sqlengine.Result, error) {
+	return s.ExecDurableCtx(context.Background(), sql)
+}
+
+// ExecDurableCtx is ExecDurable under a context. A context that fired
+// before the statement started rejects it; a running mutation is
+// never interrupted (no rollback below this layer), and SELECTs fall
+// through to the cancellable read path.
+func (s *System) ExecDurableCtx(ctx context.Context, sql string) (*sqlengine.Result, error) {
+	if s.readOnly != "" {
+		switch firstKeyword(sql) {
+		case "select", "explain":
+		default:
+			return nil, s.readOnlyErr()
+		}
+	}
 	if s.wal == nil {
-		return s.Exec(sql)
+		return s.ExecCtx(ctx, sql)
 	}
 	s.writeMu.Lock()
-	res, err := s.Engine.Exec(sql)
+	res, err := s.Engine.ExecCtx(ctx, sql)
 	lsn := s.wal.AppendedLSN()
 	// Publish before releasing the lock, stamped with the statement's
 	// final WAL position: the version becomes visible to lock-free
@@ -196,6 +213,12 @@ func (s *System) SyncWAL() error {
 func (s *System) Checkpoint() error {
 	if s.wal == nil {
 		return fmt.Errorf("core: Checkpoint requires a WAL (Options.WALDir)")
+	}
+	// Replicas may checkpoint (snapshotting applied state bounds their
+	// local log); point-in-time systems must not truncate the log they
+	// were carved from.
+	if s.readOnly != "" && !s.replica {
+		return s.readOnlyErr()
 	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
@@ -253,6 +276,17 @@ type RecoverOptions struct {
 	// SegmentBytes, when positive, overrides the recorded log segment
 	// roll threshold.
 	SegmentBytes int
+	// MaxLSN, when non-zero, bounds replay at that LSN: records past
+	// it are not applied, and the result is a read-only point-in-time
+	// system (DESIGN.md §15.4). Recovery fails when the snapshot
+	// already covers a higher LSN — the state before MaxLSN is gone.
+	MaxLSN uint64
+	// Replica opens the directory as a WAL-shipping follower: the
+	// system rejects DML, does not route captured ops into the log
+	// (records arrive pre-encoded via ApplyReplicated), and an empty
+	// log continues LSN assignment from the snapshot's position so
+	// shipped records keep their primary LSNs.
+	Replica bool
 }
 
 // Recover rebuilds a durable system from its directory: load the
@@ -300,14 +334,27 @@ func RecoverWithOptions(dir string, ropts RecoverOptions) (*System, error) {
 	if ropts.SegmentBytes > 0 {
 		s.opts.WALSegmentBytes = ropts.SegmentBytes
 	}
-	w, err := wal.Open(dir, s.walOptions(fsys))
+	if ropts.MaxLSN > 0 && snapLSN > ropts.MaxLSN {
+		return nil, fmt.Errorf("core: recover %s: snapshot covers lsn %d, past the requested as-of lsn %d (no earlier state retained)", dir, snapLSN, ropts.MaxLSN)
+	}
+	wo := s.walOptions(fsys)
+	if ropts.Replica {
+		// A fresh follower log continues from the snapshot position so
+		// ApplyReplicated's appends land at the shipped primary LSNs.
+		wo.FirstLSN = snapLSN + 1
+	}
+	w, err := wal.Open(dir, wo)
 	if err != nil {
 		return nil, err
 	}
 	// Replay before attaching the log to the system: replayed DDL and
 	// ops must not append fresh records to the log being replayed.
 	var replayed int64
+	errReplayBound := errors.New("replay bound reached")
 	rerr := w.Range(snapLSN+1, func(lsn uint64, payload []byte) error {
+		if ropts.MaxLSN > 0 && lsn > ropts.MaxLSN {
+			return errReplayBound
+		}
 		rec, err := decodeWALRecord(payload)
 		if err != nil {
 			return fmt.Errorf("core: recover %s: lsn %d: %w", dir, lsn, err)
@@ -322,6 +369,9 @@ func RecoverWithOptions(dir string, ropts RecoverOptions) (*System, error) {
 		replayed++
 		return nil
 	})
+	if errors.Is(rerr, errReplayBound) {
+		rerr = nil
+	}
 	if rerr != nil {
 		w.Close()
 		return nil, rerr
@@ -332,7 +382,19 @@ func RecoverWithOptions(dir string, ropts RecoverOptions) (*System, error) {
 	s.walFS = fsys
 	s.walLSN = snapLSN
 	s.replayed.Store(replayed)
-	s.attachWALSink()
+	switch {
+	case ropts.MaxLSN > 0:
+		// Point-in-time system: the log holds records past the replayed
+		// prefix; any write or checkpoint would corrupt it.
+		s.readOnly = fmt.Sprintf("opened as of lsn %d (point-in-time recovery)", ropts.MaxLSN)
+	case ropts.Replica:
+		// Follower: ops arrive pre-encoded through ApplyReplicated,
+		// which appends them itself — no capture sink.
+		s.replica = true
+		s.readOnly = "replica follower (writes belong on the primary)"
+	default:
+		s.attachWALSink()
+	}
 	return s, nil
 }
 

@@ -56,6 +56,15 @@ func (s *System) registerMetrics() {
 	r.CounterFunc("core.wal_replayed_records", func() int64 { return s.replayed.Load() })
 }
 
+// SetSlowQueryLog configures the slow-query threshold and sink at
+// runtime. Recovery does not persist the logging options, so served
+// systems wire their logger here after Recover — before serving
+// starts, which is what makes the unsynchronized write safe.
+func (s *System) SetSlowQueryLog(threshold time.Duration, fn func(record string)) {
+	s.opts.SlowQueryThreshold = threshold
+	s.opts.SlowQueryLog = fn
+}
+
 // observeQuery records one finished query: its latency in the path's
 // histogram and, past the configured threshold, one structured line in
 // the slow-query log.

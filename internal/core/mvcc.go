@@ -82,6 +82,9 @@ func (s *System) ReadAsOfTraced(lsn uint64, sql string, sp *obs.Span) (*sqlengin
 // online background writer: concurrent readers keep their pinned
 // versions throughout.
 func (s *System) Compact() (int, error) {
+	if s.readOnly != "" && !s.replica {
+		return 0, s.readOnlyErr()
+	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	n := 0

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -171,6 +172,12 @@ type System struct {
 	walFS    wal.FS
 	walLSN   uint64       // LSN covered by the latest checkpoint snapshot
 	replayed atomic.Int64 // records replayed by the last recovery
+
+	// Replication and point-in-time recovery (replica.go). Both flags
+	// are set during construction, before the system is shared, so
+	// plain reads are safe everywhere.
+	replica  bool   // WAL-shipping follower: writes arrive only via ApplyReplicated
+	readOnly string // non-empty: reason every mutating entry point is rejected
 }
 
 // New builds a System over a fresh in-memory database. With
@@ -270,6 +277,9 @@ func (s *System) makeStore(db *relstore.Database, schema relstore.Schema) (htabl
 // the new table — log order must match apply order or replay fails;
 // only the fsync wait happens outside the lock.
 func (s *System) Register(spec htable.TableSpec) error {
+	if s.readOnly != "" {
+		return s.readOnlyErr()
+	}
 	s.writeMu.Lock()
 	err := s.registerInternal(spec)
 	var lsn uint64
@@ -382,6 +392,9 @@ func (s *System) markDirty(table string) {
 // emp.xml). On a durable system the alias is logged, appended under
 // writeMu for the same ordering reason as Register.
 func (s *System) AliasDoc(alias, table string) error {
+	if s.readOnly != "" {
+		return s.readOnlyErr()
+	}
 	s.writeMu.Lock()
 	err := s.aliasInternal(alias, table)
 	var lsn uint64
@@ -416,6 +429,9 @@ func (s *System) aliasInternal(alias, table string) error {
 func (s *System) Clock() temporal.Date { return s.Archive.Clock() }
 
 func (s *System) SetClock(d temporal.Date) {
+	if s.readOnly != "" {
+		return
+	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	s.Archive.SetClock(d)
@@ -429,16 +445,28 @@ func (s *System) SetClock(d temporal.Date) {
 // query.sql_ns histogram and the slow-query log when a threshold is
 // configured.
 func (s *System) Exec(sql string) (*sqlengine.Result, error) {
+	return s.ExecCtx(context.Background(), sql)
+}
+
+// ExecCtx is Exec under a context: SELECT and EXPLAIN honor
+// cancellation mid-scan (the engine probes ctx at morsel and row
+// boundaries), mutations check the context once before running —
+// there is no rollback below this layer, so a statement that started
+// always finishes.
+func (s *System) ExecCtx(ctx context.Context, sql string) (*sqlengine.Result, error) {
 	start := time.Now()
 	var res *sqlengine.Result
 	var err error
 	switch firstKeyword(sql) {
 	case "select", "explain":
 		// The engine pins the current published version per statement.
-		res, err = s.Engine.Exec(sql)
+		res, err = s.Engine.ExecCtx(ctx, sql)
 	default:
+		if s.readOnly != "" {
+			return nil, s.readOnlyErr()
+		}
 		s.writeMu.Lock()
-		res, err = s.Engine.Exec(sql)
+		res, err = s.Engine.ExecCtx(ctx, sql)
 		// Publish even on error: a failed statement may have applied
 		// partial effects (no rollback below this layer), and live
 		// reads always saw them — snapshot reads must converge too.
@@ -478,7 +506,15 @@ type QueryResult struct {
 // H-documents otherwise (the paper's bypass for restructuring and
 // quantified queries).
 func (s *System) Query(query string) (*QueryResult, error) {
-	return s.queryTraced(query, nil)
+	return s.queryTraced(context.Background(), query, nil)
+}
+
+// QueryCtx is Query under a context. The translated SQL/XML path
+// honors cancellation mid-scan; the XML bypass path checks the
+// context once before evaluation (the tree walk itself is not
+// interruptible).
+func (s *System) QueryCtx(ctx context.Context, query string) (*QueryResult, error) {
+	return s.queryTraced(ctx, query, nil)
 }
 
 // QueryTraced is Query under a fresh tracer: the returned QueryTrace
@@ -491,7 +527,7 @@ func (s *System) QueryTraced(query string) (*QueryResult, *obs.QueryTrace, error
 	tr := obs.NewTracer("query")
 	root := tr.Root()
 	prev := s.DB.Stats()
-	res, err := s.queryTraced(query, root)
+	res, err := s.queryTraced(context.Background(), query, root)
 	d := s.DB.Stats().Sub(prev)
 	root.SetInt("block_reads", d.BlockReads)
 	root.SetInt("bytes_read", d.BytesRead)
@@ -506,9 +542,9 @@ func (s *System) QueryTraced(query string) (*QueryResult, *obs.QueryTrace, error
 	return res, tr.Finish(query), err
 }
 
-// queryTraced is the shared body of Query and QueryTraced; sp may be
-// nil (untraced).
-func (s *System) queryTraced(query string, sp *obs.Span) (*QueryResult, error) {
+// queryTraced is the shared body of Query, QueryCtx and QueryTraced;
+// sp may be nil (untraced).
+func (s *System) queryTraced(ctx context.Context, query string, sp *obs.Span) (*QueryResult, error) {
 	start := time.Now()
 	// One snapshot pinned across translate + execute, so the executed
 	// SQL reads exactly the version the query started on. Translation
@@ -521,7 +557,7 @@ func (s *System) queryTraced(query string, sp *obs.Span) (*QueryResult, error) {
 	defer sn.Release()
 	sql, terr := s.translator.TranslateTraced(query, sp)
 	if terr == nil {
-		res, err := s.Engine.ExecTracedAt(sql, sp, sn)
+		res, err := s.Engine.ExecTracedAtCtx(ctx, sql, sp, sn)
 		if err != nil {
 			return nil, fmt.Errorf("core: translated query failed: %w\nsql: %s", err, sql)
 		}
@@ -531,6 +567,9 @@ func (s *System) queryTraced(query string, sp *obs.Span) (*QueryResult, error) {
 	}
 	if !errors.Is(terr, translator.ErrUnsupported) {
 		return nil, terr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: query cancelled: %w", context.Cause(ctx))
 	}
 	seq, err := s.queryXMLTraced(query, sp)
 	s.observeQuery(s.qhXML, "xml", query, time.Since(start), len(seq), err)
@@ -692,6 +731,9 @@ func (s *System) PublishHDoc(table string) (*xmltree.Node, error) {
 // FlushLog applies pending log-captured changes (log mode only) and
 // publishes the result as a new version.
 func (s *System) FlushLog() error {
+	if s.readOnly != "" && !s.replica {
+		return s.readOnlyErr()
+	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	if err := s.Archive.FlushLog(); err != nil {
@@ -710,6 +752,9 @@ func (s *System) FlushLog() error {
 func (s *System) CompressFrozen() error {
 	if s.opts.Layout != LayoutCompressed {
 		return fmt.Errorf("core: compression requires LayoutCompressed")
+	}
+	if s.readOnly != "" && !s.replica {
+		return s.readOnlyErr()
 	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()

@@ -1,0 +1,237 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"archis/internal/core"
+	"archis/internal/dataset"
+	"archis/internal/temporal"
+	"archis/internal/wal"
+)
+
+// Replication fault injection: a follower killed at a frame boundary
+// with a torn local tail must recover exactly its durable prefix and
+// resume the stream without re-applying or skipping a record; a
+// primary checkpoint must never delete a segment a registered
+// follower has not pulled.
+
+func newFaultPrimary(t *testing.T, stmts int, opts core.Options) (*core.System, *Primary, *httptest.Server) {
+	t.Helper()
+	opts.WALDir = t.TempDir()
+	sys, err := core.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	if err := sys.Register(dataset.EmployeeSpec()); err != nil {
+		t.Fatal(err)
+	}
+	runPrimaryStatements(t, sys, 0, stmts)
+	p, err := NewPrimary(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	p.Attach(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return sys, p, srv
+}
+
+// runPrimaryStatements executes statements [from, to) of a fixed
+// deterministic workload and leaves the tail durable.
+func runPrimaryStatements(t *testing.T, sys *core.System, from, to int) {
+	t.Helper()
+	clock := temporal.MustParseDate("1995-01-01")
+	for i := from; i < to; i++ {
+		sys.SetClock(clock.AddDays(i))
+		var stmt string
+		if i%3 == 0 {
+			stmt = fmt.Sprintf("insert into employee values (%d, 'e%d', %d, 'Engineer', 'd01')", 1000+i, i, 40000+i)
+		} else {
+			stmt = fmt.Sprintf("update employee set salary = salary + %d where id = %d", i, 1000+(i/3)*3)
+		}
+		if _, err := sys.ExecDurable(stmt); err != nil {
+			t.Fatalf("stmt %d (%s): %v", i, stmt, err)
+		}
+	}
+	if err := sys.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func empState(t *testing.T, s *core.System) string {
+	t.Helper()
+	cur, err := s.Exec("select id, name, salary, title, deptno from employee order by id")
+	if err != nil {
+		t.Fatalf("current state: %v", err)
+	}
+	hist, err := s.Exec("select count(*) from employee_salary")
+	if err != nil {
+		t.Fatalf("history state: %v", err)
+	}
+	return fmt.Sprintf("%v|%v", cur.Rows, hist.Rows)
+}
+
+func TestFollowerTornTailResume(t *testing.T) {
+	prim, _, srv := newFaultPrimary(t, 30, core.Options{})
+
+	// The follower's local log lives on a fault FS that will lose
+	// everything unsynced except a partial (torn) frame.
+	ffs := wal.NewFaultFS()
+	ffs.TornTailBytes = 13
+	fdir := t.TempDir()
+	f, err := Bootstrap(srv.URL, fdir, FollowerOptions{
+		Recover:      core.RecoverOptions{FS: ffs},
+		MaxPullBytes: 256, // several records per pull, several pulls to drain
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Apply a couple of bounded pulls, make that prefix locally
+	// durable, then pull once more without syncing: the crash below
+	// tears the unsynced tail mid-frame.
+	for i := 0; i < 2; i++ {
+		if n, err := f.PullOnce(ctx); err != nil || n == 0 {
+			t.Fatalf("pull %d: applied %d, err %v", i, n, err)
+		}
+	}
+	if err := f.Sys.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	durablePrefix := f.Sys.AppliedLSN()
+	if n, err := f.PullOnce(ctx); err != nil || n == 0 {
+		t.Fatalf("post-sync pull: applied %d, err %v", n, err)
+	}
+	if f.Sys.AppliedLSN() <= durablePrefix {
+		t.Fatalf("crash setup did not advance past the durable prefix (%d)", durablePrefix)
+	}
+
+	// Power cut: PullOnce returned, so the applier died at an exact
+	// record boundary; the local log keeps its synced image plus a
+	// torn 13-byte fragment of the next frame.
+	surv := ffs.Survivor()
+	if err := f.Sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same directory: the local snapshot is reused, the
+	// surviving log prefix is replayed, the torn fragment is cut.
+	re, err := Bootstrap(srv.URL, fdir, FollowerOptions{Recover: core.RecoverOptions{FS: surv}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Sys.Close()
+	if got := re.Sys.AppliedLSN(); got != durablePrefix {
+		t.Fatalf("restart recovered to lsn %d, want the durable prefix %d", got, durablePrefix)
+	}
+
+	// Resume: ApplyReplicated's sequence check inside PullOnce proves
+	// nothing is re-applied or skipped while catching back up.
+	for re.Sys.AppliedLSN() < prim.Stats().WALAppendedLSN {
+		if _, err := re.PullOnce(ctx); err != nil {
+			t.Fatalf("resume pull at lsn %d: %v", re.Sys.AppliedLSN(), err)
+		}
+	}
+	if got, want := empState(t, re.Sys), empState(t, prim); got != want {
+		t.Errorf("restarted follower diverged:\n follower: %s\n primary:  %s", got, want)
+	}
+}
+
+// rawPull issues a pull request outside the Follower machinery.
+func rawPull(t *testing.T, base, id string, from, ack uint64) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/repl/pull?id=%s&from=%d&ack=%d", base, id, from, ack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// countFrames decodes a pull body and returns the record count,
+// asserting the LSNs are dense starting at from.
+func countFrames(t *testing.T, body []byte, from uint64) int {
+	t.Helper()
+	n := 0
+	next := from
+	for len(body) > 0 {
+		lsn, _, adv, ok := wal.DecodeFrame(body)
+		if !ok {
+			t.Fatalf("torn frame after %d records", n)
+		}
+		if lsn != next {
+			t.Fatalf("frame %d has lsn %d, want %d", n, lsn, next)
+		}
+		body = body[adv:]
+		next++
+		n++
+	}
+	return n
+}
+
+func TestCheckpointRetainsUnpulledSegments(t *testing.T) {
+	// Tiny segments so the workload spans many files — a premature
+	// truncate would actually delete record-bearing segments.
+	prim, p, srv := newFaultPrimary(t, 12, core.Options{WALSegmentBytes: 256})
+
+	// A follower registers but pulls nothing yet.
+	resp, err := http.Post(srv.URL+"/repl/register", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg registerReply
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if n, min := p.Followers(); n != 1 || min != reg.SnapshotLSN {
+		t.Fatalf("after register: %d followers, floor %d, want 1 at %d", n, min, reg.SnapshotLSN)
+	}
+
+	// The primary keeps writing and checkpoints. Without the retention
+	// floor this truncates every shipped-and-unshipped record.
+	runPrimaryStatements(t, prim, 12, 24)
+	tail := prim.Stats().WALAppendedLSN
+	if err := prim.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every record past the follower's floor must still be pullable.
+	code, body := rawPull(t, srv.URL, reg.ID, reg.SnapshotLSN+1, reg.SnapshotLSN)
+	if code != http.StatusOK {
+		t.Fatalf("pull after checkpoint: status %d (%s)", code, body)
+	}
+	if got, want := countFrames(t, body, reg.SnapshotLSN+1), int(tail-reg.SnapshotLSN); got != want {
+		t.Fatalf("pull returned %d records, want %d", got, want)
+	}
+
+	// The follower acks everything; the next checkpoint may truncate.
+	if code, _ := rawPull(t, srv.URL, reg.ID, tail+1, tail); code != http.StatusOK {
+		t.Fatalf("ack pull: status %d", code)
+	}
+	runPrimaryStatements(t, prim, 24, 26)
+	if err := prim.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := rawPull(t, srv.URL, reg.ID, reg.SnapshotLSN+1, tail); code != http.StatusGone {
+		t.Fatalf("pull from truncated position: status %d (%s), want 410", code, body)
+	}
+
+	// Unknown followers get no guarantee — they must re-register.
+	if code, _ := rawPull(t, srv.URL, "f999", 1, 0); code != http.StatusNotFound {
+		t.Fatalf("unknown follower pull: status %d, want 404", code)
+	}
+}

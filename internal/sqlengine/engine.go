@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -188,6 +189,16 @@ func (en *Engine) Exec(sql string) (*Result, error) {
 	return en.ExecTraced(sql, nil)
 }
 
+// ExecCtx is Exec under a cancellable context: read statements poll
+// ctx at row granularity in every drain loop (serial scans, morsel
+// workers, batch drains, join probes) and return a wrapped ctx error
+// promptly when it fires. DML and DDL are not interruptible once
+// started — cancelling mid-mutation would leave partial state — so ctx
+// is checked once before they run.
+func (en *Engine) ExecCtx(ctx context.Context, sql string) (*Result, error) {
+	return en.ExecTracedAtCtx(ctx, sql, nil, nil)
+}
+
 // ExecTraced is Exec with execution-stage spans recorded as children
 // of sp. A nil sp disables tracing at the cost of one pointer check
 // per hook (the DESIGN.md §11 contract).
@@ -226,13 +237,19 @@ func (en *Engine) ExecStmtTraced(stmt Statement, sp *obs.Span) (*Result, error) 
 // and execute under one consistent view — core's query path, ReadAsOf —
 // pass the snapshot they already hold; it is not released here.
 func (en *Engine) ExecTracedAt(sql string, sp *obs.Span, sn *relstore.Snapshot) (*Result, error) {
+	return en.ExecTracedAtCtx(context.Background(), sql, sp, sn)
+}
+
+// ExecTracedAtCtx is ExecTracedAt under a cancellable context (see
+// ExecCtx for the cancellation contract).
+func (en *Engine) ExecTracedAtCtx(ctx context.Context, sql string, sp *obs.Span, sn *relstore.Snapshot) (*Result, error) {
 	ps := sp.Child("parse")
 	stmt, err := Parse(sql)
 	ps.End()
 	if err != nil {
 		return nil, err
 	}
-	return en.ExecStmtTracedAt(stmt, sp, sn)
+	return en.ExecStmtTracedAtCtx(ctx, stmt, sp, sn)
 }
 
 // snapshotFor resolves the snapshot a read statement runs under: the
@@ -251,15 +268,28 @@ func (en *Engine) snapshotFor(sn *relstore.Snapshot) (*relstore.Snapshot, func()
 // sn is nil), so they never block on — or observe a torn write from —
 // a concurrent writer. DML and DDL always target the live tables.
 func (en *Engine) ExecStmtTracedAt(stmt Statement, sp *obs.Span, sn *relstore.Snapshot) (*Result, error) {
+	return en.ExecStmtTracedAtCtx(context.Background(), stmt, sp, sn)
+}
+
+// ExecStmtTracedAtCtx is ExecStmtTracedAt under a cancellable context
+// (see ExecCtx for the cancellation contract).
+func (en *Engine) ExecStmtTracedAtCtx(ctx context.Context, stmt Statement, sp *obs.Span, sn *relstore.Snapshot) (*Result, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		sn, release := en.snapshotFor(sn)
 		defer release()
-		return en.execSelect(s, sp, sn)
+		return en.execSelect(ctx, s, sp, sn)
 	case *ExplainStmt:
 		sn, release := en.snapshotFor(sn)
 		defer release()
-		return en.execExplain(s, sn)
+		return en.execExplain(ctx, s, sn)
+	}
+	// Mutations are not interruptible mid-statement; honor a context
+	// that fired before the statement started.
+	if cc := newCancelProbe(ctx); cc.check() {
+		return nil, cc.err()
+	}
+	switch s := stmt.(type) {
 	case *InsertStmt:
 		return en.execInsert(s)
 	case *UpdateStmt:

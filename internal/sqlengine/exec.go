@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -329,13 +330,13 @@ func (en *Engine) planScan(s *source, conjuncts []Expr, sources []*source) (*sca
 // scanOne executes the single-table part of the plan: index selection,
 // zone-bound pushdown, residual filtering. Returned rows are borrowed
 // (read-only, may alias shared storage).
-func (en *Engine) scanOne(s *source, conjuncts []Expr, sources []*source) ([]relstore.Row, error) {
+func (en *Engine) scanOne(ctx context.Context, s *source, conjuncts []Expr, sources []*source) ([]relstore.Row, error) {
 	p, err := en.planScan(s, conjuncts, sources)
 	if err != nil {
 		return nil, err
 	}
 	var out []relstore.Row
-	err = en.runScanPlan(s, p, func(row relstore.Row) (bool, error) {
+	err = en.runScanPlan(ctx, s, p, func(row relstore.Row) (bool, error) {
 		out = append(out, row)
 		return true, nil
 	})
@@ -344,9 +345,15 @@ func (en *Engine) scanOne(s *source, conjuncts []Expr, sources []*source) ([]rel
 
 // runScanPlan drives a compiled plan (index probe or bounded borrow
 // scan) and streams each row surviving the residual filter into emit.
-// Rows are borrowed; emit returning false stops the scan early.
-func (en *Engine) runScanPlan(s *source, p *scanPlan, emit func(relstore.Row) (bool, error)) error {
+// Rows are borrowed; emit returning false stops the scan early. The
+// context is polled at row granularity so a cancelled query stops
+// mid-scan.
+func (en *Engine) runScanPlan(ctx context.Context, s *source, p *scanPlan, emit func(relstore.Row) (bool, error)) error {
+	cc := newCancelProbe(ctx)
 	pass := func(row relstore.Row) (bool, error) {
+		if cc.tick() {
+			return false, cc.err()
+		}
 		if p.filter != nil {
 			v, err := p.filter(row)
 			if err != nil {
@@ -493,7 +500,7 @@ func appendKey(dst []byte, vals []relstore.Value) []byte {
 	return dst
 }
 
-func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span, sn *relstore.Snapshot) (*Result, error) {
+func (en *Engine) execSelect(ctx context.Context, stmt *SelectStmt, sp *obs.Span, sn *relstore.Snapshot) (*Result, error) {
 	if len(stmt.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires FROM")
 	}
@@ -549,10 +556,10 @@ func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span, sn *relstore.Snapsh
 	// fan out over row morsels when the engine is configured for
 	// parallel scans.
 	if len(sources) == 1 {
-		if res, handled, err := en.execSingleBatch(stmt, sources[0], conjuncts, sources, sp); handled {
+		if res, handled, err := en.execSingleBatch(ctx, stmt, sources[0], conjuncts, sources, sp); handled {
 			return res, err
 		}
-		if res, handled, err := en.execSingleParallel(stmt, sources[0], conjuncts, sources, sp); handled {
+		if res, handled, err := en.execSingleParallel(ctx, stmt, sources[0], conjuncts, sources, sp); handled {
 			return res, err
 		}
 	}
@@ -601,7 +608,7 @@ func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span, sn *relstore.Snapsh
 			ss.SetAttr("access", plan.est.Access)
 			ss.SetInt("est_rows", int64(plan.est.OutRows))
 		}
-		err = en.runScanPlan(first, plan, func(row relstore.Row) (bool, error) {
+		err = en.runScanPlan(ctx, first, plan, func(row relstore.Row) (bool, error) {
 			rows = append(rows, row)
 			return true, nil
 		})
@@ -610,7 +617,11 @@ func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span, sn *relstore.Snapsh
 		return err
 	}
 
+	foldProbe := newCancelProbe(ctx)
 	for fi, s := range ordered[1:] {
+		if foldProbe.check() {
+			return nil, foldProbe.err()
+		}
 		joins, rest := en.equiJoinConds(pendingMulti, layout, joinedAliases, s, sources)
 		pendingMulti = rest
 		newLayout := layout.concat(layoutFor(s.alias, s.schema))
@@ -631,7 +642,7 @@ func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span, sn *relstore.Snapsh
 				fuse = fuse && !(s.base != nil && s.base.IndexOn(joins[0].newPos) != nil)
 			}
 			if fuse {
-				rows, err = en.hashJoinFirst(first, firstConjuncts, s, joins, singles, sources, fp, sp)
+				rows, err = en.hashJoinFirst(ctx, first, firstConjuncts, s, joins, singles, sources, fp, sp)
 				if err != nil {
 					return nil, err
 				}
@@ -661,17 +672,17 @@ func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span, sn *relstore.Snapsh
 			// keys and single-table predicates filter after the probe.
 			js := sp.Child("join:index")
 			js.SetAttr("table", s.alias)
-			rows, err = en.indexJoin(rows, s, joins, singles, sources, newLayout)
+			rows, err = en.indexJoin(ctx, rows, s, joins, singles, sources, newLayout)
 			js.AddRows(in, int64(len(rows)))
 			js.End()
 		case stratHashBuildInner:
-			rows, err = en.hashJoin(rows, s, joins, singles, sources, fp, sp)
+			rows, err = en.hashJoin(ctx, rows, s, joins, singles, sources, fp, sp)
 		case stratHashBuildOuter:
-			rows, err = en.hashJoinBuildOuter(rows, s, joins, singles, sources, fp, sp)
+			rows, err = en.hashJoinBuildOuter(ctx, rows, s, joins, singles, sources, fp, sp)
 		default:
 			js := sp.Child("join:nested-loop")
 			js.SetAttr("table", s.alias)
-			rows, err = en.nestedLoopJoin(rows, s, singles, sources)
+			rows, err = en.nestedLoopJoin(ctx, rows, s, singles, sources)
 			js.AddRows(in, int64(len(rows)))
 			js.End()
 		}
@@ -699,8 +710,12 @@ func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span, sn *relstore.Snapsh
 		if err != nil {
 			return nil, err
 		}
+		fcc := newCancelProbe(ctx)
 		kept := rows[:0]
 		for _, r := range rows {
+			if fcc.tick() {
+				return nil, fcc.err()
+			}
 			v, err := fn(r)
 			if err != nil {
 				return nil, err
@@ -717,7 +732,8 @@ func (en *Engine) execSelect(stmt *SelectStmt, sp *obs.Span, sn *relstore.Snapsh
 	return en.project(stmt, rows, layout, sources, sp)
 }
 
-func (en *Engine) indexJoin(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source, newLayout *rowLayout) ([]relstore.Row, error) {
+func (en *Engine) indexJoin(ctx context.Context, outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source, newLayout *rowLayout) ([]relstore.Row, error) {
+	cc := newCancelProbe(ctx)
 	ix := s.base.IndexOn(joins[0].newPos)
 	// Compile the inner-side residual (single-table predicates).
 	var filter evalFunc
@@ -733,6 +749,9 @@ func (en *Engine) indexJoin(outer []relstore.Row, s *source, joins []equiJoin, s
 	}
 	var out []relstore.Row
 	for _, o := range outer {
+		if cc.tick() {
+			return nil, cc.err()
+		}
 		probe := o[joins[0].boundPos]
 		if probe.IsNull() {
 			continue
@@ -777,14 +796,25 @@ func (en *Engine) indexJoin(outer []relstore.Row, s *source, joins []equiJoin, s
 	return out, nil
 }
 
-func (en *Engine) nestedLoopJoin(outer []relstore.Row, s *source, singles []Expr, sources []*source) ([]relstore.Row, error) {
-	inner, err := en.scanOne(s, singles, sources)
+func (en *Engine) nestedLoopJoin(ctx context.Context, outer []relstore.Row, s *source, singles []Expr, sources []*source) ([]relstore.Row, error) {
+	inner, err := en.scanOne(ctx, s, singles, sources)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]relstore.Row, 0, len(outer)*len(inner))
+	cc := newCancelProbe(ctx)
+	// Cap the up-front allocation: a cross product's full extent can
+	// be enormous, and reserving it all before the first probe would
+	// delay cancellation by the whole (possibly huge) zeroing.
+	capHint := len(outer) * len(inner)
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	out := make([]relstore.Row, 0, capHint)
 	for _, o := range outer {
 		for _, m := range inner {
+			if cc.tick() {
+				return nil, cc.err()
+			}
 			combined := make(relstore.Row, 0, len(o)+len(m))
 			combined = append(combined, o...)
 			combined = append(combined, m...)

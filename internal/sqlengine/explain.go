@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -15,10 +16,10 @@ import (
 // under a fresh tracer and renders the finished span tree, so every
 // node carries measured timings and cardinalities.
 
-func (en *Engine) execExplain(st *ExplainStmt, sn *relstore.Snapshot) (*Result, error) {
+func (en *Engine) execExplain(ctx context.Context, st *ExplainStmt, sn *relstore.Snapshot) (*Result, error) {
 	if st.Analyze {
 		tr := obs.NewTracer("query")
-		res, err := en.execSelect(st.Inner, tr.Root(), sn)
+		res, err := en.execSelect(ctx, st.Inner, tr.Root(), sn)
 		if err != nil {
 			return nil, err
 		}

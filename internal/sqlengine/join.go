@@ -10,6 +10,7 @@ package sqlengine
 // worker pool (hashJoinFirst / probeMorsels).
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -94,12 +95,12 @@ func setFoldEst(sp *obs.Span, fp *foldPlan) {
 // building on the inner side (the planner picks this variant when the
 // inner input is the smaller estimate; hashJoinBuildOuter is its
 // mirror).
-func (en *Engine) hashJoin(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source, fp *foldPlan, sp *obs.Span) ([]relstore.Row, error) {
+func (en *Engine) hashJoin(ctx context.Context, outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source, fp *foldPlan, sp *obs.Span) ([]relstore.Row, error) {
 	bs := sp.Child("join:hash-build")
 	bs.SetAttr("table", s.alias)
 	bs.SetAttr("side", "inner")
 	setFoldEst(bs, fp)
-	inner, err := en.scanOne(s, singles, sources)
+	inner, err := en.scanOne(ctx, s, singles, sources)
 	if err != nil {
 		return nil, err
 	}
@@ -108,10 +109,14 @@ func (en *Engine) hashJoin(outer []relstore.Row, s *source, joins []equiJoin, si
 	bs.SetInt("buckets", int64(len(jt.buckets)))
 	bs.End()
 	ps := sp.Child("join:hash-probe")
+	cc := newCancelProbe(ctx)
 	sc := newProbeScratch(joins)
 	var out []relstore.Row
 	var probed int64
 	for _, o := range outer {
+		if cc.tick() {
+			return nil, cc.err()
+		}
 		var ok bool
 		out, ok = jt.probe(o, joins, sc, out)
 		if ok {
@@ -131,12 +136,12 @@ func (en *Engine) hashJoin(outer []relstore.Row, s *source, joins []equiJoin, si
 // scan worker pool. Called when the fold is a build-on-inner hash
 // join: planner-off, when the inner side has no index on the leading
 // key; planner-on, when the cost model picked the inner build side.
-func (en *Engine) hashJoinFirst(outer *source, conjuncts []Expr, s *source, joins []equiJoin, singles []Expr, sources []*source, fp *foldPlan, sp *obs.Span) ([]relstore.Row, error) {
+func (en *Engine) hashJoinFirst(ctx context.Context, outer *source, conjuncts []Expr, s *source, joins []equiJoin, singles []Expr, sources []*source, fp *foldPlan, sp *obs.Span) ([]relstore.Row, error) {
 	bs := sp.Child("join:hash-build")
 	bs.SetAttr("table", s.alias)
 	bs.SetAttr("side", "inner")
 	setFoldEst(bs, fp)
-	inner, err := en.scanOne(s, singles, sources)
+	inner, err := en.scanOne(ctx, s, singles, sources)
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +165,7 @@ func (en *Engine) hashJoinFirst(outer *source, conjuncts []Expr, s *source, join
 				ps.SetAttr("table", outer.alias)
 				ps.SetInt("workers", int64(workers))
 				ps.SetInt("morsels", int64(len(morsels)))
-				out, err := en.probeMorsels(morsels, plan, jt, joins, workers, ps)
+				out, err := en.probeMorsels(ctx, morsels, plan, jt, joins, workers, ps)
 				ps.End()
 				return out, err
 			}
@@ -172,7 +177,7 @@ func (en *Engine) hashJoinFirst(outer *source, conjuncts []Expr, s *source, join
 	sc := newProbeScratch(joins)
 	var out []relstore.Row
 	var probed int64
-	err = en.runScanPlan(outer, plan, func(row relstore.Row) (bool, error) {
+	err = en.runScanPlan(ctx, outer, plan, func(row relstore.Row) (bool, error) {
 		var ok bool
 		out, ok = jt.probe(row, joins, sc, out)
 		if ok {
@@ -194,7 +199,7 @@ func (en *Engine) hashJoinFirst(outer *source, conjuncts []Expr, s *source, join
 // morsels, and per-morsel outputs concatenated in morsel order
 // reproduce the serial output order exactly (the same argument as
 // execSingleParallel).
-func (en *Engine) probeMorsels(morsels []relstore.MorselFunc, plan *scanPlan, jt *joinTable, joins []equiJoin, workers int, sp *obs.Span) ([]relstore.Row, error) {
+func (en *Engine) probeMorsels(ctx context.Context, morsels []relstore.MorselFunc, plan *scanPlan, jt *joinTable, joins []equiJoin, workers int, sp *obs.Span) ([]relstore.Row, error) {
 	outs := make([][]relstore.Row, len(morsels))
 	errs := make([]error, len(morsels))
 	var probed atomic.Int64
@@ -208,6 +213,8 @@ func (en *Engine) probeMorsels(morsels []relstore.MorselFunc, plan *scanPlan, jt
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker probe: the row counter is unsynchronized.
+			cc := newCancelProbe(ctx)
 			sc := newProbeScratch(joins)
 			var n int64
 			defer func() { probed.Add(n) }()
@@ -216,8 +223,17 @@ func (en *Engine) probeMorsels(morsels []relstore.MorselFunc, plan *scanPlan, jt
 				if i >= len(morsels) || failed.Load() {
 					return
 				}
+				if cc.check() {
+					errs[i] = cc.err()
+					failed.Store(true)
+					return
+				}
 				var rowErr error
 				_, err := morsels[i](true, func(row relstore.Row) bool {
+					if cc.tick() {
+						rowErr = cc.err()
+						return false
+					}
 					if plan.filter != nil {
 						v, err := plan.filter(row)
 						if err != nil {
@@ -274,7 +290,7 @@ func (en *Engine) probeMorsels(morsels []relstore.MorselFunc, plan *scanPlan, jt
 // a million-row inner). Matching inner rows are bucketed per outer
 // row and emitted outer-major afterwards, so the output order is
 // byte-identical to the build-inner executor's.
-func (en *Engine) hashJoinBuildOuter(outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source, fp *foldPlan, sp *obs.Span) ([]relstore.Row, error) {
+func (en *Engine) hashJoinBuildOuter(ctx context.Context, outer []relstore.Row, s *source, joins []equiJoin, singles []Expr, sources []*source, fp *foldPlan, sp *obs.Span) ([]relstore.Row, error) {
 	bs := sp.Child("join:hash-build")
 	bs.SetAttr("table", s.alias)
 	bs.SetAttr("side", "outer")
@@ -313,7 +329,7 @@ func (en *Engine) hashJoinBuildOuter(outer []relstore.Row, s *source, joins []eq
 	// rows are borrowed, which is safe to retain for the statement.
 	matches := make([][]relstore.Row, len(outer))
 	var probed, combined int64
-	err = en.runScanPlan(s, plan, func(row relstore.Row) (bool, error) {
+	err = en.runScanPlan(ctx, s, plan, func(row relstore.Row) (bool, error) {
 		for k, j := range joins {
 			key[k] = row[j.newPos]
 			if key[k].IsNull() {

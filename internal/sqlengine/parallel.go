@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -25,7 +26,7 @@ import (
 
 // execSingleParallel attempts the parallel path for a single-source
 // SELECT. handled=false means the caller should run the serial plan.
-func (en *Engine) execSingleParallel(stmt *SelectStmt, s *source, conjuncts []Expr, sources []*source, sp *obs.Span) (*Result, bool, error) {
+func (en *Engine) execSingleParallel(ctx context.Context, stmt *SelectStmt, s *source, conjuncts []Expr, sources []*source, sp *obs.Span) (*Result, bool, error) {
 	workers := en.scanWorkers()
 	if workers <= 1 {
 		return nil, false, nil
@@ -85,12 +86,20 @@ func (en *Engine) execSingleParallel(stmt *SelectStmt, s *source, conjuncts []Ex
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One probe per worker: the row counter inside is
+			// unsynchronized, so sharing one across workers would race.
+			cc := newCancelProbe(ctx)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(morsels) || failed.Load() {
 					return
 				}
-				if err := en.runMorsel(morsels[i], plan, gplan, &accs[i], &rowss[i]); err != nil {
+				if cc.check() {
+					errs[i] = cc.err()
+					failed.Store(true)
+					return
+				}
+				if err := en.runMorsel(morsels[i], plan, gplan, cc, &accs[i], &rowss[i]); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
@@ -141,8 +150,9 @@ func (en *Engine) execSingleParallel(stmt *SelectStmt, s *source, conjuncts []Ex
 
 // runMorsel drains one morsel through the residual filter into either
 // a fresh group accumulator (aggregate shape) or a row list (filter
-// shape).
-func (en *Engine) runMorsel(m relstore.MorselFunc, plan *scanPlan, gplan *groupPlan, acc **groupAcc, rows *[]relstore.Row) error {
+// shape). cc is the calling worker's cancellation probe (nil when the
+// query is uncancellable).
+func (en *Engine) runMorsel(m relstore.MorselFunc, plan *scanPlan, gplan *groupPlan, cc *cancelProbe, acc **groupAcc, rows *[]relstore.Row) error {
 	var a *groupAcc
 	if gplan != nil {
 		a = gplan.newAcc()
@@ -150,6 +160,10 @@ func (en *Engine) runMorsel(m relstore.MorselFunc, plan *scanPlan, gplan *groupP
 	}
 	var rowErr error
 	_, err := m(true, func(row relstore.Row) bool {
+		if cc.tick() {
+			rowErr = cc.err()
+			return false
+		}
 		if plan.filter != nil {
 			v, err := plan.filter(row)
 			if err != nil {

@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -208,7 +209,7 @@ type batchWork struct {
 // execSingleBatch attempts the vectorized path for a single-source
 // SELECT. handled=false means the caller should try the next path
 // (parallel row morsels, then the serial plan).
-func (en *Engine) execSingleBatch(stmt *SelectStmt, s *source, conjuncts []Expr, sources []*source, sp *obs.Span) (*Result, bool, error) {
+func (en *Engine) execSingleBatch(ctx context.Context, stmt *SelectStmt, s *source, conjuncts []Expr, sources []*source, sp *obs.Span) (*Result, bool, error) {
 	if !en.Columnar || s.virtual == nil {
 		return nil, false, nil
 	}
@@ -252,15 +253,15 @@ func (en *Engine) execSingleBatch(stmt *SelectStmt, s *source, conjuncts []Expr,
 		workers = len(morsels)
 	}
 	if workers <= 1 {
-		return en.execBatchSerial(stmt, s, plan, gplan, bp, filter, needed, morsels, layout, sources, sp)
+		return en.execBatchSerial(ctx, stmt, s, plan, gplan, bp, filter, needed, morsels, layout, sources, sp)
 	}
-	return en.execBatchParallel(stmt, s, plan, gplan, bp, filter, needed, morsels, layout, sources, workers, sp)
+	return en.execBatchParallel(ctx, stmt, s, plan, gplan, bp, filter, needed, morsels, layout, sources, workers, sp)
 }
 
 // execBatchSerial drains batch morsels in order on the calling
 // goroutine under a "scan" span, folding into one accumulator (any
 // aggregate works) or one row list.
-func (en *Engine) execBatchSerial(stmt *SelectStmt, s *source, plan *scanPlan, gplan *groupPlan,
+func (en *Engine) execBatchSerial(ctx context.Context, stmt *SelectStmt, s *source, plan *scanPlan, gplan *groupPlan,
 	bp batchPlan, filter evalFunc, needed []bool, morsels []relstore.BatchFunc, layout *rowLayout,
 	sources []*source, sp *obs.Span) (*Result, bool, error) {
 	ss := sp.Child("scan")
@@ -274,9 +275,14 @@ func (en *Engine) execBatchSerial(stmt *SelectStmt, s *source, plan *scanPlan, g
 		acc = gplan.newAcc()
 	}
 	var rows []relstore.Row
+	cc := newCancelProbe(ctx)
 	w := &batchWork{scratch: make(relstore.Row, len(s.schema.Columns))}
 	for _, m := range morsels {
-		if err := en.runBatchMorsel(m, bp, filter, needed, w, acc, &rows); err != nil {
+		if cc.check() {
+			ss.End()
+			return nil, true, cc.err()
+		}
+		if err := en.runBatchMorsel(m, bp, filter, needed, w, cc, acc, &rows); err != nil {
 			ss.End()
 			return nil, true, err
 		}
@@ -296,7 +302,7 @@ func (en *Engine) execBatchSerial(stmt *SelectStmt, s *source, plan *scanPlan, g
 // "morsel-fanout" span, merging per-morsel partials in morsel order —
 // the same combination rule as the row-morsel path, so results are
 // identical to the serial drain.
-func (en *Engine) execBatchParallel(stmt *SelectStmt, s *source, plan *scanPlan, gplan *groupPlan,
+func (en *Engine) execBatchParallel(ctx context.Context, stmt *SelectStmt, s *source, plan *scanPlan, gplan *groupPlan,
 	bp batchPlan, filter evalFunc, needed []bool, morsels []relstore.BatchFunc, layout *rowLayout,
 	sources []*source, workers int, sp *obs.Span) (*Result, bool, error) {
 	fanout := sp.Child("morsel-fanout")
@@ -318,10 +324,17 @@ func (en *Engine) execBatchParallel(stmt *SelectStmt, s *source, plan *scanPlan,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker probe: the row counter is unsynchronized.
+			cc := newCancelProbe(ctx)
 			w := &batchWork{scratch: make(relstore.Row, len(s.schema.Columns))}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(morsels) || failed.Load() {
+					return
+				}
+				if cc.check() {
+					errs[i] = cc.err()
+					failed.Store(true)
 					return
 				}
 				var acc *groupAcc
@@ -329,7 +342,7 @@ func (en *Engine) execBatchParallel(stmt *SelectStmt, s *source, plan *scanPlan,
 					acc = gplan.newAcc()
 					accs[i] = acc
 				}
-				if err := en.runBatchMorsel(morsels[i], bp, filter, needed, w, acc, &rowss[i]); err != nil {
+				if err := en.runBatchMorsel(morsels[i], bp, filter, needed, w, cc, acc, &rowss[i]); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
@@ -386,9 +399,15 @@ func (en *Engine) execBatchParallel(stmt *SelectStmt, s *source, plan *scanPlan,
 // each passing row feeds the accumulator or the row list (cloned —
 // batch payloads are only valid during the callback).
 func (en *Engine) runBatchMorsel(m relstore.BatchFunc, bp batchPlan, filter evalFunc,
-	needed []bool, w *batchWork, acc *groupAcc, rows *[]relstore.Row) error {
+	needed []bool, w *batchWork, cc *cancelProbe, acc *groupAcc, rows *[]relstore.Row) error {
 	var rowErr error
 	_, err := m(func(b *relstore.ColBatch) bool {
+		// Batches whose rows the kernels all reject never reach emit, so
+		// poll once per batch too.
+		if cc.check() {
+			rowErr = cc.err()
+			return false
+		}
 		// The kernels subsume the full row filter only when every
 		// conjunct kernelized AND every kernel's vector is actually
 		// decoded in this batch (always true by construction — kernel
@@ -435,6 +454,10 @@ func (en *Engine) runBatchMorsel(m relstore.BatchFunc, bp batchPlan, filter eval
 		}
 
 		emit := func(i int) bool {
+			if cc.tick() {
+				rowErr = cc.err()
+				return false
+			}
 			b.FillRow(w.scratch, i, needed)
 			if filter != nil && needFilter {
 				v, err := filter(w.scratch)

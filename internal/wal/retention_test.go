@@ -1,0 +1,121 @@
+package wal
+
+import (
+	"testing"
+)
+
+// The replication retention floor: TruncateThrough must never delete
+// a segment holding records a registered follower has not pulled,
+// however far the checkpoint has advanced. The floor caps the
+// truncation LSN, not the segment choice — a segment survives as long
+// as it holds any record past the minimum follower ack.
+
+func TestRetentionFloorBlocksPrematureTruncate(t *testing.T) {
+	fs := NewFaultFS()
+	// Tiny segments so 30 records spread across many files.
+	l, err := Open("/w", Options{FS: fs, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	for i := 1; i <= n; i++ {
+		mustAppend(t, l, payload(i))
+	}
+	if err := l.Commit(n); err != nil {
+		t.Fatal(err)
+	}
+
+	// A follower registered after pulling through LSN 5.
+	floor := uint64(5)
+	l.SetRetention(func() uint64 { return floor })
+
+	// Checkpoint wants everything gone; the floor must cap it.
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateThrough(n); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, l, 1)
+	for i := floor + 1; i <= n; i++ {
+		if got[i] != string(payload(int(i))) {
+			t.Fatalf("record %d lost by truncation with retention floor %d", i, floor)
+		}
+	}
+
+	// The follower catches up; truncation is unconstrained again and
+	// only the tail segment (which always stays) may survive.
+	floor = n
+	if err := l.TruncateThrough(n); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.segs) != 1 {
+		t.Fatalf("%d segments survived truncation after the follower acked everything, want 1 (the tail)", len(l.segs))
+	}
+
+	// Removing the floor restores unconstrained truncation.
+	l.SetRetention(nil)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstLSNContinuesFromSnapshot(t *testing.T) {
+	fs := NewFaultFS()
+	l, err := Open("/f", Options{FS: fs, FirstLSN: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn := mustAppend(t, l, payload(101)); lsn != 101 {
+		t.Fatalf("first append got lsn %d, want 101", lsn)
+	}
+	mustAppend(t, l, payload(102))
+	if err := l.Commit(102); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the scan takes over from the on-disk records and
+	// FirstLSN is ignored.
+	re, err := Open("/f", Options{FS: fs, FirstLSN: 9999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn := mustAppend(t, re, payload(103)); lsn != 103 {
+		t.Fatalf("append after reopen got lsn %d, want 103", lsn)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameCodecRoundTrip(t *testing.T) {
+	var buf []byte
+	for i := 1; i <= 5; i++ {
+		buf = EncodeFrame(buf, uint64(i), payload(i))
+	}
+	next := uint64(1)
+	for len(buf) > 0 {
+		lsn, p, adv, ok := DecodeFrame(buf)
+		if !ok {
+			t.Fatalf("frame %d failed to decode", next)
+		}
+		if lsn != next || string(p) != string(payload(int(next))) {
+			t.Fatalf("frame %d decoded as lsn %d payload %q", next, lsn, p)
+		}
+		buf = buf[adv:]
+		next++
+	}
+	if next != 6 {
+		t.Fatalf("decoded %d frames, want 5", next-1)
+	}
+
+	// A corrupted byte must fail the CRC, not yield a wrong payload.
+	bad := EncodeFrame(nil, 7, payload(7))
+	bad[len(bad)-1] ^= 0x40
+	if _, _, _, ok := DecodeFrame(bad); ok {
+		t.Fatal("corrupted frame decoded successfully")
+	}
+}

@@ -83,6 +83,12 @@ type Options struct {
 	// histograms (wal.append_ns, wal.fsync_ns, wal.commit_ns). Nil
 	// disables latency measurement entirely.
 	Metrics *obs.Registry
+	// FirstLSN makes an empty log assign LSNs from this value instead
+	// of 1. Replication followers bootstrap from a primary snapshot at
+	// LSN S and need their local log to continue at S+1 so shipped
+	// records keep their primary LSNs. Ignored when the directory
+	// already holds records.
+	FirstLSN uint64
 }
 
 // Defaults.
@@ -141,6 +147,12 @@ type Log struct {
 
 	appends, fsyncs, grouped int64
 
+	// retention, when set, caps TruncateThrough: segments holding
+	// records above the returned LSN survive checkpoints. Replication
+	// registers the minimum follower-acknowledged LSN here so the
+	// primary never deletes a segment a follower still needs to pull.
+	retention func() uint64
+
 	// Latency histograms; nil unless Options.Metrics was set. Observe
 	// on the nil histograms is a no-op, but the time.Now() calls are
 	// guarded too so unconfigured logs pay nothing.
@@ -192,6 +204,11 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	if err := l.scan(); err != nil {
 		return nil, err
+	}
+	if len(l.segs) == 0 && opts.FirstLSN > 1 {
+		l.nextLSN = opts.FirstLSN
+		l.written = opts.FirstLSN - 1
+		l.durable = opts.FirstLSN - 1
 	}
 	return l, nil
 }
@@ -349,6 +366,23 @@ func readFrame(buf []byte) (n int, lsn uint64, payload []byte, adv int, ok bool)
 		return 0, 0, nil, 0, false
 	}
 	return n, lsn, payload, frameHdrLen + n, true
+}
+
+// EncodeFrame appends one wire frame — the on-disk segment framing,
+// u32 len | u32 crc32c(lsn‖payload) | u64 lsn | payload — to dst. The
+// replication shipper reuses the segment codec as its wire format so
+// followers validate shipped records with the same CRC the recovery
+// scan uses.
+func EncodeFrame(dst []byte, lsn uint64, payload []byte) []byte {
+	return appendFrame(dst, lsn, payload)
+}
+
+// DecodeFrame parses one wire frame from buf, returning the LSN, the
+// payload (aliasing buf), the total bytes consumed, and validity. A
+// short, oversized or corrupt frame returns ok=false.
+func DecodeFrame(buf []byte) (lsn uint64, payload []byte, adv int, ok bool) {
+	_, lsn, payload, adv, ok = readFrame(buf)
+	return lsn, payload, adv, ok
 }
 
 // appendFrame encodes one frame into dst.
@@ -583,14 +617,30 @@ func (l *Log) Sync() error {
 	return l.err
 }
 
+// SetRetention installs a retention floor: TruncateThrough will keep
+// every segment holding records above the LSN fn returns, regardless
+// of the requested truncation point. fn is called with l.mu held and
+// must not call back into the log. A nil fn removes the floor.
+func (l *Log) SetRetention(fn func() uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.retention = fn
+}
+
 // TruncateThrough removes sealed segments whose every record has LSN
 // <= lsn — the checkpoint already covers them. The open tail segment
-// is never removed.
+// is never removed, and a retention floor (SetRetention) further caps
+// the cut so registered followers never lose unpulled records.
 func (l *Log) TruncateThrough(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return fmt.Errorf("wal: log is closed")
+	}
+	if l.retention != nil {
+		if floor := l.retention(); floor < lsn {
+			lsn = floor
+		}
 	}
 	removed := false
 	kept := make([]segmentInfo, 0, len(l.segs))
