@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race parallel-stress bench-smoke trace-smoke planner-smoke crash-matrix fuzz-smoke columnar-smoke mvcc-smoke serve-smoke verify lint bench bench-parallel bench-json
+.PHONY: build vet test race parallel-stress bench-smoke trace-smoke planner-smoke crash-matrix fuzz-smoke columnar-smoke mvcc-smoke serve-smoke bitemporal-smoke verify lint bench bench-parallel bench-json
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,16 @@ serve-smoke:
 	$(GO) run ./cmd/archis-bench -serve -employees 120 -years 2 -serveclients 4 -servereqs 50 -json /tmp/archis-serve.json
 	$(GO) test -race -count=1 ./internal/server/ ./internal/repl/
 	$(GO) test -race -count=1 -run 'TestRecoverAsOf|TestApplyReplicated' ./internal/core/
+
+# Bitemporal smoke: the -bitemporal bench (write overhead and the four
+# read shapes of DESIGN.md §16 on all three layouts), then the
+# randomized ledger differential, the end-to-end valid-time path, the
+# legacy-archive compat test, and the interval-algebra property tests,
+# under the race detector.
+bitemporal-smoke:
+	$(GO) run ./cmd/archis-bench -bitemporal -bitempentities 80 -bitempversions 6 -json /tmp/archis-bitemporal.json
+	$(GO) test -race -count=1 -run 'TestBitemporal|TestLegacyArchiveCompat|TestSlowQueryRecordRuneBoundary|TestServeErrorPathsDrainPinnedReaders' ./internal/core/ ./internal/htable/ ./internal/server/
+	$(GO) test -race -count=1 -run 'TestInterval|TestApplyAssertions|TestCoalesce' ./internal/temporal/
 
 # Durability stress: kill the durable system at every fsync boundary
 # (with and without torn tail bytes) and require every survivor to

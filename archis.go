@@ -32,6 +32,7 @@ import (
 	"archis/internal/core"
 	"archis/internal/htable"
 	"archis/internal/relstore"
+	"archis/internal/sqlengine"
 	"archis/internal/temporal"
 	"archis/internal/wal"
 	"archis/internal/xmltree"
@@ -99,6 +100,9 @@ const (
 // QueryResult is the unified result of a temporal query.
 type QueryResult = core.QueryResult
 
+// Result is a SQL statement result (rows, columns, rows affected).
+type Result = sqlengine.Result
+
 // ParallelResult is the outcome of one query in a System.RunParallel
 // batch: ArchIS serves read-mostly archives, so batches of temporal
 // queries (XQuery or SQL SELECT) can be fanned out across a worker
@@ -121,6 +125,21 @@ type Date = temporal.Date
 
 // Interval is an inclusive [start, end] time interval.
 type Interval = temporal.Interval
+
+// ExecOpt modifies one Exec/ExecDurable call (bitemporal scoping,
+// DESIGN.md §16).
+type ExecOpt = core.ExecOpt
+
+// WithValidTime asserts the valid interval a mutation records
+// (default [clock, Forever]).
+func WithValidTime(iv Interval) ExecOpt { return core.WithValidTime(iv) }
+
+// AsOfValidTime scopes a SELECT/EXPLAIN to versions valid at d.
+func AsOfValidTime(d Date) ExecOpt { return core.AsOfValidTime(d) }
+
+// AsOfTransactionTime scopes a SELECT/EXPLAIN to the retained MVCC
+// version published at the given LSN.
+func AsOfTransactionTime(lsn uint64) ExecOpt { return core.AsOfTransactionTime(lsn) }
 
 // Forever is the internal encoding of "now" (9999-12-31).
 var Forever = temporal.Forever

@@ -1,0 +1,230 @@
+// The -bitemporal experiment: cost of the second timeline. Each
+// layout ingests a randomized bitemporal history into a durable
+// system — half the updates assert an explicit retroactive valid
+// interval — then times the read shapes of DESIGN.md §16: the
+// transaction-time history scan (baseline), the same scan under
+// AsOfValidTime (valid predicate pushed into the scan), the composed
+// bitemporal read (pinned MVCC version × valid predicate), and the
+// nonsequenced SnapshotValid reconstruction. Write-side overhead is
+// reported as default-valid vs WithValidTime update latency.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"archis/internal/core"
+	"archis/internal/htable"
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+	"archis/internal/wal"
+)
+
+var (
+	bitempRun  = flag.Bool("bitemporal", false, "run the bitemporal workload (valid time × transaction time) on all three layouts; -json writes the report")
+	bitempEnts = flag.Int("bitempentities", 120, "entity count for the -bitemporal workload")
+	bitempVers = flag.Int("bitempversions", 8, "update rounds per entity for the -bitemporal workload")
+)
+
+// bitempRecord is one (layout, operation) cell of the -bitemporal
+// report.
+type bitempRecord struct {
+	Layout string `json:"layout"`
+	Op     string `json:"op"`
+	MeanNS int64  `json:"mean_ns"`
+	MinNS  int64  `json:"min_ns"`
+	Rows   int    `json:"rows,omitempty"`
+	Runs   int    `json:"runs"`
+}
+
+// bitempReport is the top-level -bitemporal -json document.
+type bitempReport struct {
+	Timestamp string         `json:"timestamp"`
+	Host      hostInfo       `json:"host"`
+	Entities  int            `json:"entities"`
+	Versions  int            `json:"versions"`
+	Records   []bitempRecord `json:"records"`
+}
+
+func (h *harness) bitemporal(path string) {
+	fmt.Printf("== bitemporal workload: %d entities x %d update rounds, half with explicit valid intervals ==\n",
+		*bitempEnts, *bitempVers)
+	rep := bitempReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Host: hostInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Entities: *bitempEnts,
+		Versions: *bitempVers,
+	}
+
+	layouts := []struct {
+		name string
+		opts core.Options
+	}{
+		{"plain", core.Options{}},
+		{"clustered", core.Options{Layout: core.LayoutClustered, MinSegmentRows: 64}},
+		{"compressed", core.Options{Layout: core.LayoutCompressed, MinSegmentRows: 64}},
+	}
+	for _, lay := range layouts {
+		recs := h.bitemporalLayout(lay.name, lay.opts)
+		rep.Records = append(rep.Records, recs...)
+	}
+
+	if path != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		die(err)
+		die(os.WriteFile(path, append(b, '\n'), 0o644))
+		fmt.Printf("\nwrote %s\n", path)
+	}
+}
+
+func (h *harness) bitemporalLayout(name string, opts core.Options) []bitempRecord {
+	dir, err := os.MkdirTemp("", "archis-bitemp-*")
+	die(err)
+	defer os.RemoveAll(dir)
+	opts.WALDir = dir
+	opts.WALFS = wal.OSFS{}
+	opts.WALSync = wal.SyncNone // measure the engine, not fsync
+	sys, err := core.New(opts)
+	die(err)
+	defer sys.Close()
+
+	spec := htable.TableSpec{
+		Name: "emp",
+		Columns: []relstore.Column{
+			relstore.Col("id", relstore.TypeInt),
+			relstore.Col("salary", relstore.TypeInt),
+		},
+		Key: []string{"id"},
+	}
+	die(sys.Register(spec))
+
+	rng := rand.New(rand.NewSource(42))
+	base := temporal.MustParseDate("1995-01-01")
+	clock := base
+	sys.SetClock(clock)
+	for id := 1; id <= *bitempEnts; id++ {
+		_, err := sys.ExecDurable(fmt.Sprintf(`insert into emp values (%d, %d)`, id, 40000+id))
+		die(err)
+	}
+
+	// Randomized update rounds; half the writes assert a retroactive
+	// valid interval. Per-class write latency is part of the report.
+	var defTotal, valTotal time.Duration
+	var defN, valN int
+	var lastLSN uint64
+	for round := 0; round < *bitempVers; round++ {
+		clock = clock.AddDays(1 + rng.Intn(5))
+		sys.SetClock(clock)
+		for id := 1; id <= *bitempEnts; id++ {
+			stmt := fmt.Sprintf(`update emp set salary = %d where id = %d`, 40000+id+round*137, id)
+			if id%2 == 0 {
+				vs := base.AddDays(rng.Intn(600))
+				iv := temporal.Interval{Start: vs, End: vs.AddDays(1 + rng.Intn(300))}
+				start := time.Now()
+				_, err := sys.ExecDurable(stmt, core.WithValidTime(iv))
+				die(err)
+				valTotal += time.Since(start)
+				valN++
+			} else {
+				start := time.Now()
+				_, err := sys.ExecDurable(stmt)
+				die(err)
+				defTotal += time.Since(start)
+				defN++
+			}
+		}
+		if name != "plain" && round%3 == 2 {
+			_, err := sys.Compact()
+			die(err)
+			if name == "compressed" {
+				die(sys.CompressFrozen())
+			}
+		}
+	}
+	lastLSN = sys.Stats().WALAppendedLSN
+	if name != "plain" {
+		_, err := sys.Compact()
+		die(err)
+		if name == "compressed" {
+			die(sys.CompressFrozen())
+		}
+	}
+
+	mid := base.AddDays(300)
+	reads := []struct {
+		op  string
+		run func() (int, error)
+	}{
+		{"scan-history", func() (int, error) {
+			res, err := sys.Exec(`select count(*) from emp_salary`)
+			if err != nil {
+				return 0, err
+			}
+			n, _ := res.Rows[0][0].AsInt()
+			return int(n), nil
+		}},
+		{"valid-slice", func() (int, error) {
+			res, err := sys.Exec(`select count(*) from emp_salary`, core.AsOfValidTime(mid))
+			if err != nil {
+				return 0, err
+			}
+			n, _ := res.Rows[0][0].AsInt()
+			return int(n), nil
+		}},
+		{"bitemporal", func() (int, error) {
+			res, err := sys.Exec(`select count(*) from emp_salary`,
+				core.AsOfTransactionTime(lastLSN), core.AsOfValidTime(mid))
+			if err != nil {
+				return 0, err
+			}
+			n, _ := res.Rows[0][0].AsInt()
+			return int(n), nil
+		}},
+		{"snapshot-valid", func() (int, error) {
+			rows, err := sys.Archive.SnapshotValid("emp", mid)
+			return len(rows), err
+		}},
+	}
+
+	out := []bitempRecord{
+		{Layout: name, Op: "write-default", MeanNS: int64(defTotal) / int64(defN), MinNS: int64(defTotal) / int64(defN), Runs: defN},
+		{Layout: name, Op: "write-valid", MeanNS: int64(valTotal) / int64(valN), MinNS: int64(valTotal) / int64(valN), Runs: valN},
+	}
+	fmt.Printf("\n-- %s --\n", name)
+	fmt.Printf("%-16s mean %10s  (%d writes)\n", "write-default", time.Duration(out[0].MeanNS), defN)
+	fmt.Printf("%-16s mean %10s  (%d writes)\n", "write-valid", time.Duration(out[1].MeanNS), valN)
+	for _, r := range reads {
+		// One untimed warm-up absorbs lazy initialization.
+		rows, err := r.run()
+		die(err)
+		var total, min time.Duration
+		for i := 0; i < *runs; i++ {
+			start := time.Now()
+			_, err := r.run()
+			die(err)
+			d := time.Since(start)
+			total += d
+			if i == 0 || d < min {
+				min = d
+			}
+		}
+		mean := total / time.Duration(*runs)
+		fmt.Printf("%-16s mean %10s  min %10s  rows %d\n", r.op, mean, min, rows)
+		out = append(out, bitempRecord{
+			Layout: name, Op: r.op,
+			MeanNS: int64(mean), MinNS: int64(min), Rows: rows, Runs: *runs,
+		})
+	}
+	return out
+}

@@ -116,6 +116,10 @@ func main() {
 		h.mixedWorkload(*jsonOut)
 		return
 	}
+	if *bitempRun {
+		h.bitemporal(*jsonOut)
+		return
+	}
 	if *serveRun {
 		h.serveBench(*jsonOut)
 		return

@@ -240,6 +240,8 @@ func repl(sys *archis.System) {
 			return
 		case "help":
 			fmt.Println("  xquery <q>  | sql <stmt> | translate <q> | doc <table> | clock [date] | stats | metrics | checkpoint | save <path> | quit")
+			fmt.Println("  vsql <date> <select>           run a SELECT over versions valid at <date>")
+			fmt.Println("  vwrite <vstart> <vend> <stmt>  run a write asserting valid interval [vstart, vend]")
 		case "save":
 			if rest == "" && *dbPath != "" {
 				rest = *dbPath
@@ -286,19 +288,40 @@ func repl(sys *archis.System) {
 				fmt.Println("error:", err)
 				continue
 			}
-			if len(res.Columns) > 0 {
-				fmt.Println(strings.Join(res.Columns, " | "))
+			printResult(res)
+		case "vsql":
+			// vsql <date> <select>: bitemporal read — the SELECT sees only
+			// versions whose valid interval covers the date.
+			dateStr, stmt, _ := strings.Cut(rest, " ")
+			d, err := archis.ParseDate(dateStr)
+			if err != nil || strings.TrimSpace(stmt) == "" {
+				fmt.Println("usage: vsql <yyyy-mm-dd> <select>")
+				continue
 			}
-			for _, row := range res.Rows {
-				parts := make([]string, len(row))
-				for i, v := range row {
-					parts[i] = v.Text()
-				}
-				fmt.Println(strings.Join(parts, " | "))
+			res, err := sys.Exec(strings.TrimSpace(stmt), archis.AsOfValidTime(d))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
 			}
-			if res.RowsAffected > 0 {
-				fmt.Printf("%d rows affected\n", res.RowsAffected)
+			printResult(res)
+		case "vwrite":
+			// vwrite <vstart> <vend> <stmt>: the mutation asserts its
+			// value holds over [vstart, vend] in the modeled world.
+			vsStr, rest2, _ := strings.Cut(rest, " ")
+			veStr, stmt, _ := strings.Cut(strings.TrimSpace(rest2), " ")
+			vs, err1 := archis.ParseDate(vsStr)
+			ve, err2 := archis.ParseDate(veStr)
+			if err1 != nil || err2 != nil || strings.TrimSpace(stmt) == "" {
+				fmt.Println("usage: vwrite <vstart> <vend> <stmt>")
+				continue
 			}
+			res, err := sys.ExecDurable(strings.TrimSpace(stmt),
+				archis.WithValidTime(archis.Interval{Start: vs, End: ve}))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printResult(res)
 		case "translate":
 			sql, err := sys.Translate(rest)
 			if err != nil {
@@ -347,6 +370,22 @@ func repl(sys *archis.System) {
 		default:
 			fmt.Println("unknown command; type help")
 		}
+	}
+}
+
+func printResult(res *archis.Result) {
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+	}
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.Text()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	if res.RowsAffected > 0 {
+		fmt.Printf("%d rows affected\n", res.RowsAffected)
 	}
 }
 

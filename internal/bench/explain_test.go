@@ -54,7 +54,7 @@ func TestExplainGolden(t *testing.T) {
 `,
 		Q2: `select
   morsel-fanout workers=2
-    scan S (virtual) bounds=3 filter=3 conjuncts est=4
+    scan S (virtual) bounds=3 filter=3 conjuncts est=3
   agg-merge
   project cols=1
 `,
@@ -71,13 +71,13 @@ func TestExplainGolden(t *testing.T) {
 `,
 		Q5: `select
   morsel-fanout workers=2
-    scan S (virtual) bounds=3 filter=4 conjuncts est=10
+    scan S (virtual) bounds=3 filter=4 conjuncts est=7
   agg-merge
   project cols=1
 `,
 		Q6: `select
   morsel-fanout workers=2
-    scan S (virtual) bounds=3 filter=3 conjuncts est=14
+    scan S (virtual) bounds=3 filter=3 conjuncts est=11
   agg-merge
   project cols=1
 `,
@@ -91,8 +91,8 @@ func TestExplainGolden(t *testing.T) {
 	// (S1, segment-restricted) and builds the hash table on it —
 	// build=outer asserts the build-side choice deterministically.
 	joinGolden := `select
-  scan S1 (virtual) bounds=1 filter=1 conjuncts est=157
-  hash join S2 keys=1 build=outer est outer=157 inner=743 out=1576
+  scan S1 (virtual) bounds=1 filter=1 conjuncts est=131
+  hash join S2 keys=1 build=outer est outer=131 inner=743 out=1315
   filter residual=2 conjuncts
   project cols=1
 `
@@ -140,8 +140,8 @@ func TestExplainAnalyzeJoinGolden(t *testing.T) {
 	}
 	got := maskTimings(b.String())
 	want := `query  [T] rows=1 snapshot_lsn=0
-  scan  [T] rows=143 table=S1 access=scan est_rows=157
-  join:hash-build  [T] rows=0 rows_in=143 table=S2 side=outer est_outer=157 est_inner=743 est_out=1576 buckets=72
+  scan  [T] rows=143 table=S1 access=scan est_rows=131
+  join:hash-build  [T] rows=0 rows_in=143 table=S2 side=outer est_outer=131 est_inner=743 est_out=1315 buckets=72
   join:hash-probe  [T] rows=908 rows_in=506 table=S2
   filter  [T] rows=261 rows_in=908
   aggregate  [T] rows=1 rows_in=261

@@ -116,7 +116,7 @@ func TestSnapshotConsistencyDifferential(t *testing.T) {
 			)
 			recordLedger := func() error {
 				lsn := e.Sys.WALStats().AppendedLSN
-				ans, err := runSuiteWith(suite, e.Sys.Exec)
+				ans, err := runSuiteWith(suite, func(q string) (*sqlengine.Result, error) { return e.Sys.Exec(q) })
 				if err != nil {
 					return err
 				}

@@ -41,7 +41,7 @@ func BuildUngrouped(src *Env) (*relstore.Table, error) {
 			return nil, fmt.Errorf("bench: no store for %s", attr)
 		}
 		byID := map[int64][]ver{}
-		err := store.ScanHistory(func(id int64, v relstore.Value, start, end temporal.Date) bool {
+		err := store.ScanHistory(func(id int64, v relstore.Value, start, end temporal.Date, _ temporal.Interval) bool {
 			byID[id] = append(byID[id], ver{v, temporal.Interval{Start: start, End: end}})
 			ids[id] = true
 			return true

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"archis/internal/htable"
 	"archis/internal/relstore"
 	"archis/internal/segment"
 	"archis/internal/sqlengine"
@@ -318,23 +319,27 @@ func (cs *CompressedStore) reattachLiveMap() error {
 
 func (cs *CompressedStore) TableName() string { return cs.Seg.TableName() }
 
-func (cs *CompressedStore) Append(id int64, value relstore.Value, start temporal.Date) error {
-	return cs.Seg.Append(id, value, start)
+func (cs *CompressedStore) Append(id int64, value relstore.Value, start temporal.Date, valid temporal.Interval) error {
+	return cs.Seg.Append(id, value, start, valid)
 }
 
 func (cs *CompressedStore) Close(id int64, end temporal.Date) error {
 	return cs.Seg.Close(id, end)
 }
 
-func (cs *CompressedStore) Rewrite(id int64, value relstore.Value) error {
-	return cs.Seg.Rewrite(id, value)
+func (cs *CompressedStore) Rewrite(id int64, value relstore.Value, valid temporal.Interval) error {
+	return cs.Seg.Rewrite(id, value, valid)
 }
 
 // ScanHistory unions compressed and uncompressed versions; Scan's
 // newest-first dedup already yields each logical version once.
-func (cs *CompressedStore) ScanHistory(fn func(id int64, value relstore.Value, start, end temporal.Date) bool) error {
+func (cs *CompressedStore) ScanHistory(fn func(id int64, value relstore.Value, start, end temporal.Date, valid temporal.Interval) bool) error {
 	return cs.Scan(nil, func(row relstore.Row) bool {
-		return fn(row[1].I, row[2], row[3].Date(), row[4].Date())
+		valid := htable.DefaultValid(row[3].Date())
+		if len(row) >= 7 {
+			valid = temporal.Interval{Start: row[5].Date(), End: row[6].Date()}
+		}
+		return fn(row[1].I, row[2], row[3].Date(), row[4].Date(), valid)
 	})
 }
 

@@ -3,6 +3,7 @@ package blockzip
 import (
 	"testing"
 
+	"archis/internal/htable"
 	"archis/internal/relstore"
 	"archis/internal/segment"
 	"archis/internal/temporal"
@@ -28,7 +29,7 @@ func newSegStore(t *testing.T) (*segment.Store, *relstore.Database, *temporal.Da
 func driveUpdates(t *testing.T, s *segment.Store, clock *temporal.Date, n, rounds int) {
 	t.Helper()
 	for i := int64(0); i < int64(n); i++ {
-		if err := s.Append(i, relstore.Int(1000), *clock); err != nil {
+		if err := s.Append(i, relstore.Int(1000), *clock, htable.DefaultValid(*clock)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -38,7 +39,7 @@ func driveUpdates(t *testing.T, s *segment.Store, clock *temporal.Date, n, round
 			if err := s.Close(i, clock.AddDays(-1)); err != nil {
 				t.Fatal(err)
 			}
-			if err := s.Append(i, relstore.Int(int64(1000+r)), *clock); err != nil {
+			if err := s.Append(i, relstore.Int(int64(1000+r)), *clock, htable.DefaultValid(*clock)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -98,7 +99,7 @@ func TestScanUnionsBlocksAndLive(t *testing.T) {
 	}
 	// Logical history intact.
 	versions := map[int64]int{}
-	err = cs.ScanHistory(func(id int64, _ relstore.Value, _, _ temporal.Date) bool {
+	err = cs.ScanHistory(func(id int64, _ relstore.Value, _, _ temporal.Date, _ temporal.Interval) bool {
 		versions[id]++
 		return true
 	})
@@ -180,12 +181,12 @@ func TestUpdatesStillWorkAfterCompression(t *testing.T) {
 	if err := cs.Close(5, clock.AddDays(-1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := cs.Append(5, relstore.Int(9999), *clock); err != nil {
+	if err := cs.Append(5, relstore.Int(9999), *clock, htable.DefaultValid(*clock)); err != nil {
 		t.Fatal(err)
 	}
 	// The new version is visible through ScanHistory.
 	var last relstore.Value
-	err := cs.ScanHistory(func(id int64, v relstore.Value, start, _ temporal.Date) bool {
+	err := cs.ScanHistory(func(id int64, v relstore.Value, start, _ temporal.Date, _ temporal.Interval) bool {
 		if id == 5 && start == *clock {
 			last = v
 		}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"archis/internal/temporal"
+	"archis/internal/wal"
+)
+
+// TestBitemporalDifferential checks the bitemporal read path against a
+// serial in-memory ledger on every physical layout. Each randomized
+// write records (value, valid interval, statement LSN); afterwards a
+// matrix of (transaction-time LSN, valid date) probes — fanned out
+// over goroutines so -race sees concurrent pinned readers — must
+// return exactly the ledger prefix at that LSN filtered by valid-time
+// containment.
+func TestBitemporalDifferential(t *testing.T) {
+	layouts := []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{}},
+		{"clustered", Options{Layout: LayoutClustered, MinSegmentRows: 4}},
+		{"compressed", Options{Layout: LayoutCompressed, MinSegmentRows: 4}},
+	}
+	for _, lay := range layouts {
+		lay := lay
+		t.Run(lay.name, func(t *testing.T) {
+			opts := lay.opts
+			opts.WALDir = t.TempDir()
+			opts.WALFS = wal.OSFS{}
+			s, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if err := s.Register(empSpec); err != nil {
+				t.Fatal(err)
+			}
+
+			type entry struct {
+				val   int64
+				valid temporal.Interval
+				lsn   uint64
+			}
+			rng := rand.New(rand.NewSource(int64(len(lay.name)) * 7919))
+			base := day("1995-01-01")
+			clock := base
+			var ledger []entry
+
+			s.SetClock(clock)
+			if _, err := s.ExecDurable(`insert into emp values (1, 'n1', 100)`); err != nil {
+				t.Fatal(err)
+			}
+			ledger = append(ledger, entry{100, temporal.Current(clock), s.Stats().WALAppendedLSN})
+
+			const writes = 30
+			for i := 0; i < writes; i++ {
+				clock = clock.AddDays(1 + rng.Intn(3))
+				s.SetClock(clock)
+				val := int64(101 + i)
+				var opts []ExecOpt
+				valid := temporal.Current(clock)
+				if rng.Intn(2) == 0 {
+					vs := base.AddDays(rng.Intn(1000))
+					valid = temporal.Interval{Start: vs, End: vs.AddDays(rng.Intn(400))}
+					opts = append(opts, WithValidTime(valid))
+				}
+				stmt := fmt.Sprintf(`update emp set salary = %d where id = 1`, val)
+				if _, err := s.ExecDurable(stmt, opts...); err != nil {
+					t.Fatal(err)
+				}
+				ledger = append(ledger, entry{val, valid, s.Stats().WALAppendedLSN})
+
+				// Exercise segment migration mid-history so probes cross
+				// live, frozen and compressed storage.
+				if lay.name != "plain" && i%8 == 7 {
+					if _, err := s.Compact(); err != nil {
+						t.Fatal(err)
+					}
+					if lay.name == "compressed" {
+						if err := s.CompressFrozen(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+
+			// Probe matrix: random (prefix, date) pairs plus the exact
+			// boundary dates of random ledger entries.
+			type probe struct {
+				k int // ledger prefix length
+				d temporal.Date
+			}
+			var probes []probe
+			for i := 0; i < 16; i++ {
+				probes = append(probes, probe{1 + rng.Intn(len(ledger)), base.AddDays(rng.Intn(1400))})
+			}
+			for i := 0; i < 8; i++ {
+				e := ledger[rng.Intn(len(ledger))]
+				k := 1 + rng.Intn(len(ledger))
+				probes = append(probes,
+					probe{k, e.valid.Start},
+					probe{k, e.valid.Start.AddDays(-1)})
+				if !e.valid.End.IsForever() {
+					probes = append(probes, probe{k, e.valid.End}, probe{k, e.valid.End.AddDays(1)})
+				}
+			}
+
+			expect := func(k int, d temporal.Date) string {
+				var parts []string
+				for _, e := range ledger[:k] {
+					if e.valid.Contains(d) {
+						parts = append(parts, fmt.Sprintf("%d", e.val))
+					}
+				}
+				return strings.Join(parts, ",")
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan string, len(probes))
+			sem := make(chan struct{}, 4)
+			for _, p := range probes {
+				p := p
+				wg.Add(1)
+				sem <- struct{}{}
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					res, err := s.Exec("SELECT salary FROM emp_salary WHERE id = 1 ORDER BY tstart",
+						AsOfTransactionTime(ledger[p.k-1].lsn), AsOfValidTime(p.d))
+					if err != nil {
+						errs <- fmt.Sprintf("probe (k=%d, d=%s): %v", p.k, p.d, err)
+						return
+					}
+					var parts []string
+					for _, r := range res.Rows {
+						parts = append(parts, r[0].Text())
+					}
+					if got, want := strings.Join(parts, ","), expect(p.k, p.d); got != want {
+						errs <- fmt.Sprintf("probe (k=%d, d=%s): got [%s], want [%s]", p.k, p.d, got, want)
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Error(e)
+			}
+
+			if n := s.DB.Stats().PinnedReaders; n != 0 {
+				t.Errorf("pinned_readers = %d after probe fan-out, want 0", n)
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"archis/internal/temporal"
+	"archis/internal/wal"
+)
+
+// salaryHistory renders the salary values visible to one optioned read
+// over the attribute-history table, in tstart order.
+func salaryHistory(t *testing.T, s *System, opts ...ExecOpt) string {
+	t.Helper()
+	res, err := s.Exec("SELECT salary FROM emp_salary WHERE id = 1 ORDER BY tstart", opts...)
+	if err != nil {
+		t.Fatalf("history read: %v", err)
+	}
+	parts := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		parts = append(parts, r[0].Text())
+	}
+	return strings.Join(parts, ",")
+}
+
+// TestBitemporalEndToEnd drives the full valid-time path: an explicit
+// WithValidTime assertion rides a durable write into the WAL, composes
+// with transaction-time snapshots on reads, shows up in EXPLAIN, and
+// survives crash recovery.
+func TestBitemporalEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{WALDir: dir, WALFS: wal.OSFS{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(empSpec); err != nil {
+		t.Fatal(err)
+	}
+
+	s.SetClock(day("1995-01-01"))
+	if _, err := s.ExecDurable(`insert into emp values (1, 'n1', 100)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Retroactive assertion: the raise took effect 1995-03-01 and is
+	// known to lapse at year end, recorded during a June transaction.
+	s.SetClock(day("1995-06-01"))
+	iv, err := temporal.NewInterval(day("1995-03-01"), day("1995-12-31"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecDurable(`update emp set salary = 200 where id = 1`, WithValidTime(iv)); err != nil {
+		t.Fatal(err)
+	}
+	lsnAfterRaise := s.Stats().WALAppendedLSN
+
+	s.SetClock(day("1996-01-01"))
+	if _, err := s.ExecDurable(`update emp set salary = 300 where id = 1`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Valid-time slices of the full history: the explicit interval
+	// excludes the 200 version outside [1995-03-01, 1995-12-31];
+	// default versions are valid from their own tstart onward.
+	cases := []struct {
+		at   string
+		want string
+	}{
+		{"1995-02-01", "100"},
+		{"1995-07-01", "100,200"},
+		{"1997-01-01", "100,300"},
+	}
+	for _, c := range cases {
+		if got := salaryHistory(t, s, AsOfValidTime(day(c.at))); got != c.want {
+			t.Errorf("AsOfValidTime(%s) = %q, want %q", c.at, got, c.want)
+		}
+	}
+	if got := salaryHistory(t, s); got != "100,200,300" {
+		t.Errorf("unscoped history = %q, want all three versions", got)
+	}
+
+	// Bitemporal composition: at the transaction-time snapshot taken
+	// before the 1996 write, the database did not yet believe any value
+	// held at valid date 1997 except the open-ended initial one.
+	got := salaryHistory(t, s, AsOfTransactionTime(lsnAfterRaise), AsOfValidTime(day("1997-01-01")))
+	if got != "100" {
+		t.Errorf("bitemporal read = %q, want %q", got, "100")
+	}
+	got = salaryHistory(t, s, AsOfTransactionTime(lsnAfterRaise), AsOfValidTime(day("1995-07-01")))
+	if got != "100,200" {
+		t.Errorf("bitemporal read at 1995-07-01 = %q, want %q", got, "100,200")
+	}
+
+	// EXPLAIN surfaces the injected predicate.
+	res, err := s.Exec("EXPLAIN SELECT salary FROM emp_salary WHERE id = 1", AsOfValidTime(day("1995-07-01")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fmt.Sprintf("%v", res.Rows)
+	if !strings.Contains(plan, "valid_pred=vstart<=1995-07-01<=vend") {
+		t.Errorf("EXPLAIN under AsOfValidTime missing valid_pred line:\n%s", plan)
+	}
+
+	// Option/statement-class validation.
+	if _, err := s.Exec("SELECT salary FROM emp_salary", WithValidTime(iv)); err == nil {
+		t.Error("WithValidTime on a SELECT did not error")
+	}
+	if _, err := s.ExecDurable(`update emp set salary = 0 where id = 1`, AsOfValidTime(day("1995-07-01"))); err == nil {
+		t.Error("AsOfValidTime on a mutation did not error")
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery replays the WAL: the explicit valid interval must come
+	// back exactly, not degrade to the default.
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer re.Close()
+	if got := salaryHistory(t, re, AsOfValidTime(day("1995-07-01"))); got != "100,200" {
+		t.Errorf("after recovery AsOfValidTime(1995-07-01) = %q, want %q", got, "100,200")
+	}
+	if got := salaryHistory(t, re, AsOfValidTime(day("1997-01-01"))); got != "100,300" {
+		t.Errorf("after recovery AsOfValidTime(1997-01-01) = %q, want %q", got, "100,300")
+	}
+}

@@ -156,15 +156,15 @@ func (s *System) commitDDL(lsn uint64) error {
 // configured sync policy. Statements serialize on the write lock
 // (writers require exclusive engine access) but their final fsyncs
 // overlap, so concurrent committers coalesce into shared fsyncs.
-func (s *System) ExecDurable(sql string) (*sqlengine.Result, error) {
-	return s.ExecDurableCtx(context.Background(), sql)
+func (s *System) ExecDurable(sql string, opts ...ExecOpt) (*sqlengine.Result, error) {
+	return s.ExecDurableCtx(context.Background(), sql, opts...)
 }
 
 // ExecDurableCtx is ExecDurable under a context. A context that fired
 // before the statement started rejects it; a running mutation is
 // never interrupted (no rollback below this layer), and SELECTs fall
 // through to the cancellable read path.
-func (s *System) ExecDurableCtx(ctx context.Context, sql string) (*sqlengine.Result, error) {
+func (s *System) ExecDurableCtx(ctx context.Context, sql string, opts ...ExecOpt) (*sqlengine.Result, error) {
 	if s.readOnly != "" {
 		switch firstKeyword(sql) {
 		case "select", "explain":
@@ -173,10 +173,20 @@ func (s *System) ExecDurableCtx(ctx context.Context, sql string) (*sqlengine.Res
 		}
 	}
 	if s.wal == nil {
-		return s.ExecCtx(ctx, sql)
+		return s.ExecCtx(ctx, sql, opts...)
+	}
+	switch firstKeyword(sql) {
+	case "select", "explain":
+		return s.ExecCtx(ctx, sql, opts...)
+	}
+	o, oerr := resolveExecOpts(opts, false)
+	if oerr != nil {
+		return nil, oerr
 	}
 	s.writeMu.Lock()
-	res, err := s.Engine.ExecCtx(ctx, sql)
+	res, err := s.withPendingValid(o, func() (*sqlengine.Result, error) {
+		return s.Engine.ExecCtx(ctx, sql)
+	})
 	lsn := s.wal.AppendedLSN()
 	// Publish before releasing the lock, stamped with the statement's
 	// final WAL position: the version becomes visible to lock-free

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"time"
+	"unicode/utf8"
 
 	"archis/internal/obs"
 )
@@ -83,7 +84,13 @@ func slowQueryRecord(path, query string, d time.Duration, rows int, err error) s
 	const maxQuery = 200
 	q := strings.Join(strings.Fields(query), " ")
 	if len(q) > maxQuery {
-		q = q[:maxQuery] + "..."
+		// Back off to a rune boundary: cutting inside a multibyte
+		// sequence would emit invalid UTF-8 into the log line.
+		cut := maxQuery
+		for cut > 0 && !utf8.RuneStart(q[cut]) {
+			cut--
+		}
+		q = q[:cut] + "..."
 	}
 	status := "ok"
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 	"time"
+	"unicode/utf8"
 
 	"archis/internal/htable"
 )
@@ -205,6 +206,29 @@ func TestSlowQueryLog(t *testing.T) {
 				t.Errorf("record %q lacks %s field", rec, field)
 			}
 		}
+	}
+}
+
+// TestSlowQueryRecordRuneBoundary: truncation of an over-long query
+// must never split a multibyte rune — the log line stays valid UTF-8
+// no matter where the 200-byte cap lands.
+func TestSlowQueryRecordRuneBoundary(t *testing.T) {
+	// Each э is two bytes, so for some prefix lengths the byte cap
+	// lands mid-rune; shifting a one-byte prefix sweeps every phase.
+	for pad := 0; pad < 4; pad++ {
+		q := strings.Repeat("x", pad) + strings.Repeat("э", 200)
+		rec := slowQueryRecord("sql", q, time.Millisecond, 0, nil)
+		if !utf8.ValidString(rec) {
+			t.Errorf("pad %d: truncated record is not valid UTF-8: %q", pad, rec)
+		}
+		if !strings.Contains(rec, `...`) {
+			t.Errorf("pad %d: long query was not truncated: %q", pad, rec)
+		}
+	}
+	// Short queries pass through untouched.
+	rec := slowQueryRecord("sql", "select 1", time.Millisecond, 1, nil)
+	if strings.Contains(rec, "...") {
+		t.Errorf("short query was truncated: %q", rec)
 	}
 }
 

@@ -342,6 +342,12 @@ func (s *System) finishRegister(spec htable.TableSpec) error {
 		KeyLeaf:    keyLeaf,
 		KeyColumn:  keyColumn,
 		AttrTables: attrTables,
+		// Valid-time query shapes translate only against tables that
+		// store the pair; legacy archives take the XML bypass instead.
+		HasValid: func(attrTable string) bool {
+			t, ok := s.DB.Table(attrTable)
+			return ok && t.Schema().ColumnIndex("vstart") >= 0 && t.Schema().ColumnIndex("vend") >= 0
+		},
 	}
 	if s.opts.Layout != LayoutPlain {
 		view.Segmented = func(attrTable string) bool {
@@ -443,9 +449,11 @@ func (s *System) SetClock(d temporal.Date) {
 // are never blocked by a writer. Everything else takes the write lock
 // and publishes a new version on completion. Latency lands in the
 // query.sql_ns histogram and the slow-query log when a threshold is
-// configured.
-func (s *System) Exec(sql string) (*sqlengine.Result, error) {
-	return s.ExecCtx(context.Background(), sql)
+// configured. Bitemporal options (bitemporal.go): WithValidTime
+// stamps a mutation's valid interval, AsOfValidTime/AsOfTransactionTime
+// scope a read to a valid date and/or a retained LSN.
+func (s *System) Exec(sql string, opts ...ExecOpt) (*sqlengine.Result, error) {
+	return s.ExecCtx(context.Background(), sql, opts...)
 }
 
 // ExecCtx is Exec under a context: SELECT and EXPLAIN honor
@@ -453,20 +461,31 @@ func (s *System) Exec(sql string) (*sqlengine.Result, error) {
 // boundaries), mutations check the context once before running —
 // there is no rollback below this layer, so a statement that started
 // always finishes.
-func (s *System) ExecCtx(ctx context.Context, sql string) (*sqlengine.Result, error) {
+func (s *System) ExecCtx(ctx context.Context, sql string, opts ...ExecOpt) (*sqlengine.Result, error) {
 	start := time.Now()
 	var res *sqlengine.Result
 	var err error
 	switch firstKeyword(sql) {
 	case "select", "explain":
-		// The engine pins the current published version per statement.
-		res, err = s.Engine.ExecCtx(ctx, sql)
+		o, oerr := resolveExecOpts(opts, true)
+		if oerr != nil {
+			return nil, oerr
+		}
+		// The engine pins the current published version per statement
+		// (or the retained one AsOfTransactionTime names).
+		res, err = s.execRead(ctx, sql, o)
 	default:
+		o, oerr := resolveExecOpts(opts, false)
+		if oerr != nil {
+			return nil, oerr
+		}
 		if s.readOnly != "" {
 			return nil, s.readOnlyErr()
 		}
 		s.writeMu.Lock()
-		res, err = s.Engine.ExecCtx(ctx, sql)
+		res, err = s.withPendingValid(o, func() (*sqlengine.Result, error) {
+			return s.Engine.ExecCtx(ctx, sql)
+		})
 		// Publish even on error: a failed statement may have applied
 		// partial effects (no rollback below this layer), and live
 		// reads always saw them — snapshot reads must converge too.

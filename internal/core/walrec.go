@@ -66,7 +66,17 @@ func encodeOpRecord(op htable.Op) []byte {
 	dst = appendVarint(dst, int64(op.At))
 	dst = appendString(dst, op.Table)
 	dst = appendOptRow(dst, op.Old)
-	return appendOptRow(dst, op.New)
+	dst = appendOptRow(dst, op.New)
+	// Valid-time pair, appended only when set: default-valid ops encode
+	// byte-identically to pre-bitemporal records, and the decoder treats
+	// an exhausted buffer as the unset zero pair, so old logs replay
+	// unchanged and new logs without valid-time writes stay replayable
+	// by old binaries.
+	if op.VStart != 0 || op.VEnd != 0 {
+		dst = appendVarint(dst, int64(op.VStart))
+		dst = appendVarint(dst, int64(op.VEnd))
+	}
+	return dst
 }
 
 func encodeClockRecord(d temporal.Date) []byte {
@@ -192,6 +202,10 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 		rec.op.Table = d.string_("op table")
 		rec.op.Old = d.optRow("op old row")
 		rec.op.New = d.optRow("op new row")
+		if d.err == nil && len(d.buf) > 0 {
+			rec.op.VStart = temporal.Date(d.varint("op vstart"))
+			rec.op.VEnd = temporal.Date(d.varint("op vend"))
+		}
 	case recClock:
 		rec.clock = temporal.Date(d.varint("clock"))
 	case recRegister:

@@ -43,12 +43,27 @@ type archivedTable struct {
 // Op is one captured current-database change: the logical unit the
 // update log stores and the WAL makes durable. Table is the lowercase
 // table name; At is the archive clock when the change was captured.
+// VStart/VEnd carry the valid-time interval asserted by the writer;
+// the zero pair means "unset" and resolves to the default
+// [At, Forever] at apply time, which keeps ops from pre-bitemporal
+// logs (and zero-valued literals) byte- and behavior-compatible.
 type Op struct {
-	Table string
-	Type  sqlengine.ChangeType
-	Old   relstore.Row
-	New   relstore.Row
-	At    temporal.Date
+	Table  string
+	Type   sqlengine.ChangeType
+	Old    relstore.Row
+	New    relstore.Row
+	At     temporal.Date
+	VStart temporal.Date
+	VEnd   temporal.Date
+}
+
+// Valid resolves the op's valid-time interval, applying the default
+// when unset.
+func (op Op) Valid() temporal.Interval {
+	if op.VStart == 0 && op.VEnd == 0 {
+		return DefaultValid(op.At)
+	}
+	return temporal.Interval{Start: op.VStart, End: op.VEnd}
 }
 
 // Archive manages a current database plus its transaction-time history
@@ -64,7 +79,16 @@ type Archive struct {
 	log       []Op
 	sink      func(Op) error
 	clockSink func(temporal.Date)
+
+	// pendingValid, when non-nil, stamps every captured op with an
+	// explicit valid-time interval (core's WithValidTime write option;
+	// set and cleared under the system write lock).
+	pendingValid *temporal.Interval
 }
+
+// SetPendingValid installs (or, with nil, clears) the valid-time
+// interval stamped onto subsequently captured ops.
+func (a *Archive) SetPendingValid(iv *temporal.Interval) { a.pendingValid = iv }
 
 // New creates an archive over en's database.
 func New(en *sqlengine.Engine, mode CaptureMode) (*Archive, error) {
@@ -207,6 +231,9 @@ func (a *Archive) captureTrigger(at *archivedTable) sqlengine.Trigger {
 	key := strings.ToLower(at.spec.Name)
 	return func(ev sqlengine.TriggerEvent) error {
 		op := Op{Table: key, Type: ev.Type, Old: ev.Old, New: ev.New, At: a.Clock()}
+		if a.pendingValid != nil {
+			op.VStart, op.VEnd = a.pendingValid.Start, a.pendingValid.End
+		}
 		if a.sink != nil {
 			if err := a.sink(op); err != nil {
 				return err
@@ -238,7 +265,7 @@ func (a *Archive) Ingest(op Op) error {
 
 func (a *Archive) applyOp(at *archivedTable, op Op) error {
 	ev := sqlengine.TriggerEvent{Type: op.Type, Table: at.spec.Name, Old: op.Old, New: op.New}
-	return a.applyChange(at, ev, op.At)
+	return a.applyChange(at, ev, op.At, op.Valid())
 }
 
 // PendingLogRecords reports the size of the unapplied update log.
@@ -293,19 +320,19 @@ func (at *archivedTable) surrogateFor(row relstore.Row) int64 {
 	return id
 }
 
-func (a *Archive) applyChange(at *archivedTable, ev sqlengine.TriggerEvent, now temporal.Date) error {
+func (a *Archive) applyChange(at *archivedTable, ev sqlengine.TriggerEvent, now temporal.Date, valid temporal.Interval) error {
 	switch ev.Type {
 	case sqlengine.ChangeInsert:
-		return a.applyInsert(at, ev.New, now)
+		return a.applyInsert(at, ev.New, now, valid)
 	case sqlengine.ChangeUpdate:
-		return a.applyUpdate(at, ev.Old, ev.New, now)
+		return a.applyUpdate(at, ev.Old, ev.New, now, valid)
 	case sqlengine.ChangeDelete:
 		return a.applyDelete(at, ev.Old, now)
 	}
 	return fmt.Errorf("htable: unknown change type %v", ev.Type)
 }
 
-func (a *Archive) applyInsert(at *archivedTable, row relstore.Row, now temporal.Date) error {
+func (a *Archive) applyInsert(at *archivedTable, row relstore.Row, now temporal.Date, valid temporal.Interval) error {
 	id := at.surrogateFor(row)
 	if _, alive := at.liveKeys[id]; alive {
 		return fmt.Errorf("htable: %s: duplicate live key %s", at.spec.Name, at.keyString(row))
@@ -328,7 +355,7 @@ func (a *Archive) applyInsert(at *archivedTable, row relstore.Row, now temporal.
 		if v.IsNull() {
 			continue
 		}
-		if err := at.attrs[strings.ToLower(c.Name)].Append(id, v, now); err != nil {
+		if err := at.attrs[strings.ToLower(c.Name)].Append(id, v, now, valid); err != nil {
 			return err
 		}
 		at.attrStarts[attrKey(c.Name, id)] = now
@@ -340,14 +367,14 @@ func attrKey(attr string, id int64) string {
 	return fmt.Sprintf("%s\x00%d", strings.ToLower(attr), id)
 }
 
-func (a *Archive) applyUpdate(at *archivedTable, old, new_ relstore.Row, now temporal.Date) error {
+func (a *Archive) applyUpdate(at *archivedTable, old, new_ relstore.Row, now temporal.Date, valid temporal.Interval) error {
 	if at.keyString(old) != at.keyString(new_) {
 		// Keys are invariant over history (paper Section 3 fn. 1); a
 		// key change is modeled as delete + insert.
 		if err := a.applyDelete(at, old, now); err != nil {
 			return err
 		}
-		return a.applyInsert(at, new_, now)
+		return a.applyInsert(at, new_, now, valid)
 	}
 	id := at.surrogateFor(old)
 	for _, c := range at.attrCols {
@@ -364,7 +391,7 @@ func (a *Archive) applyUpdate(at *archivedTable, old, new_ relstore.Row, now tem
 				return err
 			}
 		case ov.IsNull():
-			if err := st.Append(id, nv, now); err != nil {
+			if err := st.Append(id, nv, now, valid); err != nil {
 				return err
 			}
 			at.attrStarts[ak] = now
@@ -372,7 +399,7 @@ func (a *Archive) applyUpdate(at *archivedTable, old, new_ relstore.Row, now tem
 			// The live version started today: collapse the two
 			// same-day changes into one by rewriting in place.
 			if start, ok := at.attrStarts[ak]; ok && start == now {
-				if err := st.Rewrite(id, nv); err != nil {
+				if err := st.Rewrite(id, nv, valid); err != nil {
 					return err
 				}
 				continue
@@ -380,7 +407,7 @@ func (a *Archive) applyUpdate(at *archivedTable, old, new_ relstore.Row, now tem
 			if err := a.closeAttr(at, st, id, ak, now); err != nil {
 				return err
 			}
-			if err := st.Append(id, nv, now); err != nil {
+			if err := st.Append(id, nv, now, valid); err != nil {
 				return err
 			}
 			at.attrStarts[ak] = now

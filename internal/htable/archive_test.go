@@ -79,8 +79,8 @@ func TestTriggerCaptureBuildsTable1History(t *testing.T) {
 	// Salary history: exactly the paper's Table 1 shape.
 	got := historyRows(t, a, "employee_salary")
 	want := []string{
-		"1001|60000|1995-01-01|1995-05-31",
-		"1001|70000|1995-06-01|1996-12-31",
+		"1001|60000|1995-01-01|1995-05-31|1995-01-01|9999-12-31",
+		"1001|70000|1995-06-01|1996-12-31|1995-06-01|9999-12-31",
 	}
 	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
 		t.Errorf("salary history = %v, want %v", got, want)
@@ -88,9 +88,9 @@ func TestTriggerCaptureBuildsTable1History(t *testing.T) {
 
 	got = historyRows(t, a, "employee_title")
 	want = []string{
-		"1001|Engineer|1995-01-01|1995-09-30",
-		"1001|Sr Engineer|1995-10-01|1996-01-31",
-		"1001|TechLeader|1996-02-01|1996-12-31",
+		"1001|Engineer|1995-01-01|1995-09-30|1995-01-01|9999-12-31",
+		"1001|Sr Engineer|1995-10-01|1996-01-31|1995-10-01|9999-12-31",
+		"1001|TechLeader|1996-02-01|1996-12-31|1996-02-01|9999-12-31",
 	}
 	for i := range want {
 		if got[i] != want[i] {
@@ -120,7 +120,7 @@ func TestLogCaptureDeferred(t *testing.T) {
 		t.Error("log not drained")
 	}
 	got := historyRows(t, a, "employee_salary")
-	if len(got) != 2 || got[1] != "1001|70000|1995-06-01|1996-12-31" {
+	if len(got) != 2 || got[1] != "1001|70000|1995-06-01|1996-12-31|1995-06-01|9999-12-31" {
 		t.Errorf("flushed history = %v", got)
 	}
 }
@@ -133,7 +133,7 @@ func TestSameDayChangesCollapse(t *testing.T) {
 	en.MustExec(`update employee set salary = 200 where id = 7`) // same day
 	en.MustExec(`update employee set salary = 300 where id = 7`) // same day again
 	got := historyRows(t, a, "employee_salary")
-	if len(got) != 1 || got[0] != "7|300|1995-01-01|9999-12-31" {
+	if len(got) != 1 || got[0] != "7|300|1995-01-01|9999-12-31|1995-01-01|9999-12-31" {
 		t.Errorf("same-day updates = %v", got)
 	}
 	// Insert and delete the same day: single-day life.
@@ -165,7 +165,7 @@ func TestNullAttributeTransitions(t *testing.T) {
 	a.SetClock(temporal.MustParseDate("1995-03-01"))
 	en.MustExec(`update employee set title = NULL where id = 9`)
 	got := historyRows(t, a, "employee_title")
-	if len(got) != 1 || got[0] != "9|Boss|1995-02-01|1995-02-28" {
+	if len(got) != 1 || got[0] != "9|Boss|1995-02-01|1995-02-28|1995-02-01|9999-12-31" {
 		t.Errorf("null transitions = %v", got)
 	}
 }

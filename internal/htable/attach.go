@@ -83,7 +83,7 @@ func (a *Archive) Attach(spec TableSpec, storeOpen func(db *relstore.Database, s
 	// Rebuild live attribute-version starts.
 	for _, c := range at.attrCols {
 		name := strings.ToLower(c.Name)
-		err := at.attrs[name].ScanHistory(func(id int64, _ relstore.Value, start, end temporal.Date) bool {
+		err := at.attrs[name].ScanHistory(func(id int64, _ relstore.Value, start, end temporal.Date, _ temporal.Interval) bool {
 			if end.IsForever() {
 				at.attrStarts[attrKey(name, id)] = start
 			}

@@ -11,30 +11,53 @@ import (
 // table. The plain implementation here appends to a heap table; the
 // segment package provides a usefulness-clustered implementation and
 // blockzip a compressed one.
+//
+// Every version carries two intervals: the transaction-time interval
+// [tstart, tend] managed by the store (Append opens it, Close ends
+// it) and the valid-time interval [vstart, vend] asserted by the
+// writer and immutable thereafter (DESIGN.md §16). Stores opened over
+// legacy tables without the valid columns accept only the default
+// valid interval [start, Forever] and synthesize it on scans.
 type AttrStore interface {
 	// TableName returns the queryable table name for this attribute's
 	// history.
 	TableName() string
-	// Append opens a new version [start, now] of the attribute for id.
-	Append(id int64, value relstore.Value, start temporal.Date) error
+	// Append opens a new version [start, now] of the attribute for id,
+	// asserted over the valid interval.
+	Append(id int64, value relstore.Value, start temporal.Date, valid temporal.Interval) error
 	// Close ends the live version for id at the given end date. A
 	// missing live version is not an error (the attribute may have
-	// been NULL).
+	// been NULL). The valid interval is not touched: it records what
+	// was asserted, and the transaction-time close records when the
+	// assertion was superseded.
 	Close(id int64, end temporal.Date) error
-	// Rewrite replaces the value of the live version for id in place,
-	// used when an attribute changes twice at the same timestamp.
-	Rewrite(id int64, value relstore.Value) error
+	// Rewrite replaces the value and valid interval of the live
+	// version for id in place, used when an attribute changes twice at
+	// the same timestamp.
+	Rewrite(id int64, value relstore.Value, valid temporal.Interval) error
 	// ScanHistory yields every logical version exactly once (clustered
 	// layouts deduplicate their redundant copies). Order is
 	// unspecified; fn returns false to stop.
-	ScanHistory(fn func(id int64, value relstore.Value, start, end temporal.Date) bool) error
+	ScanHistory(fn func(id int64, value relstore.Value, start, end temporal.Date, valid temporal.Interval) bool) error
+}
+
+// DefaultValid is the valid interval of a version written without an
+// explicit one: asserted from its transaction start onward.
+func DefaultValid(start temporal.Date) temporal.Interval { return temporal.Current(start) }
+
+// ErrLegacyValidTime marks an explicit valid interval rejected by a
+// store whose on-disk table predates the valid-time columns.
+func errLegacyValidTime(table string) error {
+	return fmt.Errorf("htable: %s: legacy table has no valid-time columns; only the default valid interval is supported", table)
 }
 
 // plainStore is the unclustered layout: one heap table
-// (id, value, tstart, tend) plus an in-memory map of live rows.
+// (id, value, tstart, tend, vstart, vend) plus an in-memory map of
+// live rows. hasValid is false for legacy 4-column tables.
 type plainStore struct {
-	table *relstore.Table
-	live  map[int64]relstore.RID
+	table    *relstore.Table
+	live     map[int64]relstore.RID
+	hasValid bool
 }
 
 // NewPlainStore creates the heap table for one attribute and returns
@@ -45,14 +68,22 @@ func NewPlainStore(db *relstore.Database, schema relstore.Schema) (AttrStore, er
 	if err != nil {
 		return nil, err
 	}
-	return &plainStore{table: t, live: map[int64]relstore.RID{}}, nil
+	return &plainStore{table: t, live: map[int64]relstore.RID{}, hasValid: schemaHasValid(schema)}, nil
+}
+
+// schemaHasValid reports whether the attribute schema carries the
+// bitemporal pair.
+func schemaHasValid(schema relstore.Schema) bool {
+	return schema.ColumnIndex("vstart") >= 0 && schema.ColumnIndex("vend") >= 0
 }
 
 // OpenPlainStore wraps an existing table, rebuilding the live map.
+// Legacy tables without the valid-time pair open read/write with
+// default-valid semantics.
 func OpenPlainStore(t *relstore.Table) (AttrStore, error) {
-	ps := &plainStore{table: t, live: map[int64]relstore.RID{}}
+	ps := &plainStore{table: t, live: map[int64]relstore.RID{}, hasValid: schemaHasValid(t.Schema())}
 	err := t.ScanBorrow(nil, func(rid relstore.RID, row relstore.Row) bool {
-		if row[len(row)-1].Date().IsForever() {
+		if row[3].Date().IsForever() {
 			id, _ := row[0].AsInt()
 			ps.live[id] = rid
 		}
@@ -66,12 +97,17 @@ func OpenPlainStore(t *relstore.Table) (AttrStore, error) {
 
 func (ps *plainStore) TableName() string { return ps.table.Name() }
 
-func (ps *plainStore) Append(id int64, value relstore.Value, start temporal.Date) error {
+func (ps *plainStore) Append(id int64, value relstore.Value, start temporal.Date, valid temporal.Interval) error {
 	if _, exists := ps.live[id]; exists {
 		return fmt.Errorf("htable: %s: id %d already has a live version", ps.table.Name(), id)
 	}
-	rid, err := ps.table.Insert(relstore.Row{
-		relstore.Int(id), value, relstore.DateV(start), relstore.DateV(forever)})
+	row := relstore.Row{relstore.Int(id), value, relstore.DateV(start), relstore.DateV(forever)}
+	if ps.hasValid {
+		row = append(row, relstore.DateV(valid.Start), relstore.DateV(valid.End))
+	} else if valid != DefaultValid(start) {
+		return errLegacyValidTime(ps.table.Name())
+	}
+	rid, err := ps.table.Insert(row)
 	if err != nil {
 		return err
 	}
@@ -105,17 +141,28 @@ func (ps *plainStore) Close(id int64, end temporal.Date) error {
 	return nil
 }
 
+// rowValid extracts the valid interval of one stored row, synthesizing
+// the default for legacy widths.
+func rowValid(row relstore.Row, hasValid bool, start temporal.Date) temporal.Interval {
+	if hasValid && len(row) >= 2 {
+		n := len(row)
+		return temporal.Interval{Start: row[n-2].Date(), End: row[n-1].Date()}
+	}
+	return DefaultValid(start)
+}
+
 // ScanHistory borrows rows from the underlying table: values handed
 // to fn are immutable and safe to retain, per the relstore borrow
 // contract.
-func (ps *plainStore) ScanHistory(fn func(id int64, value relstore.Value, start, end temporal.Date) bool) error {
+func (ps *plainStore) ScanHistory(fn func(id int64, value relstore.Value, start, end temporal.Date, valid temporal.Interval) bool) error {
 	return ps.table.ScanBorrow(nil, func(_ relstore.RID, row relstore.Row) bool {
 		id, _ := row[0].AsInt()
-		return fn(id, row[1], row[2].Date(), row[3].Date())
+		start := row[2].Date()
+		return fn(id, row[1], start, row[3].Date(), rowValid(row, ps.hasValid, start))
 	})
 }
 
-func (ps *plainStore) Rewrite(id int64, value relstore.Value) error {
+func (ps *plainStore) Rewrite(id int64, value relstore.Value, valid temporal.Interval) error {
 	rid, ok := ps.live[id]
 	if !ok {
 		return fmt.Errorf("htable: %s: no live version to rewrite for id %d", ps.table.Name(), id)
@@ -126,5 +173,11 @@ func (ps *plainStore) Rewrite(id int64, value relstore.Value) error {
 	}
 	updated := row.Clone()
 	updated[1] = value
+	if ps.hasValid {
+		updated[4] = relstore.DateV(valid.Start)
+		updated[5] = relstore.DateV(valid.End)
+	} else if valid != DefaultValid(row[2].Date()) {
+		return errLegacyValidTime(ps.table.Name())
+	}
 	return ps.table.Update(rid, updated)
 }

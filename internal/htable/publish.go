@@ -25,6 +25,7 @@ func (s TableSpec) DocName() string { return s.RootName() + ".xml" }
 type version struct {
 	value relstore.Value
 	iv    temporal.Interval
+	valid temporal.Interval
 }
 
 // PublishHDoc materializes the H-document (the temporally grouped XML
@@ -78,8 +79,8 @@ func (a *Archive) PublishHDoc(table string) (*xmltree.Node, error) {
 	for _, c := range at.attrCols {
 		name := strings.ToLower(c.Name)
 		byID := map[int64][]version{}
-		err := at.attrs[name].ScanHistory(func(id int64, v relstore.Value, start, end temporal.Date) bool {
-			byID[id] = append(byID[id], version{value: v, iv: temporal.Interval{Start: start, End: end}})
+		err := at.attrs[name].ScanHistory(func(id int64, v relstore.Value, start, end temporal.Date, valid temporal.Interval) bool {
+			byID[id] = append(byID[id], version{value: v, iv: temporal.Interval{Start: start, End: end}, valid: valid})
 			return true
 		})
 		if err != nil {
@@ -91,10 +92,18 @@ func (a *Archive) PublishHDoc(table string) (*xmltree.Node, error) {
 		attrVersions[name] = byID
 	}
 
-	addTimed := func(parent *xmltree.Node, name, text string, iv temporal.Interval) {
+	// addTimed emits one temporally attributed element. The valid-time
+	// pair appears only when it differs from the default [tstart,
+	// Forever], so H-documents of transaction-time-only archives are
+	// byte-identical to the pre-bitemporal output.
+	addTimed := func(parent *xmltree.Node, name, text string, iv temporal.Interval, valid ...temporal.Interval) {
 		el := xmltree.NewElement(name).
 			SetAttr("tstart", iv.Start.String()).
 			SetAttr("tend", iv.End.String())
+		if len(valid) == 1 && valid[0] != DefaultValid(iv.Start) {
+			el.SetAttr("vstart", valid[0].Start.String())
+			el.SetAttr("vend", valid[0].End.String())
+		}
 		el.AppendText(text)
 		parent.Append(el)
 	}
@@ -119,7 +128,7 @@ func (a *Archive) PublishHDoc(table string) (*xmltree.Node, error) {
 				if !v.iv.Overlaps(k.iv) {
 					continue
 				}
-				addTimed(entity, strings.ToLower(c.Name), v.value.Text(), v.iv)
+				addTimed(entity, strings.ToLower(c.Name), v.value.Text(), v.iv, v.valid)
 			}
 		}
 		root.Append(entity)
@@ -169,7 +178,7 @@ func (a *Archive) Snapshot(table string, at_ temporal.Date) ([]relstore.Row, err
 	}
 	for _, c := range at.attrCols {
 		pos := spec.columnIndex(c.Name)
-		err := at.attrs[strings.ToLower(c.Name)].ScanHistory(func(id int64, v relstore.Value, start, end temporal.Date) bool {
+		err := at.attrs[strings.ToLower(c.Name)].ScanHistory(func(id int64, v relstore.Value, start, end temporal.Date, _ temporal.Interval) bool {
 			if row, ok := rows[id]; ok && start <= at_ && at_ <= end {
 				row[pos] = v
 			}
@@ -187,6 +196,95 @@ func (a *Archive) Snapshot(table string, at_ temporal.Date) ([]relstore.Row, err
 	out := make([]relstore.Row, len(ids))
 	for i, id := range ids {
 		out[i] = rows[id]
+	}
+	return out, nil
+}
+
+// SnapshotValid reconstructs the rows of the table as asserted for
+// valid date validAt, using the archive's current belief (DESIGN.md
+// §16): for each entity and attribute, every stored version whose
+// valid interval covers validAt is an assertion made at its tstart,
+// and the latest assertion wins (temporal.ApplyAssertions). An entity
+// appears when at least one of its attributes has a covering
+// assertion; uncovered attributes are NULL. Under all-default valid
+// intervals this coincides with Snapshot(table, validAt) restricted
+// to entities whose key interval covers validAt.
+func (a *Archive) SnapshotValid(table string, validAt temporal.Date) ([]relstore.Row, error) {
+	at, ok := a.tables[strings.ToLower(table)]
+	if !ok {
+		return nil, fmt.Errorf("htable: table %s not registered", table)
+	}
+	spec := at.spec
+
+	keyRows := map[int64]relstore.Row{}
+	err := at.keyTable.Scan(nil, func(_ relstore.RID, row relstore.Row) bool {
+		id, _ := row[0].AsInt()
+		if _, seen := keyRows[id]; !seen {
+			keyRows[id] = row
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// attr values resolved per id: winner = value of the latest
+	// covering assertion.
+	type cell struct{ v relstore.Value }
+	resolved := map[int64]map[int]cell{}
+	for _, c := range at.attrCols {
+		pos := spec.columnIndex(c.Name)
+		type assertion struct {
+			v    relstore.Value
+			at   temporal.Date
+			live bool
+		}
+		best := map[int64]assertion{}
+		err := at.attrs[strings.ToLower(c.Name)].ScanHistory(func(id int64, v relstore.Value, start, end temporal.Date, valid temporal.Interval) bool {
+			if !valid.Valid() || !valid.Contains(validAt) {
+				return true
+			}
+			// Latest assertion wins; on an equal assertion day the live
+			// version supersedes the one it closed.
+			cand := assertion{v: v, at: start, live: end.IsForever()}
+			if cur, ok := best[id]; !ok || cand.at > cur.at || (cand.at == cur.at && cand.live && !cur.live) {
+				best[id] = cand
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		for id, asr := range best {
+			if resolved[id] == nil {
+				resolved[id] = map[int]cell{}
+			}
+			resolved[id][pos] = cell{v: asr.v}
+		}
+	}
+
+	ids := make([]int64, 0, len(resolved))
+	for id := range resolved {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]relstore.Row, 0, len(ids))
+	for _, id := range ids {
+		row := make(relstore.Row, len(spec.Columns))
+		for i := range row {
+			row[i] = relstore.Null
+		}
+		if spec.SingleIntKey() {
+			row[at.keyIdx[0]] = relstore.Int(id)
+		} else if kr, ok := keyRows[id]; ok {
+			for i, pos := range at.keyIdx {
+				row[pos] = kr[1+i]
+			}
+		}
+		for pos, c := range resolved[id] {
+			row[pos] = c.v
+		}
+		out = append(out, row)
 	}
 	return out, nil
 }

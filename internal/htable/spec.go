@@ -112,13 +112,20 @@ func (s TableSpec) KeyTableSchema() relstore.Schema {
 	return relstore.NewSchema(s.KeyTableName(), cols...)
 }
 
-// AttrTableSchema builds one attribute-history table schema.
+// AttrTableSchema builds one attribute-history table schema. The
+// valid-time pair comes last so every transaction-time column keeps
+// its position from the pre-bitemporal layout; legacy tables without
+// the pair still open (their valid interval defaults to
+// [tstart, Forever], which makes a legacy archive indistinguishable
+// from one whose writes never set an explicit valid time).
 func (s TableSpec) AttrTableSchema(attr relstore.Column) relstore.Schema {
 	return relstore.NewSchema(s.AttrTableName(attr.Name),
 		relstore.Col("id", relstore.TypeInt),
 		attr,
 		relstore.Col("tstart", relstore.TypeDate),
-		relstore.Col("tend", relstore.TypeDate))
+		relstore.Col("tend", relstore.TypeDate),
+		relstore.Col("vstart", relstore.TypeDate),
+		relstore.Col("vend", relstore.TypeDate))
 }
 
 // RelationsTable is the global relation-history table name.

@@ -34,6 +34,9 @@ func OpenStore(db *relstore.Database, attrTable string, cfg Config) (*Store, err
 		dir:   dir,
 		cfg:   cfg,
 		live:  map[int64]relstore.RID{},
+		// Legacy tables without the valid-time pair reopen at their
+		// true width and keep default-valid semantics.
+		hasValid: t.Schema().ColumnIndex("vstart") >= 0 && t.Schema().ColumnIndex("vend") >= 0,
 	}
 
 	// The live segment is one past the last frozen segment.

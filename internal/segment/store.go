@@ -46,9 +46,14 @@ type Config struct {
 // other goroutine touches the underlying tables, per the relstore
 // writer-exclusivity rule.
 type Store struct {
-	table *relstore.Table // (segno, id, value, tstart, tend)
+	table *relstore.Table // (segno, id, value, tstart, tend[, vstart, vend])
 	dir   *relstore.Table // (segno, segstart, segend)
 	cfg   Config
+
+	// hasValid reports whether the attribute table carries the
+	// bitemporal vstart/vend pair; legacy tables opened without it
+	// accept only default valid intervals and synthesize them on scans.
+	hasValid bool
 
 	mu        sync.RWMutex
 	liveSeg   int64
@@ -88,6 +93,7 @@ func NewStore(db *relstore.Database, schema relstore.Schema, cfg Config) (*Store
 	if err != nil {
 		return nil, err
 	}
+	hasValid := schema.ColumnIndex("vstart") >= 0 && schema.ColumnIndex("vend") >= 0
 	dir, err := db.CreateTable(relstore.NewSchema(DirTableName(schema.Name),
 		relstore.Col("segno", relstore.TypeInt),
 		relstore.Col("segstart", relstore.TypeDate),
@@ -99,6 +105,7 @@ func NewStore(db *relstore.Database, schema relstore.Schema, cfg Config) (*Store
 		table:     t,
 		dir:       dir,
 		cfg:       cfg,
+		hasValid:  hasValid,
 		liveSeg:   1,
 		liveStart: cfg.Clock(),
 		live:      map[int64]relstore.RID{},
@@ -152,7 +159,7 @@ func (s *Store) usefulness() float64 {
 }
 
 // Append implements htable.AttrStore.
-func (s *Store) Append(id int64, value relstore.Value, start temporal.Date) error {
+func (s *Store) Append(id int64, value relstore.Value, start temporal.Date, valid temporal.Interval) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.live[id]; exists {
@@ -164,9 +171,15 @@ func (s *Store) Append(id int64, value relstore.Value, start temporal.Date) erro
 	if s.archives == 0 && start < s.liveStart {
 		s.liveStart = start
 	}
-	rid, err := s.table.Insert(relstore.Row{
+	row := relstore.Row{
 		relstore.Int(s.liveSeg), relstore.Int(id), value,
-		relstore.DateV(start), relstore.DateV(temporal.Forever)})
+		relstore.DateV(start), relstore.DateV(temporal.Forever)}
+	if s.hasValid {
+		row = append(row, relstore.DateV(valid.Start), relstore.DateV(valid.End))
+	} else if valid != htable.DefaultValid(start) {
+		return fmt.Errorf("segment: %s: legacy table has no valid-time columns; only the default valid interval is supported", s.table.Name())
+	}
+	rid, err := s.table.Insert(row)
 	if err != nil {
 		return err
 	}
@@ -205,7 +218,7 @@ func (s *Store) Close(id int64, end temporal.Date) error {
 }
 
 // Rewrite implements htable.AttrStore.
-func (s *Store) Rewrite(id int64, value relstore.Value) error {
+func (s *Store) Rewrite(id int64, value relstore.Value, valid temporal.Interval) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rid, ok := s.live[id]
@@ -218,6 +231,12 @@ func (s *Store) Rewrite(id int64, value relstore.Value) error {
 	}
 	updated := row.Clone()
 	updated[2] = value
+	if s.hasValid {
+		updated[5] = relstore.DateV(valid.Start)
+		updated[6] = relstore.DateV(valid.End)
+	} else if valid != htable.DefaultValid(row[3].Date()) {
+		return fmt.Errorf("segment: %s: legacy table has no valid-time columns; only the default valid interval is supported", s.table.Name())
+	}
 	return s.table.Update(rid, updated)
 }
 
@@ -352,7 +371,7 @@ func (s *Store) RebuildLiveMap() error {
 // ScanHistory implements htable.AttrStore: logical versions are
 // deduplicated across segment copies, preferring the most recent
 // segment (whose tend is authoritative).
-func (s *Store) ScanHistory(fn func(id int64, value relstore.Value, start, end temporal.Date) bool) error {
+func (s *Store) ScanHistory(fn func(id int64, value relstore.Value, start, end temporal.Date, valid temporal.Interval) bool) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	type rec struct {
@@ -361,10 +380,15 @@ func (s *Store) ScanHistory(fn func(id int64, value relstore.Value, start, end t
 		value relstore.Value
 		start temporal.Date
 		end   temporal.Date
+		valid temporal.Interval
 	}
 	var all []rec
 	err := s.table.ScanBorrow(nil, func(_ relstore.RID, row relstore.Row) bool {
-		all = append(all, rec{row[0].I, row[1].I, row[2], row[3].Date(), row[4].Date()})
+		valid := htable.DefaultValid(row[3].Date())
+		if len(row) >= 7 {
+			valid = temporal.Interval{Start: row[5].Date(), End: row[6].Date()}
+		}
+		all = append(all, rec{row[0].I, row[1].I, row[2], row[3].Date(), row[4].Date(), valid})
 		return true
 	})
 	if err != nil {
@@ -382,7 +406,7 @@ func (s *Store) ScanHistory(fn func(id int64, value relstore.Value, start, end t
 			continue
 		}
 		seen[k] = true
-		if !fn(r.id, r.value, r.start, r.end) {
+		if !fn(r.id, r.value, r.start, r.end, r.valid) {
 			return nil
 		}
 	}
@@ -660,7 +684,7 @@ func (s *Store) BindSnapshot(sn *relstore.Snapshot) sqlengine.VirtualTable {
 		// would fail either way, so serve the live view.
 		return s
 	}
-	b := &Store{table: t, dir: dir, cfg: s.cfg, liveSeg: 1}
+	b := &Store{table: t, dir: dir, cfg: s.cfg, hasValid: s.hasValid, liveSeg: 1}
 	if segs, err := b.segments(); err == nil && len(segs) > 0 {
 		last := segs[len(segs)-1]
 		b.liveSeg = last.SegNo + 1

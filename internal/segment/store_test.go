@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"archis/internal/htable"
 	"archis/internal/relstore"
 	"archis/internal/temporal"
 )
@@ -47,7 +48,7 @@ func TestConfigValidation(t *testing.T) {
 func TestAppendCloseBasics(t *testing.T) {
 	s, clock, _ := newTestStore(t, 0.4, 100000)
 	for i := int64(0); i < 10; i++ {
-		if err := s.Append(i, relstore.Int(100+i), clock.d); err != nil {
+		if err := s.Append(i, relstore.Int(100+i), clock.d, htable.DefaultValid(clock.d)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -66,11 +67,11 @@ func TestAppendCloseBasics(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Re-append after close works.
-	if err := s.Append(3, relstore.Int(200), clock.d.AddDays(1)); err != nil {
+	if err := s.Append(3, relstore.Int(200), clock.d.AddDays(1), htable.DefaultValid(clock.d.AddDays(1))); err != nil {
 		t.Fatal(err)
 	}
 	// Duplicate live append fails.
-	if err := s.Append(3, relstore.Int(300), clock.d); err == nil {
+	if err := s.Append(3, relstore.Int(300), clock.d, htable.DefaultValid(clock.d)); err == nil {
 		t.Error("duplicate live append accepted")
 	}
 }
@@ -81,7 +82,7 @@ func simulateUpdates(t *testing.T, s *Store, clock *testClock, n, rounds int) {
 	t.Helper()
 	day := clock.d
 	for i := int64(0); i < int64(n); i++ {
-		if err := s.Append(i, relstore.Int(1000), day); err != nil {
+		if err := s.Append(i, relstore.Int(1000), day, htable.DefaultValid(day)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -92,7 +93,7 @@ func simulateUpdates(t *testing.T, s *Store, clock *testClock, n, rounds int) {
 			if err := s.Close(i, day.AddDays(-1)); err != nil {
 				t.Fatal(err)
 			}
-			if err := s.Append(i, relstore.Int(int64(1000+r)), day); err != nil {
+			if err := s.Append(i, relstore.Int(int64(1000+r)), day, htable.DefaultValid(day)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -135,7 +136,7 @@ func TestHistoryPreservedAcrossArchives(t *testing.T) {
 	// contiguous intervals.
 	versions := map[int64][]temporal.Interval{}
 	vals := map[int64][]int64{}
-	err := s.ScanHistory(func(id int64, v relstore.Value, start, end temporal.Date) bool {
+	err := s.ScanHistory(func(id int64, v relstore.Value, start, end temporal.Date, _ temporal.Interval) bool {
 		versions[id] = append(versions[id], temporal.Interval{Start: start, End: end})
 		vals[id] = append(vals[id], v.I)
 		return true
@@ -279,7 +280,7 @@ func TestEquationModels(t *testing.T) {
 
 func TestSegmentsForLiveOnly(t *testing.T) {
 	s, clock, _ := newTestStore(t, 0.4, 1000000)
-	_ = s.Append(1, relstore.Int(1), clock.d)
+	_ = s.Append(1, relstore.Int(1), clock.d, htable.DefaultValid(clock.d))
 	segs, err := s.SegmentsFor(clock.d, clock.d)
 	if err != nil {
 		t.Fatal(err)

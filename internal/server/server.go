@@ -36,6 +36,7 @@ import (
 	"archis/internal/relstore"
 	"archis/internal/repl"
 	"archis/internal/sqlengine"
+	"archis/internal/temporal"
 )
 
 // Config tunes admission control and timeouts.
@@ -119,8 +120,11 @@ func (s *Server) Handler() http.Handler {
 
 // request is the /query and /exec body.
 type request struct {
-	SQL       string `json:"sql"`
-	AsOfLSN   uint64 `json:"as_of_lsn,omitempty"`
+	SQL     string `json:"sql"`
+	AsOfLSN uint64 `json:"as_of_lsn,omitempty"`
+	// ValidAsOf ("yyyy-mm-dd") scopes a SELECT/EXPLAIN to versions
+	// valid at that date; composes with as_of_lsn for bitemporal reads.
+	ValidAsOf string `json:"valid_as_of,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
@@ -178,6 +182,7 @@ func parseRequest(r *http.Request) (request, error) {
 		if v, err := strconv.ParseUint(q.Get("as_of_lsn"), 10, 64); err == nil {
 			req.AsOfLSN = v
 		}
+		req.ValidAsOf = q.Get("valid_as_of")
 		if v, err := strconv.ParseInt(q.Get("timeout_ms"), 10, 64); err == nil {
 			req.TimeoutMS = v
 		}
@@ -221,18 +226,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
+	var opts []core.ExecOpt
+	if req.AsOfLSN > 0 {
+		opts = append(opts, core.AsOfTransactionTime(req.AsOfLSN))
+	}
+	if req.ValidAsOf != "" {
+		d, perr := temporal.ParseDate(req.ValidAsOf)
+		if perr != nil {
+			http.Error(w, "bad valid_as_of: "+perr.Error(), http.StatusBadRequest)
+			return
+		}
+		opts = append(opts, core.AsOfValidTime(d))
+	}
 	var resp *response
 	switch kw := core.FirstKeyword(req.SQL); {
-	case req.AsOfLSN > 0:
-		var res *sqlengine.Result
-		res, err = s.sys.ReadAsOfCtx(ctx, req.AsOfLSN, req.SQL)
-		resp = sqlResponse(res)
 	case kw == "select" || kw == "explain":
+		// Transaction-time and valid-time scoping both ride the option
+		// list; AsOfLSN alone is the classic ReadAsOf path.
 		var res *sqlengine.Result
-		res, err = s.sys.ExecCtx(ctx, req.SQL)
+		res, err = s.sys.ExecCtx(ctx, req.SQL, opts...)
 		resp = sqlResponse(res)
+	case req.AsOfLSN > 0:
+		err = fmt.Errorf("server: as_of_lsn applies to SELECT/EXPLAIN only")
 	case kw == "insert" || kw == "update" || kw == "delete" || kw == "create" || kw == "drop":
 		err = fmt.Errorf("server: /query is read-only; send %s to /exec", kw)
+	case req.ValidAsOf != "":
+		// The XQuery path has its own valid-time library (vsnapshot,
+		// vslice); a request-level date would silently not apply.
+		err = fmt.Errorf("server: valid_as_of applies to SELECT/EXPLAIN; use vsnapshot()/vslice() in XQuery")
 	default:
 		// Temporal XQuery over the H-views.
 		var qr *core.QueryResult

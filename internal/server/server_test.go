@@ -186,6 +186,54 @@ func TestServeAdmissionControl(t *testing.T) {
 	}
 }
 
+// TestServeErrorPathsDrainPinnedReaders drives every /query failure
+// mode that can have a version pinned when it aborts — parse errors,
+// unknown tables, bad bitemporal parameters, statement-class
+// rejections, and a deadline firing mid-join under both as_of_lsn and
+// valid_as_of — then asserts the pinned-reader gauge is back at zero:
+// no error return may leak a snapshot handle.
+func TestServeErrorPathsDrainPinnedReaders(t *testing.T) {
+	sys, _, srv := newServedSystem(t, Config{}, 120)
+	lsn := sys.Stats().WALAppendedLSN
+
+	for _, c := range []struct {
+		name string
+		url  string
+		req  request
+		want int
+	}{
+		{"parse error", "/query", request{SQL: "select from from employee"}, http.StatusBadRequest},
+		{"unknown table", "/query", request{SQL: "select * from nope"}, http.StatusBadRequest},
+		{"unknown table as-of", "/query", request{SQL: "select * from nope", AsOfLSN: lsn}, http.StatusBadRequest},
+		{"bad valid_as_of", "/query", request{SQL: "select * from employee", ValidAsOf: "not-a-date"}, http.StatusBadRequest},
+		{"as_of_lsn on DML", "/query", request{SQL: "update employee set salary = 1", AsOfLSN: lsn}, http.StatusBadRequest},
+		{"DML on /query", "/query", request{SQL: "delete from employee"}, http.StatusBadRequest},
+		{"valid_as_of on xquery", "/query", request{SQL: `for $e in doc("emp.xml")/employees/employee return $e`, ValidAsOf: "1995-01-01"}, http.StatusBadRequest},
+		{"timeout mid-join", "/query", request{
+			SQL: "select count(*) from employee a, employee b, employee c" +
+				" where a.salary + b.salary + c.salary = 1",
+			AsOfLSN:   lsn,
+			ValidAsOf: "1995-01-01",
+			TimeoutMS: 20,
+		}, http.StatusGatewayTimeout},
+	} {
+		code, body := post(t, srv.URL+c.url, c.req)
+		if code != c.want {
+			t.Errorf("%s: status %d (%s), want %d", c.name, code, body, c.want)
+		}
+	}
+
+	if n := sys.DB.Stats().PinnedReaders; n != 0 {
+		t.Errorf("pinned_readers = %d after error sweep, want 0 (leaked snapshot handle)", n)
+	}
+
+	// The archive still serves good queries after the abuse.
+	code, body := get(t, srv.URL+"/query?sql=select+count(*)+from+employee&valid_as_of=1995-02-01")
+	if code != http.StatusOK {
+		t.Fatalf("post-sweep query: status %d (%s)", code, body)
+	}
+}
+
 func TestServeQueryTimeout(t *testing.T) {
 	_, _, srv := newServedSystem(t, Config{}, 250)
 	// A 15M-triple nested-loop join, cut off after 30ms: the engine's

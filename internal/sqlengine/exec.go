@@ -526,6 +526,12 @@ func (en *Engine) execSelect(ctx context.Context, stmt *SelectStmt, sp *obs.Span
 	if stmt.Where != nil {
 		conjuncts = splitAnd(stmt.Where, nil)
 	}
+	// Valid-time scope (validtime.go): rewritten to plain conjuncts
+	// here, before partitioning, so pushdown and planning see them as
+	// ordinary predicates.
+	if d, ok := ValidAsOf(ctx); ok {
+		conjuncts = append(conjuncts, validConjuncts(sources, d)...)
+	}
 
 	// Partition conjuncts by the aliases they touch.
 	perAlias := map[string][]Expr{}

@@ -26,7 +26,7 @@ func (en *Engine) execExplain(ctx context.Context, st *ExplainStmt, sn *relstore
 		tr.Root().AddRows(0, int64(len(res.Rows)))
 		return planResult(tr.Finish("").Tree()), nil
 	}
-	lines, err := en.explainSelect(st.Inner, sn)
+	lines, err := en.explainSelect(ctx, st.Inner, sn)
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +46,7 @@ func planResult(text string) *Result {
 // decision order of execSelect. Cardinality-dependent runtime choices
 // (index vs hash join under indexJoinThreshold outer rows) are shown
 // as the rule the executor applies.
-func (en *Engine) explainSelect(stmt *SelectStmt, sn *relstore.Snapshot) ([]string, error) {
+func (en *Engine) explainSelect(ctx context.Context, stmt *SelectStmt, sn *relstore.Snapshot) ([]string, error) {
 	if len(stmt.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires FROM")
 	}
@@ -68,6 +68,10 @@ func (en *Engine) explainSelect(stmt *SelectStmt, sn *relstore.Snapshot) ([]stri
 	var conjuncts []Expr
 	if stmt.Where != nil {
 		conjuncts = splitAnd(stmt.Where, nil)
+	}
+	validAt, hasValidAt := ValidAsOf(ctx)
+	if hasValidAt {
+		conjuncts = append(conjuncts, validConjuncts(sources, validAt)...)
 	}
 	perAlias := map[string][]Expr{}
 	var multi []Expr
@@ -123,6 +127,12 @@ func (en *Engine) explainSelect(stmt *SelectStmt, sn *relstore.Snapshot) ([]stri
 	}
 
 	add(0, "select")
+	if hasValidAt {
+		// Surfaced so bitemporal plans are distinguishable from
+		// transaction-time ones; the rewritten conjuncts themselves are
+		// already counted in the filter/bounds figures below.
+		add(1, "valid_pred=vstart<=%s<=vend", validAt)
+	}
 
 	if len(sources) == 1 {
 		s := sources[0]

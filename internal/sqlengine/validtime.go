@@ -1,0 +1,54 @@
+package sqlengine
+
+import (
+	"context"
+
+	"archis/internal/relstore"
+	"archis/internal/temporal"
+)
+
+// Valid-time reads (DESIGN.md §16). A query scoped with
+// core.AsOfValidTime carries the valid date in its context; the select
+// paths below rewrite it into ordinary conjuncts — vstart<=d AND
+// vend>=d per source that stores the pair — before predicate
+// partitioning, so the existing pushdown, zone-bound and planner
+// machinery apply to valid time with no new executor code.
+
+type validAsOfKey struct{}
+
+// WithValidAsOf scopes every SELECT run under ctx to versions whose
+// valid interval covers d.
+func WithValidAsOf(ctx context.Context, d temporal.Date) context.Context {
+	return context.WithValue(ctx, validAsOfKey{}, d)
+}
+
+// ValidAsOf extracts the valid-time point installed by WithValidAsOf.
+func ValidAsOf(ctx context.Context) (temporal.Date, bool) {
+	d, ok := ctx.Value(validAsOfKey{}).(temporal.Date)
+	return d, ok
+}
+
+// validConjuncts builds the per-source valid-time predicate for
+// valid date d. Sources storing the pair get vstart<=d AND vend>=d.
+// Legacy history sources (tstart/tend but no valid columns) carry the
+// implicit default [tstart, Forever], for which the covering test
+// reduces to tstart<=d — Forever>=d is always true. Sources with
+// neither (current tables, catalogs) are untouched: every current row
+// is the presently-believed version.
+func validConjuncts(sources []*source, d temporal.Date) []Expr {
+	var out []Expr
+	lit := func() Expr { return &Literal{Value: relstore.DateV(d)} }
+	for _, s := range sources {
+		hasV := s.schema.ColumnIndex("vstart") >= 0 && s.schema.ColumnIndex("vend") >= 0
+		switch {
+		case hasV:
+			out = append(out,
+				&BinaryExpr{Op: "<=", L: &ColRef{Qual: s.alias, Name: "vstart"}, R: lit()},
+				&BinaryExpr{Op: ">=", L: &ColRef{Qual: s.alias, Name: "vend"}, R: lit()})
+		case s.schema.ColumnIndex("tstart") >= 0 && s.schema.ColumnIndex("tend") >= 0:
+			out = append(out,
+				&BinaryExpr{Op: "<=", L: &ColRef{Qual: s.alias, Name: "tstart"}, R: lit()})
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package temporal
+
+import "sort"
+
+// Bitemporal primitives (DESIGN.md §16). A bitemporal history is a
+// sequence of assertions: at transaction time At the writer asserted
+// that Value holds over the valid-time interval Valid. Later
+// assertions overwrite earlier ones wherever their valid intervals
+// overlap — the nonsequenced "latest assertion wins" rule — so the
+// current belief about the valid timeline is a fold over the
+// assertions in transaction order.
+
+// Asserted is one bitemporal assertion: Value holds over Valid,
+// asserted at transaction time At.
+type Asserted struct {
+	Value string
+	Valid Interval
+	At    Date
+}
+
+// ApplyAssertions folds assertions in transaction order (stable for
+// equal At: later slice entries win) into the resulting valid-time
+// timeline. Each assertion overwrites any previously asserted value
+// on its valid interval. Assertions with reversed (empty) valid
+// intervals are ignored. The output is coalesced, disjoint, and
+// sorted by Start.
+func ApplyAssertions(in []Asserted) []Timed {
+	sorted := make([]Asserted, 0, len(in))
+	for _, a := range in {
+		if a.Valid.Valid() {
+			sorted = append(sorted, a)
+		}
+	}
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+
+	var timeline []Timed
+	for _, a := range sorted {
+		next := timeline[:0:0]
+		for _, t := range timeline {
+			for _, rest := range t.Interval.Subtract(a.Valid) {
+				next = append(next, Timed{Value: t.Value, Interval: rest})
+			}
+		}
+		timeline = append(next, Timed{Value: a.Value, Interval: a.Valid})
+	}
+	out := Coalesce(timeline)
+	sort.Slice(out, func(i, j int) bool { return out[i].Interval.Start < out[j].Interval.Start })
+	return out
+}
+
+// ValidAt resolves the nonsequenced point query: the value the
+// (already folded) timeline holds on day d, with ok false when d is
+// uncovered.
+func ValidAt(timeline []Timed, d Date) (string, bool) {
+	for _, t := range timeline {
+		if t.Interval.Contains(d) {
+			return t.Value, true
+		}
+	}
+	return "", false
+}

@@ -12,16 +12,19 @@ type Timed struct {
 
 // Coalesce merges value-equivalent entries whose intervals overlap or
 // are adjacent (the paper's coalesce($l) restructuring function). The
-// input need not be sorted; the output is sorted by (Value, Start) and
-// contains maximal intervals.
+// input need not be sorted; reversed (empty) intervals are dropped;
+// the output is sorted by (Value, Start) and contains maximal
+// intervals.
 func Coalesce(in []Timed) []Timed {
-	if len(in) <= 1 {
-		out := make([]Timed, len(in))
-		copy(out, in)
-		return out
+	sorted := make([]Timed, 0, len(in))
+	for _, t := range in {
+		if t.Interval.Valid() {
+			sorted = append(sorted, t)
+		}
 	}
-	sorted := make([]Timed, len(in))
-	copy(sorted, in)
+	if len(sorted) <= 1 {
+		return sorted
+	}
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].Value != sorted[j].Value {
 			return sorted[i].Value < sorted[j].Value
@@ -46,13 +49,17 @@ func Coalesce(in []Timed) []Timed {
 
 // CoalesceIntervals merges a bag of intervals regardless of value,
 // returning the minimal set of maximal disjoint intervals that covers
-// the same days.
+// the same days. Reversed (empty) intervals are dropped.
 func CoalesceIntervals(in []Interval) []Interval {
-	if len(in) == 0 {
+	sorted := make([]Interval, 0, len(in))
+	for _, iv := range in {
+		if iv.Valid() {
+			sorted = append(sorted, iv)
+		}
+	}
+	if len(sorted) == 0 {
 		return nil
 	}
-	sorted := make([]Interval, len(in))
-	copy(sorted, in)
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].Start != sorted[j].Start {
 			return sorted[i].Start < sorted[j].Start
@@ -79,7 +86,13 @@ func CoalesceIntervals(in []Interval) []Interval {
 func Restructure(a, b []Interval) []Interval {
 	var out []Interval
 	for _, x := range a {
+		if !x.Valid() {
+			continue
+		}
 		for _, y := range b {
+			if !y.Valid() {
+				continue
+			}
 			if iv, ok := x.Intersect(y); ok {
 				out = append(out, iv)
 			}

@@ -71,8 +71,11 @@ func (iv Interval) Precedes(other Interval) bool { return iv.End < other.Start }
 
 // Meets reports whether iv ends exactly one day before other starts,
 // i.e. the intervals are adjacent without overlapping (the paper's
-// tmeets, adapted to closed day-granularity intervals).
-func (iv Interval) Meets(other Interval) bool { return other.Start == iv.End+1 }
+// tmeets, adapted to closed day-granularity intervals). A current
+// interval meets nothing: no interval starts after the end of time.
+func (iv Interval) Meets(other Interval) bool {
+	return !iv.End.IsForever() && other.Start == iv.End+1
+}
 
 // Adjacent reports whether the intervals meet in either direction.
 func (iv Interval) Adjacent(other Interval) bool {
@@ -103,20 +106,47 @@ func (iv Interval) Coalescable(other Interval) bool {
 
 // Days returns the number of days in the interval (the paper's
 // timespan); a single-day interval has span 1. For current intervals
-// the span is computed against the supplied now date.
+// the span is computed against the supplied now date; a current
+// interval that has not started yet as of now (and any reversed
+// interval) covers zero days.
 func (iv Interval) Days(now Date) int {
 	end := iv.End
 	if end.IsForever() {
 		end = now
 	}
+	if end < iv.Start {
+		return 0
+	}
 	return int(end-iv.Start) + 1
 }
 
 // ClampEnd returns the interval with a Forever end replaced by now
-// (the paper's rtend applied to one interval).
+// (the paper's rtend applied to one interval). The clamp never
+// inverts the interval: a current tuple whose start is still in the
+// future collapses to its single start day.
 func (iv Interval) ClampEnd(now Date) Interval {
 	if iv.End.IsForever() {
-		return Interval{Start: iv.Start, End: now}
+		return Interval{Start: iv.Start, End: Max(now, iv.Start)}
 	}
 	return iv
+}
+
+// Subtract returns the parts of iv not covered by other: zero, one or
+// two intervals, in ascending order. Reversed (empty) inputs subtract
+// nothing; a reversed receiver yields nothing.
+func (iv Interval) Subtract(other Interval) []Interval {
+	if !iv.Valid() {
+		return nil
+	}
+	if !other.Valid() || !iv.Overlaps(other) {
+		return []Interval{iv}
+	}
+	var out []Interval
+	if other.Start > iv.Start {
+		out = append(out, Interval{Start: iv.Start, End: other.Start - 1})
+	}
+	if other.End < iv.End {
+		out = append(out, Interval{Start: other.End + 1, End: iv.End})
+	}
+	return out
 }

@@ -1,0 +1,286 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the interval algebra: randomized histories with
+// degenerate single-day intervals, adjacent intervals, Forever
+// endpoints and reversed (empty) inputs, checked against day-level
+// set semantics. Bitemporal coalescing composes these operations, so
+// an off-by-one here corrupts every sequenced answer downstream.
+
+const propBase = 10_000 // day numbers used by the generators
+
+func propDate(r *rand.Rand) Date {
+	if r.Intn(12) == 0 {
+		return Forever
+	}
+	return Date(propBase + r.Intn(60))
+}
+
+// randInterval generates closed intervals biased toward edge cases:
+// single-day, adjacent-prone small spans, current intervals, and
+// (when allowInvalid) reversed pairs.
+func propInterval(r *rand.Rand, allowInvalid bool) Interval {
+	s := Date(propBase + r.Intn(60))
+	var e Date
+	switch r.Intn(6) {
+	case 0:
+		e = s // degenerate [d, d]
+	case 1:
+		e = Forever
+	default:
+		e = s + Date(r.Intn(10))
+	}
+	iv := Interval{Start: s, End: e}
+	if allowInvalid && r.Intn(8) == 0 && e != s {
+		iv = Interval{Start: e, End: s} // reversed
+	}
+	return iv
+}
+
+// covers reports whether day d is in any valid interval of the list.
+func covers(in []Interval, d Date) bool {
+	for _, iv := range in {
+		if iv.Valid() && iv.Contains(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDays compares coverage of two interval lists over the probe
+// range (plus Forever-adjacent days).
+func probeDays() []Date {
+	days := make([]Date, 0, 130)
+	for d := Date(propBase - 2); d < propBase+75; d++ {
+		days = append(days, d)
+	}
+	days = append(days, Forever-1, Forever)
+	return days
+}
+
+func TestPropCoalesceIntervals(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	days := probeDays()
+	for iter := 0; iter < 500; iter++ {
+		in := make([]Interval, r.Intn(8))
+		for i := range in {
+			in[i] = propInterval(r, true)
+		}
+		out := CoalesceIntervals(in)
+
+		// Same day coverage.
+		for _, d := range days {
+			if covers(in, d) != covers(out, d) {
+				t.Fatalf("iter %d: coverage differs at %d: in=%v out=%v", iter, d, in, out)
+			}
+		}
+		// Output is valid, sorted, disjoint and non-adjacent (maximal).
+		for i, iv := range out {
+			if !iv.Valid() {
+				t.Fatalf("iter %d: invalid output interval %v", iter, iv)
+			}
+			if i > 0 {
+				prev := out[i-1]
+				if prev.Start > iv.Start {
+					t.Fatalf("iter %d: output not sorted: %v", iter, out)
+				}
+				if prev.Coalescable(iv) {
+					t.Fatalf("iter %d: output not maximal: %v then %v", iter, prev, iv)
+				}
+			}
+		}
+		// Idempotent.
+		again := CoalesceIntervals(out)
+		if len(again) != len(out) {
+			t.Fatalf("iter %d: not idempotent: %v vs %v", iter, out, again)
+		}
+		for i := range out {
+			if again[i] != out[i] {
+				t.Fatalf("iter %d: not idempotent: %v vs %v", iter, out, again)
+			}
+		}
+	}
+}
+
+func TestPropCoalesceTimed(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	days := probeDays()
+	values := []string{"a", "b"}
+	for iter := 0; iter < 500; iter++ {
+		in := make([]Timed, r.Intn(8))
+		for i := range in {
+			in[i] = Timed{Value: values[r.Intn(len(values))], Interval: propInterval(r, true)}
+		}
+		out := Coalesce(in)
+		for _, v := range values {
+			sub := func(ts []Timed) []Interval {
+				var ivs []Interval
+				for _, x := range ts {
+					if x.Value == v {
+						ivs = append(ivs, x.Interval)
+					}
+				}
+				return ivs
+			}
+			inIvs, outIvs := sub(in), sub(out)
+			for _, d := range days {
+				if covers(inIvs, d) != covers(outIvs, d) {
+					t.Fatalf("iter %d: value %q coverage differs at %d", iter, v, d)
+				}
+			}
+			for i := 1; i < len(outIvs); i++ {
+				if outIvs[i-1].Coalescable(outIvs[i]) {
+					t.Fatalf("iter %d: value %q output not maximal: %v", iter, v, outIvs)
+				}
+			}
+		}
+	}
+}
+
+func TestPropMeetsAdjacent(t *testing.T) {
+	// Meets is exact adjacency; a current interval meets nothing.
+	a := MustInterval(10, 20)
+	if !a.Meets(MustInterval(21, 25)) {
+		t.Fatal("expected [10,20] meets [21,25]")
+	}
+	if a.Meets(MustInterval(20, 25)) || a.Meets(MustInterval(22, 25)) {
+		t.Fatal("meets must be exact adjacency")
+	}
+	cur := Current(10)
+	if cur.Meets(MustInterval(20, 25)) {
+		t.Fatal("a current interval meets nothing")
+	}
+	if !MustInterval(5, 9).Meets(cur) {
+		t.Fatal("[5,9] meets [10,Forever]")
+	}
+	// Degenerate single-day adjacency coalesces.
+	got := CoalesceIntervals([]Interval{Point(5), Point(6), Point(8)})
+	want := []Interval{MustInterval(5, 6), Point(8)}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("degenerate coalesce: got %v want %v", got, want)
+	}
+}
+
+func TestPropDaysAndClampEnd(t *testing.T) {
+	now := Date(propBase + 10)
+	if d := Point(5).Days(now); d != 1 {
+		t.Fatalf("single-day span = %d, want 1", d)
+	}
+	// A current interval starting in the future covers zero days as of
+	// now, and its clamp never inverts.
+	future := Current(now + 5)
+	if d := future.Days(now); d != 0 {
+		t.Fatalf("future current interval spans %d days, want 0", d)
+	}
+	if c := future.ClampEnd(now); !c.Valid() {
+		t.Fatalf("ClampEnd inverted the interval: %v", c)
+	}
+	if c := Current(now - 2).ClampEnd(now); c != MustInterval(now-2, now) {
+		t.Fatalf("ClampEnd = %v", c)
+	}
+	// Reversed intervals cover zero days.
+	if d := (Interval{Start: 9, End: 5}).Days(now); d != 0 {
+		t.Fatalf("reversed interval spans %d days, want 0", d)
+	}
+}
+
+func TestPropSubtract(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	days := probeDays()
+	for iter := 0; iter < 500; iter++ {
+		a := propInterval(r, true)
+		b := propInterval(r, true)
+		out := a.Subtract(b)
+		for _, d := range days {
+			want := a.Valid() && a.Contains(d) && !(b.Valid() && b.Contains(d))
+			if covers(out, d) != want {
+				t.Fatalf("iter %d: (%v - %v) wrong at %d: %v", iter, a, b, d, out)
+			}
+		}
+		if len(out) > 2 {
+			t.Fatalf("iter %d: subtract produced %d pieces", iter, len(out))
+		}
+	}
+}
+
+func TestPropRestructure(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	days := probeDays()
+	for iter := 0; iter < 300; iter++ {
+		a := make([]Interval, r.Intn(5))
+		b := make([]Interval, r.Intn(5))
+		for i := range a {
+			a[i] = propInterval(r, true)
+		}
+		for i := range b {
+			b[i] = propInterval(r, true)
+		}
+		out := Restructure(a, b)
+		for _, iv := range out {
+			if !iv.Valid() {
+				t.Fatalf("iter %d: restructure emitted invalid %v", iter, iv)
+			}
+		}
+		for _, d := range days {
+			want := covers(a, d) && covers(b, d)
+			if covers(out, d) != want {
+				t.Fatalf("iter %d: restructure coverage wrong at %d", iter, d)
+			}
+		}
+	}
+}
+
+func TestPropApplyAssertions(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	days := probeDays()
+	values := []string{"a", "b", "c"}
+	for iter := 0; iter < 500; iter++ {
+		in := make([]Asserted, r.Intn(8))
+		for i := range in {
+			in[i] = Asserted{
+				Value: values[r.Intn(len(values))],
+				Valid: propInterval(r, true),
+				At:    propDate(r),
+			}
+		}
+		out := ApplyAssertions(in)
+
+		// Reference: for each probe day, replay assertions in stable
+		// At order; the last valid assertion covering the day wins.
+		for _, d := range days {
+			var want string
+			var covered bool
+			// Stable sort by At (mirror of the implementation's rule).
+			idx := make([]int, len(in))
+			for i := range idx {
+				idx[i] = i
+			}
+			for i := 1; i < len(idx); i++ {
+				for j := i; j > 0 && in[idx[j-1]].At > in[idx[j]].At; j-- {
+					idx[j-1], idx[j] = idx[j], idx[j-1]
+				}
+			}
+			for _, i := range idx {
+				a := in[i]
+				if a.Valid.Valid() && a.Valid.Contains(d) {
+					want, covered = a.Value, true
+				}
+			}
+			got, ok := ValidAt(out, d)
+			if ok != covered || got != want {
+				t.Fatalf("iter %d day %d: got (%q,%v) want (%q,%v)\nin=%v\nout=%v",
+					iter, d, got, ok, want, covered, in, out)
+			}
+		}
+		// Output is disjoint and sorted.
+		for i := 1; i < len(out); i++ {
+			if out[i-1].Interval.End >= out[i].Interval.Start {
+				t.Fatalf("iter %d: overlapping output %v", iter, out)
+			}
+		}
+	}
+}

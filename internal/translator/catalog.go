@@ -41,6 +41,11 @@ type ViewInfo struct {
 	// intervals intersect [lo, hi]; ok is false when the table is not
 	// clustered or the range cannot be restricted.
 	SegmentsFor func(attrTable string, lo, hi temporal.Date) (minSeg, maxSeg int64, ok bool)
+	// HasValid reports whether an attribute table stores the valid-time
+	// pair (vstart/vend). Nil or false sends valid-time query shapes to
+	// ErrUnsupported, so legacy archives answer them through the XML
+	// bypass, which synthesizes the default valid interval instead.
+	HasValid func(attrTable string) bool
 }
 
 // Catalog resolves doc() names to views.

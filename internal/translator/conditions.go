@@ -125,6 +125,11 @@ func (g *gen) intervalOf(e xquery.Expr, ctx *varInfo) (ts, te string, v *varInfo
 				return "", "", nil, unsupported("tinterval arity")
 			}
 			return g.intervalOf(fc.Args[0], ctx)
+		case "vinterval":
+			if len(fc.Args) != 1 {
+				return "", "", nil, unsupported("vinterval arity")
+			}
+			return g.validIntervalOf(fc.Args[0], ctx)
 		}
 	}
 	rv, err := g.resolveToVar(e, ctx)
@@ -136,6 +141,28 @@ func (g *gen) intervalOf(e xquery.Expr, ctx *varInfo) (ts, te string, v *varInfo
 		return alias + ".tstart", alias + ".tend", nil, nil
 	}
 	return rv.alias + ".tstart", rv.alias + ".tend", rv, nil
+}
+
+// validIntervalOf returns the (vstart, vend) column pair of an
+// attribute variable, the valid-time twin of intervalOf. Entity
+// variables (key tables) and legacy attribute tables without the pair
+// are unsupported — the caller falls back to the XML bypass, where
+// Item.ValidInterval synthesizes the default. No segment restriction
+// is recorded: clustering is transaction-time ordered and valid
+// intervals need not correlate with it.
+func (g *gen) validIntervalOf(e xquery.Expr, ctx *varInfo) (vs, ve string, v *varInfo, err error) {
+	rv, err := g.resolveToVar(e, ctx)
+	if err != nil {
+		return "", "", nil, err
+	}
+	if rv.kind != kindAttr {
+		return "", "", nil, unsupported("valid time of a non-attribute variable")
+	}
+	view := rv.ent.view
+	if view.HasValid == nil || !view.HasValid(rv.table) {
+		return "", "", nil, unsupported("valid time on legacy table %s", rv.table)
+	}
+	return rv.alias + ".vstart", rv.alias + ".vend", rv, nil
 }
 
 // restrict records a detected time restriction on a variable for the
@@ -286,9 +313,32 @@ var cmpFlip = map[string]string{"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">":
 // cases that keep conditions index- and zone-map-friendly, and records
 // time restrictions for segment pruning.
 func (g *gen) translateCmp(l xquery.Expr, op string, r xquery.Expr, ctx *varInfo) (string, error) {
-	// Normalize: tstart()/tend() on the left.
+	// Normalize: tstart()/tend() (and the valid-time twins) on the left.
 	if isTimeFunc(r) && !isTimeFunc(l) {
 		return g.translateCmp(r, cmpFlip[op], l, ctx)
+	}
+	if fc, ok := l.(*xquery.FuncCall); ok && (fc.Name == "vstart" || fc.Name == "vend") && len(fc.Args) == 1 {
+		vs, ve, _, err := g.validIntervalOf(fc.Args[0], ctx)
+		if err != nil {
+			return "", err
+		}
+		rhs, err := g.translateScalar(r, ctx)
+		if err != nil {
+			return "", err
+		}
+		if fc.Name == "vstart" {
+			return fmt.Sprintf("%s %s %s", vs, op, rhs), nil
+		}
+		// vend externalizes like tend: equality against current-date()
+		// means "valid into the open future", the prunable sentinel
+		// form; range comparisons run on the raw column.
+		if op == "=" && isCurrentDate(r) {
+			return fmt.Sprintf("%s = DATE '%s'", ve, temporal.Forever), nil
+		}
+		if op == "<=" || op == "<" || op == ">=" || op == ">" {
+			return fmt.Sprintf("%s %s %s", ve, op, rhs), nil
+		}
+		return fmt.Sprintf("RTEND(%s) %s %s", ve, op, rhs), nil
 	}
 	if fc, ok := l.(*xquery.FuncCall); ok && (fc.Name == "tstart" || fc.Name == "tend") && len(fc.Args) == 1 {
 		ts, te, v, err := g.intervalOf(fc.Args[0], ctx)
@@ -397,7 +447,14 @@ func isConstExpr(e xquery.Expr) bool {
 
 func isTimeFunc(e xquery.Expr) bool {
 	fc, ok := e.(*xquery.FuncCall)
-	return ok && (fc.Name == "tstart" || fc.Name == "tend") && len(fc.Args) == 1
+	if !ok || len(fc.Args) != 1 {
+		return false
+	}
+	switch fc.Name {
+	case "tstart", "tend", "vstart", "vend":
+		return true
+	}
+	return false
 }
 
 func isCurrentDate(e xquery.Expr) bool {
@@ -433,6 +490,15 @@ func (g *gen) translateScalar(e xquery.Expr, ctx *varInfo) (string, error) {
 				return "", err
 			}
 			return fmt.Sprintf("RTEND(%s)", te), nil
+		case "vstart":
+			vs, _, _, err := g.validIntervalOf(x.Args[0], ctx)
+			return vs, err
+		case "vend":
+			_, ve, _, err := g.validIntervalOf(x.Args[0], ctx)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("RTEND(%s)", ve), nil
 		case "timespan":
 			ts, te, _, err := g.intervalOf(x.Args[0], ctx)
 			if err != nil {

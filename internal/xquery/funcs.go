@@ -663,6 +663,160 @@ func builtinFuncs() map[string]builtinFunc {
 	f["rtend"] = replaceForeverFunc("rtend", func(ev *Evaluator) string { return ev.Now.String() })
 	f["externalnow"] = replaceForeverFunc("externalnow", func(*Evaluator) string { return "now" })
 
+	// ---- valid time (DESIGN.md §16) ----
+	// Valid-time twins of the transaction-time accessors. Versions
+	// without explicit vstart/vend attributes carry the default
+	// [tstart, Forever] (Item.ValidInterval), so these run unchanged on
+	// pre-bitemporal documents.
+	f["vstart"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("vstart", args, 1); err != nil {
+			return nil, err
+		}
+		if len(args[0]) == 0 {
+			return nil, nil
+		}
+		iv, err := args[0][0].ValidInterval()
+		if err != nil {
+			return nil, err
+		}
+		return Seq{DateItem(iv.Start)}, nil
+	}
+	f["vend"] = func(ev *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("vend", args, 1); err != nil {
+			return nil, err
+		}
+		if len(args[0]) == 0 {
+			return nil, nil
+		}
+		iv, err := args[0][0].ValidInterval()
+		if err != nil {
+			return nil, err
+		}
+		// Same externalization rule as tend(): the open end reads as
+		// current-date(), never the internal sentinel.
+		if iv.End.IsForever() {
+			return Seq{DateItem(ev.Now)}, nil
+		}
+		return Seq{DateItem(iv.End)}, nil
+	}
+	// vinterval projects the valid interval into the standard interval
+	// representation (tstart/tend attributes), so the whole interval
+	// library — toverlaps, tcontains, timespan, restructure — applies
+	// to valid time by composition: toverlaps(vinterval($a), vinterval($b)).
+	f["vinterval"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("vinterval", args, 1); err != nil {
+			return nil, err
+		}
+		if len(args[0]) == 0 {
+			return nil, nil
+		}
+		iv, err := args[0][0].ValidInterval()
+		if err != nil {
+			return nil, err
+		}
+		return Seq{NodeItem(intervalElement(iv))}, nil
+	}
+	// vsnapshot($seq, $d): the versions valid at date d (nonsequenced
+	// valid-time selection). vslice($seq, $s, $e): the versions whose
+	// valid interval overlaps [s, e] (sequenced selection).
+	f["vsnapshot"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("vsnapshot", args, 2); err != nil {
+			return nil, err
+		}
+		if len(args[1]) == 0 {
+			return nil, fmt.Errorf("xquery: vsnapshot() needs a date")
+		}
+		d, ok := args[1][0].DateValue()
+		if !ok {
+			return nil, fmt.Errorf("xquery: vsnapshot() expects a date")
+		}
+		var out Seq
+		for _, it := range args[0] {
+			iv, err := it.ValidInterval()
+			if err != nil {
+				return nil, err
+			}
+			if iv.Contains(d) {
+				out = append(out, it)
+			}
+		}
+		return out, nil
+	}
+	f["vslice"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("vslice", args, 3); err != nil {
+			return nil, err
+		}
+		if len(args[1]) == 0 || len(args[2]) == 0 {
+			return nil, fmt.Errorf("xquery: vslice() needs start and end dates")
+		}
+		s, ok1 := args[1][0].DateValue()
+		e, ok2 := args[2][0].DateValue()
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("xquery: vslice() expects dates")
+		}
+		win, err := temporal.NewInterval(s, e)
+		if err != nil {
+			return nil, err
+		}
+		var out Seq
+		for _, it := range args[0] {
+			iv, err := it.ValidInterval()
+			if err != nil {
+				return nil, err
+			}
+			if iv.Overlaps(win) {
+				out = append(out, it)
+			}
+		}
+		return out, nil
+	}
+	// bicoalesce($seq): bitemporal coalescing. Each input node is an
+	// assertion — value (name + text), valid interval, asserted at its
+	// tstart — and the output is the currently-believed valid timeline
+	// (temporal.ApplyAssertions): later assertions override earlier
+	// ones where their valid intervals overlap, and same-value adjacent
+	// pieces merge. Output nodes carry the input name and text with the
+	// resolved valid interval as vstart/vend.
+	f["bicoalesce"] = func(_ *Evaluator, _ *env, args []Seq) (Seq, error) {
+		if err := wantN("bicoalesce", args, 1); err != nil {
+			return nil, err
+		}
+		type meta struct {
+			name string
+			text string
+		}
+		var asserted []temporal.Asserted
+		metas := map[string]meta{}
+		for _, it := range args[0] {
+			if !it.IsNode() {
+				return nil, fmt.Errorf("xquery: bicoalesce() expects nodes")
+			}
+			tiv, err := it.Interval()
+			if err != nil {
+				return nil, err
+			}
+			viv, err := it.ValidInterval()
+			if err != nil {
+				return nil, err
+			}
+			key := it.Node.Name + "\x00" + it.Node.TextContent()
+			metas[key] = meta{name: it.Node.Name, text: it.Node.TextContent()}
+			asserted = append(asserted, temporal.Asserted{Value: key, Valid: viv, At: tiv.Start})
+		}
+		var out Seq
+		for _, tv := range temporal.ApplyAssertions(asserted) {
+			m := metas[tv.Value]
+			el := xmltree.NewElement(m.name).
+				SetAttr("vstart", tv.Interval.Start.String()).
+				SetAttr("vend", tv.Interval.End.String())
+			if m.text != "" {
+				el.AppendText(m.text)
+			}
+			out = append(out, NodeItem(el))
+		}
+		return out, nil
+	}
+
 	return f
 }
 

@@ -196,3 +196,32 @@ func (it Item) Interval() (temporal.Interval, error) {
 	}
 	return temporal.NewInterval(s, e)
 }
+
+// ValidInterval extracts the [vstart, vend] valid interval from a node
+// item's attributes. H-documents omit the pair on default-valid
+// versions (publish.go), so absent attributes fall back to the default
+// [tstart, Forever] — every pre-bitemporal document is readable as an
+// all-default-valid one.
+func (it Item) ValidInterval() (temporal.Interval, error) {
+	if !it.IsNode() {
+		return temporal.Interval{}, fmt.Errorf("xquery: valid interval of non-node item %q", it.String())
+	}
+	vs, ok1 := it.Node.Attr("vstart")
+	ve, ok2 := it.Node.Attr("vend")
+	if !ok1 || !ok2 {
+		iv, err := it.Interval()
+		if err != nil {
+			return temporal.Interval{}, err
+		}
+		return temporal.Current(iv.Start), nil
+	}
+	s, err := temporal.ParseDate(vs)
+	if err != nil {
+		return temporal.Interval{}, err
+	}
+	e, err := temporal.ParseDate(ve)
+	if err != nil {
+		return temporal.Interval{}, err
+	}
+	return temporal.NewInterval(s, e)
+}
